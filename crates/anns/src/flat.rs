@@ -1,0 +1,73 @@
+//! FLAT: exhaustive exact search (the paper's recall upper bound).
+
+use crate::cost::{BuildStats, SearchCost};
+use crate::params::SearchParams;
+use crate::index::VectorIndex;
+use vecdata::distance::l2_sq;
+use vecdata::ground_truth::TopK;
+use vecdata::Neighbor;
+
+/// Brute-force index: stores the raw vectors and scans all of them.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// "Building" FLAT is a copy; Milvus likewise stores raw segments.
+    pub fn build(vectors: &[f32], dim: usize, stats: &mut BuildStats) -> FlatIndex {
+        stats.train_dims += vectors.len() as u64; // ingest copy cost
+        FlatIndex { dim, data: vectors.to_vec() }
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
+        let mut top = TopK::new(sp.top_k);
+        for (i, v) in self.data.chunks_exact(self.dim).enumerate() {
+            cost.add_f32_distance(self.dim);
+            let d = l2_sq(query, v);
+            top.push(i as u32, d);
+        }
+        cost.heap_pushes += self.len() as u64;
+        top.into_sorted()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::IndexParams;
+
+    #[test]
+    fn flat_is_exact() {
+        // 1-D points 0..10; query at 3.2 → nearest are 3, 4 (order matters).
+        let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let mut stats = BuildStats::default();
+        let idx = FlatIndex::build(&data, 1, &mut stats);
+        let sp = SearchParams::from_params(&IndexParams::default(), 2);
+        let mut cost = SearchCost::default();
+        let res = idx.search(&[3.2], &sp, &mut cost);
+        assert_eq!(res[0].id, 3);
+        assert_eq!(res[1].id, 4);
+        assert_eq!(cost.f32_dims, 10);
+    }
+
+    #[test]
+    fn memory_is_raw_size() {
+        let data = vec![0.0f32; 32 * 4];
+        let mut stats = BuildStats::default();
+        let idx = FlatIndex::build(&data, 4, &mut stats);
+        assert_eq!(idx.memory_bytes(), (32 * 4 * 4) as u64);
+        assert_eq!(idx.len(), 32);
+    }
+}

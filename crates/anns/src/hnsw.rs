@@ -1,0 +1,389 @@
+//! HNSW: Hierarchical Navigable Small World graph (Malkov & Yashunin).
+//!
+//! A faithful in-memory implementation: exponentially distributed layer
+//! assignment, greedy descent through upper layers, beam search
+//! (`efConstruction` / `ef`) on layer 0, bidirectional links pruned to `M`
+//! (2·M on layer 0, as in hnswlib and Milvus).
+
+use crate::cost::{BuildStats, SearchCost};
+use crate::index::{BuildError, VectorIndex};
+use crate::params::{IndexParams, SearchParams};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vecdata::distance::l2_sq;
+use vecdata::ground_truth::{Neighbor, TopK};
+use vecdata::rng::rng;
+
+/// One graph node: neighbor lists per layer (layer 0 first).
+#[derive(Debug, Clone)]
+struct Node {
+    /// `links[l]` = neighbor ids on layer `l`.
+    links: Vec<Vec<u32>>,
+}
+
+/// An HNSW graph over a copied vector buffer.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    dim: usize,
+    data: Vec<f32>,
+    nodes: Vec<Node>,
+    entry: u32,
+    max_layer: usize,
+    m: usize,
+}
+
+impl HnswIndex {
+    pub fn build(
+        vectors: &[f32],
+        dim: usize,
+        params: &IndexParams,
+        seed: u64,
+        stats: &mut BuildStats,
+    ) -> Result<HnswIndex, BuildError> {
+        if params.hnsw_m < 2 {
+            return Err(BuildError::InvalidParam("M"));
+        }
+        if params.ef_construction < 1 {
+            return Err(BuildError::InvalidParam("efConstruction"));
+        }
+        let n = vectors.len() / dim;
+        let m = params.hnsw_m;
+        let ef_c = params.ef_construction.max(m);
+        let level_mult = 1.0 / (m as f64).ln();
+        let mut r = rng(seed);
+
+        let mut index = HnswIndex {
+            dim,
+            data: vectors.to_vec(),
+            nodes: Vec::with_capacity(n),
+            entry: 0,
+            max_layer: 0,
+            m,
+        };
+
+        for i in 0..n {
+            let level = (-(r.gen::<f64>().max(1e-12)).ln() * level_mult).floor() as usize;
+            index.insert(i as u32, level, ef_c, stats);
+        }
+        Ok(index)
+    }
+
+    #[inline]
+    fn vec_at(&self, id: u32) -> &[f32] {
+        &self.data[id as usize * self.dim..(id as usize + 1) * self.dim]
+    }
+
+    #[inline]
+    fn dist(&self, a: &[f32], id: u32, dims: &mut u64) -> f32 {
+        *dims += self.dim as u64;
+        l2_sq(a, self.vec_at(id))
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.m * 2
+        } else {
+            self.m
+        }
+    }
+
+    /// Greedy search on one layer starting from `entry`, returning the
+    /// closest node found (used for descending the upper layers).
+    fn greedy_closest(&self, query: &[f32], entry: u32, layer: usize, cost: &mut SearchCost) -> u32 {
+        let mut cur = entry;
+        let mut cur_d = self.dist(query, cur, &mut cost.graph_dims);
+        loop {
+            let mut improved = false;
+            for &nb in &self.nodes[cur as usize].links[layer] {
+                cost.graph_hops += 1;
+                let d = self.dist(query, nb, &mut cost.graph_dims);
+                if d < cur_d {
+                    cur = nb;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search on one layer: returns up to `ef` candidates sorted by
+    /// ascending distance.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        cost: &mut SearchCost,
+    ) -> Vec<Neighbor> {
+        let n = self.nodes.len();
+        let mut visited = vec![false; n];
+        visited[entry as usize] = true;
+        let d0 = self.dist(query, entry, &mut cost.graph_dims);
+
+        // Candidates: min-heap by distance. Results: bounded worst-first set.
+        let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        candidates.push(Reverse(Neighbor { id: entry, distance: d0 }));
+        let mut results = TopK::new(ef);
+        results.push(entry, d0);
+
+        while let Some(Reverse(cand)) = candidates.pop() {
+            if cand.distance > results.threshold() {
+                break;
+            }
+            for &nb in &self.nodes[cand.id as usize].links[layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                cost.graph_hops += 1;
+                let d = self.dist(query, nb, &mut cost.graph_dims);
+                if d < results.threshold() || results.len() < ef {
+                    candidates.push(Reverse(Neighbor { id: nb, distance: d }));
+                    results.push(nb, d);
+                    cost.heap_pushes += 1;
+                }
+            }
+        }
+        results.into_sorted()
+    }
+
+    /// Insert node `id` with top layer `level`.
+    fn insert(&mut self, id: u32, level: usize, ef_c: usize, stats: &mut BuildStats) {
+        let node = Node { links: vec![Vec::new(); level + 1] };
+        self.nodes.push(node);
+        if self.nodes.len() == 1 {
+            self.entry = id;
+            self.max_layer = level;
+            return;
+        }
+
+        let query = self.vec_at(id).to_vec();
+        let mut build_cost = SearchCost::default();
+        let mut cur = self.entry;
+
+        // Descend greedily through layers above `level`.
+        let top = self.max_layer;
+        let mut layer = top;
+        while layer > level {
+            cur = self.greedy_closest(&query, cur, layer, &mut build_cost);
+            if layer == 0 {
+                break;
+            }
+            layer -= 1;
+        }
+
+        // Connect on each layer from min(level, top) down to 0.
+        let mut l = level.min(top);
+        loop {
+            let found = self.search_layer(&query, cur, ef_c, l, &mut build_cost);
+            let m_l = self.max_links(l);
+            let selected = self.select_neighbors(&query, &found, m_l, &mut build_cost);
+            for &nb in &selected {
+                self.nodes[id as usize].links[l].push(nb);
+                self.nodes[nb as usize].links[l].push(id);
+                // Prune the neighbor if it exceeded its budget.
+                if self.nodes[nb as usize].links[l].len() > m_l {
+                    self.prune(nb, l, m_l, &mut build_cost);
+                }
+            }
+            if let Some(first) = selected.first() {
+                cur = *first;
+            }
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+
+        if level > self.max_layer {
+            self.max_layer = level;
+            self.entry = id;
+        }
+        stats.train_dims += build_cost.f32_dims + build_cost.graph_dims;
+    }
+
+    /// The paper's neighbor-selection heuristic (Algorithm 4 in Malkov &
+    /// Yashunin): prefer *diverse* neighbors — a candidate is kept only if
+    /// it is closer to the base point than to every already-selected
+    /// neighbor. Remaining slots are filled with the closest pruned
+    /// candidates ("keepPrunedConnections"), which preserves graph
+    /// connectivity on clustered data.
+    fn select_neighbors(
+        &self,
+        base: &[f32],
+        found: &[Neighbor],
+        m: usize,
+        cost: &mut SearchCost,
+    ) -> Vec<u32> {
+        let _ = base;
+        let mut selected: Vec<Neighbor> = Vec::with_capacity(m);
+        let mut pruned: Vec<Neighbor> = Vec::new();
+        for &cand in found {
+            if selected.len() >= m {
+                break;
+            }
+            let cand_vec = self.vec_at(cand.id);
+            let diverse = selected.iter().all(|s| {
+                let d = self.dist(cand_vec, s.id, &mut cost.graph_dims);
+                d >= cand.distance
+            });
+            if diverse {
+                selected.push(cand);
+            } else {
+                pruned.push(cand);
+            }
+        }
+        for cand in pruned {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push(cand);
+        }
+        selected.into_iter().map(|n| n.id).collect()
+    }
+
+    /// Re-prune a node's neighbor list to its budget with the same
+    /// diversity heuristic used at insertion time.
+    fn prune(&mut self, id: u32, layer: usize, m: usize, cost: &mut SearchCost) {
+        let base = self.vec_at(id).to_vec();
+        let links = &self.nodes[id as usize].links[layer];
+        let mut scored: Vec<Neighbor> = links
+            .iter()
+            .map(|&nb| Neighbor { id: nb, distance: self.dist(&base, nb, &mut cost.graph_dims) })
+            .collect();
+        scored.sort_unstable();
+        let kept = self.select_neighbors(&base, &scored, m, cost);
+        self.nodes[id as usize].links[layer] = kept;
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut cur = self.entry;
+        let mut layer = self.max_layer;
+        while layer > 0 {
+            cur = self.greedy_closest(query, cur, layer, cost);
+            layer -= 1;
+        }
+        let ef = sp.ef.max(sp.top_k);
+        let mut found = self.search_layer(query, cur, ef, 0, cost);
+        found.truncate(sp.top_k);
+        found
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let links: usize = self
+            .nodes
+            .iter()
+            .map(|n| n.links.iter().map(|l| l.len() * 4 + 24).sum::<usize>())
+            .sum();
+        (self.data.len() * 4 + links) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecdata::{ground_truth, DatasetKind, DatasetSpec};
+
+    fn build_tiny(m: usize, ef_c: usize) -> (vecdata::Dataset, HnswIndex) {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params = IndexParams { hnsw_m: m, ef_construction: ef_c, ..Default::default() }
+            .sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let idx = HnswIndex::build(ds.raw(), ds.dim(), &params, 5, &mut stats).unwrap();
+        (ds, idx)
+    }
+
+    fn mean_recall(ds: &vecdata::Dataset, idx: &HnswIndex, ef: usize) -> f64 {
+        let gt = ground_truth(ds, 10);
+        let sp = SearchParams { nprobe: 0, ef, reorder_k: 0, top_k: 10 };
+        let mut acc = 0.0;
+        for qi in 0..ds.n_queries() {
+            let mut cost = SearchCost::default();
+            let ids: Vec<u32> =
+                idx.search(ds.query(qi), &sp, &mut cost).iter().map(|n| n.id).collect();
+            acc += vecdata::ground_truth::recall(&ids, &gt[qi]);
+        }
+        acc / ds.n_queries() as f64
+    }
+
+    #[test]
+    fn high_ef_gives_high_recall() {
+        let (ds, idx) = build_tiny(16, 200);
+        let r = mean_recall(&ds, &idx, 256);
+        assert!(r > 0.95, "HNSW recall at ef=256 was {r}");
+    }
+
+    #[test]
+    fn recall_monotone_in_ef() {
+        let (ds, idx) = build_tiny(16, 200);
+        let lo = mean_recall(&ds, &idx, 10);
+        let hi = mean_recall(&ds, &idx, 200);
+        assert!(hi >= lo, "recall should not decrease with ef: {lo} -> {hi}");
+    }
+
+    #[test]
+    fn cost_grows_with_ef() {
+        let (ds, idx) = build_tiny(16, 100);
+        let mut c_lo = SearchCost::default();
+        let mut c_hi = SearchCost::default();
+        idx.search(ds.query(0), &SearchParams { nprobe: 0, ef: 10, reorder_k: 0, top_k: 10 }, &mut c_lo);
+        idx.search(ds.query(0), &SearchParams { nprobe: 0, ef: 300, reorder_k: 0, top_k: 10 }, &mut c_hi);
+        assert!(c_hi.graph_dims > c_lo.graph_dims);
+        assert!(c_hi.graph_hops > c_lo.graph_hops);
+    }
+
+    #[test]
+    fn degree_bounded() {
+        let (_, idx) = build_tiny(8, 64);
+        for (i, node) in idx.nodes.iter().enumerate() {
+            for (l, links) in node.links.iter().enumerate() {
+                let cap = if l == 0 { 16 } else { 8 };
+                assert!(links.len() <= cap, "node {i} layer {l} degree {}", links.len());
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_bidirectional_enough_to_reach_all() {
+        // Graph connectivity: from the entry point, a BFS on layer 0 should
+        // reach nearly every node (HNSW guarantees connectivity in practice).
+        let (_, idx) = build_tiny(12, 128);
+        let n = idx.nodes.len();
+        let mut seen = vec![false; n];
+        let mut queue = vec![idx.entry];
+        seen[idx.entry as usize] = true;
+        let mut reached = 1;
+        while let Some(u) = queue.pop() {
+            for &v in &idx.nodes[u as usize].links[0] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    reached += 1;
+                    queue.push(v);
+                }
+            }
+        }
+        assert!(reached as f64 / n as f64 > 0.99, "only {reached}/{n} reachable");
+    }
+
+    #[test]
+    fn rejects_tiny_m() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params = IndexParams { hnsw_m: 1, ..Default::default() };
+        let mut stats = BuildStats::default();
+        assert!(HnswIndex::build(ds.raw(), ds.dim(), &params, 0, &mut stats).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared inverted-file (IVF) machinery for IVF_FLAT / IVF_SQ8 / IVF_PQ /
+//! SCANN: coarse k-means quantizer plus per-centroid posting lists.
+
+use crate::cost::BuildStats;
+use crate::kmeans::KMeans;
+
+/// Coarse quantizer + inverted lists. Each list holds local row ids.
+#[derive(Debug, Clone)]
+pub struct IvfLists {
+    pub quantizer: KMeans,
+    pub lists: Vec<Vec<u32>>,
+}
+
+impl IvfLists {
+    /// Train the coarse quantizer and assign every vector to its list.
+    pub fn build(
+        vectors: &[f32],
+        dim: usize,
+        nlist: usize,
+        seed: u64,
+        stats: &mut BuildStats,
+    ) -> IvfLists {
+        let n = vectors.len() / dim;
+        let quantizer = KMeans::train(vectors, dim, nlist, seed, stats);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); quantizer.k];
+        for i in 0..n {
+            let v = &vectors[i * dim..(i + 1) * dim];
+            let c = quantizer.nearest(v);
+            lists[c].push(i as u32);
+        }
+        stats.train_dims += (n * quantizer.k * dim) as u64; // assignment pass
+        IvfLists { quantizer, lists }
+    }
+
+    /// Total number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// True when no vector is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory of the list structure itself (ids + centroids).
+    pub fn memory_bytes(&self) -> u64 {
+        let ids: usize = self.lists.iter().map(|l| l.len() * 4).sum();
+        let centroids = self.quantizer.centroids.len() * 4;
+        (ids + centroids) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_vectors_assigned_exactly_once() {
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.push(i as f32);
+            data.push((i % 7) as f32);
+        }
+        let mut stats = BuildStats::default();
+        let ivf = IvfLists::build(&data, 2, 8, 3, &mut stats);
+        assert_eq!(ivf.len(), 200);
+        let mut seen = [false; 200];
+        for list in &ivf.lists {
+            for &id in list {
+                assert!(!seen[id as usize], "id {id} assigned twice");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vectors_land_in_nearest_list() {
+        let mut data = Vec::new();
+        for c in [0.0f32, 100.0] {
+            for i in 0..20 {
+                data.push(c + i as f32 * 0.01);
+            }
+        }
+        let mut stats = BuildStats::default();
+        let ivf = IvfLists::build(&data, 1, 2, 5, &mut stats);
+        // Two clear clusters: each list should be pure.
+        for list in &ivf.lists {
+            if list.is_empty() {
+                continue;
+            }
+            let first_group = list[0] < 20;
+            assert!(list.iter().all(|&id| (id < 20) == first_group));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! IVF_FLAT: coarse quantizer + full-precision scan of probed lists.
+
+use crate::cost::{BuildStats, SearchCost};
+use crate::index::{BuildError, VectorIndex};
+use crate::ivf::IvfLists;
+use crate::params::{IndexParams, SearchParams};
+use vecdata::distance::l2_sq;
+use vecdata::ground_truth::TopK;
+use vecdata::Neighbor;
+
+/// IVF with raw vectors in the posting lists.
+#[derive(Debug, Clone)]
+pub struct IvfFlatIndex {
+    dim: usize,
+    ivf: IvfLists,
+    data: Vec<f32>,
+}
+
+impl IvfFlatIndex {
+    pub fn build(
+        vectors: &[f32],
+        dim: usize,
+        params: &IndexParams,
+        seed: u64,
+        stats: &mut BuildStats,
+    ) -> Result<IvfFlatIndex, BuildError> {
+        if params.nlist == 0 {
+            return Err(BuildError::InvalidParam("nlist"));
+        }
+        let ivf = IvfLists::build(vectors, dim, params.nlist, seed, stats);
+        Ok(IvfFlatIndex { dim, ivf, data: vectors.to_vec() })
+    }
+}
+
+impl VectorIndex for IvfFlatIndex {
+    fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
+        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let mut top = TopK::new(sp.top_k);
+        for c in probes {
+            cost.lists_probed += 1;
+            for &id in &self.ivf.lists[c] {
+                let v = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
+                cost.add_f32_distance(self.dim);
+                cost.heap_pushes += 1;
+                top.push(id, l2_sq(query, v));
+            }
+        }
+        top.into_sorted()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.ivf.memory_bytes() + (self.data.len() * 4) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecdata::{ground_truth, DatasetKind, DatasetSpec};
+
+    #[test]
+    fn more_probes_more_recall() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params = IndexParams { nlist: 32, ..Default::default() }.sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let idx = IvfFlatIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+        let gt = ground_truth(&ds, 10);
+        let recall_at = |nprobe: usize| {
+            let sp = SearchParams { nprobe, ef: 100, reorder_k: 100, top_k: 10 };
+            let mut acc = 0.0;
+            for qi in 0..ds.n_queries() {
+                let mut cost = SearchCost::default();
+                let ids: Vec<u32> =
+                    idx.search(ds.query(qi), &sp, &mut cost).iter().map(|n| n.id).collect();
+                acc += vecdata::ground_truth::recall(&ids, &gt[qi]);
+            }
+            acc / ds.n_queries() as f64
+        };
+        let r1 = recall_at(1);
+        let r_all = recall_at(32);
+        assert!(r_all >= r1, "probing everything must not lower recall");
+        assert!(r_all > 0.999, "nprobe=nlist is exhaustive, got {r_all}");
+    }
+
+    #[test]
+    fn probe_cost_scales_with_nprobe() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params = IndexParams { nlist: 32, ..Default::default() }.sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let idx = IvfFlatIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+        let mut c1 = SearchCost::default();
+        let mut c8 = SearchCost::default();
+        idx.search(ds.query(0), &SearchParams { nprobe: 1, ef: 0, reorder_k: 0, top_k: 10 }, &mut c1);
+        idx.search(ds.query(0), &SearchParams { nprobe: 8, ef: 0, reorder_k: 0, top_k: 10 }, &mut c8);
+        assert!(c8.f32_dims > c1.f32_dims);
+        assert_eq!(c1.lists_probed, 1);
+        assert_eq!(c8.lists_probed, 8);
+    }
+}

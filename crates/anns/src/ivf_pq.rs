@@ -1,0 +1,244 @@
+//! IVF_PQ: IVF lists storing product-quantization codes, searched with
+//! asymmetric distance computation (ADC) lookup tables.
+
+use crate::cost::{BuildStats, SearchCost};
+use crate::index::{BuildError, VectorIndex};
+use crate::ivf::IvfLists;
+use crate::kmeans::KMeans;
+use crate::params::{IndexParams, SearchParams};
+use vecdata::ground_truth::TopK;
+use vecdata::Neighbor;
+
+/// A trained product quantizer: `m` subspaces × `2^nbits` centroids each.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    pub dim: usize,
+    pub m: usize,
+    pub dsub: usize,
+    pub ksub: usize,
+    /// Codebooks, `m` of them, each `ksub * dsub` floats.
+    pub codebooks: Vec<Vec<f32>>,
+}
+
+impl ProductQuantizer {
+    /// Train the `m` sub-codebooks with k-means over the subvectors.
+    pub fn train(
+        vectors: &[f32],
+        dim: usize,
+        m: usize,
+        nbits: usize,
+        seed: u64,
+        stats: &mut BuildStats,
+    ) -> Result<ProductQuantizer, BuildError> {
+        if m == 0 || !dim.is_multiple_of(m) {
+            return Err(BuildError::PqSubspaceMismatch { dim, m });
+        }
+        if !(1..=16).contains(&nbits) {
+            return Err(BuildError::InvalidParam("nbits"));
+        }
+        let dsub = dim / m;
+        let ksub = 1usize << nbits;
+        let n = vectors.len() / dim;
+        let mut codebooks = Vec::with_capacity(m);
+        let mut sub = vec![0.0f32; n * dsub];
+        for s in 0..m {
+            for i in 0..n {
+                let src = &vectors[i * dim + s * dsub..i * dim + (s + 1) * dsub];
+                sub[i * dsub..(i + 1) * dsub].copy_from_slice(src);
+            }
+            let km = KMeans::train(&sub, dsub, ksub, seed.wrapping_add(s as u64), stats);
+            // Pad codebook to ksub rows if the data had fewer points.
+            let mut cb = km.centroids;
+            cb.resize(ksub * dsub, 0.0);
+            codebooks.push(cb);
+        }
+        Ok(ProductQuantizer { dim, m, dsub, ksub, codebooks })
+    }
+
+    /// Encode a vector into `m` code bytes (one codebook index per subspace).
+    pub fn encode(&self, v: &[f32], out: &mut [u8]) {
+        for s in 0..self.m {
+            let sub = &v[s * self.dsub..(s + 1) * self.dsub];
+            let cb = &self.codebooks[s];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..self.ksub {
+                let cen = &cb[c * self.dsub..(c + 1) * self.dsub];
+                let d = vecdata::distance::l2_sq(sub, cen);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            out[s] = best as u8;
+        }
+    }
+
+    /// Build the per-query ADC table: `m * ksub` partial squared distances.
+    pub fn adc_table(&self, query: &[f32], cost: &mut SearchCost) -> Vec<f32> {
+        let mut table = vec![0.0f32; self.m * self.ksub];
+        for s in 0..self.m {
+            let sub = &query[s * self.dsub..(s + 1) * self.dsub];
+            let cb = &self.codebooks[s];
+            for c in 0..self.ksub {
+                let cen = &cb[c * self.dsub..(c + 1) * self.dsub];
+                table[s * self.ksub + c] = vecdata::distance::l2_sq(sub, cen);
+                cost.add_f32_distance(self.dsub);
+            }
+        }
+        table
+    }
+
+    /// Approximate squared distance of a code via the ADC table.
+    #[inline]
+    pub fn adc_distance(&self, table: &[f32], code: &[u8]) -> f32 {
+        let mut acc = 0.0f32;
+        for s in 0..self.m {
+            acc += table[s * self.ksub + code[s] as usize];
+        }
+        acc
+    }
+
+    /// Memory of the codebooks in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.m * self.ksub * self.dsub * 4) as u64
+    }
+}
+
+/// IVF over PQ codes.
+#[derive(Debug, Clone)]
+pub struct IvfPqIndex {
+    ivf: IvfLists,
+    pq: ProductQuantizer,
+    codes: Vec<u8>, // n * m
+    n: usize,
+}
+
+impl IvfPqIndex {
+    pub fn build(
+        vectors: &[f32],
+        dim: usize,
+        params: &IndexParams,
+        seed: u64,
+        stats: &mut BuildStats,
+    ) -> Result<IvfPqIndex, BuildError> {
+        if params.nlist == 0 {
+            return Err(BuildError::InvalidParam("nlist"));
+        }
+        let ivf = IvfLists::build(vectors, dim, params.nlist, seed, stats);
+        let pq =
+            ProductQuantizer::train(vectors, dim, params.m, params.nbits, seed ^ 0x9051, stats)?;
+        let n = vectors.len() / dim;
+        let mut codes = vec![0u8; n * pq.m];
+        for i in 0..n {
+            pq.encode(&vectors[i * dim..(i + 1) * dim], &mut codes[i * pq.m..(i + 1) * pq.m]);
+        }
+        stats.train_dims += (n * pq.m * pq.ksub * pq.dsub) as u64; // encode pass
+        let _ = dim;
+        Ok(IvfPqIndex { ivf, pq, codes, n })
+    }
+}
+
+impl VectorIndex for IvfPqIndex {
+    fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
+        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let table = self.pq.adc_table(query, cost);
+        let mut top = TopK::new(sp.top_k);
+        for c in probes {
+            cost.lists_probed += 1;
+            for &id in &self.ivf.lists[c] {
+                let code = &self.codes[id as usize * self.pq.m..(id as usize + 1) * self.pq.m];
+                cost.pq_lookups += self.pq.m as u64;
+                cost.heap_pushes += 1;
+                top.push(id, self.pq.adc_distance(&table, code));
+            }
+        }
+        top.into_sorted()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.ivf.memory_bytes() + self.codes.len() as u64 + self.pq.memory_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecdata::{ground_truth, DatasetKind, DatasetSpec};
+
+    #[test]
+    fn pq_rejects_bad_m() {
+        let data = vec![0.5f32; 10 * 6];
+        let mut stats = BuildStats::default();
+        let err = ProductQuantizer::train(&data, 6, 4, 8, 0, &mut stats);
+        assert!(matches!(err, Err(BuildError::PqSubspaceMismatch { dim: 6, m: 4 })));
+    }
+
+    #[test]
+    fn pq_rejects_bad_nbits() {
+        let data = vec![0.5f32; 10 * 8];
+        let mut stats = BuildStats::default();
+        assert!(ProductQuantizer::train(&data, 8, 2, 0, 0, &mut stats).is_err());
+        assert!(ProductQuantizer::train(&data, 8, 2, 17, 0, &mut stats).is_err());
+    }
+
+    #[test]
+    fn adc_distance_approximates_exact() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let mut stats = BuildStats::default();
+        let pq = ProductQuantizer::train(ds.raw(), ds.dim(), 8, 6, 3, &mut stats).unwrap();
+        let q = ds.query(0);
+        let mut cost = SearchCost::default();
+        let table = pq.adc_table(q, &mut cost);
+        let mut code = vec![0u8; pq.m];
+        let mut err_acc = 0.0f64;
+        for i in 0..50 {
+            let v = ds.vector(i);
+            pq.encode(v, &mut code);
+            let exact = vecdata::distance::l2_sq(q, v);
+            let approx = pq.adc_distance(&table, &code);
+            err_acc += (exact - approx).abs() as f64;
+        }
+        // Mean absolute error should be small relative to typical distances
+        // (unit vectors → distances in [0, 4]).
+        assert!(err_acc / 50.0 < 0.5, "mean ADC err {}", err_acc / 50.0);
+    }
+
+    #[test]
+    fn ivf_pq_end_to_end_recall() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params =
+            IndexParams { nlist: 16, m: 8, nbits: 8, ..Default::default() }.sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let idx = IvfPqIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+        let gt = ground_truth(&ds, 10);
+        let sp = SearchParams { nprobe: 16, ef: 0, reorder_k: 0, top_k: 10 };
+        let mut acc = 0.0;
+        for qi in 0..ds.n_queries() {
+            let mut cost = SearchCost::default();
+            let ids: Vec<u32> =
+                idx.search(ds.query(qi), &sp, &mut cost).iter().map(|n| n.id).collect();
+            assert!(cost.pq_lookups > 0);
+            acc += vecdata::ground_truth::recall(&ids, &gt[qi]);
+        }
+        let recall = acc / ds.n_queries() as f64;
+        // PQ is lossy; exhaustive probing should still recover most neighbors.
+        assert!(recall > 0.5, "IVF_PQ recall {recall}");
+    }
+
+    #[test]
+    fn codes_memory_much_smaller_than_raw() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params =
+            IndexParams { nlist: 16, m: 4, nbits: 4, ..Default::default() }.sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let idx = IvfPqIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+        // Codes are m bytes per vector vs dim*4 raw bytes; with the codebook
+        // overhead total memory must still be far below raw storage.
+        assert!(idx.memory_bytes() < (ds.raw().len() * 4 / 2) as u64);
+    }
+}

@@ -1,0 +1,174 @@
+//! IVF_SQ8: IVF lists storing 8-bit scalar-quantized vectors.
+//!
+//! Each dimension is linearly quantized to `u8` with per-dimension min/max
+//! trained over the segment. Memory drops ~4x vs IVF_FLAT and scans run in
+//! the cheaper quantized domain, at a small recall penalty — exactly the
+//! trade-off the tuner must discover.
+
+use crate::cost::{BuildStats, SearchCost};
+use crate::index::{BuildError, VectorIndex};
+use crate::ivf::IvfLists;
+use crate::params::{IndexParams, SearchParams};
+use vecdata::ground_truth::TopK;
+use vecdata::Neighbor;
+
+/// Per-dimension linear quantizer to `u8`.
+#[derive(Debug, Clone)]
+pub struct ScalarQuantizer {
+    pub mins: Vec<f32>,
+    pub scales: Vec<f32>, // (max-min)/255, zero-guarded
+}
+
+impl ScalarQuantizer {
+    /// Train min/max per dimension over all vectors.
+    pub fn train(vectors: &[f32], dim: usize) -> ScalarQuantizer {
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for v in vectors.chunks_exact(dim) {
+            for d in 0..dim {
+                mins[d] = mins[d].min(v[d]);
+                maxs[d] = maxs[d].max(v[d]);
+            }
+        }
+        let scales = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| ((hi - lo) / 255.0).max(1e-12))
+            .collect();
+        ScalarQuantizer { mins, scales }
+    }
+
+    /// Quantize one vector into `out`.
+    #[inline]
+    pub fn encode(&self, v: &[f32], out: &mut [u8]) {
+        for d in 0..v.len() {
+            let q = ((v[d] - self.mins[d]) / self.scales[d]).round();
+            out[d] = q.clamp(0.0, 255.0) as u8;
+        }
+    }
+
+    /// Squared L2 distance between a raw query and a quantized code,
+    /// evaluated by dequantizing on the fly (asymmetric distance).
+    #[inline]
+    pub fn asymmetric_l2(&self, query: &[f32], code: &[u8]) -> f32 {
+        let mut acc = 0.0f32;
+        for d in 0..query.len() {
+            let x = self.mins[d] + code[d] as f32 * self.scales[d];
+            let diff = query[d] - x;
+            acc += diff * diff;
+        }
+        acc
+    }
+}
+
+/// IVF over SQ8 codes.
+#[derive(Debug, Clone)]
+pub struct IvfSq8Index {
+    dim: usize,
+    ivf: IvfLists,
+    sq: ScalarQuantizer,
+    codes: Vec<u8>, // n * dim
+}
+
+impl IvfSq8Index {
+    pub fn build(
+        vectors: &[f32],
+        dim: usize,
+        params: &IndexParams,
+        seed: u64,
+        stats: &mut BuildStats,
+    ) -> Result<IvfSq8Index, BuildError> {
+        if params.nlist == 0 {
+            return Err(BuildError::InvalidParam("nlist"));
+        }
+        let ivf = IvfLists::build(vectors, dim, params.nlist, seed, stats);
+        let sq = ScalarQuantizer::train(vectors, dim);
+        let n = vectors.len() / dim;
+        let mut codes = vec![0u8; n * dim];
+        for i in 0..n {
+            sq.encode(&vectors[i * dim..(i + 1) * dim], &mut codes[i * dim..(i + 1) * dim]);
+        }
+        stats.train_dims += vectors.len() as u64; // encode pass
+        Ok(IvfSq8Index { dim, ivf, sq, codes })
+    }
+}
+
+impl VectorIndex for IvfSq8Index {
+    fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
+        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let mut top = TopK::new(sp.top_k);
+        for c in probes {
+            cost.lists_probed += 1;
+            for &id in &self.ivf.lists[c] {
+                let code = &self.codes[id as usize * self.dim..(id as usize + 1) * self.dim];
+                cost.add_u8_distance(self.dim);
+                cost.heap_pushes += 1;
+                top.push(id, self.sq.asymmetric_l2(query, code));
+            }
+        }
+        top.into_sorted()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.ivf.memory_bytes() + self.codes.len() as u64 + (self.sq.mins.len() * 8) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.codes.len() / self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecdata::{ground_truth, DatasetKind, DatasetSpec};
+
+    #[test]
+    fn quantizer_roundtrip_error_bounded() {
+        let data: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+        let sq = ScalarQuantizer::train(&data, 8);
+        let mut code = [0u8; 8];
+        for v in data.chunks_exact(8) {
+            sq.encode(v, &mut code);
+            for d in 0..8 {
+                let back = sq.mins[d] + code[d] as f32 * sq.scales[d];
+                assert!((back - v[d]).abs() <= sq.scales[d] * 0.51 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_distance_close_to_exact() {
+        let data: Vec<f32> = (0..40).map(|i| (i as f32 * 0.37).cos()).collect();
+        let sq = ScalarQuantizer::train(&data, 4);
+        let q = [0.1f32, -0.2, 0.3, 0.4];
+        for v in data.chunks_exact(4) {
+            let mut code = [0u8; 4];
+            sq.encode(v, &mut code);
+            let exact = vecdata::distance::l2_sq(&q, v);
+            let approx = sq.asymmetric_l2(&q, &code);
+            assert!((exact - approx).abs() < 0.05, "exact {exact} approx {approx}");
+        }
+    }
+
+    #[test]
+    fn sq8_recall_reasonable_and_memory_smaller_than_flat() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params = IndexParams { nlist: 16, ..Default::default() }.sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let idx = IvfSq8Index::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+        assert!(idx.memory_bytes() < (ds.raw().len() * 4) as u64);
+        let gt = ground_truth(&ds, 10);
+        let sp = SearchParams { nprobe: 16, ef: 0, reorder_k: 0, top_k: 10 };
+        let mut acc = 0.0;
+        for qi in 0..ds.n_queries() {
+            let mut cost = SearchCost::default();
+            let ids: Vec<u32> =
+                idx.search(ds.query(qi), &sp, &mut cost).iter().map(|n| n.id).collect();
+            assert!(cost.u8_dims > 0);
+            acc += vecdata::ground_truth::recall(&ids, &gt[qi]);
+        }
+        let recall = acc / ds.n_queries() as f64;
+        assert!(recall > 0.8, "SQ8 exhaustive recall {recall}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Lloyd's k-means with k-means++ seeding, used by every IVF-family index.
+//!
+//! Training runs on a bounded sample (like FAISS/Milvus, which cap training
+//! points per centroid) so index build time stays proportional to `nlist`
+//! rather than the segment size.
+
+use crate::cost::BuildStats;
+use rand::Rng;
+use vecdata::distance::l2_sq;
+use vecdata::rng::rng;
+
+/// Result of k-means training: `k` centroids in a flat row-major buffer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    pub k: usize,
+    pub dim: usize,
+    pub centroids: Vec<f32>,
+}
+
+/// Maximum training points per centroid (FAISS uses 256; we use fewer to
+/// keep scaled experiments fast without changing the partition geometry).
+const TRAIN_POINTS_PER_CENTROID: usize = 64;
+/// Lloyd iterations; IVF quality saturates quickly on our data sizes.
+const LLOYD_ITERS: usize = 6;
+
+impl KMeans {
+    /// Train on (a sample of) `data`. `data.len()` must be a multiple of `dim`.
+    ///
+    /// `k` is clamped to the number of points. Deterministic given `seed`.
+    pub fn train(data: &[f32], dim: usize, k: usize, seed: u64, stats: &mut BuildStats) -> KMeans {
+        assert!(dim > 0 && data.len().is_multiple_of(dim));
+        let n = data.len() / dim;
+        let k = k.max(1).min(n.max(1));
+        if n == 0 {
+            return KMeans { k: 0, dim, centroids: Vec::new() };
+        }
+
+        let mut r = rng(seed);
+        // Bounded training sample.
+        let sample_target = (k * TRAIN_POINTS_PER_CENTROID).min(n);
+        let sample: Vec<usize> = if sample_target == n {
+            (0..n).collect()
+        } else {
+            // Floyd's sampling would be fancier; a simple stride+jitter pick
+            // is deterministic and spreads across the segment.
+            let stride = n as f64 / sample_target as f64;
+            (0..sample_target)
+                .map(|i| {
+                    let base = (i as f64 * stride) as usize;
+                    (base + r.gen_range(0..stride.max(1.0) as usize + 1)).min(n - 1)
+                })
+                .collect()
+        };
+        let s = sample.len();
+
+        // k-means++ seeding on the sample.
+        let mut centroids = vec![0.0f32; k * dim];
+        let first = sample[r.gen_range(0..s)];
+        centroids[..dim].copy_from_slice(&data[first * dim..(first + 1) * dim]);
+        let mut min_d2: Vec<f32> = sample
+            .iter()
+            .map(|&i| l2_sq(&data[i * dim..(i + 1) * dim], &centroids[..dim]))
+            .collect();
+        stats.train_dims += (s * dim) as u64;
+        for c in 1..k {
+            let total: f64 = min_d2.iter().map(|&d| d as f64).sum();
+            let chosen = if total <= 0.0 {
+                sample[r.gen_range(0..s)]
+            } else {
+                let mut target = r.gen::<f64>() * total;
+                let mut pick = s - 1;
+                for (j, &d) in min_d2.iter().enumerate() {
+                    target -= d as f64;
+                    if target <= 0.0 {
+                        pick = j;
+                        break;
+                    }
+                }
+                sample[pick]
+            };
+            let dst = &mut centroids[c * dim..(c + 1) * dim];
+            dst.copy_from_slice(&data[chosen * dim..(chosen + 1) * dim]);
+            // Update min distances.
+            let dst = &centroids[c * dim..(c + 1) * dim];
+            for (j, &i) in sample.iter().enumerate() {
+                let d = l2_sq(&data[i * dim..(i + 1) * dim], dst);
+                if d < min_d2[j] {
+                    min_d2[j] = d;
+                }
+            }
+            stats.train_dims += (s * dim) as u64;
+        }
+
+        // Lloyd iterations on the sample.
+        let mut assign = vec![0usize; s];
+        let mut counts = vec![0usize; k];
+        let mut sums = vec![0.0f32; k * dim];
+        for _ in 0..LLOYD_ITERS {
+            for (j, &i) in sample.iter().enumerate() {
+                let v = &data[i * dim..(i + 1) * dim];
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let d = l2_sq(v, &centroids[c * dim..(c + 1) * dim]);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                assign[j] = best;
+            }
+            stats.train_dims += (s * k * dim) as u64;
+            counts.iter_mut().for_each(|c| *c = 0);
+            sums.iter_mut().for_each(|x| *x = 0.0);
+            for (j, &i) in sample.iter().enumerate() {
+                let c = assign[j];
+                counts[c] += 1;
+                let v = &data[i * dim..(i + 1) * dim];
+                let dst = &mut sums[c * dim..(c + 1) * dim];
+                for d in 0..dim {
+                    dst[d] += v[d];
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    let dst = &mut centroids[c * dim..(c + 1) * dim];
+                    for d in 0..dim {
+                        dst[d] = sums[c * dim + d] * inv;
+                    }
+                } else {
+                    // Re-seed an empty cluster at a random sample point to
+                    // keep all `k` partitions useful.
+                    let i = sample[r.gen_range(0..s)];
+                    centroids[c * dim..(c + 1) * dim]
+                        .copy_from_slice(&data[i * dim..(i + 1) * dim]);
+                }
+            }
+        }
+
+        KMeans { k, dim, centroids }
+    }
+
+    /// Centroid `c` as a slice.
+    #[inline]
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid to `v`.
+    #[inline]
+    pub fn nearest(&self, v: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k {
+            let d = l2_sq(v, self.centroid(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Indices of the `p` nearest centroids (sorted by ascending distance),
+    /// recording the scan cost.
+    pub fn nearest_n(&self, v: &[f32], p: usize, cost_dims: &mut u64) -> Vec<usize> {
+        let mut ds: Vec<(f32, usize)> =
+            (0..self.k).map(|c| (l2_sq(v, self.centroid(c)), c)).collect();
+        *cost_dims += (self.k * self.dim) as u64;
+        let p = p.min(self.k);
+        ds.select_nth_unstable_by(p.saturating_sub(1), |a, b| a.0.total_cmp(&b.0));
+        let mut top: Vec<(f32, usize)> = ds[..p].to_vec();
+        top.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        top.into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> (Vec<f32>, usize) {
+        // Three well-separated 2-D blobs.
+        let mut data = Vec::new();
+        let mut r = rng(1);
+        for center in [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..50 {
+                data.push(center.0 + r.gen::<f32>() * 0.5);
+                data.push(center.1 + r.gen::<f32>() * 0.5);
+            }
+        }
+        (data, 2)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (data, dim) = toy_data();
+        let mut stats = BuildStats::default();
+        let km = KMeans::train(&data, dim, 3, 7, &mut stats);
+        assert_eq!(km.k, 3);
+        // Every centroid should be close to one of the true blob centers.
+        for c in 0..3 {
+            let cen = km.centroid(c);
+            let ok = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 10.0)]
+                .iter()
+                .any(|t| (cen[0] - t.0).abs() < 2.0 && (cen[1] - t.1).abs() < 2.0);
+            assert!(ok, "centroid {cen:?} not near any blob");
+        }
+        assert!(stats.train_dims > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, dim) = toy_data();
+        let mut s1 = BuildStats::default();
+        let mut s2 = BuildStats::default();
+        let a = KMeans::train(&data, dim, 4, 42, &mut s1);
+        let b = KMeans::train(&data, dim, 4, 42, &mut s2);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(s1.train_dims, s2.train_dims);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = vec![0.0f32; 2 * 3]; // 3 points of dim 2
+        let mut stats = BuildStats::default();
+        let km = KMeans::train(&data, 2, 100, 0, &mut stats);
+        assert_eq!(km.k, 3);
+    }
+
+    #[test]
+    fn nearest_assigns_to_own_blob() {
+        let (data, dim) = toy_data();
+        let mut stats = BuildStats::default();
+        let km = KMeans::train(&data, dim, 3, 7, &mut stats);
+        let q = [10.1f32, 9.9];
+        let c = km.nearest(&q);
+        let cen = km.centroid(c);
+        assert!((cen[0] - 10.0).abs() < 2.0 && (cen[1] - 10.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn nearest_n_sorted_and_counts_cost() {
+        let (data, dim) = toy_data();
+        let mut stats = BuildStats::default();
+        let km = KMeans::train(&data, dim, 3, 7, &mut stats);
+        let mut cost = 0u64;
+        let order = km.nearest_n(&[0.0, 0.0], 3, &mut cost);
+        assert_eq!(order.len(), 3);
+        assert_eq!(cost, (3 * dim) as u64);
+        // Distances must be ascending.
+        let d: Vec<f32> = order.iter().map(|&c| l2_sq(&[0.0, 0.0], km.centroid(c))).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_data() {
+        let mut stats = BuildStats::default();
+        let km = KMeans::train(&[], 4, 5, 0, &mut stats);
+        assert_eq!(km.k, 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Index types and their tunable parameters (paper Table I).
+//!
+//! The tunable parameters differ per index type — this is Challenge 3 in the
+//! paper and the reason VDTuner needs a holistic model with a polling
+//! acquisition. The ranges below follow Milvus' documented limits, scaled
+//! where noted so that the scaled-down datasets stay meaningful.
+
+/// The seven index types supported by Milvus 2.3 and tuned by VDTuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IndexType {
+    Flat,
+    IvfFlat,
+    IvfSq8,
+    IvfPq,
+    Hnsw,
+    Scann,
+    AutoIndex,
+}
+
+impl IndexType {
+    /// All index types, in the paper's Table I order.
+    pub const ALL: [IndexType; 7] = [
+        IndexType::Flat,
+        IndexType::IvfFlat,
+        IndexType::IvfSq8,
+        IndexType::IvfPq,
+        IndexType::Hnsw,
+        IndexType::Scann,
+        IndexType::AutoIndex,
+    ];
+
+    /// Milvus-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexType::Flat => "FLAT",
+            IndexType::IvfFlat => "IVF_FLAT",
+            IndexType::IvfSq8 => "IVF_SQ8",
+            IndexType::IvfPq => "IVF_PQ",
+            IndexType::Hnsw => "HNSW",
+            IndexType::Scann => "SCANN",
+            IndexType::AutoIndex => "AUTOINDEX",
+        }
+    }
+
+    /// Stable ordinal used when encoding the index type as a model input.
+    pub fn ordinal(&self) -> usize {
+        IndexType::ALL.iter().position(|t| t == self).expect("in ALL")
+    }
+
+    /// Inverse of [`IndexType::ordinal`]; clamps out-of-range values.
+    pub fn from_ordinal(i: usize) -> IndexType {
+        IndexType::ALL[i.min(IndexType::ALL.len() - 1)]
+    }
+
+    /// Names of the *building* parameters this index exposes (Table I).
+    pub fn build_param_names(&self) -> &'static [&'static str] {
+        match self {
+            IndexType::Flat | IndexType::AutoIndex => &[],
+            IndexType::IvfFlat | IndexType::IvfSq8 | IndexType::Scann => &["nlist"],
+            IndexType::IvfPq => &["nlist", "m", "nbits"],
+            IndexType::Hnsw => &["M", "efConstruction"],
+        }
+    }
+
+    /// Names of the *searching* parameters this index exposes (Table I).
+    pub fn search_param_names(&self) -> &'static [&'static str] {
+        match self {
+            IndexType::Flat | IndexType::AutoIndex => &[],
+            IndexType::IvfFlat | IndexType::IvfSq8 | IndexType::IvfPq => &["nprobe"],
+            IndexType::Hnsw => &["ef"],
+            IndexType::Scann => &["nprobe", "reorder_k"],
+        }
+    }
+
+    /// All tunable parameter names (build + search) for this index type.
+    pub fn param_names(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.build_param_names().to_vec();
+        v.extend_from_slice(self.search_param_names());
+        v
+    }
+}
+
+impl std::fmt::Display for IndexType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The union of all index parameters across index types.
+///
+/// VDTuner's holistic model keeps *one copy* of each parameter; parameters
+/// that do not belong to the currently polled index type are frozen to the
+/// defaults below (paper §IV-C). The 8 fields here plus the index type and
+/// the 7 system parameters give the paper's 16-dimensional space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexParams {
+    /// IVF*/SCANN: number of inverted lists (cluster centroids).
+    pub nlist: usize,
+    /// IVF*/SCANN: number of lists probed at search time.
+    pub nprobe: usize,
+    /// IVF_PQ: number of product-quantizer subspaces (must divide dim).
+    pub m: usize,
+    /// IVF_PQ: bits per PQ code (4..=8 here; Milvus allows 1..=16).
+    pub nbits: usize,
+    /// HNSW: max out-degree per node on upper layers (level 0 uses 2M).
+    pub hnsw_m: usize,
+    /// HNSW: beam width while building.
+    pub ef_construction: usize,
+    /// HNSW: beam width while searching.
+    pub ef: usize,
+    /// SCANN: candidates re-ranked with full-precision vectors.
+    pub reorder_k: usize,
+}
+
+impl Default for IndexParams {
+    /// Milvus defaults (the paper's "Default" baseline).
+    fn default() -> Self {
+        IndexParams {
+            nlist: 128,
+            nprobe: 8,
+            m: 4,
+            nbits: 8,
+            hnsw_m: 16,
+            ef_construction: 200,
+            ef: 100,
+            reorder_k: 256,
+        }
+    }
+}
+
+/// Inclusive range of one tunable parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamRange {
+    pub lo: f64,
+    pub hi: f64,
+    /// Sample/optimize in log2 space (spreads resolution like Milvus docs suggest).
+    pub log: bool,
+}
+
+impl ParamRange {
+    pub const fn new(lo: f64, hi: f64, log: bool) -> Self {
+        ParamRange { lo, hi, log }
+    }
+
+    /// Map a unit-interval coordinate to a concrete value.
+    pub fn denormalize(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if self.log {
+            let (llo, lhi) = (self.lo.max(1e-9).ln(), self.hi.ln());
+            (llo + u * (lhi - llo)).exp()
+        } else {
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+
+    /// Map a concrete value back to the unit interval.
+    pub fn normalize(&self, v: f64) -> f64 {
+        let v = v.clamp(self.lo, self.hi);
+        if self.log {
+            let (llo, lhi) = (self.lo.max(1e-9).ln(), self.hi.ln());
+            if lhi <= llo {
+                return 0.0;
+            }
+            ((v.max(1e-9).ln() - llo) / (lhi - llo)).clamp(0.0, 1.0)
+        } else if self.hi <= self.lo {
+            0.0
+        } else {
+            ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Tuning ranges for the 8 index parameters (scaled to our dataset sizes).
+pub mod ranges {
+    use super::ParamRange;
+
+    pub const NLIST: ParamRange = ParamRange::new(8.0, 1024.0, true);
+    pub const NPROBE: ParamRange = ParamRange::new(1.0, 256.0, true);
+    pub const PQ_M: ParamRange = ParamRange::new(1.0, 16.0, true);
+    pub const PQ_NBITS: ParamRange = ParamRange::new(4.0, 8.0, false);
+    pub const HNSW_M: ParamRange = ParamRange::new(4.0, 64.0, true);
+    pub const EF_CONSTRUCTION: ParamRange = ParamRange::new(8.0, 512.0, true);
+    pub const EF: ParamRange = ParamRange::new(16.0, 512.0, true);
+    pub const REORDER_K: ParamRange = ParamRange::new(32.0, 1024.0, true);
+}
+
+impl IndexParams {
+    /// Clamp every parameter into its tuning range and fix cross-parameter
+    /// constraints (`nprobe <= nlist`, `m` divides `dim`, `reorder_k >= k`).
+    pub fn sanitized(mut self, dim: usize, top_k: usize) -> Self {
+        use ranges::*;
+        self.nlist = (self.nlist as f64).clamp(NLIST.lo, NLIST.hi) as usize;
+        self.nprobe = (self.nprobe as f64).clamp(NPROBE.lo, NPROBE.hi) as usize;
+        self.nprobe = self.nprobe.min(self.nlist).max(1);
+        self.m = nearest_divisor(dim, self.m.max(1));
+        self.nbits = self.nbits.clamp(PQ_NBITS.lo as usize, PQ_NBITS.hi as usize);
+        self.hnsw_m = (self.hnsw_m as f64).clamp(HNSW_M.lo, HNSW_M.hi) as usize;
+        self.ef_construction =
+            (self.ef_construction as f64).clamp(EF_CONSTRUCTION.lo, EF_CONSTRUCTION.hi) as usize;
+        self.ef = (self.ef as f64).clamp(EF.lo, EF.hi) as usize;
+        self.ef = self.ef.max(top_k);
+        self.reorder_k = (self.reorder_k as f64).clamp(REORDER_K.lo, REORDER_K.hi) as usize;
+        self.reorder_k = self.reorder_k.max(top_k);
+        self
+    }
+}
+
+/// Largest divisor of `dim` that is `<= want` (at least 1), so PQ's `m`
+/// always splits the dimensionality exactly.
+pub fn nearest_divisor(dim: usize, want: usize) -> usize {
+    let want = want.max(1).min(dim.max(1));
+    (1..=want).rev().find(|d| dim.is_multiple_of(*d)).unwrap_or(1)
+}
+
+/// Search-time parameters extracted from [`IndexParams`] for a given type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchParams {
+    pub nprobe: usize,
+    pub ef: usize,
+    pub reorder_k: usize,
+    pub top_k: usize,
+}
+
+impl SearchParams {
+    pub fn from_params(p: &IndexParams, top_k: usize) -> Self {
+        SearchParams { nprobe: p.nprobe, ef: p.ef.max(top_k), reorder_k: p.reorder_k.max(top_k), top_k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_param_names() {
+        assert!(IndexType::Flat.param_names().is_empty());
+        assert_eq!(IndexType::IvfFlat.param_names(), vec!["nlist", "nprobe"]);
+        assert_eq!(IndexType::IvfPq.param_names(), vec!["nlist", "m", "nbits", "nprobe"]);
+        assert_eq!(IndexType::Hnsw.param_names(), vec!["M", "efConstruction", "ef"]);
+        assert_eq!(IndexType::Scann.param_names(), vec!["nlist", "nprobe", "reorder_k"]);
+        assert!(IndexType::AutoIndex.param_names().is_empty());
+    }
+
+    #[test]
+    fn ordinal_roundtrip() {
+        for t in IndexType::ALL {
+            assert_eq!(IndexType::from_ordinal(t.ordinal()), t);
+        }
+        assert_eq!(IndexType::from_ordinal(99), IndexType::AutoIndex);
+    }
+
+    #[test]
+    fn range_normalize_roundtrip() {
+        for range in [ranges::NLIST, ranges::PQ_NBITS, ranges::EF] {
+            for v in [range.lo, (range.lo + range.hi) / 2.0, range.hi] {
+                let u = range.normalize(v);
+                let back = range.denormalize(u);
+                assert!((back - v).abs() / v.max(1.0) < 0.02, "{v} -> {u} -> {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_range_spreads_small_values() {
+        let r = ranges::NLIST;
+        // Half the unit interval should cover the geometric midpoint, not the
+        // arithmetic one.
+        let mid = r.denormalize(0.5);
+        assert!(mid < (r.lo + r.hi) / 2.0);
+        assert!((mid - (r.lo * r.hi).sqrt()).abs() < 2.0);
+    }
+
+    #[test]
+    fn nearest_divisor_works() {
+        assert_eq!(nearest_divisor(48, 5), 4);
+        assert_eq!(nearest_divisor(48, 6), 6);
+        assert_eq!(nearest_divisor(48, 100), 48);
+        assert_eq!(nearest_divisor(7, 3), 1);
+        assert_eq!(nearest_divisor(16, 1), 1);
+    }
+
+    #[test]
+    fn sanitize_enforces_constraints() {
+        let p = IndexParams { nlist: 16, nprobe: 400, m: 5, nbits: 99, ef: 1, reorder_k: 1, ..Default::default() }
+            .sanitized(48, 10);
+        assert!(p.nprobe <= p.nlist);
+        assert_eq!(48 % p.m, 0);
+        assert_eq!(p.nbits, 8);
+        assert!(p.ef >= 16); // range lo
+        assert!(p.reorder_k >= 32);
+    }
+
+    #[test]
+    fn defaults_are_milvus_defaults() {
+        let d = IndexParams::default();
+        assert_eq!(d.nlist, 128);
+        assert_eq!(d.nprobe, 8);
+        assert_eq!(d.hnsw_m, 16);
+        assert_eq!(d.ef_construction, 200);
+        assert_eq!(d.ef, 100);
+    }
+}

@@ -1,0 +1,47 @@
+//! Baseline auto-configuration methods the paper compares against (§V-A).
+//!
+//! All baselines operate on the same holistic 16-dimensional encoded space
+//! as VDTuner — the paper "hypothetically assumes the index type as a
+//! searching dimension to make the baselines suitable for optimizing
+//! multiple indexes simultaneously":
+//!
+//! * [`random_lhs`] — Latin-hypercube random search (the paper's `Random`),
+//! * [`opentuner`] — an OpenTuner-style ensemble of numerical techniques
+//!   coordinated by an AUC-bandit meta-technique, rewarded with the
+//!   weighted sum of normalized speed and recall,
+//! * [`ottertune`] — an OtterTune-style single-objective GP-BO over the
+//!   weighted-sum reward, initialized with 10 LHS samples,
+//! * [`qehvi`] — vanilla multi-objective BO with Monte-Carlo EHVI and a
+//!   zero reference point, initialized with 10 LHS samples.
+
+pub mod opentuner;
+pub mod ottertune;
+pub mod qehvi;
+pub mod random_lhs;
+
+pub use opentuner::OpenTunerStyle;
+pub use ottertune::OtterTuneStyle;
+pub use qehvi::QehviTuner;
+pub use random_lhs::RandomLhs;
+
+use workload::Observation;
+
+/// Weighted-sum reward used by the single-objective baselines (OpenTuner,
+/// OtterTune): equal weights on speed and recall, each normalized by the
+/// best value observed so far so neither objective dominates numerically.
+pub fn weighted_reward(history: &[Observation], qps: f64, recall: f64) -> f64 {
+    let max_qps = history.iter().map(|o| o.qps).fold(qps, f64::max).max(1e-9);
+    let max_recall = history.iter().map(|o| o.recall).fold(recall, f64::max).max(1e-9);
+    0.5 * qps / max_qps + 0.5 * recall / max_recall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_reward_balances_objectives() {
+        let r_best = weighted_reward(&[], 100.0, 1.0);
+        assert!((r_best - 1.0).abs() < 1e-12, "sole observation is the max of both");
+    }
+}

@@ -1,0 +1,85 @@
+//! Random search via Latin hypercube sampling (the paper's `Random`
+//! baseline, citing Bergstra & Bengio for why random search is a strong
+//! baseline).
+
+use mobo::sampling::latin_hypercube;
+use vdms::VdmsConfig;
+use vdtuner_core::space::{ConfigSpace, DIMS};
+use vecdata::rng::derive;
+use workload::{Observation, Tuner};
+
+/// LHS random search over the full 16-dimensional space.
+pub struct RandomLhs {
+    space: ConfigSpace,
+    seed: u64,
+    batch: Vec<Vec<f64>>,
+    batch_no: u64,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl RandomLhs {
+    pub fn new(seed: u64) -> RandomLhs {
+        RandomLhs {
+            space: ConfigSpace,
+            seed,
+            batch: Vec::new(),
+            batch_no: 0,
+            cursor: 0,
+            batch_size: 50,
+        }
+    }
+}
+
+impl Tuner for RandomLhs {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn propose(&mut self, _history: &[Observation]) -> VdmsConfig {
+        if self.cursor >= self.batch.len() {
+            // Stratified batch: each batch is a fresh LHS design, so any
+            // prefix of the run is near-uniform and long runs stay stratified.
+            self.batch = latin_hypercube(self.batch_size, DIMS, derive(self.seed, self.batch_no));
+            self.batch_no += 1;
+            self.cursor = 0;
+        }
+        let u = &self.batch[self.cursor];
+        self.cursor += 1;
+        self.space.decode(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns::params::IndexType;
+
+    #[test]
+    fn proposes_diverse_index_types() {
+        let mut t = RandomLhs::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(t.propose(&[]).index_type);
+        }
+        assert!(seen.len() >= 5, "LHS over the type dim must cover most types: {seen:?}");
+        assert!(seen.contains(&IndexType::Flat) || seen.contains(&IndexType::AutoIndex));
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let mut a = RandomLhs::new(9);
+        let mut b = RandomLhs::new(9);
+        for _ in 0..10 {
+            assert_eq!(a.propose(&[]).summary(), b.propose(&[]).summary());
+        }
+    }
+
+    #[test]
+    fn batches_differ() {
+        let mut t = RandomLhs::new(9);
+        let first: Vec<String> = (0..50).map(|_| t.propose(&[]).summary()).collect();
+        let second: Vec<String> = (0..50).map(|_| t.propose(&[]).summary()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion wrappers around the per-table/figure experiment kernels, at a
+//! reduced scale (the full regeneration lives in the `repro` binary; run
+//! `cargo run --release -p bench --bin repro -- all`). One bench per paper
+//! artifact keeps regressions in any experiment's critical path visible in
+//! `cargo bench` output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anns::params::IndexType;
+use bench::{run_method, Method};
+use vdms::{SystemParams, VdmsConfig};
+use vdtuner_core::shap::shapley_attribution;
+use vecdata::{DatasetKind, DatasetSpec};
+use workload::Workload;
+
+fn tiny_workload() -> Workload {
+    Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10)
+}
+
+/// Fig 1 kernel: one (maxSize, sealProportion) grid cell evaluation.
+fn fig1_cell(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("table_fig1/grid_cell_eval", |b| {
+        b.iter(|| {
+            let mut cfg = VdmsConfig::default_config();
+            cfg.system.segment_max_size_mb = 100.0;
+            cfg.system.segment_seal_proportion = 0.5;
+            workload::evaluate(&w, black_box(&cfg), 1)
+        })
+    });
+}
+
+/// Fig 2/3 kernel: evaluating one index type under a system config.
+fn fig2_index_under_system(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("table_fig2_fig3/index_eval", |b| {
+        b.iter(|| {
+            let mut cfg = VdmsConfig::default_for(IndexType::IvfFlat);
+            cfg.system = SystemParams { segment_max_size_mb: 128.0, ..Default::default() };
+            workload::evaluate(&w, black_box(&cfg), 1)
+        })
+    });
+}
+
+/// Table IV / Fig 6 / Fig 7 kernel: a short VDTuner run.
+fn table4_fig6_fig7_vdtuner_run(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("table4_fig6_fig7/vdtuner_10_iters", |b| {
+        b.iter(|| run_method(Method::VdTuner, &w, 10, 3))
+    });
+}
+
+/// Fig 6 baseline kernel: a short qEHVI run (the strongest baseline).
+fn fig6_qehvi_run(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("fig6/qehvi_10_iters", |b| b.iter(|| run_method(Method::Qehvi, &w, 10, 3)));
+}
+
+/// Fig 8–11 kernel: a VDTuner variant run with trace capture.
+fn fig8_to_11_variant_run(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("fig8_to_fig11/variant_10_iters", |b| {
+        b.iter(|| {
+            bench::run_vdtuner_variant(&w, 10, 3, |o| {
+                o.surrogate = vdtuner_core::SurrogateKind::Native;
+            })
+        })
+    });
+}
+
+/// Fig 12 kernel: a constrained run.
+fn fig12_constrained_run(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("fig12/constrained_10_iters", |b| {
+        b.iter(|| {
+            bench::run_vdtuner_variant(&w, 10, 3, |o| {
+                o.mode = vdtuner_core::TunerMode::Constrained { recall_limit: 0.85 };
+            })
+        })
+    });
+}
+
+/// Fig 13 kernel: SHAP attribution with the simulator as the function.
+fn fig13_shap(c: &mut Criterion) {
+    let w = tiny_workload();
+    let mut target = VdmsConfig::default_for(IndexType::Hnsw);
+    target.system.segment_max_size_mb = 1024.0;
+    let baseline = VdmsConfig::default_config();
+    c.bench_function("table5_fig13/shap_2perms", |b| {
+        b.iter(|| {
+            shapley_attribution(
+                |cfg| workload::evaluate(&w, cfg, 1).memory_gib,
+                &target,
+                &baseline,
+                2,
+                7,
+            )
+        })
+    });
+}
+
+/// Table VI kernel: recommendation cost of one OtterTune-style iteration.
+fn table6_baseline_iteration(c: &mut Criterion) {
+    let w = tiny_workload();
+    c.bench_function("table6_scale/ottertune_8_iters", |b| {
+        b.iter(|| run_method(Method::OtterTune, &w, 8, 3))
+    });
+}
+
+criterion_group! {
+    name = experiment_benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_cell, fig2_index_under_system, table4_fig6_fig7_vdtuner_run, fig6_qehvi_run,
+              fig8_to_11_variant_run, fig12_constrained_run, fig13_shap, table6_baseline_iteration
+}
+criterion_main!(experiment_benches);

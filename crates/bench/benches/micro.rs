@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of every substrate on the hot path of one
+//! tuning iteration: distance kernels, index build/search per type, one
+//! workload replay, GP fitting/prediction, the EHVI acquisition, and
+//! hypervolume computation. These quantify the cost-model inputs and the
+//! recommendation overhead reported in Table VI.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use anns::cost::SearchCost;
+use anns::index::{AnnIndex, VectorIndex};
+use anns::params::{IndexParams, IndexType, SearchParams};
+use gp::{fit_gp, FitOptions, GaussianProcess, Matern52};
+use mobo::acquisition::ehvi_mc;
+use mobo::hypervolume::hv2d;
+use mobo::sampling::latin_hypercube;
+use vdms::VdmsConfig;
+use vecdata::{DatasetKind, DatasetSpec};
+use workload::Workload;
+
+fn bench_distance(c: &mut Criterion) {
+    let ds = DatasetSpec { n: 2000, dim: 96, n_queries: 10, seed: 1, kind: DatasetKind::Glove }
+        .generate();
+    let q = ds.query(0).to_vec();
+    c.bench_function("distance/l2_96d_x2000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for v in ds.iter() {
+                acc += vecdata::distance::l2_sq(black_box(&q), v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+    let params = IndexParams::default().sanitized(ds.dim(), 10);
+    let mut g = c.benchmark_group("index_build_600x16");
+    for kind in [IndexType::IvfFlat, IndexType::IvfPq, IndexType::Hnsw, IndexType::Scann] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| AnnIndex::build(kind, ds.raw(), ds.dim(), &params, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_search(c: &mut Criterion) {
+    let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+    let params = IndexParams::default().sanitized(ds.dim(), 10);
+    let sp = SearchParams::from_params(&params, 10);
+    let mut g = c.benchmark_group("index_search_600x16");
+    for kind in [IndexType::Flat, IndexType::IvfSq8, IndexType::Hnsw, IndexType::Scann] {
+        let (idx, _) = AnnIndex::build(kind, ds.raw(), ds.dim(), &params, 1).unwrap();
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut cost = SearchCost::default();
+                idx.search(black_box(ds.query(0)), &sp, &mut cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+    c.bench_function("replay/evaluate_default_600x16", |b| {
+        b.iter(|| workload::evaluate(&w, &VdmsConfig::default_config(), 1))
+    });
+}
+
+fn training_data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x = latin_hypercube(n, d, 7);
+    let y: Vec<f64> = x.iter().map(|p| (p[0] * 4.0).sin() + p[1] * 2.0).collect();
+    (x, y)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let (x, y) = training_data(64, 16);
+    c.bench_function("gp/fit_mle_64x16", |b| {
+        b.iter(|| fit_gp(black_box(&x), black_box(&y), &FitOptions::default()))
+    });
+    let gp = GaussianProcess::fit(x.clone(), &y, Matern52::default(), 1e-4).unwrap();
+    let q = vec![0.4; 16];
+    c.bench_function("gp/predict_64x16", |b| b.iter(|| gp.predict(black_box(&q))));
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let front: Vec<[f64; 2]> = (0..20).map(|i| [20.0 - i as f64, i as f64]).collect();
+    let reference = [0.0, 0.0];
+    let z: Vec<(f64, f64)> = (0..64).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.73).cos())).collect();
+    let post = gp::Posterior { mean: 12.0, variance: 4.0 };
+    c.bench_function("acq/ehvi_mc_front20_z64", |b| {
+        b.iter(|| ehvi_mc(black_box(&post), black_box(&post), &front, &reference, &z))
+    });
+    c.bench_function("acq/hv2d_front20", |b| b.iter(|| hv2d(black_box(&front), &reference)));
+}
+
+fn bench_tuner_propose(c: &mut Criterion) {
+    use vdtuner_core::{TunerOptions, VdTuner};
+    use workload::{run_tuner, Evaluator};
+    let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+    c.bench_function("tuner/one_bo_iteration_600x16", |b| {
+        b.iter_batched(
+            || {
+                let mut t = VdTuner::new(TunerOptions { mc_samples: 16, ..Default::default() }, 3);
+                let mut ev = Evaluator::new(&w, 3);
+                run_tuner(&mut t, &mut ev, 8); // init sampling + one BO step
+                (t, ev)
+            },
+            |(mut t, mut ev)| run_tuner(&mut t, &mut ev, 1),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distance, bench_index_build, bench_index_search, bench_replay,
+              bench_gp, bench_acquisition, bench_tuner_propose
+}
+criterion_main!(benches);

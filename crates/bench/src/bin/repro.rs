@@ -1,0 +1,105 @@
+//! `repro` — regenerate every table and figure of the VDTuner paper.
+//!
+//! Usage:
+//! ```text
+//! repro [--iters N] [--quick | --full] [--seed S] <experiment>...
+//! repro all                    # everything
+//! repro fig6 fig7              # a subset
+//! ```
+//!
+//! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
+//! fig12 fig13 table5 table6 scale. Output goes to stdout and to
+//! `results/*.csv`.
+
+use bench::{experiments, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::default();
+    if std::env::var("VDTUNER_REPRO_FULL").is_ok() {
+        profile = Profile::full();
+    }
+    let mut experiments_requested: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--iters" => {
+                i += 1;
+                profile.iters = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs a number"));
+                profile.pref_iters = profile.iters;
+            }
+            "--seed" => {
+                i += 1;
+                profile.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => experiments_requested.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments_requested.is_empty() {
+        usage("no experiment given");
+    }
+
+    let all = [
+        "fig1", "fig2", "fig3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "table5", "table6", "scale",
+    ];
+    let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
+        all.to_vec()
+    } else {
+        experiments_requested.iter().map(String::as_str).collect()
+    };
+
+    println!(
+        "VDTuner reproduction | iters={} pref_iters={} scale_iters={} seed={}",
+        profile.iters, profile.pref_iters, profile.scale_iters, profile.seed
+    );
+    let t0 = std::time::Instant::now();
+    for exp in list {
+        let te = std::time::Instant::now();
+        println!("\n================ {exp} ================");
+        match exp {
+            "fig1" => experiments::fig1(&profile),
+            "fig2" => experiments::fig2(&profile),
+            "fig3" => experiments::fig3(&profile),
+            "table4" => experiments::table4(&profile),
+            "fig6" => experiments::fig6(&profile),
+            "fig7" => experiments::fig7(&profile),
+            "fig8" => experiments::fig8(&profile),
+            "fig9" => experiments::fig9(&profile),
+            "fig10" => experiments::fig10(&profile),
+            "fig11" => experiments::fig11(&profile),
+            "fig12" => experiments::fig12(&profile),
+            "fig13" => experiments::fig13(&profile),
+            "table5" => experiments::table5(&profile),
+            "table6" => experiments::table6(&profile),
+            "scale" => experiments::scale(&profile),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{exp} took {:.1}s]", te.elapsed().as_secs_f64());
+    }
+    println!("\nAll requested experiments done in {:.1}s.", t0.elapsed().as_secs_f64());
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale all"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,720 @@
+//! One function per table/figure of the paper's evaluation (§II and §V).
+//!
+//! Every function prints the same rows/series the paper reports and writes
+//! a CSV under `results/`. Absolute numbers come from the simulator's cost
+//! model; the claims under reproduction are the *shapes* — who wins, by
+//! roughly what factor, where crossovers fall (see EXPERIMENTS.md).
+
+use crate::report::{emit, f1, f2, f3, pct, Table};
+use crate::{
+    recall_floor, run_method, run_parallel, run_vdtuner_variant, Method, Profile, SACRIFICES,
+};
+use anns::params::IndexType;
+use vdms::system_params::SystemParams;
+use vdms::VdmsConfig;
+use vdtuner_core::shap::shapley_attribution;
+use vdtuner_core::space::DIM_NAMES;
+use vdtuner_core::{BudgetAllocation, SurrogateKind, TunerMode, TuningOutcome};
+use vecdata::{DatasetKind, DatasetSpec};
+use workload::{evaluate, Workload};
+
+fn workload_for(kind: DatasetKind) -> Workload {
+    Workload::paper_default(DatasetSpec::scaled(kind))
+}
+
+/// Figure 1: search speed and recall over a (segment maxSize ×
+/// sealProportion) grid — the configuration-interdependence motivation.
+pub fn fig1(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let max_sizes = [100.0, 200.0, 400.0, 700.0, 1000.0];
+    let seals = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+    let mut qps_t = Table::new(
+        std::iter::once("maxSize\\seal".to_string())
+            .chain(seals.iter().map(|s| format!("{s:.1}")))
+            .collect::<Vec<String>>(),
+    );
+    let mut rec_t = Table::new(
+        std::iter::once("maxSize\\seal".to_string())
+            .chain(seals.iter().map(|s| format!("{s:.1}")))
+            .collect::<Vec<String>>(),
+    );
+    let jobs: Vec<(f64, f64)> = max_sizes
+        .iter()
+        .flat_map(|&m| seals.iter().map(move |&s| (m, s)))
+        .collect();
+    let outs = run_parallel(jobs.clone(), |&(m, s)| {
+        let mut cfg = VdmsConfig::default_config();
+        cfg.system.segment_max_size_mb = m;
+        cfg.system.segment_seal_proportion = s;
+        evaluate(&w, &cfg, profile.seed)
+    });
+    for (mi, &m) in max_sizes.iter().enumerate() {
+        let mut qrow = vec![format!("{m:.0}MB")];
+        let mut rrow = vec![format!("{m:.0}MB")];
+        for si in 0..seals.len() {
+            let o = &outs[mi * seals.len() + si];
+            qrow.push(f1(o.qps));
+            rrow.push(f3(o.recall));
+        }
+        qps_t.row(qrow);
+        rec_t.row(rrow);
+    }
+    emit("fig1_speed", "Fig 1 (left): search speed vs (maxSize, sealProportion), GloVe", &qps_t);
+    emit("fig1_recall", "Fig 1 (right): recall vs (maxSize, sealProportion), GloVe", &rec_t);
+}
+
+/// Figure 2: the best index type varies with the system configuration.
+pub fn fig2(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let systems: Vec<(&str, SystemParams)> = vec![
+        // Milvus defaults: moderate segments + a brute-force growing tail.
+        ("System-Config 1", SystemParams::default()),
+        // Constrained query nodes.
+        (
+            "System-Config 2",
+            SystemParams { max_read_concurrency: 2, chunk_rows: 256, ..Default::default() },
+        ),
+        // Many micro-segments: per-segment/probe overhead dominates, brute
+        // force wins.
+        (
+            "System-Config 3",
+            SystemParams {
+                segment_max_size_mb: 64.0,
+                segment_seal_proportion: 0.05,
+                insert_buf_size_mb: 16.0,
+                ..Default::default()
+            },
+        ),
+        // One big sealed segment with cache-hostile chunking: scans pay the
+        // chunk factor, graph traversal does not.
+        (
+            "System-Config 4",
+            SystemParams {
+                segment_max_size_mb: 400.0,
+                segment_seal_proportion: 1.0,
+                insert_buf_size_mb: 16.0,
+                chunk_rows: 8192,
+                ..Default::default()
+            },
+        ),
+    ];
+    let types = crate::motivation_types();
+    let mut t = Table::new(
+        std::iter::once("config".to_string())
+            .chain(types.iter().map(|t| t.name().to_string()))
+            .chain(std::iter::once("best".to_string()))
+            .collect::<Vec<String>>(),
+    );
+    for (name, sys) in &systems {
+        let outs = run_parallel(types.to_vec(), |&it| {
+            let mut cfg = VdmsConfig::default_for(it);
+            cfg.system = *sys;
+            evaluate(&w, &cfg, profile.seed)
+        });
+        let best = types
+            .iter()
+            .zip(&outs)
+            .max_by(|a, b| a.1.qps.total_cmp(&b.1.qps))
+            .map(|(t, _)| t.name())
+            .unwrap_or("-");
+        let mut row = vec![name.to_string()];
+        row.extend(outs.iter().map(|o| f1(o.qps)));
+        row.push(best.to_string());
+        t.row(row);
+    }
+    emit("fig2", "Fig 2: search speed of index types under 4 system configs (GloVe)", &t);
+}
+
+/// Figure 3a/3b: per-index speed and recall on two datasets (defaults);
+/// Figure 3c: per-index optimization curves under uniform sampling.
+pub fn fig3(profile: &Profile) {
+    // (a, b) defaults per index type on two datasets.
+    for (tag, kind) in [("a", DatasetKind::Glove), ("b", DatasetKind::KeywordMatch)] {
+        let w = workload_for(kind);
+        let mut t = Table::new(vec!["index", "search speed", "recall"]);
+        let outs = run_parallel(IndexType::ALL.to_vec(), |&it| {
+            evaluate(&w, &VdmsConfig::default_for(it), profile.seed)
+        });
+        for (it, o) in IndexType::ALL.iter().zip(&outs) {
+            t.row(vec![it.name().to_string(), f1(o.qps), f3(o.recall)]);
+        }
+        emit(
+            &format!("fig3{tag}"),
+            &format!("Fig 3{tag}: conflicting objectives per index type ({})", kind.name()),
+            &t,
+        );
+    }
+
+    // (c) optimization curves: uniform sampling of each index type's own
+    // parameters; weighted performance best-so-far.
+    let w = workload_for(DatasetKind::Glove);
+    let samples = profile.iters.max(20);
+    let per_type: Vec<(IndexType, Vec<f64>)> = run_parallel(
+        IndexType::ALL.to_vec(),
+        |&it| {
+            let space = vdtuner_core::ConfigSpace;
+            let free = vdtuner_core::ConfigSpace::free_dims(it);
+            let pts = mobo::sampling::latin_hypercube(samples, free.len(), profile.seed ^ it.ordinal() as u64);
+            let outs: Vec<(f64, f64)> = pts
+                .iter()
+                .map(|p| {
+                    let pairs: Vec<(usize, f64)> =
+                        free.iter().copied().zip(p.iter().copied()).collect();
+                    let cfg = space.decode(&space.embed(it, &pairs));
+                    let o = evaluate(&w, &cfg, profile.seed);
+                    (o.qps, o.recall)
+                })
+                .collect();
+            let max_q = outs.iter().map(|o| o.0).fold(1e-9, f64::max);
+            let max_r = outs.iter().map(|o| o.1).fold(1e-9, f64::max);
+            let mut best = 0.0f64;
+            let curve: Vec<f64> = outs
+                .iter()
+                .map(|&(q, r)| {
+                    best = best.max(0.5 * q / max_q + 0.5 * r / max_r);
+                    best
+                })
+                .collect();
+            (it, curve)
+        },
+    );
+    let checkpoints: Vec<usize> =
+        (0..samples).step_by((samples / 10).max(1)).chain(std::iter::once(samples - 1)).collect();
+    let mut t = Table::new(
+        std::iter::once("index".to_string())
+            .chain(checkpoints.iter().map(|c| format!("@{}", c + 1)))
+            .collect::<Vec<String>>(),
+    );
+    for (it, curve) in &per_type {
+        let mut row = vec![it.name().to_string()];
+        row.extend(checkpoints.iter().map(|&c| f2(curve[c])));
+        t.row(row);
+    }
+    emit("fig3c", "Fig 3c: weighted-performance optimization curves per index type (GloVe)", &t);
+}
+
+/// Table IV: performance improvement of VDTuner over the default config.
+pub fn table4(profile: &Profile) {
+    let kinds = DatasetKind::main_three();
+    let rows = run_parallel(kinds.to_vec(), |&kind| {
+        let w = workload_for(kind);
+        let default = evaluate(&w, &VdmsConfig::default_config(), profile.seed);
+        let out = run_method(Method::VdTuner, &w, profile.iters, profile.seed);
+        let (ds, dr) = out.improvement_over_default(default.qps, default.recall);
+        (kind, default.qps, default.recall, ds, dr)
+    });
+    let mut t = Table::new(vec![
+        "dataset",
+        "default QPS",
+        "default recall",
+        "speed improvement",
+        "recall improvement",
+    ]);
+    for (kind, dq, drc, ds, dr) in rows {
+        t.row(vec![kind.name().to_string(), f1(dq), f3(drc), pct(ds), pct(dr)]);
+    }
+    emit("table4", "Table IV: improvement by auto-configuration (VDTuner vs Default)", &t);
+}
+
+/// Run all five methods on one dataset.
+fn run_all_methods(w: &Workload, profile: &Profile) -> Vec<(Method, TuningOutcome)> {
+    run_parallel(Method::ALL.to_vec(), |&m| (m, run_method(m, w, profile.iters, profile.seed)))
+}
+
+/// Figure 6: best search speed under recall sacrifices, 5 methods × 3
+/// datasets, plus the trade-off-ability metric (std-dev over floors).
+pub fn fig6(profile: &Profile) {
+    let jobs: Vec<(DatasetKind, Method)> = DatasetKind::main_three()
+        .into_iter()
+        .flat_map(|k| Method::ALL.into_iter().map(move |m| (k, m)))
+        .collect();
+    let workloads: Vec<(DatasetKind, Workload)> = DatasetKind::main_three()
+        .into_iter()
+        .map(|k| (k, workload_for(k)))
+        .collect();
+    let outs = run_parallel(jobs.clone(), |&(k, m)| {
+        let w = &workloads.iter().find(|(wk, _)| *wk == k).expect("workload").1;
+        run_method(m, w, profile.iters, profile.seed)
+    });
+
+    for kind in DatasetKind::main_three() {
+        let mut t = Table::new(
+            std::iter::once("method".to_string())
+                .chain(SACRIFICES.iter().map(|s| format!("sac {s}")))
+                .chain(std::iter::once("tradeoff σ".to_string()))
+                .collect::<Vec<String>>(),
+        );
+        for m in Method::ALL {
+            let idx = jobs.iter().position(|&(k, mm)| k == kind && mm == m).expect("job");
+            let out = &outs[idx];
+            let best: Vec<Option<f64>> =
+                SACRIFICES.iter().map(|&s| out.best_qps_with_recall(recall_floor(s))).collect();
+            let found: Vec<f64> = best.iter().flatten().copied().collect();
+            let sigma = if found.len() > 1 {
+                let mean = found.iter().sum::<f64>() / found.len() as f64;
+                (found.iter().map(|q| (q - mean) * (q - mean)).sum::<f64>() / found.len() as f64)
+                    .sqrt()
+            } else {
+                0.0
+            };
+            let mut row = vec![m.name().to_string()];
+            row.extend(best.iter().map(|b| b.map_or("-".to_string(), f1)));
+            row.push(f1(sigma));
+            t.row(row);
+        }
+        emit(
+            &format!("fig6_{}", kind.name().to_lowercase().replace('-', "_")),
+            &format!("Fig 6: best speed under recall sacrifice ({})", kind.name()),
+            &t,
+        );
+    }
+}
+
+/// Figure 7: optimization curves on GloVe and tuning-efficiency ratios.
+pub fn fig7(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let outs = run_all_methods(&w, profile);
+    let floors = [0.9, 0.925, 0.95, 0.975, 0.99];
+
+    for &floor in &floors {
+        let step = (profile.iters / 10).max(1);
+        let checkpoints: Vec<usize> = (0..profile.iters)
+            .step_by(step)
+            .chain(std::iter::once(profile.iters - 1))
+            .collect();
+        let mut t = Table::new(
+            std::iter::once("method".to_string())
+                .chain(checkpoints.iter().map(|c| format!("it{}", c + 1)))
+                .collect::<Vec<String>>(),
+        );
+        for (m, out) in &outs {
+            let curve = out.qps_curve(floor);
+            let mut row = vec![m.name().to_string()];
+            row.extend(checkpoints.iter().map(|&c| f1(curve[c.min(curve.len() - 1)])));
+            t.row(row);
+        }
+        emit(
+            &format!("fig7_recall{}", (floor * 1000.0) as u32),
+            &format!("Fig 7: best-so-far speed vs iteration (GloVe, recall > {floor})"),
+            &t,
+        );
+    }
+
+    // Tuning-efficiency summary: samples/time for VDTuner to beat the most
+    // competitive baseline's final result.
+    let mut t = Table::new(vec![
+        "recall floor",
+        "best baseline",
+        "baseline QPS",
+        "VDTuner iters to beat",
+        "VDTuner sim-secs to beat",
+        "sample ratio",
+    ]);
+    let vd = &outs.iter().find(|(m, _)| *m == Method::VdTuner).expect("vdtuner").1;
+    for &floor in &floors {
+        let best_baseline = outs
+            .iter()
+            .filter(|(m, _)| *m != Method::VdTuner)
+            .filter_map(|(m, o)| o.best_qps_with_recall(floor).map(|q| (m, q)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        let Some((bm, bq)) = best_baseline else {
+            t.row(vec![f3(floor), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let iters = vd.iterations_to_reach(bq, floor);
+        let secs = vd.secs_to_reach(bq, floor);
+        let ratio = iters.map(|i| i as f64 / profile.iters as f64);
+        t.row(vec![
+            f3(floor),
+            bm.name().to_string(),
+            f1(bq),
+            iters.map_or("-".into(), |i| i.to_string()),
+            secs.map_or("-".into(), f1),
+            ratio.map_or("-".into(), pct),
+        ]);
+    }
+    emit("fig7_efficiency", "Fig 7 summary: VDTuner efficiency vs best baseline (GloVe)", &t);
+}
+
+/// Figure 8: ablations — (a) successive abandon vs round robin, (b) polling
+/// vs native surrogate.
+pub fn fig8(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let variants: Vec<(&str, Option<BudgetAllocation>, SurrogateKind)> = vec![
+        ("Successive Abandon + Polling", None, SurrogateKind::Polling),
+        ("Round Robin + Polling", Some(BudgetAllocation::RoundRobin), SurrogateKind::Polling),
+        ("Successive Abandon + Native", None, SurrogateKind::Native),
+    ];
+    let outs = run_parallel(variants.clone(), |(_, budget, surrogate)| {
+        run_vdtuner_variant(&w, profile.iters, profile.seed, |o| {
+            if let Some(b) = budget {
+                o.budget = *b;
+            }
+            o.surrogate = *surrogate;
+        })
+    });
+    let mut t = Table::new(
+        std::iter::once("variant".to_string())
+            .chain(SACRIFICES.iter().map(|s| format!("sac {s}")))
+            .collect::<Vec<String>>(),
+    );
+    for ((name, _, _), out) in variants.iter().zip(&outs) {
+        let mut row = vec![name.to_string()];
+        row.extend(
+            SACRIFICES
+                .iter()
+                .map(|&s| out.best_qps_with_recall(recall_floor(s)).map_or("-".into(), f1)),
+        );
+        t.row(row);
+    }
+    emit("fig8", "Fig 8: budget-allocation and surrogate ablations (GloVe)", &t);
+}
+
+/// Figure 9: dynamic index-type score weights during tuning.
+pub fn fig9(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let out = run_vdtuner_variant(&w, profile.iters, profile.seed, |_| {});
+    let mut t = Table::new(
+        std::iter::once("iter".to_string())
+            .chain(IndexType::ALL.iter().map(|t| t.name().to_string()))
+            .chain(std::iter::once("leader".to_string()))
+            .collect::<Vec<String>>(),
+    );
+    let mut last_leader: Option<IndexType> = None;
+    for (i, row) in out.score_trace.iter().enumerate() {
+        let total: f64 = row.iter().map(|(_, s)| s.max(0.0)).sum();
+        let weight = |ty: IndexType| -> String {
+            match row.iter().find(|(t, _)| *t == ty) {
+                Some((_, s)) if total > 0.0 => format!("{:.0}%", 100.0 * s.max(0.0) / total),
+                Some(_) => "0%".into(),
+                None => "0%".into(), // abandoned
+            }
+        };
+        let leader = row
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| *t);
+        let marker = match (leader, last_leader) {
+            (Some(l), Some(prev)) if l != prev => format!("{} *", l.name()),
+            (Some(l), _) => l.name().to_string(),
+            (None, _) => "-".into(),
+        };
+        last_leader = leader.or(last_leader);
+        let mut cells = vec![format!("{}", i + 8)]; // scores start after init sampling
+        cells.extend(IndexType::ALL.iter().map(|&ty| weight(ty)));
+        cells.push(marker);
+        t.row(cells);
+    }
+    emit("fig9", "Fig 9: index-type score weights vs iteration (GloVe; * = leader change)", &t);
+}
+
+/// Figure 10: sampling scatter of native vs polling surrogates.
+pub fn fig10(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let variants: Vec<(&str, SurrogateKind)> =
+        vec![("native", SurrogateKind::Native), ("polling", SurrogateKind::Polling)];
+    let outs = run_parallel(variants.clone(), |(_, s)| {
+        run_vdtuner_variant(&w, profile.iters, profile.seed, |o| o.surrogate = *s)
+    });
+    let mut summary = Table::new(vec![
+        "surrogate",
+        "recall σ (exploration width)",
+        "high-quality samples",
+        "max QPS",
+        "max recall",
+    ]);
+    for ((name, _), out) in variants.iter().zip(&outs) {
+        let ranks = out.pareto_rank_per_obs();
+        let mut t = Table::new(vec!["iter", "qps", "recall", "index", "pareto_rank"]);
+        for (o, r) in out.observations.iter().zip(&ranks) {
+            t.row(vec![
+                o.iter.to_string(),
+                f1(o.qps),
+                f3(o.recall),
+                o.config.index_type.name().to_string(),
+                r.to_string(),
+            ]);
+        }
+        emit(
+            &format!("fig10_{name}"),
+            &format!("Fig 10: configurations sampled by the {name} surrogate (GloVe)"),
+            &t,
+        );
+
+        let recalls: Vec<f64> = out.observations.iter().map(|o| o.recall).collect();
+        let mean = recalls.iter().sum::<f64>() / recalls.len().max(1) as f64;
+        let sigma = (recalls.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+            / recalls.len().max(1) as f64)
+            .sqrt();
+        let max_q = out.observations.iter().map(|o| o.qps).fold(0.0, f64::max);
+        let max_r = recalls.iter().copied().fold(0.0, f64::max);
+        // "Red rectangle": both objectives high simultaneously.
+        let good = out
+            .observations
+            .iter()
+            .filter(|o| o.qps >= 0.7 * max_q && o.recall >= 0.9)
+            .count();
+        summary.row(vec![
+            name.to_string(),
+            f3(sigma),
+            good.to_string(),
+            f1(max_q),
+            f3(max_r),
+        ]);
+    }
+    emit("fig10_summary", "Fig 10 summary: polling explores wider and samples better", &summary);
+}
+
+/// Figure 11: parameter traces over iterations (Geo-radius).
+pub fn fig11(profile: &Profile) {
+    let w = workload_for(DatasetKind::GeoRadius);
+    let out = run_vdtuner_variant(&w, profile.iters, profile.seed, |_| {});
+    let trace = out.param_trace();
+    let tracked = ["nlist", "nprobe", "segment_sealProportion", "gracefulTime"];
+    let dims: Vec<usize> = tracked
+        .iter()
+        .map(|n| DIM_NAMES.iter().position(|d| d == n).expect("dim"))
+        .collect();
+    let mut t = Table::new(
+        std::iter::once("iter".to_string())
+            .chain(tracked.iter().map(|s| s.to_string()))
+            .collect::<Vec<String>>(),
+    );
+    for (i, row) in trace.iter().enumerate() {
+        let mut cells = vec![(i + 1).to_string()];
+        cells.extend(dims.iter().map(|&d| f2(row[d])));
+        t.row(cells);
+    }
+    emit("fig11", "Fig 11: normalized parameter values vs iteration (Geo-radius)", &t);
+
+    // Convergence summary: early vs late fluctuation.
+    let mut s = Table::new(vec!["parameter", "early σ", "late σ"]);
+    let half = trace.len() / 2;
+    for (name, &d) in tracked.iter().zip(&dims) {
+        let std = |rows: &[[f64; 16]]| {
+            let vals: Vec<f64> = rows.iter().map(|r| r[d]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len().max(1) as f64)
+                .sqrt()
+        };
+        s.row(vec![name.to_string(), f3(std(&trace[..half])), f3(std(&trace[half..]))]);
+    }
+    emit("fig11_convergence", "Fig 11 summary: exploration → exploitation", &s);
+}
+
+/// Figure 12: user recall preference — constraint model and bootstrapping.
+pub fn fig12(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let iters = profile.pref_iters;
+    let seed = profile.seed;
+
+    // Variant A: no constraint model, no bootstrapping (plain MO per phase).
+    // Variant B: constraint model per phase, no bootstrapping.
+    // Variant C: constraint model + phase-2 bootstrapped with phase-1 data.
+    let phases = [0.85, 0.9];
+    let variants = ["no constraint + no bootstrap", "constraint only", "constraint + bootstrap"];
+    let runs = run_parallel(vec![0usize, 1, 2], |&v| {
+        let mut per_phase: Vec<TuningOutcome> = Vec::new();
+        for (pi, &lim) in phases.iter().enumerate() {
+            let boot = if v == 2 && pi > 0 {
+                per_phase[pi - 1].observations.clone()
+            } else {
+                Vec::new()
+            };
+            let out = run_vdtuner_variant(&w, iters, seed ^ (pi as u64) << 8, |o| {
+                if v >= 1 {
+                    o.mode = TunerMode::Constrained { recall_limit: lim };
+                }
+                o.bootstrap = boot.clone();
+            });
+            per_phase.push(out);
+        }
+        per_phase
+    });
+
+    let mut t = Table::new(vec![
+        "variant",
+        "phase (recall >)",
+        "best feasible QPS",
+        "iters to best-A parity",
+    ]);
+    for (pi, &lim) in phases.iter().enumerate() {
+        let a_final = runs[0][pi].best_qps_with_recall(lim).unwrap_or(0.0);
+        for (v, name) in variants.iter().enumerate() {
+            let out = &runs[v][pi];
+            let best = out.best_qps_with_recall(lim);
+            let parity = out.iterations_to_reach(a_final, lim);
+            t.row(vec![
+                name.to_string(),
+                format!("{lim}"),
+                best.map_or("-".into(), f1),
+                parity.map_or("-".into(), |i| i.to_string()),
+            ]);
+        }
+    }
+    emit("fig12", "Fig 12: constraint model + bootstrapping under recall preferences (GloVe)", &t);
+}
+
+/// Figure 13: cost-effectiveness (QP$) optimization and SHAP attribution.
+pub fn fig13(profile: &Profile) {
+    let w = workload_for(DatasetKind::GeoRadius);
+    let modes: Vec<(&str, TunerMode)> =
+        vec![("QPS", TunerMode::MultiObjective), ("QP$", TunerMode::CostEffective)];
+    let outs = run_parallel(modes.clone(), |(_, mode)| {
+        run_vdtuner_variant(&w, profile.iters, profile.seed, |o| o.mode = *mode)
+    });
+    let (qps_run, qpd_run) = (&outs[0], &outs[1]);
+
+    // (a) relative performance of optimizing QP$ vs QPS.
+    let mut t = Table::new(vec![
+        "sacrifice",
+        "QP$ run: best QP$",
+        "QPS run: best QP$",
+        "relative QP$",
+        "QP$ run: best QPS",
+        "QPS run: best QPS",
+        "relative QPS",
+    ]);
+    for &s in &SACRIFICES {
+        let floor = recall_floor(s);
+        let qpd_a = qpd_run.best_qpd_with_recall(floor);
+        let qpd_b = qps_run.best_qpd_with_recall(floor);
+        let q_a = qpd_run.best_qps_with_recall(floor);
+        let q_b = qps_run.best_qps_with_recall(floor);
+        let rel = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(x), Some(y)) if y > 0.0 => f2(x / y),
+            _ => "-".into(),
+        };
+        t.row(vec![
+            format!("{s}"),
+            qpd_a.map_or("-".into(), f1),
+            qpd_b.map_or("-".into(), f1),
+            rel(qpd_a, qpd_b),
+            q_a.map_or("-".into(), f1),
+            q_b.map_or("-".into(), f1),
+            rel(q_a, q_b),
+        ]);
+    }
+    emit("fig13a", "Fig 13a: optimizing cost-effectiveness vs search speed (Geo-radius)", &t);
+
+    let mut mem = Table::new(vec!["objective", "memory mean (GiB)", "memory σ"]);
+    for ((name, _), out) in modes.iter().zip(&outs) {
+        let (m, s) = out.memory_mean_std();
+        mem.row(vec![name.to_string(), f2(m), f2(s)]);
+    }
+    emit("fig13a_memory", "Fig 13a: sampled memory usage per objective", &mem);
+
+    // (b) SHAP attribution of parameters to memory usage and search speed,
+    // using the simulator itself as the explained function.
+    let target = qps_run
+        .best_balanced()
+        .map(|o| o.config)
+        .unwrap_or_else(VdmsConfig::default_config);
+    let baseline = VdmsConfig::default_config();
+    let perms = 4;
+    let attr_mem = shapley_attribution(
+        |c| evaluate(&w, c, profile.seed).memory_gib,
+        &target,
+        &baseline,
+        perms,
+        profile.seed,
+    );
+    let attr_qps = shapley_attribution(
+        |c| evaluate(&w, c, profile.seed).qps,
+        &target,
+        &baseline,
+        perms,
+        profile.seed + 1,
+    );
+    let mut t = Table::new(vec!["parameter", "Δ memory (GiB)", "Δ search speed (QPS)"]);
+    for (i, name) in DIM_NAMES.iter().enumerate() {
+        t.row(vec![
+            name.to_string(),
+            f2(attr_mem.contributions[i].1),
+            f1(attr_qps.contributions[i].1),
+        ]);
+    }
+    emit("fig13b", "Fig 13b: SHAP contribution of each parameter (Geo-radius)", &t);
+}
+
+/// Table V: best index type and parameters per dataset.
+pub fn table5(profile: &Profile) {
+    let kinds = [DatasetKind::Glove, DatasetKind::ArxivTitles, DatasetKind::KeywordMatch];
+    let rows = run_parallel(kinds.to_vec(), |&kind| {
+        let w = workload_for(kind);
+        let out = run_method(Method::VdTuner, &w, profile.iters, profile.seed);
+        let best = out.best_balanced().map(|o| o.config.summary()).unwrap_or_default();
+        (kind, best)
+    });
+    let mut t = Table::new(vec!["dataset", "best configuration (index + active params)"]);
+    for (kind, cfg) in rows {
+        t.row(vec![kind.name().to_string(), cfg]);
+    }
+    emit("table5", "Table V: index/parameters of the best configuration per dataset", &t);
+}
+
+/// Table VI: time breakdown (recommendation vs replay) per method.
+pub fn table6(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let outs = run_all_methods(&w, profile);
+    let mut t = Table::new(vec![
+        "method",
+        "recommendation (wall s)",
+        "rec. share",
+        "replay (simulated s)",
+        "total (s)",
+    ]);
+    for (m, out) in &outs {
+        let total = out.total_recommend_secs + out.total_replay_secs;
+        t.row(vec![
+            m.name().to_string(),
+            f2(out.total_recommend_secs),
+            pct(out.total_recommend_secs / total.max(1e-9)),
+            f1(out.total_replay_secs),
+            f1(total),
+        ]);
+    }
+    emit(
+        "table6",
+        &format!("Table VI: time breakdown for {} iterations of each method (GloVe)", profile.iters),
+        &t,
+    );
+}
+
+/// §V-E scalability: deep-image (10× GloVe) — VDTuner vs qEHVI.
+pub fn scale(profile: &Profile) {
+    let w = workload_for(DatasetKind::DeepImage);
+    let methods = vec![Method::VdTuner, Method::Qehvi];
+    let outs = run_parallel(methods.clone(), |&m| run_method(m, &w, profile.scale_iters, profile.seed));
+    let mut t = Table::new(vec!["method", "best QPS @ recall>0.9", "best QPS @ recall>0.99", "sim tuning secs"]);
+    for (m, out) in methods.iter().zip(&outs) {
+        t.row(vec![
+            m.name().to_string(),
+            out.best_qps_with_recall(0.9).map_or("-".into(), f1),
+            out.best_qps_with_recall(0.99).map_or("-".into(), f1),
+            f1(out.total_replay_secs),
+        ]);
+    }
+    // Speed improvement + time-to-parity ratio.
+    let vd = &outs[0];
+    let qe = &outs[1];
+    if let Some(qe_best) = qe.best_qps_with_recall(0.99) {
+        let improvement = vd
+            .best_qps_with_recall(0.99)
+            .map(|v| v / qe_best - 1.0)
+            .unwrap_or(0.0);
+        let vd_secs = vd.secs_to_reach(qe_best, 0.99);
+        let qe_secs: f64 = qe
+            .observations
+            .iter()
+            .map(|o| o.replay_secs + o.recommend_secs)
+            .sum();
+        t.row(vec![
+            "VDTuner advantage".to_string(),
+            pct(improvement),
+            "-".into(),
+            vd_secs.map_or("-".into(), |s| format!("{:.1}x faster", qe_secs / s.max(1e-9))),
+        ]);
+    }
+    emit("scale", "Scalability (§V-E): deep-image, VDTuner vs qEHVI", &t);
+}

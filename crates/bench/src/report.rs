@@ -1,0 +1,134 @@
+//! Plain-text table rendering and CSV output for the repro harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[c]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// CSV serialization (comma-separated, quotes only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory where repro runs drop their CSVs.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Print a titled table and persist it as `results/<name>.csv`.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("\n### {title}\n");
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[written {}]", path.display());
+    }
+}
+
+/// Format helpers.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1", "22"]).row(vec!["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("a"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["a,b"]);
+        assert!(t.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

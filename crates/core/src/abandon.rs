@@ -1,0 +1,162 @@
+//! Successive-abandon budget allocation (paper §IV-D, Eq. 5–6).
+//!
+//! Index types are scored by their *hypervolume influence*: how much the
+//! hypervolume of the observed Pareto front shrinks when the type's
+//! observations are removed. The type that is persistently the worst —
+//! lowest score for a full window of iterations — is abandoned, focusing
+//! the remaining budget on promising types (Figure 9).
+
+use crate::npi::balanced_base;
+use anns::params::IndexType;
+use mobo::hypervolume::hv2d;
+
+/// One score snapshot: `(type, Score(t))` for every remaining type.
+pub type ScoreRow = Vec<(IndexType, f64)>;
+
+/// Compute Eq. 6 scores for the remaining types.
+///
+/// `per_type` maps each remaining type to its raw `[speed, recall]`
+/// observations. The reference point is `0.5 · y` where `y` is the balanced
+/// base of the *global* non-dominated set (Eq. 3 applied to all data), as
+/// specified under Eq. 5.
+pub fn scores(per_type: &[(IndexType, Vec<[f64; 2]>)]) -> ScoreRow {
+    let all: Vec<[f64; 2]> =
+        per_type.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    if all.is_empty() {
+        return per_type.iter().map(|(t, _)| (*t, 0.0)).collect();
+    }
+    let base = balanced_base(&all);
+    let r = [0.5 * base.speed, 0.5 * base.recall];
+
+    // HV(r, Y / Y_t) for each t.
+    let hv_without: Vec<(IndexType, f64)> = per_type
+        .iter()
+        .map(|(t, _)| {
+            let rest: Vec<[f64; 2]> = per_type
+                .iter()
+                .filter(|(u, _)| u != t)
+                .flat_map(|(_, ys)| ys.iter().copied())
+                .collect();
+            (*t, hv2d(&rest, &r))
+        })
+        .collect();
+    let max_without =
+        hv_without.iter().map(|(_, h)| *h).fold(f64::MIN, f64::max);
+    // Score(t) = max_t' HV(Y/Y_t') − HV(Y/Y_t): large when removing t hurts.
+    hv_without.into_iter().map(|(t, h)| (t, max_without - h)).collect()
+}
+
+/// Windowed abandonment trigger (paper §IV-D: "if the rank of an index type
+/// is consistently the worst lasting for a fixed-length window of
+/// iterations, it will be abandoned").
+#[derive(Debug, Clone)]
+pub struct AbandonPolicy {
+    window: usize,
+    /// The type that has been worst recently, with its streak length.
+    streak: Option<(IndexType, usize)>,
+    /// Full score history, kept for Figure 9.
+    pub score_trace: Vec<ScoreRow>,
+}
+
+impl AbandonPolicy {
+    /// `window` = number of consecutive worst rankings before abandonment
+    /// (the paper uses 10).
+    pub fn new(window: usize) -> AbandonPolicy {
+        AbandonPolicy { window: window.max(1), streak: None, score_trace: Vec::new() }
+    }
+
+    /// Record this iteration's scores; returns `Some(type)` if one should be
+    /// abandoned now. Never abandons when ≤ 1 type remains.
+    pub fn update(&mut self, row: ScoreRow) -> Option<IndexType> {
+        if row.len() <= 1 {
+            self.score_trace.push(row);
+            return None;
+        }
+        let worst = row
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| *t)
+            .expect("non-empty");
+        self.score_trace.push(row);
+
+        let streak = match self.streak {
+            Some((t, n)) if t == worst => n + 1,
+            _ => 1,
+        };
+        self.streak = Some((worst, streak));
+        if streak >= self.window {
+            self.streak = None;
+            Some(worst)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<(IndexType, Vec<[f64; 2]>)> {
+        vec![
+            // SCANN contributes the best trade-offs.
+            (IndexType::Scann, vec![[1800.0, 0.9], [2000.0, 0.8]]),
+            // HNSW contributes one point on the front (highest recall).
+            (IndexType::Hnsw, vec![[1500.0, 0.95]]),
+            // FLAT contributes only a dominated point.
+            (IndexType::Flat, vec![[300.0, 0.7]]),
+        ]
+    }
+
+    #[test]
+    fn contributing_types_score_higher() {
+        let s = scores(&data());
+        let get = |t: IndexType| s.iter().find(|(u, _)| *u == t).unwrap().1;
+        assert!(get(IndexType::Scann) > get(IndexType::Flat));
+        assert!(get(IndexType::Hnsw) >= get(IndexType::Flat));
+        // FLAT's removal does not change the front at all → worst score 0.
+        assert!(get(IndexType::Flat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_nonnegative() {
+        for (_, s) in scores(&data()) {
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_scores_are_zero() {
+        let s = scores(&[(IndexType::Flat, vec![]), (IndexType::Hnsw, vec![])]);
+        assert!(s.iter().all(|(_, v)| *v == 0.0));
+    }
+
+    #[test]
+    fn abandon_after_window_consecutive_worst() {
+        let mut policy = AbandonPolicy::new(3);
+        let row = || scores(&data());
+        assert_eq!(policy.update(row()), None);
+        assert_eq!(policy.update(row()), None);
+        assert_eq!(policy.update(row()), Some(IndexType::Flat));
+        assert_eq!(policy.score_trace.len(), 3);
+    }
+
+    #[test]
+    fn streak_resets_when_worst_changes() {
+        let mut policy = AbandonPolicy::new(2);
+        let a: ScoreRow = vec![(IndexType::Flat, 0.0), (IndexType::Hnsw, 1.0)];
+        let b: ScoreRow = vec![(IndexType::Flat, 1.0), (IndexType::Hnsw, 0.0)];
+        assert_eq!(policy.update(a.clone()), None);
+        assert_eq!(policy.update(b), None, "worst changed, streak resets");
+        assert_eq!(policy.update(a.clone()), None);
+        assert_eq!(policy.update(a), Some(IndexType::Flat));
+    }
+
+    #[test]
+    fn never_abandons_last_type() {
+        let mut policy = AbandonPolicy::new(1);
+        let row: ScoreRow = vec![(IndexType::Scann, 0.0)];
+        assert_eq!(policy.update(row.clone()), None);
+        assert_eq!(policy.update(row), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tuning outcomes and report helpers (the quantities the paper's tables
+//! and figures are built from).
+
+use crate::abandon::ScoreRow;
+use crate::npi::balanced_base;
+use crate::space::{ConfigSpace, DIMS};
+use mobo::pareto::{non_dominated_indices, pareto_ranks};
+use workload::{Evaluator, Observation};
+
+/// Everything a finished tuning run produced.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Tuner display name.
+    pub tuner: String,
+    /// All evaluations, in order.
+    pub observations: Vec<Observation>,
+    /// Per-iteration index-type scores (Figure 9); empty for baselines.
+    pub score_trace: Vec<ScoreRow>,
+    /// Total simulated replay seconds (Table VI).
+    pub total_replay_secs: f64,
+    /// Total wall-clock recommendation seconds (Table VI).
+    pub total_recommend_secs: f64,
+}
+
+impl TuningOutcome {
+    /// Package an evaluator's records.
+    pub fn from_evaluator(
+        tuner: String,
+        evaluator: &Evaluator<'_>,
+        score_trace: Vec<ScoreRow>,
+    ) -> TuningOutcome {
+        TuningOutcome {
+            tuner,
+            observations: evaluator.history().to_vec(),
+            score_trace,
+            total_replay_secs: evaluator.total_replay_secs,
+            total_recommend_secs: evaluator.total_recommend_secs,
+        }
+    }
+
+    /// Indices of the non-dominated observations (speed × recall).
+    pub fn pareto_indices(&self) -> Vec<usize> {
+        let ys: Vec<[f64; 2]> =
+            self.observations.iter().map(|o| [o.qps, o.recall]).collect();
+        non_dominated_indices(&ys)
+    }
+
+    /// Pareto rank per observation (Figure 10 marker sizes).
+    pub fn pareto_rank_per_obs(&self) -> Vec<usize> {
+        let ys: Vec<[f64; 2]> =
+            self.observations.iter().map(|o| [o.qps, o.recall]).collect();
+        pareto_ranks(&ys)
+    }
+
+    /// The most balanced non-dominated observation (Eq. 3 applied to the
+    /// whole run) — the single configuration VDTuner would hand the user.
+    pub fn best_balanced(&self) -> Option<&Observation> {
+        let ys: Vec<[f64; 2]> =
+            self.observations.iter().map(|o| [o.qps, o.recall]).collect();
+        if ys.is_empty() {
+            return None;
+        }
+        let base = balanced_base(&ys);
+        self.observations
+            .iter()
+            .find(|o| o.qps == base.speed && o.recall == base.recall)
+    }
+
+    /// Best QPS among observations meeting the recall floor (Figures 6–8).
+    pub fn best_qps_with_recall(&self, min_recall: f64) -> Option<f64> {
+        self.observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= min_recall)
+            .map(|o| o.qps)
+            .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+    }
+
+    /// Best-so-far QPS curve under a recall floor (Figure 7).
+    pub fn qps_curve(&self, min_recall: f64) -> Vec<f64> {
+        let mut best = 0.0f64;
+        self.observations
+            .iter()
+            .map(|o| {
+                if !o.failed && o.recall >= min_recall {
+                    best = best.max(o.qps);
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Best cost-effectiveness (QP$) under a recall floor (Figure 13a).
+    pub fn best_qpd_with_recall(&self, min_recall: f64) -> Option<f64> {
+        self.observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= min_recall)
+            .map(|o| o.cost_effectiveness())
+            .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+    }
+
+    /// Table IV's improvement definition: the maximum enhancement in one
+    /// metric *without sacrificing* the other, relative to the default
+    /// configuration's performance `(qps_d, recall_d)`. Returns
+    /// `(speed_improvement, recall_improvement)` as fractions.
+    pub fn improvement_over_default(&self, qps_d: f64, recall_d: f64) -> (f64, f64) {
+        let speed_best = self
+            .observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= recall_d)
+            .map(|o| o.qps)
+            .fold(qps_d, f64::max);
+        let recall_best = self
+            .observations
+            .iter()
+            .filter(|o| !o.failed && o.qps >= qps_d)
+            .map(|o| o.recall)
+            .fold(recall_d, f64::max);
+        (speed_best / qps_d - 1.0, recall_best / recall_d - 1.0)
+    }
+
+    /// Normalized parameter values per iteration (Figure 11): one row per
+    /// observation, `DIMS` unit-interval coordinates.
+    pub fn param_trace(&self) -> Vec<[f64; DIMS]> {
+        let space = ConfigSpace;
+        self.observations
+            .iter()
+            .map(|o| {
+                let enc = space.encode(&o.config);
+                let mut row = [0.0; DIMS];
+                row.copy_from_slice(&enc);
+                row
+            })
+            .collect()
+    }
+
+    /// Mean memory usage over successful observations (Figure 13 analysis).
+    pub fn memory_mean_std(&self) -> (f64, f64) {
+        let mems: Vec<f64> =
+            self.observations.iter().filter(|o| !o.failed).map(|o| o.memory_gib).collect();
+        if mems.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = mems.iter().sum::<f64>() / mems.len() as f64;
+        let var = mems.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / mems.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Iterations needed to first reach `target_qps` under a recall floor —
+    /// the tuning-efficiency metric behind Figure 7's speedup claims.
+    pub fn iterations_to_reach(&self, target_qps: f64, min_recall: f64) -> Option<usize> {
+        let curve = self.qps_curve(min_recall);
+        curve.iter().position(|&q| q >= target_qps).map(|i| i + 1)
+    }
+
+    /// Simulated tuning seconds until `target_qps` is first reached.
+    pub fn secs_to_reach(&self, target_qps: f64, min_recall: f64) -> Option<f64> {
+        let mut best = 0.0f64;
+        let mut elapsed = 0.0;
+        for o in &self.observations {
+            elapsed += o.replay_secs + o.recommend_secs;
+            if !o.failed && o.recall >= min_recall {
+                best = best.max(o.qps);
+            }
+            if best >= target_qps {
+                return Some(elapsed);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdms::VdmsConfig;
+
+    fn obs(iter: usize, qps: f64, recall: f64) -> Observation {
+        Observation {
+            iter,
+            config: VdmsConfig::default_config(),
+            qps,
+            recall,
+            memory_gib: 4.0,
+            failed: false,
+            replay_secs: 100.0,
+            recommend_secs: 1.0,
+        }
+    }
+
+    fn outcome(data: &[(f64, f64)]) -> TuningOutcome {
+        TuningOutcome {
+            tuner: "T".into(),
+            observations: data
+                .iter()
+                .enumerate()
+                .map(|(i, &(q, r))| obs(i, q, r))
+                .collect(),
+            score_trace: Vec::new(),
+            total_replay_secs: 0.0,
+            total_recommend_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn best_qps_with_recall_filters() {
+        let out = outcome(&[(100.0, 0.5), (80.0, 0.95), (60.0, 0.99)]);
+        assert_eq!(out.best_qps_with_recall(0.9), Some(80.0));
+        assert_eq!(out.best_qps_with_recall(0.99), Some(60.0));
+        assert_eq!(out.best_qps_with_recall(0.999), None);
+    }
+
+    #[test]
+    fn qps_curve_monotone_nondecreasing() {
+        let out = outcome(&[(50.0, 0.95), (200.0, 0.5), (100.0, 0.95), (90.0, 0.96)]);
+        let curve = out.qps_curve(0.9);
+        assert_eq!(curve, vec![50.0, 50.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn improvement_over_default_matches_table_iv_definition() {
+        // Default: 100 qps @ 0.8 recall. Run found 120 qps @ 0.85 (speed
+        // gain without recall sacrifice) and 105 qps @ 0.9 (recall gain
+        // without speed sacrifice).
+        let out = outcome(&[(120.0, 0.85), (105.0, 0.9), (500.0, 0.2)]);
+        let (ds, dr) = out.improvement_over_default(100.0, 0.8);
+        assert!((ds - 0.2).abs() < 1e-9);
+        assert!((dr - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_never_negative() {
+        let out = outcome(&[(10.0, 0.1)]);
+        let (ds, dr) = out.improvement_over_default(100.0, 0.8);
+        assert_eq!(ds, 0.0);
+        assert_eq!(dr, 0.0);
+    }
+
+    #[test]
+    fn iterations_to_reach_counts_from_one() {
+        let out = outcome(&[(50.0, 0.95), (100.0, 0.95), (150.0, 0.95)]);
+        assert_eq!(out.iterations_to_reach(100.0, 0.9), Some(2));
+        assert_eq!(out.iterations_to_reach(1000.0, 0.9), None);
+    }
+
+    #[test]
+    fn secs_to_reach_accumulates_time() {
+        let out = outcome(&[(50.0, 0.95), (100.0, 0.95)]);
+        let secs = out.secs_to_reach(100.0, 0.9).unwrap();
+        assert!((secs - 202.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_balanced_is_on_front() {
+        let out = outcome(&[(100.0, 0.5), (60.0, 0.9), (10.0, 0.99)]);
+        let b = out.best_balanced().unwrap();
+        assert_eq!(b.qps, 60.0);
+    }
+
+    #[test]
+    fn param_trace_shape() {
+        let out = outcome(&[(1.0, 0.1), (2.0, 0.2)]);
+        let trace = out.param_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

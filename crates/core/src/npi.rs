@@ -1,0 +1,174 @@
+//! Normalized performance improvement (NPI) — the polling surrogate's
+//! target transformation (paper Eq. 2–3).
+//!
+//! Raw (QPS, recall) pairs differ wildly across index types; training one
+//! GP on them makes BO exploit the currently-best type and starve the rest
+//! (§IV-B). The polling surrogate divides each observation by a per-type
+//! *base value*: the most balanced non-dominated configuration of that type,
+//! where "balanced" maximizes `1 / |y_spd/y_spd_max − y_rec/y_rec_max|`
+//! (Eq. 3). After normalization every type's balanced frontier sits near
+//! (1, 1), which removes inter-type scale differences.
+
+use anns::params::IndexType;
+use mobo::pareto::non_dominated_indices;
+
+/// Per-index-type base values `(y_spd_t, y_rec_t)` of Eq. 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseValue {
+    pub speed: f64,
+    pub recall: f64,
+}
+
+impl BaseValue {
+    /// Neutral base (used before a type has any observations).
+    pub fn unit() -> BaseValue {
+        BaseValue { speed: 1.0, recall: 1.0 }
+    }
+
+    /// Normalize a raw observation by this base (Eq. 2).
+    pub fn normalize(&self, speed: f64, recall: f64) -> [f64; 2] {
+        [speed / self.speed.max(1e-12), recall / self.recall.max(1e-12)]
+    }
+}
+
+/// The most balanced non-dominated performance among `ys` (Eq. 3):
+/// the non-dominated point maximizing `1/|y1/y1_max − y2/y2_max|`.
+///
+/// Returns [`BaseValue::unit`] when `ys` is empty.
+pub fn balanced_base(ys: &[[f64; 2]]) -> BaseValue {
+    if ys.is_empty() {
+        return BaseValue::unit();
+    }
+    let front: Vec<[f64; 2]> =
+        non_dominated_indices(ys).into_iter().map(|i| ys[i]).collect();
+    let y1_max = front.iter().map(|y| y[0]).fold(f64::MIN, f64::max).max(1e-12);
+    let y2_max = front.iter().map(|y| y[1]).fold(f64::MIN, f64::max).max(1e-12);
+    let mut best = front[0];
+    let mut best_score = f64::MIN;
+    for y in &front {
+        let imbalance = (y[0] / y1_max - y[1] / y2_max).abs();
+        let score = 1.0 / imbalance.max(1e-9);
+        if score > best_score {
+            best_score = score;
+            best = *y;
+        }
+    }
+    BaseValue { speed: best[0].max(1e-12), recall: best[1].max(1e-12) }
+}
+
+/// Constraint-mode base (paper §IV-F): the *maximum* value per objective
+/// achieved by the type, relaxing the balance requirement so the tuner can
+/// chase speed inside the feasible region.
+pub fn max_base(ys: &[[f64; 2]]) -> BaseValue {
+    if ys.is_empty() {
+        return BaseValue::unit();
+    }
+    BaseValue {
+        speed: ys.iter().map(|y| y[0]).fold(f64::MIN, f64::max).max(1e-12),
+        recall: ys.iter().map(|y| y[1]).fold(f64::MIN, f64::max).max(1e-12),
+    }
+}
+
+/// Observations of one index type, with raw objective pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TypeData {
+    /// (encoded config, [speed, recall]) pairs.
+    pub points: Vec<(Vec<f64>, [f64; 2])>,
+}
+
+/// Group raw observations by index type and compute each type's base value.
+#[derive(Debug, Clone)]
+pub struct NpiNormalizer {
+    bases: Vec<(IndexType, BaseValue)>,
+}
+
+impl NpiNormalizer {
+    /// Compute per-type balanced bases (Eq. 3) from grouped observations.
+    pub fn fit(groups: &[(IndexType, Vec<[f64; 2]>)], constraint_mode: bool) -> NpiNormalizer {
+        let bases = groups
+            .iter()
+            .map(|(t, ys)| {
+                let base = if constraint_mode { max_base(ys) } else { balanced_base(ys) };
+                (*t, base)
+            })
+            .collect();
+        NpiNormalizer { bases }
+    }
+
+    /// The base value for `t` (unit if the type was never observed).
+    pub fn base(&self, t: IndexType) -> BaseValue {
+        self.bases
+            .iter()
+            .find(|(bt, _)| *bt == t)
+            .map(|(_, b)| *b)
+            .unwrap_or_else(BaseValue::unit)
+    }
+
+    /// Normalize one observation of type `t` (Eq. 2).
+    pub fn normalize(&self, t: IndexType, speed: f64, recall: f64) -> [f64; 2] {
+        self.base(t).normalize(speed, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_base_picks_the_knee() {
+        // Front: (100, 0.2), (60, 0.6), (20, 1.0) with maxes 100 / 1.0.
+        // Imbalances: |1−0.2|=0.8, |0.6−0.6|=0.0, |0.2−1.0|=0.8 → knee wins.
+        let ys = [[100.0, 0.2], [60.0, 0.6], [20.0, 1.0], [10.0, 0.1]];
+        let b = balanced_base(&ys);
+        assert_eq!(b.speed, 60.0);
+        assert_eq!(b.recall, 0.6);
+    }
+
+    #[test]
+    fn balanced_base_ignores_dominated() {
+        let ys = [[50.0, 0.5], [49.0, 0.49]];
+        let b = balanced_base(&ys);
+        assert_eq!((b.speed, b.recall), (50.0, 0.5));
+    }
+
+    #[test]
+    fn empty_gives_unit() {
+        assert_eq!(balanced_base(&[]), BaseValue::unit());
+        assert_eq!(max_base(&[]), BaseValue::unit());
+    }
+
+    #[test]
+    fn normalization_maps_base_to_one() {
+        let ys = [[100.0, 0.2], [60.0, 0.6], [20.0, 1.0]];
+        let b = balanced_base(&ys);
+        let n = b.normalize(60.0, 0.6);
+        assert!((n[0] - 1.0).abs() < 1e-12 && (n[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_base_takes_componentwise_max() {
+        let ys = [[100.0, 0.2], [60.0, 0.6]];
+        let b = max_base(&ys);
+        assert_eq!((b.speed, b.recall), (100.0, 0.6));
+    }
+
+    #[test]
+    fn normalizer_eliminates_scale_differences() {
+        // A "fast" type and a "slow" type; after NPI both balanced points
+        // land at (1, 1), so neither dwarfs the other in GP training.
+        let fast = (IndexType::Scann, vec![[2000.0, 0.8], [1500.0, 0.9]]);
+        let slow = (IndexType::IvfPq, vec![[200.0, 0.7], [150.0, 0.85]]);
+        let norm = NpiNormalizer::fit(&[fast, slow], false);
+        let f = norm.normalize(IndexType::Scann, 2000.0, 0.8);
+        let s = norm.normalize(IndexType::IvfPq, 200.0, 0.7);
+        assert!(f[0] <= 1.5 && s[0] <= 1.5, "{f:?} {s:?}");
+        assert!((f[0] / s[0]) < 2.0, "scales must be comparable after NPI");
+    }
+
+    #[test]
+    fn unknown_type_gets_unit_base() {
+        let norm = NpiNormalizer::fit(&[], false);
+        assert_eq!(norm.base(IndexType::Hnsw), BaseValue::unit());
+        assert_eq!(norm.normalize(IndexType::Hnsw, 3.0, 0.5), [3.0, 0.5]);
+    }
+}

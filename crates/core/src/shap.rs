@@ -1,0 +1,133 @@
+//! Shapley-value attribution of configuration parameters to an objective
+//! (paper §V-E, Figure 13b, which uses "a game theory method, SHAP").
+//!
+//! Monte-Carlo permutation sampling of exact Shapley values over the 16
+//! encoded dimensions: for a random permutation of dimensions, flip each
+//! dimension from the baseline value to the target value in permutation
+//! order and charge the observed change of `f` to that dimension. Averaged
+//! over permutations this converges to the Shapley value; per permutation
+//! the contributions telescope to `f(target) − f(baseline)` exactly.
+
+use crate::space::{ConfigSpace, DIMS, DIM_NAMES};
+use rand::seq::SliceRandom;
+use vdms::VdmsConfig;
+use vecdata::rng::rng;
+
+/// Attribution of each of the 16 dimensions to `f(target) − f(baseline)`.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// `(dimension name, mean Shapley contribution)`, encoding order.
+    pub contributions: Vec<(&'static str, f64)>,
+    pub f_target: f64,
+    pub f_baseline: f64,
+}
+
+impl Attribution {
+    /// Contributions sorted by descending absolute magnitude.
+    pub fn ranked(&self) -> Vec<(&'static str, f64)> {
+        let mut v = self.contributions.clone();
+        v.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+        v
+    }
+}
+
+/// Estimate Shapley contributions of every encoded dimension.
+///
+/// `f` may be the simulator itself (exact but slower) or a surrogate
+/// prediction (fast). `permutations` of 8–32 give stable rankings.
+pub fn shapley_attribution<F: FnMut(&VdmsConfig) -> f64>(
+    mut f: F,
+    target: &VdmsConfig,
+    baseline: &VdmsConfig,
+    permutations: usize,
+    seed: u64,
+) -> Attribution {
+    let space = ConfigSpace;
+    let enc_target = space.encode(target);
+    let enc_base = space.encode(baseline);
+    let f_target = f(target);
+    let f_baseline = f(baseline);
+
+    let mut totals = vec![0.0f64; DIMS];
+    let mut r = rng(seed);
+    let mut order: Vec<usize> = (0..DIMS).collect();
+    for _ in 0..permutations.max(1) {
+        order.shuffle(&mut r);
+        let mut current = enc_base.clone();
+        let mut prev = f_baseline;
+        for &d in &order {
+            current[d] = enc_target[d];
+            let v = f(&space.decode(&current));
+            totals[d] += v - prev;
+            prev = v;
+        }
+    }
+    let contributions = DIM_NAMES
+        .iter()
+        .zip(&totals)
+        .map(|(name, t)| (*name, t / permutations.max(1) as f64))
+        .collect();
+    Attribution { contributions, f_target, f_baseline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns::params::IndexType;
+
+    #[test]
+    fn contributions_sum_to_delta() {
+        // Efficiency axiom: Σ φ_i = f(target) − f(baseline), for any f.
+        let target = {
+            let mut c = VdmsConfig::default_for(IndexType::Hnsw);
+            c.index.ef = 400;
+            c.system.segment_max_size_mb = 1024.0;
+            c
+        };
+        let baseline = VdmsConfig::default_for(IndexType::IvfFlat);
+        let f = |c: &VdmsConfig| {
+            c.system.segment_max_size_mb / 100.0
+                + c.index.ef as f64 / 50.0
+                + c.index_type.ordinal() as f64
+        };
+        let attr = shapley_attribution(f, &target, &baseline, 4, 9);
+        let sum: f64 = attr.contributions.iter().map(|(_, v)| v).sum();
+        let delta = attr.f_target - attr.f_baseline;
+        assert!((sum - delta).abs() < 0.3, "sum {sum} delta {delta}");
+    }
+
+    #[test]
+    fn additive_function_attributes_to_right_dims() {
+        // f depends only on segment_maxSize → its contribution dominates.
+        let mut target = VdmsConfig::default_config();
+        target.system.segment_max_size_mb = 2048.0;
+        let baseline = VdmsConfig::default_config();
+        let f = |c: &VdmsConfig| c.system.segment_max_size_mb;
+        let attr = shapley_attribution(f, &target, &baseline, 6, 3);
+        let top = attr.ranked()[0];
+        assert_eq!(top.0, "segment_maxSize");
+        assert!(top.1 > 1000.0);
+    }
+
+    #[test]
+    fn identical_configs_give_zero() {
+        let c = VdmsConfig::default_config();
+        let attr = shapley_attribution(|_| 7.0, &c, &c, 3, 1);
+        assert!(attr.contributions.iter().all(|(_, v)| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn ranked_orders_by_magnitude() {
+        let mut target = VdmsConfig::default_config();
+        target.system.insert_buf_size_mb = 2048.0;
+        target.system.graceful_time_ms = 0.0;
+        let baseline = VdmsConfig::default_config();
+        let f = |c: &VdmsConfig| {
+            c.system.insert_buf_size_mb * 2.0 - c.system.graceful_time_ms * 0.1
+        };
+        let attr = shapley_attribution(f, &target, &baseline, 4, 5);
+        let ranked = attr.ranked();
+        assert!(ranked[0].1.abs() >= ranked[1].1.abs());
+        assert!(ranked[1].1.abs() >= ranked[2].1.abs());
+    }
+}

@@ -1,0 +1,210 @@
+//! The holistic 16-dimensional configuration space (paper §IV-A, §V-A).
+//!
+//! One encoded point is `[index_type, 8 index params, 7 system params]`,
+//! every coordinate normalized into `[0, 1]` (log-scaled where the Milvus
+//! docs tune exponentially). The shared parameters exist **once** — that is
+//! the holistic-model property that lets knowledge about e.g. `gracefulTime`
+//! transfer across index types. When the acquisition works on a specific
+//! polled index type, the index-type coordinate is frozen to that type and
+//! the parameters of *other* index types are frozen to their defaults
+//! (paper §IV-C).
+
+use anns::params::{ranges, IndexParams, IndexType};
+use vdms::system_params::SystemParams;
+use vdms::VdmsConfig;
+
+/// Total encoded dimensionality: 1 (index type) + 8 (index) + 7 (system).
+pub const DIMS: usize = 16;
+
+/// Index of the index-type coordinate.
+pub const IDX_TYPE_DIM: usize = 0;
+
+/// Names of all 16 dimensions, in encoding order.
+pub const DIM_NAMES: [&str; DIMS] = [
+    "index_type",
+    "nlist",
+    "nprobe",
+    "m",
+    "nbits",
+    "M",
+    "efConstruction",
+    "ef",
+    "reorder_k",
+    "segment_maxSize",
+    "segment_sealProportion",
+    "gracefulTime",
+    "insertBufSize",
+    "maxReadConcurrency",
+    "chunkRows",
+    "buildParallelism",
+];
+
+/// Encoder/decoder between [`VdmsConfig`] and the unit hypercube.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConfigSpace;
+
+impl ConfigSpace {
+    /// Normalized coordinate of an index type.
+    pub fn type_coord(t: IndexType) -> f64 {
+        t.ordinal() as f64 / (IndexType::ALL.len() - 1) as f64
+    }
+
+    /// Index type from a normalized coordinate (nearest ordinal).
+    pub fn type_from_coord(u: f64) -> IndexType {
+        let t = (u.clamp(0.0, 1.0) * (IndexType::ALL.len() - 1) as f64).round() as usize;
+        IndexType::from_ordinal(t)
+    }
+
+    /// Encode a configuration into the unit hypercube.
+    pub fn encode(&self, c: &VdmsConfig) -> Vec<f64> {
+        let mut u = Vec::with_capacity(DIMS);
+        u.push(Self::type_coord(c.index_type));
+        u.push(ranges::NLIST.normalize(c.index.nlist as f64));
+        u.push(ranges::NPROBE.normalize(c.index.nprobe as f64));
+        u.push(ranges::PQ_M.normalize(c.index.m as f64));
+        u.push(ranges::PQ_NBITS.normalize(c.index.nbits as f64));
+        u.push(ranges::HNSW_M.normalize(c.index.hnsw_m as f64));
+        u.push(ranges::EF_CONSTRUCTION.normalize(c.index.ef_construction as f64));
+        u.push(ranges::EF.normalize(c.index.ef as f64));
+        u.push(ranges::REORDER_K.normalize(c.index.reorder_k as f64));
+        u.extend_from_slice(&c.system.encode());
+        u
+    }
+
+    /// Decode a unit-hypercube point into a configuration.
+    pub fn decode(&self, u: &[f64]) -> VdmsConfig {
+        assert!(u.len() >= DIMS, "need {DIMS} coords, got {}", u.len());
+        let index = IndexParams {
+            nlist: ranges::NLIST.denormalize(u[1]).round() as usize,
+            nprobe: ranges::NPROBE.denormalize(u[2]).round() as usize,
+            m: ranges::PQ_M.denormalize(u[3]).round() as usize,
+            nbits: ranges::PQ_NBITS.denormalize(u[4]).round() as usize,
+            hnsw_m: ranges::HNSW_M.denormalize(u[5]).round() as usize,
+            ef_construction: ranges::EF_CONSTRUCTION.denormalize(u[6]).round() as usize,
+            ef: ranges::EF.denormalize(u[7]).round() as usize,
+            reorder_k: ranges::REORDER_K.denormalize(u[8]).round() as usize,
+        };
+        VdmsConfig {
+            index_type: Self::type_from_coord(u[0]),
+            index,
+            system: SystemParams::decode(&u[9..16]),
+        }
+    }
+
+    /// Dimensions the acquisition may vary when polling `t`: the index
+    /// parameters belonging to `t` plus all 7 system parameters. The
+    /// index-type coordinate and foreign index parameters stay frozen.
+    pub fn free_dims(t: IndexType) -> Vec<usize> {
+        let mut dims: Vec<usize> = Vec::new();
+        for (i, name) in DIM_NAMES.iter().enumerate().skip(1).take(8) {
+            if t.param_names().contains(name) {
+                dims.push(i);
+            }
+        }
+        dims.extend(9..DIMS);
+        dims
+    }
+
+    /// The frozen template for polling `t`: index type set to `t`, all
+    /// index parameters at their defaults (paper §IV-C: "sets the
+    /// parameters not belonging to this index type as their default
+    /// values"), system parameters at defaults.
+    pub fn template_for(&self, t: IndexType) -> Vec<f64> {
+        let mut u = self.encode(&VdmsConfig::default_for(t));
+        u[IDX_TYPE_DIM] = Self::type_coord(t);
+        u
+    }
+
+    /// Embed free-dimension values into the template for `t`.
+    pub fn embed(&self, t: IndexType, free: &[(usize, f64)]) -> Vec<f64> {
+        let mut u = self.template_for(t);
+        for &(dim, v) in free {
+            debug_assert_ne!(dim, IDX_TYPE_DIM, "index type is never free");
+            u[dim] = v.clamp(0.0, 1.0);
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_is_sixteen_as_in_paper() {
+        assert_eq!(DIMS, 16);
+        assert_eq!(DIM_NAMES.len(), 16);
+    }
+
+    #[test]
+    fn type_coord_roundtrip() {
+        for t in IndexType::ALL {
+            assert_eq!(ConfigSpace::type_from_coord(ConfigSpace::type_coord(t)), t);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let space = ConfigSpace;
+        let mut c = VdmsConfig::default_for(IndexType::Scann);
+        c.index.nlist = 300;
+        c.index.nprobe = 37;
+        c.index.reorder_k = 283;
+        c.system.segment_seal_proportion = 0.77;
+        let back = space.decode(&space.encode(&c));
+        assert_eq!(back.index_type, IndexType::Scann);
+        assert!((back.index.nlist as f64 - 300.0).abs() <= 3.0);
+        assert!((back.index.nprobe as f64 - 37.0).abs() <= 1.0);
+        assert!((back.index.reorder_k as f64 - 283.0).abs() <= 3.0);
+        assert!((back.system.segment_seal_proportion - 0.77).abs() < 0.01);
+    }
+
+    #[test]
+    fn encoded_values_in_unit_cube() {
+        let space = ConfigSpace;
+        for t in IndexType::ALL {
+            let u = space.encode(&VdmsConfig::default_for(t));
+            assert_eq!(u.len(), DIMS);
+            assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)), "{t}: {u:?}");
+        }
+    }
+
+    #[test]
+    fn free_dims_match_table_i() {
+        // HNSW: M, efConstruction, ef + 7 system.
+        let dims = ConfigSpace::free_dims(IndexType::Hnsw);
+        assert_eq!(dims.len(), 3 + 7);
+        assert!(dims.contains(&5) && dims.contains(&6) && dims.contains(&7));
+        // FLAT/AUTOINDEX: only system parameters.
+        assert_eq!(ConfigSpace::free_dims(IndexType::Flat).len(), 7);
+        assert_eq!(ConfigSpace::free_dims(IndexType::AutoIndex).len(), 7);
+        // IVF_PQ: nlist, m, nbits, nprobe + 7.
+        assert_eq!(ConfigSpace::free_dims(IndexType::IvfPq).len(), 4 + 7);
+        // SCANN: nlist, nprobe, reorder_k + 7.
+        assert_eq!(ConfigSpace::free_dims(IndexType::Scann).len(), 3 + 7);
+    }
+
+    #[test]
+    fn embed_freezes_foreign_params() {
+        let space = ConfigSpace;
+        // Vary HNSW's ef; nlist must stay at its default encoding.
+        let u = space.embed(IndexType::Hnsw, &[(7, 0.9)]);
+        let c = space.decode(&u);
+        assert_eq!(c.index_type, IndexType::Hnsw);
+        assert_eq!(c.index.nlist, IndexParams::default().nlist);
+        assert!(u[7] == 0.9);
+    }
+
+    #[test]
+    fn template_decodes_to_defaults() {
+        let space = ConfigSpace;
+        for t in IndexType::ALL {
+            let c = space.decode(&space.template_for(t));
+            assert_eq!(c.index_type, t);
+            // System params decode back to (approximately) the defaults.
+            let d = SystemParams::default();
+            assert!((c.system.segment_seal_proportion - d.segment_seal_proportion).abs() < 0.01);
+            assert_eq!(c.system.max_read_concurrency, d.max_read_concurrency);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Exact Gaussian-process regression with standardized targets.
+
+use crate::kernel::Kernel;
+use crate::linalg::{
+    cholesky_jittered, dot, log_det_half, solve_cholesky, solve_lower, NotPositiveDefinite,
+};
+
+/// Posterior prediction at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    pub mean: f64,
+    /// Predictive variance (includes the noise-free latent variance only).
+    pub variance: f64,
+}
+
+impl Posterior {
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// A fitted GP: training inputs, Cholesky factor of `K + σₙ²I`, and the
+/// precomputed `α = (K + σₙ²I)⁻¹ y`.
+pub struct GaussianProcess<K: Kernel> {
+    kernel: K,
+    noise_variance: f64,
+    x: Vec<Vec<f64>>,
+    chol: Vec<f64>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    lml: f64,
+}
+
+impl<K: Kernel> GaussianProcess<K> {
+    /// Fit on `x` (rows of equal dimension, ideally in the unit hypercube)
+    /// and targets `y`. Targets are standardized internally; predictions are
+    /// returned on the original scale.
+    pub fn fit(
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        kernel: K,
+        noise_variance: f64,
+    ) -> Result<GaussianProcess<K>, NotPositiveDefinite> {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let n = x.len();
+        assert!(n > 0, "cannot fit a GP on zero points");
+
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let noise = noise_variance.max(1e-8);
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&x[i], &x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+            k[i * n + i] += noise;
+        }
+        let (chol, _jitter) = cholesky_jittered(&k, n)?;
+        let alpha = solve_cholesky(&chol, n, &yn);
+
+        // Log marginal likelihood of the standardized targets.
+        let lml = -0.5 * dot(&yn, &alpha)
+            - log_det_half(&chol, n)
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(GaussianProcess { kernel, noise_variance: noise, x, chol, alpha, y_mean, y_std, lml })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when fitted on zero points (cannot happen; kept for API hygiene).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Log marginal likelihood (of the standardized targets).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.lml
+    }
+
+    /// Observation noise variance used in the fit.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Posterior mean and variance at `q`, on the original target scale.
+    pub fn predict(&self, q: &[f64]) -> Posterior {
+        let n = self.x.len();
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(q, xi)).collect();
+        let mean_n = dot(&kstar, &self.alpha);
+        let v = solve_lower(&self.chol, n, &kstar);
+        let var_n = (self.kernel.diag() - dot(&v, &v)).max(1e-12);
+        Posterior {
+            mean: mean_n * self.y_std + self.y_mean,
+            variance: var_n * self.y_std * self.y_std,
+        }
+    }
+
+    /// Draw one posterior sample at `q` using an externally supplied
+    /// standard-normal variate (keeps sampling deterministic for MC
+    /// acquisition functions).
+    pub fn sample_at(&self, q: &[f64], z: f64) -> f64 {
+        let p = self.predict(q);
+        p.mean + p.std_dev() * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Matern52;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 3.0).sin() * 10.0 + 5.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (x, y) = toy();
+        let gp = GaussianProcess::fit(x.clone(), &y, Matern52::default(), 1e-6).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = gp.predict(xi);
+            assert!((p.mean - yi).abs() < 0.3, "pred {} vs {}", p.mean, yi);
+        }
+    }
+
+    #[test]
+    fn variance_small_at_data_large_away() {
+        let (x, y) = toy();
+        let gp = GaussianProcess::fit(x, &y, Matern52 { lengthscale: 0.15, ..Default::default() }, 1e-6).unwrap();
+        let at_data = gp.predict(&[0.5]).variance;
+        let away = gp.predict(&[3.0]).variance;
+        assert!(away > at_data * 10.0, "{away} vs {at_data}");
+    }
+
+    #[test]
+    fn mean_reverts_to_prior_far_away() {
+        let (x, y) = toy();
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let gp = GaussianProcess::fit(x, &y, Matern52::default(), 1e-6).unwrap();
+        let far = gp.predict(&[100.0]);
+        assert!((far.mean - y_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisier_fit_smooths() {
+        let (x, y) = toy();
+        let tight = GaussianProcess::fit(x.clone(), &y, Matern52::default(), 1e-6).unwrap();
+        let loose = GaussianProcess::fit(x.clone(), &y, Matern52::default(), 1.0).unwrap();
+        // With high noise, training-point predictions shrink toward the mean.
+        let err_tight = (tight.predict(&x[0]).mean - y[0]).abs();
+        let err_loose = (loose.predict(&x[0]).mean - y[0]).abs();
+        assert!(err_loose > err_tight);
+    }
+
+    #[test]
+    fn lml_prefers_sensible_lengthscale() {
+        let (x, y) = toy();
+        let good = GaussianProcess::fit(x.clone(), &y, Matern52 { lengthscale: 0.3, signal_variance: 1.0 }, 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        let bad = GaussianProcess::fit(x, &y, Matern52 { lengthscale: 1e-3, signal_variance: 1.0 }, 1e-4)
+            .unwrap()
+            .log_marginal_likelihood();
+        assert!(good > bad, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn sample_at_is_mean_plus_z_std() {
+        let (x, y) = toy();
+        let gp = GaussianProcess::fit(x, &y, Matern52::default(), 1e-6).unwrap();
+        let q = [0.42];
+        let p = gp.predict(&q);
+        assert!((gp.sample_at(&q, 0.0) - p.mean).abs() < 1e-12);
+        assert!((gp.sample_at(&q, 2.0) - (p.mean + 2.0 * p.std_dev())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_fit_works() {
+        let gp = GaussianProcess::fit(vec![vec![0.5]], &[3.0], Matern52::default(), 1e-6).unwrap();
+        let p = gp.predict(&[0.5]);
+        assert!((p.mean - 3.0).abs() < 1e-6);
+    }
+}

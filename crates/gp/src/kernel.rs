@@ -1,0 +1,131 @@
+//! Covariance functions.
+//!
+//! The paper chooses Matérn 5/2 "owing to its excellent ability to balance
+//! flexibility and smoothness" (§IV-B, citing Shahriari et al.). Both
+//! kernels here use an isotropic lengthscale over unit-hypercube inputs —
+//! the tuner normalizes every parameter into [0, 1] first, which makes a
+//! shared lengthscale appropriate and keeps hyperparameter fitting cheap.
+
+/// A positive-definite covariance function.
+pub trait Kernel: Send + Sync {
+    /// Covariance between two input points.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Marginal variance `k(x, x)`.
+    fn diag(&self) -> f64;
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Matérn 5/2: `σ² (1 + √5 r/ℓ + 5r²/(3ℓ²)) exp(−√5 r/ℓ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matern52 {
+    pub lengthscale: f64,
+    pub signal_variance: f64,
+}
+
+impl Default for Matern52 {
+    fn default() -> Self {
+        Matern52 { lengthscale: 0.3, signal_variance: 1.0 }
+    }
+}
+
+impl Kernel for Matern52 {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = sq_dist(a, b).sqrt();
+        let s = 5f64.sqrt() * r / self.lengthscale.max(1e-9);
+        self.signal_variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        self.signal_variance
+    }
+}
+
+/// Squared-exponential (RBF): `σ² exp(−r²/(2ℓ²))`. Kept for kernel
+/// ablations; smoother than Matérn 5/2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rbf {
+    pub lengthscale: f64,
+    pub signal_variance: f64,
+}
+
+impl Default for Rbf {
+    fn default() -> Self {
+        Rbf { lengthscale: 0.3, signal_variance: 1.0 }
+    }
+}
+
+impl Kernel for Rbf {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2 = sq_dist(a, b);
+        let l2 = self.lengthscale * self.lengthscale;
+        self.signal_variance * (-0.5 * d2 / l2.max(1e-18)).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        self.signal_variance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matern_at_zero_is_signal_variance() {
+        let k = Matern52 { lengthscale: 0.5, signal_variance: 2.5 };
+        let x = [0.3, 0.7];
+        assert!((k.eval(&x, &x) - 2.5).abs() < 1e-12);
+        assert_eq!(k.diag(), 2.5);
+    }
+
+    #[test]
+    fn matern_decays_with_distance() {
+        let k = Matern52::default();
+        let a = [0.0, 0.0];
+        let near = k.eval(&a, &[0.1, 0.0]);
+        let far = k.eval(&a, &[0.9, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn matern_symmetric() {
+        let k = Matern52 { lengthscale: 0.2, signal_variance: 1.3 };
+        let a = [0.1, 0.9, 0.4];
+        let b = [0.8, 0.2, 0.5];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn longer_lengthscale_flattens() {
+        let short = Matern52 { lengthscale: 0.1, signal_variance: 1.0 };
+        let long = Matern52 { lengthscale: 2.0, signal_variance: 1.0 };
+        let a = [0.0];
+        let b = [0.5];
+        assert!(long.eval(&a, &b) > short.eval(&a, &b));
+    }
+
+    #[test]
+    fn rbf_behaves() {
+        let k = Rbf::default();
+        let a = [0.2];
+        assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(k.eval(&a, &[0.9]) < 1.0);
+    }
+
+    #[test]
+    fn matern_rougher_than_rbf_at_short_range() {
+        // At small distances the Matérn kernel drops faster than RBF with
+        // the same lengthscale (less smooth sample paths).
+        let m = Matern52 { lengthscale: 0.3, signal_variance: 1.0 };
+        let r = Rbf { lengthscale: 0.3, signal_variance: 1.0 };
+        let a = [0.0];
+        let b = [0.05];
+        assert!(m.eval(&a, &b) < r.eval(&a, &b));
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal dense symmetric linear algebra for GP regression.
+//!
+//! Matrices are row-major `Vec<f64>` of size `n * n`. Everything here is
+//! O(n³) or better and sized for the tuner's sample counts (n ≤ a few
+//! hundred), so clarity wins over blocking/SIMD tricks.
+
+/// Error raised when a matrix is not (numerically) positive definite even
+/// after the maximum jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite;
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// In-place Cholesky factorization `A = L Lᵀ` (lower triangle of `a` is
+/// replaced by `L`; the strict upper triangle is left untouched).
+pub fn cholesky_in_place(a: &mut [f64], n: usize) -> Result<(), NotPositiveDefinite> {
+    debug_assert_eq!(a.len(), n * n);
+    for j in 0..n {
+        let mut diag = a[j * n + j];
+        for k in 0..j {
+            diag -= a[j * n + k] * a[j * n + k];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(NotPositiveDefinite);
+        }
+        let diag = diag.sqrt();
+        a[j * n + j] = diag;
+        for i in (j + 1)..n {
+            let mut v = a[i * n + j];
+            for k in 0..j {
+                v -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = v / diag;
+        }
+    }
+    Ok(())
+}
+
+/// Cholesky with escalating diagonal jitter: tries `A + jitter·I` with
+/// jitter growing from `1e-10` to `1e-2` relative to the mean diagonal.
+/// Returns the factor and the jitter actually used.
+pub fn cholesky_jittered(a: &[f64], n: usize) -> Result<(Vec<f64>, f64), NotPositiveDefinite> {
+    let mean_diag =
+        (0..n).map(|i| a[i * n + i]).sum::<f64>().max(1e-300) / n.max(1) as f64;
+    let mut jitter = 0.0f64;
+    for attempt in 0..9 {
+        let mut work = a.to_vec();
+        if attempt > 0 {
+            jitter = mean_diag * 1e-10 * 10f64.powi(attempt - 1);
+            for i in 0..n {
+                work[i * n + i] += jitter;
+            }
+        }
+        if cholesky_in_place(&mut work, n).is_ok() {
+            return Ok((work, jitter));
+        }
+    }
+    Err(NotPositiveDefinite)
+}
+
+/// Solve `L x = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut v = x[i];
+        for k in 0..i {
+            v -= l[i * n + k] * x[k];
+        }
+        x[i] = v / l[i * n + i];
+    }
+    x
+}
+
+/// Solve `Lᵀ x = b` for lower-triangular `L` (backward substitution).
+pub fn solve_lower_transpose(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut v = x[i];
+        for k in (i + 1)..n {
+            v -= l[k * n + i] * x[k];
+        }
+        x[i] = v / l[i * n + i];
+    }
+    x
+}
+
+/// Solve `A x = b` given the Cholesky factor `L` of `A`.
+pub fn solve_cholesky(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let y = solve_lower(l, n, b);
+    solve_lower_transpose(l, n, &y)
+}
+
+/// `Σ log L[i][i]` — half the log-determinant of `A = L Lᵀ`.
+pub fn log_det_half(l: &[f64], n: usize) -> f64 {
+    (0..n).map(|i| l[i * n + i].ln()).sum()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> (Vec<f64>, usize) {
+        // A = M Mᵀ for a full-rank M → SPD.
+        let m = [2.0, 0.0, 0.0, 1.0, 3.0, 0.0, 0.5, -1.0, 1.5];
+        let n = 3;
+        let mut a = vec![0.0; 9];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i * n + j] += m[i * n + k] * m[j * n + k];
+                }
+            }
+        }
+        (a, n)
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let (a, n) = spd3();
+        let (l, jitter) = cholesky_jittered(&a, n).unwrap();
+        assert_eq!(jitter, 0.0);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..=j.min(i) {
+                    v += l[i * n + k] * l[j * n + k];
+                }
+                assert!((v - a[i * n + j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let (a, n) = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let (l, _) = cholesky_jittered(&a, n).unwrap();
+        let x = solve_cholesky(&l, n, &b);
+        // Verify A x = b.
+        for i in 0..n {
+            let got: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((got - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_det_matches() {
+        let (a, n) = spd3();
+        let (l, _) = cholesky_jittered(&a, n).unwrap();
+        // det(A) = det(M)² = (2*3*1.5)² = 81; log_det_half = 0.5 ln 81.
+        assert!((log_det_half(&l, n) - 0.5 * 81f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_rescues_singular() {
+        // Rank-deficient matrix: ones everywhere.
+        let a = vec![1.0; 9];
+        let (l, jitter) = cholesky_jittered(&a, 3).unwrap();
+        assert!(jitter > 0.0);
+        assert!(l[0] > 0.0);
+    }
+
+    #[test]
+    fn hopeless_matrix_fails() {
+        // Negative-definite diagonal cannot be rescued by relative jitter.
+        let a = vec![-1.0, 0.0, 0.0, -1.0];
+        assert!(cholesky_jittered(&a, 2).is_err());
+    }
+
+    #[test]
+    fn triangular_solves_roundtrip() {
+        let l = [2.0, 0.0, 1.0, 3.0];
+        let b = [4.0, 10.0];
+        let y = solve_lower(&l, 2, &b);
+        assert!((y[0] - 2.0).abs() < 1e-12);
+        assert!((y[1] - (10.0 - 2.0) / 3.0).abs() < 1e-12);
+        let z = solve_lower_transpose(&l, 2, &y);
+        // Verify LᵀLᵀ⁻¹ y = y.
+        assert!((2.0 * z[0] + 1.0 * z[1] - y[0]).abs() < 1e-12);
+    }
+}

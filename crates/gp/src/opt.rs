@@ -1,0 +1,140 @@
+//! A dependency-free Nelder–Mead simplex minimizer.
+//!
+//! Used for GP hyperparameter MLE (on 2–3 log-parameters) and reused by the
+//! OpenTuner-style baseline as one of its numerical techniques.
+
+/// Options for a Nelder–Mead run.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    pub max_iters: usize,
+    /// Stop when the simplex's function-value spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_iters: 120, f_tol: 1e-8, initial_step: 0.25 }
+    }
+}
+
+/// Minimize `f` starting from `x0`. Returns `(argmin, min)`.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> (Vec<f64>, f64) {
+    let d = x0.len();
+    assert!(d > 0);
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    // Initial simplex: x0 plus one perturbed vertex per coordinate.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(d + 1);
+    let fx0 = f(x0);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..d {
+        let mut v = x0.to_vec();
+        v[i] += opts.initial_step;
+        let fv = f(&v);
+        simplex.push((v, fv));
+    }
+
+    for _ in 0..opts.max_iters {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let spread = simplex[d].1 - simplex[0].1;
+        if spread.abs() < opts.f_tol {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; d];
+        for (v, _) in simplex.iter().take(d) {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / d as f64;
+            }
+        }
+        let worst = simplex[d].clone();
+
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
+        let f_reflect = f(&reflect);
+
+        if f_reflect < simplex[0].1 {
+            // Try expanding.
+            let expand: Vec<f64> =
+                centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
+            let f_expand = f(&expand);
+            simplex[d] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+        } else if f_reflect < simplex[d - 1].1 {
+            simplex[d] = (reflect, f_reflect);
+        } else {
+            // Contract.
+            let contract: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
+            let f_contract = f(&contract);
+            if f_contract < worst.1 {
+                simplex[d] = (contract, f_contract);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for vertex in simplex.iter_mut().skip(1) {
+                    let v: Vec<f64> =
+                        best.iter().zip(&vertex.0).map(|(b, x)| b + sigma * (x - b)).collect();
+                    let fv = f(&v);
+                    *vertex = (v, fv);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    simplex.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let (x, fx) = nelder_mead(
+            |v| (v[0] - 3.0).powi(2) + (v[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions { max_iters: 400, ..Default::default() },
+        );
+        assert!((x[0] - 3.0).abs() < 1e-3, "{x:?}");
+        assert!((x[1] + 1.0).abs() < 1e-3, "{x:?}");
+        assert!(fx < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |v: &[f64]| {
+            let (a, b) = (v[0], v[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let (x, fx) =
+            nelder_mead(rosen, &[-1.0, 1.0], &NelderMeadOptions { max_iters: 2000, f_tol: 1e-14, ..Default::default() });
+        assert!(fx < 1e-4, "f={fx} at {x:?}");
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let (x, _) = nelder_mead(|v| (v[0] - 0.25).powi(2), &[0.9], &NelderMeadOptions::default());
+        assert!((x[0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut calls = 0usize;
+        let _ = nelder_mead(
+            |v| {
+                calls += 1;
+                v[0] * v[0]
+            },
+            &[10.0],
+            &NelderMeadOptions { max_iters: 5, f_tol: 0.0, initial_step: 0.1 },
+        );
+        // d+1 initial evaluations plus at most a few per iteration.
+        assert!(calls <= 2 + 5 * 4, "calls {calls}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Exact 2-D hypervolume (maximization) with respect to a reference point.
+//!
+//! The paper's objective space — (search speed, recall rate) — is 2-D, so
+//! the hypervolume indicator used by the acquisition (Eq. 4) and the
+//! successive-abandon score (Eq. 5–6) reduces to an O(k log k) staircase
+//! sweep.
+
+use crate::pareto::pareto_front_sorted;
+
+/// Hypervolume of the region dominated by `points` and above `reference`
+/// (both objectives maximized). Points not dominating the reference
+/// contribute nothing.
+pub fn hv2d(points: &[[f64; 2]], reference: &[f64; 2]) -> f64 {
+    let front = pareto_front_sorted(points);
+    let mut hv = 0.0;
+    // Sweep from the largest y1 down; each front point adds a rectangle
+    // [ref.x .. p.x] × [prev_y .. p.y] clipped at the reference.
+    let mut prev_y = reference[1];
+    for p in &front {
+        let w = p[0] - reference[0];
+        let h = p[1] - prev_y;
+        if w > 0.0 && h > 0.0 {
+            hv += w * h;
+            prev_y = p[1];
+        } else if w > 0.0 && p[1] > prev_y {
+            prev_y = p[1];
+        }
+    }
+    hv
+}
+
+/// Hypervolume *improvement* of adding `z` to `points`:
+/// `HV(points ∪ {z}) − HV(points)`.
+pub fn hv_improvement_2d(points: &[[f64; 2]], reference: &[f64; 2], z: &[f64; 2]) -> f64 {
+    if z[0] <= reference[0] || z[1] <= reference[1] {
+        return 0.0;
+    }
+    let base = hv2d(points, reference);
+    let mut augmented: Vec<[f64; 2]> = Vec::with_capacity(points.len() + 1);
+    augmented.extend_from_slice(points);
+    augmented.push(*z);
+    (hv2d(&augmented, reference) - base).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_rectangle() {
+        let hv = hv2d(&[[2.0, 3.0]], &[0.0, 0.0]);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_area() {
+        // Points (3,1), (2,2), (1,3) over ref (0,0):
+        // area = 3*1 + 2*1 + 1*1 = 6.
+        let hv = hv2d(&[[3.0, 1.0], [2.0, 2.0], [1.0, 3.0]], &[0.0, 0.0]);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_add() {
+        let base = hv2d(&[[3.0, 3.0]], &[0.0, 0.0]);
+        let more = hv2d(&[[3.0, 3.0], [1.0, 1.0], [2.0, 2.5]], &[0.0, 0.0]);
+        assert!((base - more).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_clips() {
+        let hv = hv2d(&[[2.0, 2.0]], &[1.0, 1.0]);
+        assert!((hv - 1.0).abs() < 1e-12);
+        assert_eq!(hv2d(&[[0.5, 0.5]], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn improvement_of_dominated_point_is_zero() {
+        let front = [[3.0, 3.0]];
+        assert_eq!(hv_improvement_2d(&front, &[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn improvement_of_extending_point() {
+        // Front (2,2); adding (3,1): new region [2..3]×[0..1] = 1.
+        let front = [[2.0, 2.0]];
+        let imp = hv_improvement_2d(&front, &[0.0, 0.0], &[3.0, 1.0]);
+        assert!((imp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_matches_figure4_intuition() {
+        // The paper's Figure 4: the solution extending the front farther
+        // from the crowded region has higher EHVI; deterministically, the
+        // HVI of a far point exceeds that of a near-dominated one.
+        let front = [[4.0, 1.0], [3.0, 2.0], [1.0, 4.0]];
+        let x1 = [3.2, 2.1]; // barely extends
+        let x2 = [2.5, 3.5]; // fills a large gap
+        let r = [0.0, 0.0];
+        assert!(hv_improvement_2d(&front, &r, &x2) > hv_improvement_2d(&front, &r, &x1));
+    }
+
+    #[test]
+    fn hv_monotone_under_point_addition() {
+        let r = [0.0, 0.0];
+        let mut pts = vec![[1.0, 5.0], [4.0, 2.0]];
+        let before = hv2d(&pts, &r);
+        pts.push([3.0, 3.0]);
+        assert!(hv2d(&pts, &r) >= before - 1e-12);
+    }
+
+    #[test]
+    fn empty_set_has_zero_hv() {
+        assert_eq!(hv2d(&[], &[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Standard-normal density and distribution functions.
+//!
+//! `erf` is approximated with Abramowitz & Stegun 7.1.26 (max absolute
+//! error 1.5e-7), plenty for acquisition functions.
+
+/// Standard normal pdf φ(x).
+#[inline]
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function approximation (A&S 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cdf Φ(x).
+#[inline]
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_peak_at_zero() {
+        assert!((pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+        assert!(pdf(1.0) < pdf(0.0));
+        assert!((pdf(3.0) - pdf(-3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.841_344_746).abs() < 1e-5);
+        assert!((cdf(-1.0) - 0.158_655_254).abs() < 1e-5);
+        assert!((cdf(1.959_964) - 0.975).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_limits() {
+        assert!(cdf(8.0) > 0.999_999);
+        assert!(cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let xs: Vec<f64> = (-40..=40).map(|i| i as f64 / 10.0).collect();
+        for w in xs.windows(2) {
+            assert!(cdf(w[1]) >= cdf(w[0]));
+        }
+    }
+
+    #[test]
+    fn erf_symmetry() {
+        for x in [0.1, 0.7, 2.3] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+}

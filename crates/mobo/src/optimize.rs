@@ -1,0 +1,161 @@
+//! Candidate generation and acquisition maximization.
+//!
+//! BO implementations maximize the acquisition over a candidate pool mixing
+//! global space-filling samples with local perturbations of incumbents
+//! (cheap, derivative-free, and deterministic given the seed — adequate at
+//! the tuner's dimensionality of 16).
+
+use crate::sampling::{latin_hypercube, perturbations, uniform_points};
+
+/// How a candidate pool is composed.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateOptions {
+    /// Latin-hypercube global candidates.
+    pub n_lhs: usize,
+    /// Uniform global candidates.
+    pub n_uniform: usize,
+    /// Local perturbations per incumbent.
+    pub n_local_per_incumbent: usize,
+    /// Perturbation scale (unit-cube units).
+    pub local_sigma: f64,
+}
+
+impl Default for CandidateOptions {
+    fn default() -> Self {
+        CandidateOptions { n_lhs: 160, n_uniform: 64, n_local_per_incumbent: 24, local_sigma: 0.07 }
+    }
+}
+
+/// Build a candidate pool in `[0,1]^d` around the given incumbents.
+pub fn candidate_pool(
+    d: usize,
+    incumbents: &[Vec<f64>],
+    opts: &CandidateOptions,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let mut pool = latin_hypercube(opts.n_lhs, d, seed);
+    pool.extend(uniform_points(opts.n_uniform, d, seed.wrapping_add(1)));
+    for (i, inc) in incumbents.iter().enumerate() {
+        pool.extend(perturbations(
+            inc,
+            opts.n_local_per_incumbent,
+            opts.local_sigma,
+            seed.wrapping_add(2 + i as u64),
+        ));
+    }
+    pool
+}
+
+/// Local refinement of an acquisition maximum: shrinking Gaussian
+/// perturbation search around `start` (the cheap stand-in for BoTorch's
+/// gradient-based acquisition optimization — the acquisition is cheap to
+/// evaluate, so a few hundred extra probes are negligible next to one
+/// workload replay).
+pub fn local_refine<F: FnMut(&[f64]) -> f64>(
+    mut acq: F,
+    start: &[f64],
+    start_value: f64,
+    rounds: usize,
+    per_round: usize,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let mut best = start.to_vec();
+    let mut best_v = start_value;
+    for round in 0..rounds {
+        let sigma = 0.08 * 0.5f64.powi(round as i32);
+        let cands = crate::sampling::perturbations(
+            &best,
+            per_round,
+            sigma,
+            seed.wrapping_add(round as u64),
+        );
+        for c in cands {
+            let v = acq(&c);
+            if v.is_finite() && v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+    }
+    (best, best_v)
+}
+
+/// Return the candidate maximizing `acq`, with its value. Ties resolve to
+/// the earliest candidate (deterministic).
+pub fn argmax_acquisition<F: FnMut(&[f64]) -> f64>(
+    candidates: &[Vec<f64>],
+    mut acq: F,
+) -> Option<(Vec<f64>, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let v = acq(c);
+        if v.is_finite() && best.is_none_or(|(_, b)| v > b) {
+            best = Some((i, v));
+        }
+    }
+    best.map(|(i, v)| (candidates[i].clone(), v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_contains_all_sources() {
+        let opts = CandidateOptions {
+            n_lhs: 10,
+            n_uniform: 5,
+            n_local_per_incumbent: 3,
+            local_sigma: 0.1,
+        };
+        let pool = candidate_pool(4, &[vec![0.5; 4], vec![0.2; 4]], &opts, 7);
+        assert_eq!(pool.len(), 10 + 5 + 3 * 2);
+        assert!(pool.iter().all(|p| p.len() == 4));
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let candidates: Vec<Vec<f64>> = (0..101).map(|i| vec![i as f64 / 100.0]).collect();
+        let (best, v) =
+            argmax_acquisition(&candidates, |x| -(x[0] - 0.73) * (x[0] - 0.73)).unwrap();
+        assert!((best[0] - 0.73).abs() < 0.011);
+        assert!(v <= 0.0);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let candidates = vec![vec![0.0], vec![1.0]];
+        let (best, _) = argmax_acquisition(&candidates, |x| {
+            if x[0] < 0.5 {
+                f64::NAN
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert_eq!(best[0], 1.0);
+    }
+
+    #[test]
+    fn argmax_empty_is_none() {
+        assert!(argmax_acquisition(&[], |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn local_refine_improves_or_keeps() {
+        let acq = |x: &[f64]| -(x[0] - 0.61).powi(2);
+        let start = vec![0.5];
+        let v0 = acq(&start);
+        let (best, v) = local_refine(acq, &start, v0, 4, 32, 7);
+        assert!(v >= v0);
+        assert!((best[0] - 0.61).abs() < (0.5f64 - 0.61).abs());
+    }
+
+    #[test]
+    fn local_refine_never_leaves_unit_cube() {
+        let acq = |x: &[f64]| x[0] + x[1];
+        let start = vec![0.95, 0.98];
+        let (best, _) = local_refine(acq, &start, acq(&start), 3, 16, 3);
+        assert!(best.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

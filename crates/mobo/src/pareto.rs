@@ -1,0 +1,106 @@
+//! Pareto dominance utilities (maximization convention).
+
+/// True when `a` dominates `b`: at least as good in every objective and
+/// strictly better in one.
+#[inline]
+pub fn dominates(a: &[f64; 2], b: &[f64; 2]) -> bool {
+    a[0] >= b[0] && a[1] >= b[1] && (a[0] > b[0] || a[1] > b[1])
+}
+
+/// Indices of the non-dominated points (the Pareto front), in input order.
+///
+/// Duplicate points are all kept (none dominates the other).
+pub fn non_dominated_indices(points: &[[f64; 2]]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+/// Pareto rank of every point: rank 1 = the front, rank 2 = the front after
+/// removing rank 1, etc. (used to size the markers in Figure 10).
+pub fn pareto_ranks(points: &[[f64; 2]]) -> Vec<usize> {
+    let n = points.len();
+    let mut rank = vec![0usize; n];
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut current = 1usize;
+    while !remaining.is_empty() {
+        let subset: Vec<[f64; 2]> = remaining.iter().map(|&i| points[i]).collect();
+        let front_local = non_dominated_indices(&subset);
+        let front: Vec<usize> = front_local.iter().map(|&li| remaining[li]).collect();
+        for &i in &front {
+            rank[i] = current;
+        }
+        remaining.retain(|i| !front.contains(i));
+        current += 1;
+    }
+    rank
+}
+
+/// The non-dominated subset of `points`, sorted by descending first
+/// objective (the canonical order for 2-D hypervolume sweeps).
+pub fn pareto_front_sorted(points: &[[f64; 2]]) -> Vec<[f64; 2]> {
+    let mut front: Vec<[f64; 2]> =
+        non_dominated_indices(points).into_iter().map(|i| points[i]).collect();
+    front.sort_by(|a, b| b[0].total_cmp(&a[0]));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 1.0]));
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points don't dominate");
+        assert!(!dominates(&[2.0, 0.0], &[1.0, 1.0]), "trade-off points don't dominate");
+    }
+
+    #[test]
+    fn front_of_staircase() {
+        let pts = [[1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [1.5, 1.5], [0.5, 0.5]];
+        let idx = non_dominated_indices(&pts);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ranks_peel_correctly() {
+        let pts = [[3.0, 1.0], [1.0, 3.0], [2.0, 0.5], [0.5, 2.0], [0.1, 0.1]];
+        let ranks = pareto_ranks(&pts);
+        assert_eq!(ranks[0], 1);
+        assert_eq!(ranks[1], 1);
+        assert_eq!(ranks[2], 2);
+        assert_eq!(ranks[3], 2);
+        assert_eq!(ranks[4], 3);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let pts = [[1.0, 1.0], [1.0, 1.0]];
+        assert_eq!(non_dominated_indices(&pts).len(), 2);
+    }
+
+    #[test]
+    fn sorted_front_descends_in_first_objective() {
+        let pts = [[1.0, 3.0], [3.0, 1.0], [2.0, 2.0], [0.0, 0.0]];
+        let front = pareto_front_sorted(&pts);
+        assert_eq!(front.len(), 3);
+        assert!(front.windows(2).all(|w| w[0][0] >= w[1][0]));
+        // And ascending in the second objective (staircase property).
+        assert!(front.windows(2).all(|w| w[0][1] <= w[1][1]));
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        assert_eq!(non_dominated_indices(&[[5.0, 5.0]]), vec![0]);
+        assert_eq!(pareto_ranks(&[[5.0, 5.0]]), vec![1]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Space-filling sampling in the unit hypercube.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Latin hypercube sample: `n` points in `[0,1]^d`, one per stratum along
+/// every axis (the paper's Random baseline and BO initializations use LHS).
+pub fn latin_hypercube(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = vecrng(seed);
+    let mut points = vec![vec![0.0f64; d]; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for dim in 0..d {
+        perm.shuffle(&mut rng);
+        for (i, &stratum) in perm.iter().enumerate() {
+            let jitter: f64 = rng.gen();
+            points[i][dim] = (stratum as f64 + jitter) / n as f64;
+        }
+    }
+    points
+}
+
+/// Plain uniform sample of `n` points in `[0,1]^d`.
+pub fn uniform_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = vecrng(seed);
+    (0..n).map(|_| (0..d).map(|_| rng.gen()).collect()).collect()
+}
+
+/// Gaussian perturbations of `center`, clamped to the unit cube — local
+/// candidates around an incumbent.
+pub fn perturbations(center: &[f64], n: usize, sigma: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = vecrng(seed);
+    (0..n)
+        .map(|_| {
+            center
+                .iter()
+                .map(|&c| {
+                    // Box–Muller normal.
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    (c + sigma * z).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn vecrng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lhs_one_point_per_stratum() {
+        let pts = latin_hypercube(10, 3, 42);
+        assert_eq!(pts.len(), 10);
+        for dim in 0..3 {
+            let mut strata: Vec<usize> =
+                pts.iter().map(|p| (p[dim] * 10.0).floor() as usize).collect();
+            strata.sort_unstable();
+            assert_eq!(strata, (0..10).collect::<Vec<_>>(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn lhs_in_unit_cube() {
+        for p in latin_hypercube(32, 16, 7) {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn lhs_deterministic_per_seed() {
+        assert_eq!(latin_hypercube(8, 4, 1), latin_hypercube(8, 4, 1));
+        assert_ne!(latin_hypercube(8, 4, 1), latin_hypercube(8, 4, 2));
+    }
+
+    #[test]
+    fn perturbations_stay_clamped_and_near() {
+        let center = vec![0.5; 6];
+        let pts = perturbations(&center, 64, 0.05, 9);
+        for p in &pts {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let dist: f64 =
+                p.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            assert!(dist < 1.0, "perturbation too far: {dist}");
+        }
+        // Edge clamping.
+        let edge = perturbations(&[0.0; 4], 32, 0.5, 3);
+        assert!(edge.iter().all(|p| p.iter().all(|&x| (0.0..=1.0).contains(&x))));
+    }
+
+    #[test]
+    fn uniform_covers_cube() {
+        let pts = uniform_points(1000, 2, 5);
+        let mean_x: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / 1000.0;
+        assert!((mean_x - 0.5).abs() < 0.05);
+    }
+}

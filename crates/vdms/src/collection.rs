@@ -1,0 +1,240 @@
+//! A loaded collection: per-segment indexes plus a growing tail, with
+//! scatter-gather top-k search — the simulator's equivalent of a Milvus
+//! collection served by query nodes.
+
+use crate::config::VdmsConfig;
+use crate::cost_model::CostModel;
+use crate::error::VdmsError;
+use crate::memory::MemoryUsage;
+use crate::segment::SegmentLayout;
+use anns::cost::{BuildStats, SearchCost};
+use anns::index::{AnnIndex, VectorIndex};
+use anns::params::SearchParams;
+use vecdata::distance::l2_sq;
+use vecdata::ground_truth::TopK;
+use vecdata::{Dataset, Neighbor};
+
+/// Memory budget of the simulated testbed. The paper's server has 125 GB
+/// (Table II); we keep the same budget so OOM behaviour matches.
+pub const MEMORY_BUDGET_GIB: f64 = 125.0;
+
+/// One sealed segment: its global row offset and its index.
+#[derive(Debug)]
+struct SealedSegment {
+    start: usize,
+    index: AnnIndex,
+}
+
+/// A collection loaded under a specific [`VdmsConfig`].
+#[derive(Debug)]
+pub struct Collection<'a> {
+    dataset: &'a Dataset,
+    config: VdmsConfig,
+    layout: SegmentLayout,
+    sealed: Vec<SealedSegment>,
+    /// Aggregated build statistics (training work, measured index bytes).
+    pub build_stats: BuildStats,
+    /// Memory accounting under the virtual row scale.
+    pub memory: MemoryUsage,
+}
+
+impl<'a> Collection<'a> {
+    /// Ingest the dataset under `config`: plan segments, build one index per
+    /// sealed segment, leave the tail growing.
+    ///
+    /// Fails with [`VdmsError::Build`] on invalid index parameters and
+    /// [`VdmsError::OutOfMemory`] when the accounted memory exceeds the
+    /// testbed budget.
+    pub fn load(dataset: &'a Dataset, config: &VdmsConfig, seed: u64) -> Result<Collection<'a>, VdmsError> {
+        let dim = dataset.dim();
+        let layout = SegmentLayout::plan(dataset.len(), &config.system);
+        let mut sealed = Vec::with_capacity(layout.sealed.len());
+        let mut build_stats = BuildStats::default();
+        for (i, &(start, end)) in layout.sealed.iter().enumerate() {
+            let rows = &dataset.raw()[start * dim..end * dim];
+            let (index, stats) = AnnIndex::build(
+                config.index_type,
+                rows,
+                dim,
+                &config.index,
+                seed.wrapping_add(i as u64),
+            )?;
+            build_stats.add(&stats);
+            sealed.push(SealedSegment { start, index });
+        }
+        let measured_index_bytes: u64 = sealed.iter().map(|s| s.index.memory_bytes()).sum();
+        let memory =
+            MemoryUsage::account(&layout, &config.system, measured_index_bytes, (dim * 4) as u64);
+        if memory.total_gib() > MEMORY_BUDGET_GIB {
+            return Err(VdmsError::OutOfMemory {
+                required_gib: memory.total_gib(),
+                budget_gib: MEMORY_BUDGET_GIB,
+            });
+        }
+        Ok(Collection { dataset, config: *config, layout, sealed, build_stats, memory })
+    }
+
+    /// The segment layout this collection was loaded with.
+    pub fn layout(&self) -> &SegmentLayout {
+        &self.layout
+    }
+
+    /// The configuration this collection was loaded with.
+    pub fn config(&self) -> &VdmsConfig {
+        &self.config
+    }
+
+    /// Graph traversal on a segment much larger than the cache pays a
+    /// random-access premium: every hop is a potential cache/TLB miss. The
+    /// factor grows logarithmically past ~2k rows, which is what stops
+    /// "one giant HNSW segment" from being a free lunch (and why Milvus
+    /// caps segment sizes in practice).
+    fn graph_cache_factor(rows: usize) -> f64 {
+        1.0 + 0.25 * ((rows.max(1) as f64 / 2048.0).max(1.0)).log2()
+    }
+
+    /// Scatter-gather top-k search: query every sealed segment's index plus
+    /// the growing tail (brute force, exactly like Milvus' growing-segment
+    /// scan), then merge by reported distance.
+    pub fn search(&self, query: &[f32], top_k: usize, cost: &mut SearchCost) -> Vec<Neighbor> {
+        let sp = SearchParams::from_params(&self.config.index, top_k);
+        let dim = self.dataset.dim();
+        let mut merged = TopK::new(top_k);
+        for (seg, &(start, end)) in self.sealed.iter().zip(&self.layout.sealed) {
+            let mut seg_cost = SearchCost { segments: 1, ..Default::default() };
+            for n in seg.index.search(query, &sp, &mut seg_cost) {
+                merged.push(n.id + seg.start as u32, n.distance);
+            }
+            debug_assert_eq!(seg.start, start);
+            seg_cost.graph_dims =
+                (seg_cost.graph_dims as f64 * Self::graph_cache_factor(end - start)) as u64;
+            cost.add(&seg_cost);
+        }
+        if self.layout.growing_rows() > 0 {
+            cost.segments += 1;
+            for i in self.layout.growing_start..self.layout.n {
+                cost.add_f32_distance(dim);
+                cost.heap_pushes += 1;
+                merged.push(i as u32, l2_sq(query, self.dataset.vector(i)));
+            }
+        }
+        merged.into_sorted()
+    }
+
+    /// Run every query in the dataset once; returns mean per-query cost and
+    /// the per-query result id lists (for recall measurement).
+    pub fn run_queries(&self, top_k: usize) -> (SearchCost, Vec<Vec<u32>>) {
+        let mut total = SearchCost::default();
+        let mut results = Vec::with_capacity(self.dataset.n_queries());
+        for qi in 0..self.dataset.n_queries() {
+            let mut cost = SearchCost::default();
+            let res = self.search(self.dataset.query(qi), top_k, &mut cost);
+            total.add(&cost);
+            results.push(res.into_iter().map(|n| n.id).collect());
+        }
+        (total, results)
+    }
+
+    /// Simulated seconds spent loading + building this collection.
+    pub fn build_and_load_secs(&self, model: &CostModel) -> f64 {
+        model.build_secs(self.build_stats.train_dims, &self.config.system)
+            + model.load_secs(self.dataset.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system_params::SystemParams;
+    use anns::params::IndexType;
+    use vecdata::{DatasetKind, DatasetSpec};
+
+    fn tiny_with(sys: SystemParams, index_type: IndexType) -> VdmsConfig {
+        let mut c = VdmsConfig::default_for(index_type);
+        c.system = sys;
+        c.sanitized(16, 10)
+    }
+
+    #[test]
+    fn global_ids_are_correct() {
+        // Query = an exact base vector; the merged result must return its
+        // *global* id regardless of which segment holds it.
+        let ds = DatasetSpec { n: 4000, ..DatasetSpec::tiny(DatasetKind::Glove) }.generate();
+        let sys = SystemParams {
+            segment_max_size_mb: 64.0, // 1024 rows/segment at seal=1.0
+            segment_seal_proportion: 1.0,
+            ..Default::default()
+        };
+        let cfg = tiny_with(sys, IndexType::Flat);
+        let col = Collection::load(&ds, &cfg, 1).unwrap();
+        assert!(col.layout().sealed_count() >= 3, "want multiple segments");
+        for probe in [5usize, 1500, 3999] {
+            let mut cost = SearchCost::default();
+            let res = col.search(ds.vector(probe), 1, &mut cost);
+            assert_eq!(res[0].id as usize, probe, "exact self-match must win");
+        }
+    }
+
+    #[test]
+    fn growing_tail_is_searched() {
+        // Layout with everything growing: FLAT-quality recall, no index.
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate(); // 600 rows
+        let sys = SystemParams {
+            segment_max_size_mb: 2048.0,
+            segment_seal_proportion: 1.0,
+            insert_buf_size_mb: 2048.0,
+            ..Default::default()
+        };
+        let cfg = tiny_with(sys, IndexType::Hnsw);
+        let col = Collection::load(&ds, &cfg, 1).unwrap();
+        assert_eq!(col.layout().sealed_count(), 0);
+        assert_eq!(col.layout().growing_rows(), 600);
+        let mut cost = SearchCost::default();
+        let res = col.search(ds.vector(42), 1, &mut cost);
+        assert_eq!(res[0].id, 42);
+        assert_eq!(cost.segments, 1);
+        assert!(cost.graph_hops == 0, "no index should be consulted");
+    }
+
+    #[test]
+    fn segment_count_reflected_in_cost() {
+        let ds = DatasetSpec { n: 4000, ..DatasetSpec::tiny(DatasetKind::Glove) }.generate();
+        let sys = SystemParams {
+            segment_max_size_mb: 64.0,
+            segment_seal_proportion: 1.0,
+            insert_buf_size_mb: 2048.0,
+            ..Default::default()
+        };
+        let cfg = tiny_with(sys, IndexType::IvfFlat);
+        let col = Collection::load(&ds, &cfg, 1).unwrap();
+        let mut cost = SearchCost::default();
+        col.search(ds.query(0), 10, &mut cost);
+        let expected = col.layout().sealed_count() as u64
+            + u64::from(col.layout().growing_rows() > 0);
+        assert_eq!(cost.segments, expected);
+    }
+
+    #[test]
+    fn invalid_index_params_fail_load() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let mut cfg = VdmsConfig::default_for(IndexType::IvfPq);
+        cfg.index.m = 7; // 16 % 7 != 0 — deliberately NOT sanitized
+        cfg.system = SystemParams {
+            segment_max_size_mb: 64.0,
+            segment_seal_proportion: 0.1,
+            ..Default::default()
+        };
+        let err = Collection::load(&ds, &cfg, 1);
+        assert!(matches!(err, Err(VdmsError::Build(_))));
+    }
+
+    #[test]
+    fn run_queries_returns_all() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let cfg = tiny_with(SystemParams::default(), IndexType::AutoIndex);
+        let col = Collection::load(&ds, &cfg, 1).unwrap();
+        let (total, results) = col.run_queries(10);
+        assert_eq!(results.len(), ds.n_queries());
+        assert!(!total.is_zero());
+    }
+}

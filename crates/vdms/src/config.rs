@@ -1,0 +1,99 @@
+//! A full VDMS configuration — the unit the tuners optimize.
+
+use crate::system_params::SystemParams;
+use anns::params::{IndexParams, IndexType};
+
+/// Index type + index parameters + system parameters (16 tunables total,
+/// matching §V-A of the paper: 1 index type, 8 index params, 7 system
+/// params).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VdmsConfig {
+    pub index_type: IndexType,
+    pub index: IndexParams,
+    pub system: SystemParams,
+}
+
+impl VdmsConfig {
+    /// The Milvus default configuration (the paper's `Default` baseline
+    /// uses AUTOINDEX, which is what Milvus ships with).
+    pub fn default_config() -> VdmsConfig {
+        VdmsConfig {
+            index_type: IndexType::AutoIndex,
+            index: IndexParams::default(),
+            system: SystemParams::default(),
+        }
+    }
+
+    /// Default configuration with a specific index type (used for the
+    /// per-index initial sampling of Algorithm 1, line 2).
+    pub fn default_for(index_type: IndexType) -> VdmsConfig {
+        VdmsConfig { index_type, ..VdmsConfig::default_config() }
+    }
+
+    /// Clamp all values into their valid ranges / constraints.
+    pub fn sanitized(mut self, dim: usize, top_k: usize) -> Self {
+        self.index = self.index.sanitized(dim, top_k);
+        self.system = self.system.sanitized();
+        self
+    }
+
+    /// A compact human-readable summary of the *active* parameters (only
+    /// those that belong to the chosen index type, like the paper's Table V).
+    pub fn summary(&self) -> String {
+        let mut parts = vec![format!("index={}", self.index_type.name())];
+        for name in self.index_type.param_names() {
+            let v = match name {
+                "nlist" => self.index.nlist as f64,
+                "nprobe" => self.index.nprobe as f64,
+                "m" => self.index.m as f64,
+                "nbits" => self.index.nbits as f64,
+                "M" => self.index.hnsw_m as f64,
+                "efConstruction" => self.index.ef_construction as f64,
+                "ef" => self.index.ef as f64,
+                "reorder_k" => self.index.reorder_k as f64,
+                _ => f64::NAN,
+            };
+            parts.push(format!("{name}={v:.0}"));
+        }
+        parts.push(format!(
+            "maxSize={:.0}MB seal={:.2} graceful={:.0}ms buf={:.0}MB conc={} chunk={} buildpar={}",
+            self.system.segment_max_size_mb,
+            self.system.segment_seal_proportion,
+            self.system.graceful_time_ms,
+            self.system.insert_buf_size_mb,
+            self.system.max_read_concurrency,
+            self.system.chunk_rows,
+            self.system.build_parallelism,
+        ));
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_autoindex() {
+        assert_eq!(VdmsConfig::default_config().index_type, IndexType::AutoIndex);
+    }
+
+    #[test]
+    fn summary_lists_only_active_params() {
+        let c = VdmsConfig::default_for(IndexType::Hnsw);
+        let s = c.summary();
+        assert!(s.contains("index=HNSW"));
+        assert!(s.contains("efConstruction=200"));
+        assert!(!s.contains("nlist="), "HNSW summary must not show IVF params: {s}");
+    }
+
+    #[test]
+    fn sanitize_flows_through() {
+        let mut c = VdmsConfig::default_for(IndexType::IvfPq);
+        c.index.m = 7; // does not divide 48
+        c.system.max_read_concurrency = 10_000;
+        let s = c.sanitized(48, 10);
+        assert_eq!(48 % s.index.m, 0);
+        assert!(s.system.max_read_concurrency <= 64);
+    }
+}

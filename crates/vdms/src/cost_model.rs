@@ -1,0 +1,218 @@
+//! The analytic cost model: deterministic operation counts → latency → QPS.
+//!
+//! Per-operation costs are fixed constants calibrated so that the scaled
+//! datasets land in the paper's QPS ranges (hundreds for exhaustive search,
+//! low thousands for well-tuned ANN configs). Absolute numbers are not the
+//! point — the *shape* (orderings, crossovers, parameter sensitivities) is;
+//! see DESIGN.md.
+
+use crate::system_params::SystemParams;
+use anns::cost::SearchCost;
+
+/// Per-operation latency constants, in nanoseconds.
+pub mod unit_costs {
+    /// One f32 multiply-add dimension of distance work.
+    pub const F32_DIM_NS: f64 = 60.0;
+    /// One u8 (scalar-quantized) dimension.
+    pub const U8_DIM_NS: f64 = 20.0;
+    /// One PQ ADC table lookup.
+    pub const PQ_LOOKUP_NS: f64 = 25.0;
+    /// One HNSW neighbor expansion (pointer chase).
+    pub const GRAPH_HOP_NS: f64 = 120.0;
+    /// One heap push.
+    pub const HEAP_PUSH_NS: f64 = 15.0;
+    /// Fixed cost of probing one inverted list.
+    pub const LIST_PROBE_NS: f64 = 2_000.0;
+    /// Fixed scatter/gather cost per segment touched.
+    pub const SEGMENT_NS: f64 = 80_000.0;
+    /// Fixed per-query dispatch cost (RPC, planning, reduce).
+    pub const QUERY_BASE_NS: f64 = 200_000.0;
+    /// Index build cost per training dimension unit.
+    pub const BUILD_DIM_NS: f64 = 25.0;
+    /// Ingest bandwidth for loading the collection (virtual bytes/sec).
+    pub const LOAD_BYTES_PER_SEC: f64 = 200.0 * 1024.0 * 1024.0;
+}
+
+/// The 15-minute replay cap from §V-A, in simulated seconds.
+pub const REPLAY_TIME_CAP_SECS: f64 = 900.0;
+
+/// Number of virtual search requests one workload replay issues. Chosen so
+/// simulated replay times per iteration land near the paper's Table VI
+/// averages (~150 s per iteration).
+pub const REPLAY_REQUESTS: f64 = 50_000.0;
+
+/// Deterministic per-query performance derived from counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPerf {
+    /// Mean per-query latency, seconds (including consistency stall).
+    pub latency_secs: f64,
+    /// Sustained queries/second under the workload's concurrency.
+    pub qps: f64,
+}
+
+/// The cost model; holds the workload concurrency (10 clients by default,
+/// as in §V-A).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    pub workload_concurrency: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { workload_concurrency: 10 }
+    }
+}
+
+impl CostModel {
+    /// Chunking efficiency multiplier for *sequential scans*: a bowl around
+    /// 1024 rows. Tiny chunks pay per-chunk dispatch, huge chunks thrash
+    /// the cache. Graph traversal (random access) is unaffected — that is
+    /// why the best index type can flip with `chunkRows` (Figure 2).
+    fn chunk_factor(chunk_rows: usize) -> f64 {
+        let x = (chunk_rows.max(1) as f64).log2() - 10.0; // log2(1024)
+        1.0 + 0.8 * (x / 3.0) * (x / 3.0)
+    }
+
+    /// Consistency stall per query (seconds): queries wait for the tsafe
+    /// watermark to pass `now - gracefulTime`. The ingestion lag grows with
+    /// the insert buffer (bigger buffers flush less often).
+    fn stall_secs(sys: &SystemParams) -> f64 {
+        let lag_ms = 50.0 + 0.2 * sys.insert_buf_size_mb;
+        ((lag_ms - sys.graceful_time_ms).max(0.0)) / 1_000.0
+    }
+
+    /// Scheduling efficiency of read concurrency: capped by the workload's
+    /// own concurrency, with a mild over-provisioning penalty.
+    fn parallelism(&self, sys: &SystemParams) -> f64 {
+        let eff = (self.workload_concurrency.min(sys.max_read_concurrency)) as f64;
+        let over = (sys.max_read_concurrency as f64 / self.workload_concurrency as f64).max(1.0);
+        eff / (1.0 + 0.04 * (over - 1.0))
+    }
+
+    /// Convert one query's accumulated counts into latency and QPS.
+    pub fn query_perf(&self, cost: &SearchCost, sys: &SystemParams) -> QueryPerf {
+        use unit_costs::*;
+        let chunk = Self::chunk_factor(sys.chunk_rows);
+        let scan_ns = cost.f32_dims as f64 * F32_DIM_NS
+            + cost.u8_dims as f64 * U8_DIM_NS
+            + cost.pq_lookups as f64 * PQ_LOOKUP_NS;
+        // Graph-traversal distances pay a small random-access premium but
+        // are immune to the chunking factor.
+        let graph_ns = cost.graph_dims as f64 * F32_DIM_NS * 1.1;
+        let fixed_ns = cost.graph_hops as f64 * GRAPH_HOP_NS
+            + cost.heap_pushes as f64 * HEAP_PUSH_NS
+            + cost.lists_probed as f64 * LIST_PROBE_NS
+            + cost.segments as f64 * SEGMENT_NS
+            + QUERY_BASE_NS;
+        let latency_secs = (scan_ns * chunk + graph_ns + fixed_ns) / 1e9 + Self::stall_secs(sys);
+        let qps = self.parallelism(sys) / latency_secs.max(1e-9);
+        QueryPerf { latency_secs, qps }
+    }
+
+    /// Simulated seconds to build all segment indexes.
+    pub fn build_secs(&self, train_dims: u64, sys: &SystemParams) -> f64 {
+        let speedup = (sys.build_parallelism as f64).powf(0.8);
+        train_dims as f64 * unit_costs::BUILD_DIM_NS / 1e9 / speedup
+    }
+
+    /// Simulated seconds to load `n` rows into the collection.
+    pub fn load_secs(&self, n: usize) -> f64 {
+        n as f64 * crate::system_params::VIRTUAL_ROW_BYTES as f64
+            / unit_costs::LOAD_BYTES_PER_SEC
+    }
+
+    /// Simulated seconds to replay the full workload at `qps`.
+    pub fn replay_secs(&self, qps: f64) -> f64 {
+        REPLAY_REQUESTS / qps.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_cost() -> SearchCost {
+        // A FLAT scan over 8000 x 48-dim vectors in one segment.
+        SearchCost {
+            f32_dims: 8_000 * 48,
+            heap_pushes: 8_000,
+            segments: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flat_qps_in_paper_ballpark() {
+        let model = CostModel::default();
+        let perf = model.query_perf(&flat_cost(), &SystemParams::default());
+        // The paper's Figure 2 shows FLAT in the low hundreds of QPS.
+        assert!(perf.qps > 100.0 && perf.qps < 1500.0, "FLAT qps {}", perf.qps);
+    }
+
+    #[test]
+    fn cheaper_scan_is_faster() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let mut ivf = SearchCost { f32_dims: 500 * 48, heap_pushes: 500, lists_probed: 8, segments: 1, ..Default::default() };
+        let flat = model.query_perf(&flat_cost(), &sys);
+        let fast = model.query_perf(&ivf, &sys);
+        assert!(fast.qps > flat.qps * 3.0);
+        ivf.u8_dims = ivf.f32_dims;
+        ivf.f32_dims = 0;
+        let sq = model.query_perf(&ivf, &sys);
+        assert!(sq.qps > fast.qps, "u8 scan must beat f32 scan");
+    }
+
+    #[test]
+    fn zero_graceful_time_stalls_severely() {
+        let model = CostModel::default();
+        let mut sys = SystemParams::default();
+        let good = model.query_perf(&flat_cost(), &sys);
+        sys.graceful_time_ms = 0.0;
+        let stalled = model.query_perf(&flat_cost(), &sys);
+        assert!(
+            stalled.qps < good.qps * 0.5,
+            "gracefulTime=0 must block requests: {} vs {}",
+            stalled.qps,
+            good.qps
+        );
+    }
+
+    #[test]
+    fn stall_grows_with_insert_buffer() {
+        let mut sys = SystemParams { graceful_time_ms: 0.0, ..Default::default() };
+        sys.insert_buf_size_mb = 64.0;
+        let small = CostModel::stall_secs(&sys);
+        sys.insert_buf_size_mb = 2048.0;
+        let large = CostModel::stall_secs(&sys);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn chunk_factor_is_a_bowl() {
+        let at_default = CostModel::chunk_factor(1024);
+        assert!((at_default - 1.0).abs() < 1e-9);
+        assert!(CostModel::chunk_factor(128) > at_default);
+        assert!(CostModel::chunk_factor(8192) > at_default);
+    }
+
+    #[test]
+    fn concurrency_saturates_at_workload() {
+        let model = CostModel::default();
+        let cost = flat_cost();
+        let base = SystemParams::default();
+        let low = model.query_perf(&cost, &SystemParams { max_read_concurrency: 1, ..base });
+        let ten = model.query_perf(&cost, &SystemParams { max_read_concurrency: 10, ..base });
+        let huge = model.query_perf(&cost, &SystemParams { max_read_concurrency: 64, ..base });
+        assert!(ten.qps > low.qps * 5.0);
+        assert!(huge.qps < ten.qps, "over-provisioning must not help");
+    }
+
+    #[test]
+    fn build_time_scales_with_parallelism() {
+        let model = CostModel::default();
+        let slow = model.build_secs(1_000_000_000, &SystemParams { build_parallelism: 1, ..Default::default() });
+        let fast = model.build_secs(1_000_000_000, &SystemParams { build_parallelism: 8, ..Default::default() });
+        assert!(fast < slow / 3.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Failure semantics.
+//!
+//! The paper (§V-A) caps each workload replay at 15 minutes and treats
+//! configurations that exceed the cap — or crash the VDMS — as failed,
+//! feeding the tuner worst-in-history values. These are the corresponding
+//! error conditions in the simulator.
+
+use anns::index::BuildError;
+
+/// Why loading or evaluating a configuration failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VdmsError {
+    /// An index build was rejected (invalid parameter combination) — the
+    /// simulator's equivalent of a server crash on bad config.
+    Build(BuildError),
+    /// Simulated build + replay time exceeded the 15-minute cap.
+    ReplayTimeout { simulated_seconds: f64 },
+    /// The configuration exceeds the memory budget of the testbed
+    /// (125 GB in Table II; scaled in the simulator).
+    OutOfMemory { required_gib: f64, budget_gib: f64 },
+}
+
+impl std::fmt::Display for VdmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VdmsError::Build(e) => write!(f, "index build failed: {e}"),
+            VdmsError::ReplayTimeout { simulated_seconds } => {
+                write!(f, "replay exceeded time cap ({simulated_seconds:.0}s simulated)")
+            }
+            VdmsError::OutOfMemory { required_gib, budget_gib } => {
+                write!(f, "out of memory: {required_gib:.1} GiB > {budget_gib:.1} GiB budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VdmsError {}
+
+impl From<BuildError> for VdmsError {
+    fn from(e: BuildError) -> Self {
+        VdmsError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VdmsError::ReplayTimeout { simulated_seconds: 1000.0 };
+        assert!(e.to_string().contains("1000"));
+        let e: VdmsError = BuildError::EmptySegment.into();
+        assert!(matches!(e, VdmsError::Build(_)));
+    }
+}

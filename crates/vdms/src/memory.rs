@@ -1,0 +1,119 @@
+//! Memory accounting for the cost-effectiveness (QP$) objective (§V-E).
+//!
+//! Index structure sizes are *measured* from the real in-memory structures
+//! (`anns::VectorIndex::memory_bytes`) and inflated to the virtual row size
+//! so that the MB-denominated system knobs and the reported GiB figures stay
+//! on the paper's scale (the paper reports 2–10 GiB configurations).
+
+use crate::segment::SegmentLayout;
+use crate::system_params::{SystemParams, VIRTUAL_ROW_BYTES};
+
+/// Breakdown of simulated resident memory, in bytes (virtual scale).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryUsage {
+    /// Sealed-segment index structures.
+    pub index_bytes: u64,
+    /// Growing tail raw rows (always resident, brute-force scanned).
+    pub growing_bytes: u64,
+    /// Insert buffer reservation.
+    pub insert_buffer_bytes: u64,
+    /// Transient peak during index build (largest segment, doubled while
+    /// building, grows with build parallelism).
+    pub build_peak_bytes: u64,
+    /// Fixed system overhead (coordinators, WAL, metadata caches).
+    pub base_bytes: u64,
+}
+
+/// Fixed overhead of the VDMS processes themselves.
+const BASE_SYSTEM_BYTES: u64 = 1 << 30; // 1 GiB
+
+impl MemoryUsage {
+    /// Account memory for a loaded collection.
+    ///
+    /// `measured_index_bytes` is the sum of real index structure sizes;
+    /// `actual_row_bytes` the real `dim * 4` so the virtual inflation factor
+    /// can be applied.
+    pub fn account(
+        layout: &SegmentLayout,
+        sys: &SystemParams,
+        measured_index_bytes: u64,
+        actual_row_bytes: u64,
+    ) -> MemoryUsage {
+        let scale = VIRTUAL_ROW_BYTES as f64 / actual_row_bytes.max(1) as f64;
+        let index_bytes = (measured_index_bytes as f64 * scale) as u64;
+        let growing_bytes = layout.growing_rows() as u64 * VIRTUAL_ROW_BYTES;
+        let insert_buffer_bytes = (sys.insert_buf_size_mb * 1024.0 * 1024.0) as u64;
+        let build_peak_bytes = (layout.max_sealed_rows() as u64 * VIRTUAL_ROW_BYTES) as f64
+            * (1.0 + 0.15 * sys.build_parallelism as f64);
+        MemoryUsage {
+            index_bytes,
+            growing_bytes,
+            insert_buffer_bytes,
+            build_peak_bytes: build_peak_bytes as u64,
+            base_bytes: BASE_SYSTEM_BYTES,
+        }
+    }
+
+    /// Total resident bytes (steady state plus build transient, which Milvus
+    /// holds until compaction settles).
+    pub fn total_bytes(&self) -> u64 {
+        self.index_bytes
+            + self.growing_bytes
+            + self.insert_buffer_bytes
+            + self.build_peak_bytes
+            + self.base_bytes
+    }
+
+    /// Total in GiB — the unit used throughout §V-E.
+    pub fn total_gib(&self) -> f64 {
+        self.total_bytes() as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize, sys: &SystemParams) -> SegmentLayout {
+        SegmentLayout::plan(n, sys)
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let sys = SystemParams::default();
+        let l = layout(8000, &sys);
+        let m = MemoryUsage::account(&l, &sys, 1_000_000, 192);
+        assert_eq!(
+            m.total_bytes(),
+            m.index_bytes + m.growing_bytes + m.insert_buffer_bytes + m.build_peak_bytes + m.base_bytes
+        );
+        assert!(m.total_gib() > 1.0, "at least the base GiB");
+    }
+
+    #[test]
+    fn bigger_insert_buffer_more_memory() {
+        let small = SystemParams { insert_buf_size_mb: 64.0, ..Default::default() };
+        let big = SystemParams { insert_buf_size_mb: 2048.0, ..Default::default() };
+        let ms = MemoryUsage::account(&layout(8000, &small), &small, 1_000_000, 192);
+        let mb = MemoryUsage::account(&layout(8000, &big), &big, 1_000_000, 192);
+        assert!(mb.total_bytes() > ms.total_bytes());
+    }
+
+    #[test]
+    fn bigger_segments_raise_build_peak() {
+        // Fig 13b: segment_maxSize is the dominant memory knob.
+        let small = SystemParams { segment_max_size_mb: 128.0, segment_seal_proportion: 1.0, ..Default::default() };
+        let big = SystemParams { segment_max_size_mb: 1024.0, segment_seal_proportion: 1.0, ..Default::default() };
+        let ms = MemoryUsage::account(&layout(20_000, &small), &small, 0, 192);
+        let mb = MemoryUsage::account(&layout(20_000, &big), &big, 0, 192);
+        assert!(mb.build_peak_bytes > ms.build_peak_bytes * 4);
+    }
+
+    #[test]
+    fn virtual_scale_applied_to_indexes() {
+        let sys = SystemParams::default();
+        let l = layout(8000, &sys);
+        let m = MemoryUsage::account(&l, &sys, 192, 192); // one "row" of index
+        assert_eq!(m.index_bytes, VIRTUAL_ROW_BYTES);
+    }
+}

@@ -1,0 +1,127 @@
+//! Segment layout planning.
+//!
+//! Milvus ingests rows into *growing* segments; when a growing segment
+//! reaches `sealProportion * maxSize` it is *sealed* and an index is built
+//! over it. Rows still in the insert buffer at query time are searched by
+//! brute force. This module derives the deterministic end-of-ingest layout
+//! for a collection of `n` rows under given system parameters — the
+//! mechanism behind the paper's Figure 1 interdependencies.
+
+use crate::system_params::SystemParams;
+
+/// Resulting layout: sealed segment row-ranges plus the growing tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentLayout {
+    /// Half-open row ranges `[start, end)`, one per sealed (indexed) segment.
+    pub sealed: Vec<(usize, usize)>,
+    /// Rows `[growing_start, n)` remain unindexed (brute-force scanned).
+    pub growing_start: usize,
+    /// Total rows.
+    pub n: usize,
+}
+
+impl SegmentLayout {
+    /// Plan the layout for `n` rows under `sys`.
+    ///
+    /// Rows fill seal-sized segments; the remainder stays growing if it fits
+    /// the insert buffer, otherwise the overflow is force-flushed into one
+    /// final (small) sealed segment, as Milvus' flush policy does.
+    pub fn plan(n: usize, sys: &SystemParams) -> SegmentLayout {
+        let seal_rows = sys.seal_rows();
+        let full = n / seal_rows;
+        let mut sealed: Vec<(usize, usize)> =
+            (0..full).map(|i| (i * seal_rows, (i + 1) * seal_rows)).collect();
+        let mut growing_start = full * seal_rows;
+        let rem = n - growing_start;
+        let buf_rows = sys.insert_buf_rows();
+        if rem > buf_rows {
+            // Overflow beyond the insert buffer is flushed and sealed. The
+            // tail that still fits the buffer stays growing.
+            let flushed_end = n - buf_rows;
+            sealed.push((growing_start, flushed_end));
+            growing_start = flushed_end;
+        }
+        SegmentLayout { sealed, growing_start, n }
+    }
+
+    /// Number of rows in the growing (brute-force) tail.
+    pub fn growing_rows(&self) -> usize {
+        self.n - self.growing_start
+    }
+
+    /// Number of sealed segments.
+    pub fn sealed_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Largest sealed segment size in rows (0 when none) — drives peak
+    /// build memory.
+    pub fn max_sealed_rows(&self) -> usize {
+        self.sealed.iter().map(|(s, e)| e - s).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(max_mb: f64, seal: f64, buf_mb: f64) -> SystemParams {
+        SystemParams {
+            segment_max_size_mb: max_mb,
+            segment_seal_proportion: seal,
+            insert_buf_size_mb: buf_mb,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn covers_all_rows_disjointly() {
+        for (n, s) in [(8000, sys(100.0, 0.5, 64.0)), (3000, sys(512.0, 0.25, 256.0)), (50, sys(64.0, 0.05, 16.0))] {
+            let layout = SegmentLayout::plan(n, &s);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for &(start, end) in &layout.sealed {
+                assert_eq!(start, prev_end, "segments must be contiguous");
+                assert!(end > start);
+                covered += end - start;
+                prev_end = end;
+            }
+            assert_eq!(prev_end, layout.growing_start);
+            assert_eq!(covered + layout.growing_rows(), n);
+        }
+    }
+
+    #[test]
+    fn small_seal_many_segments() {
+        let many = SegmentLayout::plan(8000, &sys(100.0, 0.5, 1024.0));
+        let few = SegmentLayout::plan(8000, &sys(1000.0, 1.0, 1024.0));
+        assert!(many.sealed_count() > few.sealed_count());
+    }
+
+    #[test]
+    fn big_buffer_keeps_tail_growing() {
+        // seal_rows = 1600 (100MB * 1.0); 8000 rows → 5 sealed, 0 growing.
+        let exact = SegmentLayout::plan(8000, &sys(100.0, 1.0, 1024.0));
+        assert_eq!(exact.growing_rows(), 0);
+        // 8500 rows → remainder 500 fits a 1024MB buffer (16k rows) → growing.
+        let tail = SegmentLayout::plan(8500, &sys(100.0, 1.0, 1024.0));
+        assert_eq!(tail.growing_rows(), 500);
+    }
+
+    #[test]
+    fn small_buffer_forces_flush() {
+        // remainder 500 rows > 16MB buffer (256 rows) → overflow sealed,
+        // buffer-sized tail stays growing.
+        let layout = SegmentLayout::plan(8500, &sys(100.0, 1.0, 16.0));
+        assert_eq!(layout.growing_rows(), 256);
+        assert_eq!(layout.sealed_count(), 6);
+    }
+
+    #[test]
+    fn everything_growing_when_below_seal_threshold() {
+        // 1000 rows < seal_rows 1600 → single growing segment if buffered.
+        let layout = SegmentLayout::plan(1000, &sys(100.0, 1.0, 1024.0));
+        assert_eq!(layout.sealed_count(), 0);
+        assert_eq!(layout.growing_rows(), 1000);
+    }
+}

@@ -1,0 +1,219 @@
+//! The seven tunable system parameters.
+//!
+//! The paper tunes "7 system parameters (as recommended in Milvus
+//! documentation)" alongside the index type and 8 index parameters, for the
+//! 16-dimensional space of §V-A. We model the seven knobs below; each one
+//! has a real mechanism in the simulator (see the field docs), so their
+//! interdependencies — the heart of the paper's Challenge 1 — emerge from
+//! the system rather than from a hand-drawn response surface.
+
+use anns::params::ParamRange;
+
+/// Virtual bytes per row used to translate MB-denominated Milvus knobs into
+/// row counts at our scaled dataset sizes. With 64 KiB rows, the paper's
+/// `segment.maxSize` range of 100..1024 MB maps to 1.6k..16k rows — the
+/// right order of magnitude for the scaled datasets.
+pub const VIRTUAL_ROW_BYTES: u64 = 64 * 1024;
+
+/// System-parameter block of a VDMS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// `dataCoord.segment.maxSize` (MB). Upper bound for a sealed segment.
+    /// Larger segments → fewer indexes with better intra-segment pruning but
+    /// a bigger growing tail and higher build/peak memory.
+    pub segment_max_size_mb: f64,
+    /// `dataCoord.segment.sealProportion`. A growing segment seals (and gets
+    /// indexed) once it reaches `sealProportion * maxSize`. Small values
+    /// create many small sealed segments (per-segment overhead dominates);
+    /// values near 1 leave a large brute-force growing tail when the
+    /// remaining rows don't reach the seal threshold.
+    pub segment_seal_proportion: f64,
+    /// `common.gracefulTime` (ms). Bounded-consistency window: queries wait
+    /// until `now - gracefulTime` is covered by the data tsafe. Small values
+    /// stall every request behind the ingestion watermark (paper §IV-A).
+    pub graceful_time_ms: f64,
+    /// `dataNode.flush.insertBufSize` (MB). Rows that fit in the insert
+    /// buffer may remain growing (unindexed, brute-force searched); the
+    /// buffer is always resident, contributing to memory (Fig 13b).
+    pub insert_buf_size_mb: f64,
+    /// `queryNode.scheduler.maxReadConcurrency`. Caps intra-process search
+    /// parallelism; past the workload's concurrency it only adds scheduling
+    /// overhead.
+    pub max_read_concurrency: usize,
+    /// `queryNode.segcore.chunkRows`. Scan vectorization granularity; both
+    /// very small (per-chunk overhead) and very large (cache misses) values
+    /// hurt.
+    pub chunk_rows: usize,
+    /// `indexCoord (build) parallelism`. Speeds up index building (which
+    /// counts toward tuning/replay time) at a small memory premium.
+    pub build_parallelism: usize,
+}
+
+impl Default for SystemParams {
+    /// Milvus-flavored defaults (the "Default" baseline of Table IV).
+    fn default() -> Self {
+        SystemParams {
+            segment_max_size_mb: 512.0,
+            segment_seal_proportion: 0.25,
+            graceful_time_ms: 5000.0,
+            insert_buf_size_mb: 256.0,
+            max_read_concurrency: 32,
+            chunk_rows: 1024,
+            build_parallelism: 4,
+        }
+    }
+}
+
+/// Tuning ranges of the system parameters.
+pub mod ranges {
+    use super::ParamRange;
+
+    pub const SEGMENT_MAX_SIZE_MB: ParamRange = ParamRange::new(64.0, 2048.0, true);
+    pub const SEGMENT_SEAL_PROPORTION: ParamRange = ParamRange::new(0.05, 1.0, false);
+    pub const GRACEFUL_TIME_MS: ParamRange = ParamRange::new(0.0, 5000.0, false);
+    pub const INSERT_BUF_SIZE_MB: ParamRange = ParamRange::new(16.0, 2048.0, true);
+    pub const MAX_READ_CONCURRENCY: ParamRange = ParamRange::new(1.0, 64.0, true);
+    pub const CHUNK_ROWS: ParamRange = ParamRange::new(128.0, 8192.0, true);
+    pub const BUILD_PARALLELISM: ParamRange = ParamRange::new(1.0, 16.0, true);
+}
+
+impl SystemParams {
+    /// The 7 parameter names, in canonical encoding order.
+    pub const NAMES: [&'static str; 7] = [
+        "segment_maxSize",
+        "segment_sealProportion",
+        "gracefulTime",
+        "insertBufSize",
+        "maxReadConcurrency",
+        "chunkRows",
+        "buildParallelism",
+    ];
+
+    /// Clamp all values into their tuning ranges.
+    pub fn sanitized(mut self) -> Self {
+        use ranges::*;
+        self.segment_max_size_mb = self
+            .segment_max_size_mb
+            .clamp(SEGMENT_MAX_SIZE_MB.lo, SEGMENT_MAX_SIZE_MB.hi);
+        self.segment_seal_proportion = self
+            .segment_seal_proportion
+            .clamp(SEGMENT_SEAL_PROPORTION.lo, SEGMENT_SEAL_PROPORTION.hi);
+        self.graceful_time_ms =
+            self.graceful_time_ms.clamp(GRACEFUL_TIME_MS.lo, GRACEFUL_TIME_MS.hi);
+        self.insert_buf_size_mb =
+            self.insert_buf_size_mb.clamp(INSERT_BUF_SIZE_MB.lo, INSERT_BUF_SIZE_MB.hi);
+        self.max_read_concurrency = (self.max_read_concurrency as f64)
+            .clamp(MAX_READ_CONCURRENCY.lo, MAX_READ_CONCURRENCY.hi)
+            as usize;
+        self.chunk_rows = (self.chunk_rows as f64).clamp(CHUNK_ROWS.lo, CHUNK_ROWS.hi) as usize;
+        self.build_parallelism = (self.build_parallelism as f64)
+            .clamp(BUILD_PARALLELISM.lo, BUILD_PARALLELISM.hi)
+            as usize;
+        self
+    }
+
+    /// Rows a sealed segment holds before sealing, given the seal threshold.
+    pub fn seal_rows(&self) -> usize {
+        let max_rows = (self.segment_max_size_mb * 1024.0 * 1024.0 / VIRTUAL_ROW_BYTES as f64)
+            .max(1.0);
+        ((max_rows * self.segment_seal_proportion).round() as usize).max(64)
+    }
+
+    /// Rows the insert buffer can hold (growing, unindexed).
+    pub fn insert_buf_rows(&self) -> usize {
+        (self.insert_buf_size_mb * 1024.0 * 1024.0 / VIRTUAL_ROW_BYTES as f64).max(1.0) as usize
+    }
+
+    /// Encode as a normalized 7-vector (unit hypercube) in `NAMES` order.
+    pub fn encode(&self) -> [f64; 7] {
+        use ranges::*;
+        [
+            SEGMENT_MAX_SIZE_MB.normalize(self.segment_max_size_mb),
+            SEGMENT_SEAL_PROPORTION.normalize(self.segment_seal_proportion),
+            GRACEFUL_TIME_MS.normalize(self.graceful_time_ms),
+            INSERT_BUF_SIZE_MB.normalize(self.insert_buf_size_mb),
+            MAX_READ_CONCURRENCY.normalize(self.max_read_concurrency as f64),
+            CHUNK_ROWS.normalize(self.chunk_rows as f64),
+            BUILD_PARALLELISM.normalize(self.build_parallelism as f64),
+        ]
+    }
+
+    /// Decode from a normalized 7-vector (inverse of [`SystemParams::encode`]).
+    pub fn decode(u: &[f64]) -> SystemParams {
+        use ranges::*;
+        assert!(u.len() >= 7, "need 7 coords, got {}", u.len());
+        SystemParams {
+            segment_max_size_mb: SEGMENT_MAX_SIZE_MB.denormalize(u[0]),
+            segment_seal_proportion: SEGMENT_SEAL_PROPORTION.denormalize(u[1]),
+            graceful_time_ms: GRACEFUL_TIME_MS.denormalize(u[2]),
+            insert_buf_size_mb: INSERT_BUF_SIZE_MB.denormalize(u[3]),
+            max_read_concurrency: MAX_READ_CONCURRENCY.denormalize(u[4]).round() as usize,
+            chunk_rows: CHUNK_ROWS.denormalize(u[5]).round() as usize,
+            build_parallelism: BUILD_PARALLELISM.denormalize(u[6]).round() as usize,
+        }
+        .sanitized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sanitize_to_themselves() {
+        let d = SystemParams::default();
+        assert_eq!(d.sanitized(), d);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = SystemParams {
+            segment_max_size_mb: 777.0,
+            segment_seal_proportion: 0.42,
+            graceful_time_ms: 1234.0,
+            insert_buf_size_mb: 100.0,
+            max_read_concurrency: 17,
+            chunk_rows: 2000,
+            build_parallelism: 8,
+        };
+        let back = SystemParams::decode(&p.encode());
+        assert!((back.segment_max_size_mb - 777.0).abs() < 15.0);
+        assert!((back.segment_seal_proportion - 0.42).abs() < 0.01);
+        assert!((back.graceful_time_ms - 1234.0).abs() < 30.0);
+        assert_eq!(back.max_read_concurrency, 17);
+        assert_eq!(back.build_parallelism, 8);
+    }
+
+    #[test]
+    fn seal_rows_scales_with_both_knobs() {
+        let base = SystemParams::default();
+        let bigger_seg = SystemParams { segment_max_size_mb: 1024.0, ..base };
+        let higher_seal = SystemParams { segment_seal_proportion: 0.9, ..base };
+        assert!(bigger_seg.seal_rows() > base.seal_rows());
+        assert!(higher_seal.seal_rows() > base.seal_rows());
+    }
+
+    #[test]
+    fn seal_rows_has_floor() {
+        let tiny = SystemParams {
+            segment_max_size_mb: 64.0,
+            segment_seal_proportion: 0.05,
+            ..Default::default()
+        };
+        assert!(tiny.seal_rows() >= 64);
+    }
+
+    #[test]
+    fn paper_fig1_scale_check() {
+        // maxSize=100MB, sealProportion=1.0 → ~1600 rows per sealed segment
+        // with 64 KiB virtual rows; maxSize=1000MB → ~16k rows.
+        let small = SystemParams {
+            segment_max_size_mb: 100.0,
+            segment_seal_proportion: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(small.seal_rows(), 1600);
+        let large = SystemParams { segment_max_size_mb: 1000.0, ..small };
+        assert_eq!(large.seal_rows(), 16000);
+    }
+}

@@ -1,0 +1,217 @@
+//! Exact top-K ground truth for recall measurement.
+//!
+//! Recall in the paper is "the ratio of correctly retrieved similar vectors
+//! to the total actual similar vectors" for top-100 queries; we compute the
+//! exact neighbor sets once per dataset and reuse them across thousands of
+//! tuner evaluations.
+
+use crate::dataset::Dataset;
+use std::cmp::Ordering;
+
+/// One exact nearest neighbor: id plus distance under the dataset metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: u32,
+    pub distance: f32,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: by distance then id; NaNs sort last so a poisoned
+        // distance can never displace a real neighbor.
+        match self.distance.partial_cmp(&other.distance) {
+            Some(ord) => ord.then(self.id.cmp(&other.id)),
+            None => {
+                if self.distance.is_nan() && other.distance.is_nan() {
+                    self.id.cmp(&other.id)
+                } else if self.distance.is_nan() {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded max-heap that keeps the `k` smallest-distance neighbors seen.
+///
+/// This is the k-NN selection primitive shared by the ground-truth scan and
+/// every index implementation in the `anns` crate.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Max-heap on distance: the root is the *worst* of the current top-k.
+    heap: std::collections::BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Create a selector for the `k` nearest neighbors (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        TopK { k: k.max(1), heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer a candidate; keeps only the k smallest distances.
+    #[inline]
+    pub fn push(&mut self, id: u32, distance: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor { id, distance });
+        } else if let Some(worst) = self.heap.peek() {
+            if distance < worst.distance {
+                self.heap.pop();
+                self.heap.push(Neighbor { id, distance });
+            }
+        }
+    }
+
+    /// Current worst distance among the kept neighbors (∞ until full).
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.distance)
+        }
+    }
+
+    /// Number of neighbors currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Extract neighbors sorted by ascending distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Exact top-k neighbors of `query` among all base vectors.
+pub fn exact_top_k(dataset: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for (i, v) in dataset.iter().enumerate() {
+        top.push(i as u32, dataset.metric.distance(query, v));
+    }
+    top.into_sorted()
+}
+
+/// Exact top-k neighbor ids for every query in the dataset.
+///
+/// Returns one `Vec<u32>` (sorted by ascending distance) per query.
+pub fn ground_truth(dataset: &Dataset, k: usize) -> Vec<Vec<u32>> {
+    (0..dataset.n_queries())
+        .map(|qi| {
+            exact_top_k(dataset, dataset.query(qi), k)
+                .into_iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Recall@k of a retrieved id set against the exact ids.
+pub fn recall(retrieved: &[u32], exact: &[u32]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<u32> = exact.iter().copied().collect();
+    let hits = retrieved.iter().filter(|id| set.contains(id)).count();
+    hits as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetKind, DatasetSpec};
+
+    #[test]
+    fn topk_keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 0.5, 9.0, 2.0].iter().enumerate() {
+            t.push(i as u32, *d);
+        }
+        let out = t.into_sorted();
+        let ids: Vec<u32> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1, 5]);
+    }
+
+    #[test]
+    fn topk_threshold_tracks_worst() {
+        let mut t = TopK::new(2);
+        assert!(t.threshold().is_infinite());
+        t.push(0, 3.0);
+        assert!(t.threshold().is_infinite());
+        t.push(1, 1.0);
+        assert_eq!(t.threshold(), 3.0);
+        t.push(2, 0.5);
+        assert_eq!(t.threshold(), 1.0);
+    }
+
+    #[test]
+    fn topk_handles_fewer_candidates_than_k() {
+        let mut t = TopK::new(10);
+        t.push(7, 1.5);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 7);
+    }
+
+    #[test]
+    fn topk_nan_never_displaces_real() {
+        let mut t = TopK::new(2);
+        t.push(0, 1.0);
+        t.push(1, 2.0);
+        t.push(2, f32::NAN);
+        let ids: Vec<u32> = t.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn ground_truth_self_query_finds_itself() {
+        // A query equal to a base vector must have that vector as NN.
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let q = ds.vector(17).to_vec();
+        let nn = exact_top_k(&ds, &q, 1);
+        assert_eq!(nn[0].id, 17);
+        assert!(nn[0].distance.abs() < 1e-5);
+    }
+
+    #[test]
+    fn ground_truth_is_sorted_by_distance() {
+        let ds = DatasetSpec::tiny(DatasetKind::KeywordMatch).generate();
+        let nn = exact_top_k(&ds, ds.query(0), 10);
+        for w in nn.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn recall_bounds() {
+        assert_eq!(recall(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(recall(&[4, 5, 6], &[1, 2, 3]), 0.0);
+        assert!((recall(&[1, 9], &[1, 2]) - 0.5).abs() < 1e-12);
+        assert_eq!(recall(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ground_truth_shape() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let gt = ground_truth(&ds, 5);
+        assert_eq!(gt.len(), ds.n_queries());
+        assert!(gt.iter().all(|g| g.len() == 5));
+    }
+}

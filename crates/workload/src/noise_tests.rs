@@ -1,0 +1,62 @@
+//! Tests for the deterministic throughput-noise model (kept in a separate
+//! module so `replay.rs` stays focused on the evaluation flow).
+
+#[cfg(test)]
+mod tests {
+    use crate::replay::evaluate;
+    use crate::Workload;
+    use anns::params::IndexType;
+    use vdms::VdmsConfig;
+    use vecdata::{DatasetKind, DatasetSpec};
+
+    fn w() -> Workload {
+        Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10)
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_config() {
+        let w = w();
+        let cfg = VdmsConfig::default_for(IndexType::IvfFlat);
+        let a = evaluate(&w, &cfg, 5);
+        let b = evaluate(&w, &cfg, 5);
+        assert_eq!(a.qps, b.qps, "same config+seed must give identical QPS");
+    }
+
+    #[test]
+    fn noise_differs_across_configs() {
+        let w = w();
+        let mut c1 = VdmsConfig::default_for(IndexType::IvfFlat);
+        c1.index.nprobe = 8;
+        let mut c2 = c1;
+        c2.index.nprobe = 9;
+        let a = evaluate(&w, &c1, 5);
+        let b = evaluate(&w, &c2, 5);
+        // Nearly identical work, but the noise factor decorrelates them.
+        let ratio = a.qps / b.qps;
+        assert!(ratio != 1.0, "neighboring configs should differ by noise");
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        // The noise factor is clamped to ±50%; ensembles of evaluations
+        // must stay within physical bounds around the model value.
+        let w = w();
+        let mut qs = Vec::new();
+        for nprobe in 1..=16 {
+            let mut c = VdmsConfig::default_for(IndexType::IvfSq8);
+            c.index.nprobe = nprobe;
+            qs.push(evaluate(&w, &c, 5).qps);
+        }
+        // Monotone-ish trend: more probes cannot make it *faster* beyond
+        // noise; check the endpoints differ by more than noise could.
+        assert!(qs[0] > qs[15] * 0.8, "nprobe=1 should be near-fastest");
+    }
+
+    #[test]
+    fn recall_is_noise_free() {
+        let w = w();
+        let cfg = VdmsConfig::default_for(IndexType::Flat);
+        let out = evaluate(&w, &cfg, 123);
+        assert!(out.recall > 0.999, "recall must stay exactly measured");
+    }
+}

@@ -1,0 +1,252 @@
+//! The evaluation driver shared by VDTuner and every baseline: history,
+//! worst-value substitution for failed configs, caching, and the timing
+//! breakdown reported in Table VI.
+
+use crate::replay::{evaluate, Outcome};
+use crate::Workload;
+use std::collections::HashMap;
+use vdms::VdmsConfig;
+
+/// One completed evaluation, as seen by a tuner.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// 0-based evaluation index.
+    pub iter: usize,
+    /// The (sanitized) configuration that was evaluated.
+    pub config: VdmsConfig,
+    /// Search speed feedback (QPS). For failed configs this is the
+    /// worst-in-history value (§V-A), never the raw zero.
+    pub qps: f64,
+    /// Recall feedback, same substitution rule.
+    pub recall: f64,
+    /// Accounted memory (GiB).
+    pub memory_gib: f64,
+    /// Whether the underlying evaluation failed (crash/timeout/OOM).
+    pub failed: bool,
+    /// Simulated seconds spent replaying this configuration.
+    pub replay_secs: f64,
+    /// Wall-clock seconds the tuner spent deciding on this configuration
+    /// (recorded by the driver around `propose`).
+    pub recommend_secs: f64,
+}
+
+impl Observation {
+    /// Cost-effectiveness (Eq. 8, η = 1).
+    pub fn cost_effectiveness(&self) -> f64 {
+        self.qps / self.memory_gib.max(1e-9)
+    }
+}
+
+/// Quantized cache key for a configuration (16 integers).
+fn config_key(c: &VdmsConfig) -> [i64; 16] {
+    [
+        c.index_type.ordinal() as i64,
+        c.index.nlist as i64,
+        c.index.nprobe as i64,
+        c.index.m as i64,
+        c.index.nbits as i64,
+        c.index.hnsw_m as i64,
+        c.index.ef_construction as i64,
+        c.index.ef as i64,
+        c.index.reorder_k as i64,
+        (c.system.segment_max_size_mb * 4.0).round() as i64,
+        (c.system.segment_seal_proportion * 1000.0).round() as i64,
+        c.system.graceful_time_ms.round() as i64,
+        (c.system.insert_buf_size_mb * 4.0).round() as i64,
+        c.system.max_read_concurrency as i64,
+        c.system.chunk_rows as i64,
+        c.system.build_parallelism as i64,
+    ]
+}
+
+/// Evaluates configurations against a workload with tuner-facing semantics.
+pub struct Evaluator<'a> {
+    workload: &'a Workload,
+    seed: u64,
+    history: Vec<Observation>,
+    cache: HashMap<[i64; 16], Outcome>,
+    /// Total simulated tuning seconds (replay side of Table VI).
+    pub total_replay_secs: f64,
+    /// Total wall-clock recommendation seconds (model side of Table VI).
+    pub total_recommend_secs: f64,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(workload: &'a Workload, seed: u64) -> Evaluator<'a> {
+        Evaluator {
+            workload,
+            seed,
+            history: Vec::new(),
+            cache: HashMap::new(),
+            total_replay_secs: 0.0,
+            total_recommend_secs: 0.0,
+        }
+    }
+
+    /// The workload under evaluation.
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+
+    /// All observations so far, in evaluation order.
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Number of evaluations performed.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before the first evaluation.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Worst successful feedback seen so far; used as the substitute for
+    /// failed configurations (avoiding the GP scaling problems the paper
+    /// cites [35], [36]).
+    fn worst_feedback(&self) -> (f64, f64) {
+        let ok: Vec<&Observation> = self.history.iter().filter(|o| !o.failed).collect();
+        if ok.is_empty() {
+            (1.0, 0.01)
+        } else {
+            (
+                ok.iter().map(|o| o.qps).fold(f64::INFINITY, f64::min),
+                ok.iter().map(|o| o.recall).fold(f64::INFINITY, f64::min),
+            )
+        }
+    }
+
+    /// Evaluate `config`, record and return the observation.
+    ///
+    /// `recommend_secs` is the wall-clock time the tuner took to propose
+    /// this configuration (pass 0.0 when not tracked).
+    pub fn observe(&mut self, config: &VdmsConfig, recommend_secs: f64) -> Observation {
+        let cfg = config.sanitized(self.workload.dataset.dim(), self.workload.top_k);
+        let key = config_key(&cfg);
+        let outcome = if let Some(cached) = self.cache.get(&key) {
+            cached.clone()
+        } else {
+            let out = evaluate(self.workload, &cfg, self.seed);
+            self.cache.insert(key, out.clone());
+            out
+        };
+
+        let failed = !outcome.is_ok();
+        let (qps, recall) = if failed {
+            self.worst_feedback()
+        } else {
+            (outcome.qps, outcome.recall)
+        };
+        let obs = Observation {
+            iter: self.history.len(),
+            config: cfg,
+            qps,
+            recall,
+            memory_gib: outcome.memory_gib.max(1.0),
+            failed,
+            replay_secs: outcome.simulated_secs,
+            recommend_secs,
+        };
+        self.total_replay_secs += outcome.simulated_secs;
+        self.total_recommend_secs += recommend_secs;
+        self.history.push(obs.clone());
+        obs
+    }
+
+    /// Best observed QPS among configurations with `recall >= min_recall`
+    /// (the paper's Figure 6/7 metric: best speed under a recall sacrifice).
+    pub fn best_qps_with_recall(&self, min_recall: f64) -> Option<f64> {
+        self.history
+            .iter()
+            .filter(|o| !o.failed && o.recall >= min_recall)
+            .map(|o| o.qps)
+            .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+    }
+
+    /// Running best-so-far QPS curve under a recall floor (Figure 7).
+    pub fn qps_curve(&self, min_recall: f64) -> Vec<f64> {
+        let mut best = 0.0f64;
+        self.history
+            .iter()
+            .map(|o| {
+                if !o.failed && o.recall >= min_recall {
+                    best = best.max(o.qps);
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anns::params::IndexType;
+    use vecdata::{DatasetKind, DatasetSpec};
+
+    fn make() -> Workload {
+        Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10)
+    }
+
+    #[test]
+    fn records_history_in_order() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        ev.observe(&VdmsConfig::default_config(), 0.1);
+        ev.observe(&VdmsConfig::default_for(IndexType::Flat), 0.2);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev.history()[0].iter, 0);
+        assert_eq!(ev.history()[1].iter, 1);
+        assert!((ev.total_recommend_secs - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hits_identical_configs() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let a = ev.observe(&VdmsConfig::default_config(), 0.0);
+        let b = ev.observe(&VdmsConfig::default_config(), 0.0);
+        assert_eq!(a.qps, b.qps);
+        assert_eq!(ev.cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_config_gets_worst_in_history() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let good = ev.observe(&VdmsConfig::default_config(), 0.0);
+        assert!(!good.failed);
+        let mut bad = VdmsConfig::default_config();
+        bad.system.graceful_time_ms = 0.0;
+        bad.system.insert_buf_size_mb = 2048.0;
+        let failed = ev.observe(&bad, 0.0);
+        assert!(failed.failed);
+        assert_eq!(failed.qps, good.qps, "worst-in-history substitution");
+        assert!(failed.recall <= good.recall);
+    }
+
+    #[test]
+    fn best_qps_respects_recall_floor() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        ev.observe(&VdmsConfig::default_for(IndexType::Flat), 0.0);
+        let impossible = ev.best_qps_with_recall(1.01);
+        assert!(impossible.is_none());
+        let any = ev.best_qps_with_recall(0.0).unwrap();
+        assert!(any > 0.0);
+    }
+
+    #[test]
+    fn qps_curve_is_monotone() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        for t in [IndexType::Flat, IndexType::Hnsw, IndexType::IvfFlat, IndexType::AutoIndex] {
+            ev.observe(&VdmsConfig::default_for(t), 0.0);
+        }
+        let curve = ev.qps_curve(0.5);
+        assert_eq!(curve.len(), 4);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

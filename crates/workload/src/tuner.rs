@@ -1,0 +1,68 @@
+//! The tuner interface shared by VDTuner and all baselines, plus the driver
+//! loop that times recommendations (Table VI's breakdown).
+
+use crate::runner::{Evaluator, Observation};
+use std::time::Instant;
+use vdms::VdmsConfig;
+
+/// A sequential configuration tuner.
+///
+/// The driver calls [`Tuner::propose`] with the full evaluation history,
+/// evaluates the returned configuration, then reports it back through
+/// [`Tuner::observe`]. All tuners in the workspace (VDTuner, Random/LHS,
+/// OpenTuner-style, OtterTune-style, qEHVI) implement this trait so the
+/// repro harness can run them interchangeably.
+pub trait Tuner {
+    /// Short display name used in reports ("VDTuner", "Random", ...).
+    fn name(&self) -> &str;
+
+    /// Recommend the next configuration to evaluate.
+    fn propose(&mut self, history: &[Observation]) -> VdmsConfig;
+
+    /// Feedback hook after the proposal was evaluated. Default: no-op.
+    fn observe(&mut self, _obs: &Observation) {}
+}
+
+/// Run `tuner` for `iterations` evaluations against `evaluator`, measuring
+/// wall-clock recommendation time per iteration.
+pub fn run_tuner<T: Tuner + ?Sized>(
+    tuner: &mut T,
+    evaluator: &mut Evaluator<'_>,
+    iterations: usize,
+) {
+    for _ in 0..iterations {
+        let t0 = Instant::now();
+        let config = tuner.propose(evaluator.history());
+        let recommend_secs = t0.elapsed().as_secs_f64();
+        let obs = evaluator.observe(&config, recommend_secs);
+        tuner.observe(&obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use vecdata::{DatasetKind, DatasetSpec};
+
+    struct FixedTuner;
+
+    impl Tuner for FixedTuner {
+        fn name(&self) -> &str {
+            "Fixed"
+        }
+        fn propose(&mut self, _history: &[Observation]) -> VdmsConfig {
+            VdmsConfig::default_config()
+        }
+    }
+
+    #[test]
+    fn driver_runs_and_times() {
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let mut ev = Evaluator::new(&w, 3);
+        let mut t = FixedTuner;
+        run_tuner(&mut t, &mut ev, 3);
+        assert_eq!(ev.len(), 3);
+        assert!(ev.history().iter().all(|o| o.recommend_secs >= 0.0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Explore the raw index-type trade-offs that make VDMS tuning hard.
+//!
+//! Reproduces the paper's Figure 3 intuition interactively: for each of the
+//! seven Milvus index types, evaluate the default parameters and a few
+//! hand-picked variants, printing the (speed, recall, memory) triangle.
+//! This uses only the `vdms` + `workload` layers — no tuner — and is the
+//! place to start when adding a new index type to the `anns` crate.
+//!
+//! ```sh
+//! cargo run --release --example index_explorer
+//! ```
+
+use vdtuner::anns::params::{IndexParams, IndexType};
+use vdtuner::prelude::*;
+use vdtuner::workload::evaluate;
+
+fn main() {
+    let spec = DatasetSpec::scaled(DatasetKind::Glove);
+    let workload = Workload::paper_default(spec);
+
+    println!("{:<12} {:>24} {:>10} {:>8} {:>9}", "index", "variant", "QPS", "recall", "GiB");
+    println!("{}", "-".repeat(68));
+    for it in IndexType::ALL {
+        for (label, params) in variants(it, workload.dataset.dim()) {
+            let mut cfg = VdmsConfig::default_for(it);
+            cfg.index = params;
+            let o = evaluate(&workload, &cfg, 1);
+            match o.failure {
+                None => println!(
+                    "{:<12} {:>24} {:>10.0} {:>8.3} {:>9.2}",
+                    it.name(),
+                    label,
+                    o.qps,
+                    o.recall,
+                    o.memory_gib
+                ),
+                Some(e) => println!("{:<12} {:>24} failed: {e}", it.name(), label),
+            }
+        }
+    }
+    println!(
+        "\nNo single index wins on all axes — exactly the paper's Challenge 2.\n\
+         Run the `quickstart` example to let VDTuner navigate this space."
+    );
+}
+
+/// Default parameters plus one \"fast\" and one \"accurate\" variant per type.
+fn variants(it: IndexType, dim: usize) -> Vec<(&'static str, IndexParams)> {
+    let d = IndexParams::default();
+    let mut v = vec![("default", d)];
+    match it {
+        IndexType::Flat | IndexType::AutoIndex => {}
+        IndexType::IvfFlat | IndexType::IvfSq8 => {
+            v.push(("fast (nprobe=2)", IndexParams { nprobe: 2, ..d }));
+            v.push(("accurate (nprobe=64)", IndexParams { nprobe: 64, ..d }));
+        }
+        IndexType::IvfPq => {
+            v.push(("fast (m=4, nbits=4)", IndexParams { m: 4, nbits: 4, ..d }));
+            v.push(("accurate (m=16, nbits=8)", IndexParams { m: 16, nbits: 8, ..d }));
+        }
+        IndexType::Hnsw => {
+            v.push(("fast (ef=32)", IndexParams { ef: 32, ..d }));
+            v.push(("accurate (M=32, ef=400)", IndexParams { hnsw_m: 32, ef: 400, ..d }));
+        }
+        IndexType::Scann => {
+            v.push(("fast (reorder_k=32)", IndexParams { reorder_k: 32, ..d }));
+            v.push(("accurate (reorder_k=512)", IndexParams { reorder_k: 512, ..d }));
+        }
+    }
+    v.into_iter().map(|(l, p)| (l, p.sanitized(dim, 100))).collect()
+}

@@ -1,0 +1,63 @@
+//! Online adaptation across workload changes — the paper's future-work
+//! direction ("we would like to extend VDTuner to an online version to
+//! actively capture different workloads"), built from the pieces the
+//! library already has: the tuner keeps serving while the workload drifts,
+//! and re-tunes by bootstrapping its surrogate with the observations from
+//! the previous workload instead of starting cold.
+//!
+//! ```sh
+//! cargo run --release --example online_adaptation
+//! ```
+
+use vdtuner::core::{TunerOptions, VdTuner};
+use vdtuner::prelude::*;
+
+fn main() {
+    let iterations = 28;
+
+    // Epoch 1: the service starts on a GloVe-like embedding corpus.
+    let w1 = Workload::paper_default(DatasetSpec::scaled(DatasetKind::Glove));
+    let mut tuner = VdTuner::new(TunerOptions::default(), 21);
+    let epoch1 = tuner.run(&w1, iterations);
+    let best1 = epoch1.best_balanced().expect("epoch 1 found configs");
+    println!(
+        "epoch 1 (GloVe-like):      best balanced {:.0} QPS @ recall {:.3} [{}]",
+        best1.qps,
+        best1.recall,
+        best1.config.index_type
+    );
+
+    // Epoch 2: the product pivots — documents are re-embedded with a text
+    // model (ArXiv-titles-like distribution). Same VDMS, new workload.
+    let w2 = Workload::paper_default(DatasetSpec::scaled(DatasetKind::ArxivTitles));
+
+    // Cold restart: learn the new workload from scratch.
+    let cold = VdTuner::new(TunerOptions::default(), 22).run(&w2, iterations);
+
+    // Warm restart: bootstrap the surrogate with epoch-1 observations. The
+    // shared system parameters (gracefulTime, buffers, concurrency) carry
+    // over even though the data distribution changed.
+    let warm_opts =
+        TunerOptions { bootstrap: epoch1.observations.clone(), ..Default::default() };
+    let warm = VdTuner::new(warm_opts, 22).run(&w2, iterations);
+
+    for (name, out) in [("cold restart", &cold), ("warm (bootstrapped)", &warm)] {
+        let best = out.best_qps_with_recall(0.9);
+        println!(
+            "epoch 2 ({name:>18}): best {} QPS @ recall ≥ 0.9 after {iterations} evals",
+            best.map_or("-".into(), |v| format!("{v:.0}")),
+        );
+    }
+
+    let (c, w) = (cold.best_qps_with_recall(0.9), warm.best_qps_with_recall(0.9));
+    if let (Some(c), Some(w)) = (c, w) {
+        if w >= c {
+            println!("\nwarm start matched or beat the cold restart — prior knowledge transfers");
+        } else {
+            println!(
+                "\nwarm start trailed cold here ({w:.0} vs {c:.0}); transfer helps most when \
+                 workloads are closer — try GloVe → deep-image"
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: generate a workload, evaluate the default configuration,
+//! run VDTuner for a handful of iterations, and print the winner.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vdtuner::prelude::*;
+
+fn main() {
+    // 1. A GloVe-like workload: 8k angular vectors, top-100 queries,
+    //    10 concurrent clients (the paper's §V-A setting).
+    let spec = DatasetSpec::scaled(DatasetKind::Glove);
+    println!("preparing workload {:?} ({} vectors, dim {})", spec.kind.name(), spec.n, spec.dim);
+    let workload = Workload::paper_default(spec);
+
+    // 2. How does the out-of-the-box configuration do?
+    let default = vdtuner::workload::evaluate(&workload, &VdmsConfig::default_config(), 0);
+    println!(
+        "default (AUTOINDEX): {:.0} QPS at recall {:.3}, {:.1} GiB",
+        default.qps, default.recall, default.memory_gib
+    );
+
+    // 3. Tune. VDTuner needs no prior knowledge: it samples each index
+    //    type's default once, then lets polling Bayesian optimization and
+    //    successive abandon allocate the remaining budget.
+    let iterations = 40;
+    let mut tuner = VdTuner::new(TunerOptions::default(), 42);
+    let outcome = tuner.run(&workload, iterations);
+
+    // 4. Results: the Pareto front and the most balanced configuration.
+    println!("\nPareto-optimal configurations found in {iterations} evaluations:");
+    for &i in &outcome.pareto_indices() {
+        let o = &outcome.observations[i];
+        println!("  {:>7.0} QPS  recall {:.3}  {}", o.qps, o.recall, o.config.summary());
+    }
+    if let Some(best) = outcome.best_balanced() {
+        println!("\nmost balanced: {:.0} QPS at recall {:.3}", best.qps, best.recall);
+        println!("  {}", best.config.summary());
+        let (ds, dr) = outcome.improvement_over_default(default.qps, default.recall);
+        println!(
+            "improvement over default: +{:.1}% speed (no recall sacrifice), +{:.1}% recall (no speed sacrifice)",
+            ds * 100.0,
+            dr * 100.0
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Tuning for a RAG (retrieval-augmented generation) service with a hard
+//! recall requirement.
+//!
+//! A RAG pipeline cares about answer grounding: recall below a threshold
+//! poisons the LLM's context. The operator therefore asks: *maximize
+//! throughput subject to recall > 0.9*. This is the paper's §IV-F scenario;
+//! VDTuner switches its acquisition to constrained EI (Eq. 7) and can
+//! bootstrap from earlier tuning sessions with a different threshold.
+//!
+//! ```sh
+//! cargo run --release --example rag_constraint_tuning
+//! ```
+
+use vdtuner::core::{TunerMode, TunerOptions, VdTuner};
+use vdtuner::prelude::*;
+
+fn main() {
+    // ArXiv-titles-like text embeddings: the classic RAG corpus shape.
+    let spec = DatasetSpec::scaled(DatasetKind::ArxivTitles);
+    let workload = Workload::paper_default(spec);
+    let iterations = 36;
+
+    // Phase 1: the service launches with a soft recall floor of 0.85.
+    let opts_085 = TunerOptions {
+        mode: TunerMode::Constrained { recall_limit: 0.85 },
+        ..Default::default()
+    };
+    let mut tuner = VdTuner::new(opts_085, 7);
+    let phase1 = tuner.run(&workload, iterations);
+    report("phase 1 (recall > 0.85)", &phase1, 0.85);
+
+    // Phase 2: product tightens the requirement to 0.9. Instead of
+    // restarting from scratch, bootstrap the surrogate with phase-1 data
+    // (§IV-F "Bootstrapping with Previous Data").
+    let opts_09 = TunerOptions {
+        mode: TunerMode::Constrained { recall_limit: 0.9 },
+        bootstrap: phase1.observations.clone(),
+        ..Default::default()
+    };
+    let mut tuner = VdTuner::new(opts_09, 8);
+    let phase2 = tuner.run(&workload, iterations);
+    report("phase 2 (recall > 0.90, bootstrapped)", &phase2, 0.9);
+}
+
+fn report(title: &str, outcome: &vdtuner::core::TuningOutcome, floor: f64) {
+    println!("== {title}");
+    match outcome.best_qps_with_recall(floor) {
+        Some(qps) => {
+            let best = outcome
+                .observations
+                .iter()
+                .filter(|o| !o.failed && o.recall >= floor)
+                .max_by(|a, b| a.qps.total_cmp(&b.qps))
+                .expect("feasible observation");
+            println!("  best feasible: {qps:.0} QPS at recall {:.3}", best.recall);
+            println!("  config: {}", best.config.summary());
+        }
+        None => println!("  no feasible configuration found — increase the budget"),
+    }
+    let feasible = outcome
+        .observations
+        .iter()
+        .filter(|o| !o.failed && o.recall >= floor)
+        .count();
+    println!(
+        "  {}/{} evaluations were feasible\n",
+        feasible,
+        outcome.observations.len()
+    );
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: dataset → VDMS collection → search →
+//! measurement, spanning `vecdata`, `anns`, `vdms` and `workload`.
+
+use vdtuner::anns::params::IndexType;
+use vdtuner::prelude::*;
+use vdtuner::vdms::system_params::SystemParams;
+use vdtuner::workload::evaluate;
+use vdtuner::vecdata::DatasetSpec as Spec;
+
+fn tiny_workload() -> Workload {
+    Workload::prepare(Spec::tiny(DatasetKind::Glove), 10)
+}
+
+#[test]
+fn every_index_type_serves_the_same_workload() {
+    let w = tiny_workload();
+    for it in IndexType::ALL {
+        let out = evaluate(&w, &VdmsConfig::default_for(it), 7);
+        assert!(out.is_ok(), "{it}: {:?}", out.failure);
+        assert!(out.qps > 0.0, "{it}");
+        assert!(out.recall > 0.2 && out.recall <= 1.0, "{it}: recall {}", out.recall);
+        assert!(out.memory_gib >= 1.0, "{it}");
+    }
+}
+
+#[test]
+fn recall_speed_conflict_exists() {
+    // The core premise (Challenge 2): some configuration is faster than
+    // FLAT, and FLAT has better recall than some faster configuration.
+    let w = tiny_workload();
+    let mut sealed = VdmsConfig::default_for(IndexType::Flat);
+    sealed.system.segment_max_size_mb = 64.0;
+    sealed.system.segment_seal_proportion = 0.5;
+    let flat = evaluate(&w, &sealed, 7);
+    let mut fast_cfg = sealed;
+    fast_cfg.index_type = IndexType::IvfPq;
+    fast_cfg.index.nprobe = 1;
+    let fast = evaluate(&w, &fast_cfg, 7);
+    assert!(fast.qps > flat.qps, "quantized probe-1 must be faster than FLAT");
+    assert!(flat.recall > fast.recall, "FLAT must have better recall");
+}
+
+#[test]
+fn system_params_change_performance_without_touching_the_index() {
+    let w = tiny_workload();
+    let base = VdmsConfig::default_for(IndexType::IvfFlat);
+    let a = evaluate(&w, &base, 7);
+    let mut constrained = base;
+    constrained.system.max_read_concurrency = 1;
+    let b = evaluate(&w, &constrained, 7);
+    assert!(b.qps < a.qps * 0.5, "read concurrency 1 must throttle QPS");
+    assert_eq!(a.recall, b.recall, "recall must not depend on concurrency");
+}
+
+#[test]
+fn growing_tail_tradeoff() {
+    // All-growing layout: exact recall, brute-force speed. Sealed layout:
+    // faster, recall may drop. This is the segment-level interdependence
+    // behind the paper's Figure 1.
+    let w = tiny_workload();
+    let mut growing = VdmsConfig::default_for(IndexType::IvfSq8);
+    growing.system = SystemParams {
+        segment_max_size_mb: 2048.0,
+        segment_seal_proportion: 1.0,
+        insert_buf_size_mb: 2048.0,
+        ..Default::default()
+    };
+    let g = evaluate(&w, &growing, 7);
+    assert!(g.recall > 0.999, "all-growing must be exact, got {}", g.recall);
+
+    let mut sealed = growing;
+    sealed.system.segment_max_size_mb = 64.0;
+    sealed.system.segment_seal_proportion = 0.5;
+    sealed.index.nprobe = 2;
+    let s = evaluate(&w, &sealed, 7);
+    assert!(s.qps > g.qps, "indexed search must beat brute force");
+    assert!(s.recall < 1.0, "aggressive probing must cost recall");
+}
+
+#[test]
+fn memory_accounting_responds_to_knobs() {
+    let w = tiny_workload();
+    let small = evaluate(
+        &w,
+        &VdmsConfig {
+            system: SystemParams { insert_buf_size_mb: 16.0, ..Default::default() },
+            ..VdmsConfig::default_config()
+        },
+        7,
+    );
+    let big = evaluate(
+        &w,
+        &VdmsConfig {
+            system: SystemParams { insert_buf_size_mb: 2048.0, ..Default::default() },
+            ..VdmsConfig::default_config()
+        },
+        7,
+    );
+    assert!(big.memory_gib > small.memory_gib + 1.0);
+}
+
+#[test]
+fn failed_configs_are_reported_not_panicked() {
+    let w = tiny_workload();
+    let mut bad = VdmsConfig::default_config();
+    bad.system.graceful_time_ms = 0.0;
+    bad.system.insert_buf_size_mb = 2048.0;
+    let out = evaluate(&w, &bad, 7);
+    assert!(!out.is_ok());
+    assert!(out.simulated_secs > 0.0);
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let w1 = tiny_workload();
+    let w2 = tiny_workload();
+    let cfg = VdmsConfig::default_for(IndexType::Scann);
+    assert_eq!(evaluate(&w1, &cfg, 9), evaluate(&w2, &cfg, 9));
+}
