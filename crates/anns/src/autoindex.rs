@@ -45,8 +45,7 @@ impl AutoIndexIndex {
 impl VectorIndex for AutoIndexIndex {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
         // AUTOINDEX ignores user search params except top_k.
-        let fixed =
-            SearchParams { nprobe: self.nprobe, ef: 0, reorder_k: 0, top_k: sp.top_k };
+        let fixed = SearchParams { nprobe: self.nprobe, ef: 0, reorder_k: 0, top_k: sp.top_k };
         self.inner.search(query, &fixed, cost)
     }
 
@@ -72,12 +71,20 @@ mod tests {
         let mut c1 = SearchCost::default();
         let mut c2 = SearchCost::default();
         let r1: Vec<u32> = idx
-            .search(ds.query(0), &SearchParams { nprobe: 1, ef: 16, reorder_k: 1, top_k: 10 }, &mut c1)
+            .search(
+                ds.query(0),
+                &SearchParams { nprobe: 1, ef: 16, reorder_k: 1, top_k: 10 },
+                &mut c1,
+            )
             .iter()
             .map(|n| n.id)
             .collect();
         let r2: Vec<u32> = idx
-            .search(ds.query(0), &SearchParams { nprobe: 99, ef: 512, reorder_k: 512, top_k: 10 }, &mut c2)
+            .search(
+                ds.query(0),
+                &SearchParams { nprobe: 99, ef: 512, reorder_k: 512, top_k: 10 },
+                &mut c2,
+            )
             .iter()
             .map(|n| n.id)
             .collect();

@@ -98,8 +98,7 @@ mod tests {
         a.add_f32_distance(48);
         a.add_f32_distance(48);
         a.add_u8_distance(16);
-        let mut b = SearchCost::default();
-        b.graph_hops = 3;
+        let mut b = SearchCost { graph_hops: 3, ..Default::default() };
         b.add(&a);
         assert_eq!(b.f32_dims, 96);
         assert_eq!(b.u8_dims, 16);

@@ -1,8 +1,8 @@
 //! FLAT: exhaustive exact search (the paper's recall upper bound).
 
 use crate::cost::{BuildStats, SearchCost};
-use crate::params::SearchParams;
 use crate::index::VectorIndex;
+use crate::params::SearchParams;
 use vecdata::distance::l2_sq;
 use vecdata::ground_truth::TopK;
 use vecdata::Neighbor;

@@ -90,7 +90,13 @@ impl HnswIndex {
 
     /// Greedy search on one layer starting from `entry`, returning the
     /// closest node found (used for descending the upper layers).
-    fn greedy_closest(&self, query: &[f32], entry: u32, layer: usize, cost: &mut SearchCost) -> u32 {
+    fn greedy_closest(
+        &self,
+        query: &[f32],
+        entry: u32,
+        layer: usize,
+        cost: &mut SearchCost,
+    ) -> u32 {
         let mut cur = entry;
         let mut cur_d = self.dist(query, cur, &mut cost.graph_dims);
         loop {
@@ -340,8 +346,16 @@ mod tests {
         let (ds, idx) = build_tiny(16, 100);
         let mut c_lo = SearchCost::default();
         let mut c_hi = SearchCost::default();
-        idx.search(ds.query(0), &SearchParams { nprobe: 0, ef: 10, reorder_k: 0, top_k: 10 }, &mut c_lo);
-        idx.search(ds.query(0), &SearchParams { nprobe: 0, ef: 300, reorder_k: 0, top_k: 10 }, &mut c_hi);
+        idx.search(
+            ds.query(0),
+            &SearchParams { nprobe: 0, ef: 10, reorder_k: 0, top_k: 10 },
+            &mut c_lo,
+        );
+        idx.search(
+            ds.query(0),
+            &SearchParams { nprobe: 0, ef: 300, reorder_k: 0, top_k: 10 },
+            &mut c_hi,
+        );
         assert!(c_hi.graph_dims > c_lo.graph_dims);
         assert!(c_hi.graph_hops > c_lo.graph_hops);
     }

@@ -183,8 +183,7 @@ mod tests {
         let params = IndexParams::default().sanitized(ds.dim(), 10);
         let gt = vecdata::ground_truth(&ds, 10);
         for kind in IndexType::ALL {
-            let (idx, stats) =
-                AnnIndex::build(kind, ds.raw(), ds.dim(), &params, 99).unwrap();
+            let (idx, stats) = AnnIndex::build(kind, ds.raw(), ds.dim(), &params, 99).unwrap();
             assert_eq!(idx.kind(), kind);
             assert_eq!(idx.len(), ds.len());
             assert!(stats.memory_bytes > 0, "{kind} memory");

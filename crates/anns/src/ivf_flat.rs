@@ -94,8 +94,16 @@ mod tests {
         let idx = IvfFlatIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
         let mut c1 = SearchCost::default();
         let mut c8 = SearchCost::default();
-        idx.search(ds.query(0), &SearchParams { nprobe: 1, ef: 0, reorder_k: 0, top_k: 10 }, &mut c1);
-        idx.search(ds.query(0), &SearchParams { nprobe: 8, ef: 0, reorder_k: 0, top_k: 10 }, &mut c8);
+        idx.search(
+            ds.query(0),
+            &SearchParams { nprobe: 1, ef: 0, reorder_k: 0, top_k: 10 },
+            &mut c1,
+        );
+        idx.search(
+            ds.query(0),
+            &SearchParams { nprobe: 8, ef: 0, reorder_k: 0, top_k: 10 },
+            &mut c8,
+        );
         assert!(c8.f32_dims > c1.f32_dims);
         assert_eq!(c1.lists_probed, 1);
         assert_eq!(c8.lists_probed, 8);

@@ -30,11 +30,8 @@ impl ScalarQuantizer {
                 maxs[d] = maxs[d].max(v[d]);
             }
         }
-        let scales = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(lo, hi)| ((hi - lo) / 255.0).max(1e-12))
-            .collect();
+        let scales =
+            mins.iter().zip(&maxs).map(|(lo, hi)| ((hi - lo) / 255.0).max(1e-12)).collect();
         ScalarQuantizer { mins, scales }
     }
 

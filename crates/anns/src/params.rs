@@ -223,7 +223,12 @@ pub struct SearchParams {
 
 impl SearchParams {
     pub fn from_params(p: &IndexParams, top_k: usize) -> Self {
-        SearchParams { nprobe: p.nprobe, ef: p.ef.max(top_k), reorder_k: p.reorder_k.max(top_k), top_k }
+        SearchParams {
+            nprobe: p.nprobe,
+            ef: p.ef.max(top_k),
+            reorder_k: p.reorder_k.max(top_k),
+            top_k,
+        }
     }
 }
 
@@ -281,8 +286,16 @@ mod tests {
 
     #[test]
     fn sanitize_enforces_constraints() {
-        let p = IndexParams { nlist: 16, nprobe: 400, m: 5, nbits: 99, ef: 1, reorder_k: 1, ..Default::default() }
-            .sanitized(48, 10);
+        let p = IndexParams {
+            nlist: 16,
+            nprobe: 400,
+            m: 5,
+            nbits: 99,
+            ef: 1,
+            reorder_k: 1,
+            ..Default::default()
+        }
+        .sanitized(48, 10);
         assert!(p.nprobe <= p.nlist);
         assert_eq!(48 % p.m, 0);
         assert_eq!(p.nbits, 8);

@@ -104,7 +104,12 @@ mod tests {
         (ds, idx)
     }
 
-    fn recall_with(ds: &vecdata::Dataset, idx: &ScannIndex, nprobe: usize, reorder_k: usize) -> f64 {
+    fn recall_with(
+        ds: &vecdata::Dataset,
+        idx: &ScannIndex,
+        nprobe: usize,
+        reorder_k: usize,
+    ) -> f64 {
         let gt = ground_truth(ds, 10);
         let sp = SearchParams { nprobe, ef: 0, reorder_k, top_k: 10 };
         let mut acc = 0.0;
@@ -131,8 +136,16 @@ mod tests {
         let (ds, idx) = setup();
         let mut c_small = SearchCost::default();
         let mut c_large = SearchCost::default();
-        idx.search(ds.query(0), &SearchParams { nprobe: 8, ef: 0, reorder_k: 16, top_k: 10 }, &mut c_small);
-        idx.search(ds.query(0), &SearchParams { nprobe: 8, ef: 0, reorder_k: 256, top_k: 10 }, &mut c_large);
+        idx.search(
+            ds.query(0),
+            &SearchParams { nprobe: 8, ef: 0, reorder_k: 16, top_k: 10 },
+            &mut c_small,
+        );
+        idx.search(
+            ds.query(0),
+            &SearchParams { nprobe: 8, ef: 0, reorder_k: 256, top_k: 10 },
+            &mut c_large,
+        );
         assert!(c_large.f32_dims > c_small.f32_dims);
         assert_eq!(c_large.pq_lookups, c_small.pq_lookups); // same scan stage
     }

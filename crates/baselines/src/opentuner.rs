@@ -86,10 +86,8 @@ impl OpenTunerStyle {
 
     /// Top `n` observation encodings by reward.
     fn elites(&self, history: &[Observation], n: usize) -> Vec<Vec<f64>> {
-        let mut scored: Vec<(f64, &Observation)> = history
-            .iter()
-            .map(|o| (weighted_reward(history, o.qps, o.recall), o))
-            .collect();
+        let mut scored: Vec<(f64, &Observation)> =
+            history.iter().map(|o| (weighted_reward(history, o.qps, o.recall), o)).collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         scored.into_iter().take(n).map(|(_, o)| self.space.encode(&o.config)).collect()
     }
@@ -115,10 +113,9 @@ impl Tuner for OpenTunerStyle {
         let base = elites.first().cloned().unwrap_or_else(|| vec![0.5; DIMS]);
         let u: Vec<f64> = match TECHNIQUES[arm_idx] {
             Technique::UniformRandom => (0..DIMS).map(|_| r.gen()).collect(),
-            Technique::HillClimbSmall => base
-                .iter()
-                .map(|&v| (v + 0.03 * standard_normal(&mut r)).clamp(0.0, 1.0))
-                .collect(),
+            Technique::HillClimbSmall => {
+                base.iter().map(|&v| (v + 0.03 * standard_normal(&mut r)).clamp(0.0, 1.0)).collect()
+            }
             Technique::PatternLarge => {
                 // Move far along a single random coordinate (pattern search).
                 let mut v = base.clone();

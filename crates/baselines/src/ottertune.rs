@@ -59,12 +59,8 @@ impl Tuner for OtterTuneStyle {
         let best = y.iter().copied().fold(f64::MIN, f64::max);
 
         // Incumbent = best-reward configuration.
-        let best_idx = y
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let best_idx =
+            y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0);
         let incumbents = vec![x[best_idx].clone()];
         let pool =
             candidate_pool(DIMS, &incumbents, &self.candidates, derive(self.seed, self.iter));

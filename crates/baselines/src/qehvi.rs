@@ -64,19 +64,15 @@ impl Tuner for QehviTuner {
         let gp_speed = fit_gp(&x, &y_speed, &self.fit);
         let gp_recall = fit_gp(&x, &y_recall, &self.fit);
 
-        let pairs: Vec<[f64; 2]> =
-            y_speed.iter().zip(&y_recall).map(|(&s, &r)| [s, r]).collect();
+        let pairs: Vec<[f64; 2]> = y_speed.iter().zip(&y_recall).map(|(&s, &r)| [s, r]).collect();
         let front: Vec<[f64; 2]> =
             non_dominated_indices(&pairs).into_iter().map(|i| pairs[i]).collect();
         // "The reference point of qEHVI is set to zero for each objective by
         // default." (§V-A)
         let reference = [0.0, 0.0];
 
-        let incumbents: Vec<Vec<f64>> = non_dominated_indices(&pairs)
-            .into_iter()
-            .take(3)
-            .map(|i| x[i].clone())
-            .collect();
+        let incumbents: Vec<Vec<f64>> =
+            non_dominated_indices(&pairs).into_iter().take(3).map(|i| x[i].clone()).collect();
         let pool =
             candidate_pool(DIMS, &incumbents, &self.candidates, derive(self.seed, self.iter));
         let mut zrng = rng(derive(self.seed, 0xE0 + self.iter));

@@ -88,7 +88,8 @@ fn bench_gp(c: &mut Criterion) {
 fn bench_acquisition(c: &mut Criterion) {
     let front: Vec<[f64; 2]> = (0..20).map(|i| [20.0 - i as f64, i as f64]).collect();
     let reference = [0.0, 0.0];
-    let z: Vec<(f64, f64)> = (0..64).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.73).cos())).collect();
+    let z: Vec<(f64, f64)> =
+        (0..64).map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.73).cos())).collect();
     let post = gp::Posterior { mean: 12.0, variance: 4.0 };
     c.bench_function("acq/ehvi_mc_front20_z64", |b| {
         b.iter(|| ehvi_mc(black_box(&post), black_box(&post), &front, &reference, &z))

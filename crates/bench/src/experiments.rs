@@ -38,10 +38,8 @@ pub fn fig1(profile: &Profile) {
             .chain(seals.iter().map(|s| format!("{s:.1}")))
             .collect::<Vec<String>>(),
     );
-    let jobs: Vec<(f64, f64)> = max_sizes
-        .iter()
-        .flat_map(|&m| seals.iter().map(move |&s| (m, s)))
-        .collect();
+    let jobs: Vec<(f64, f64)> =
+        max_sizes.iter().flat_map(|&m| seals.iter().map(move |&s| (m, s))).collect();
     let outs = run_parallel(jobs.clone(), |&(m, s)| {
         let mut cfg = VdmsConfig::default_config();
         cfg.system.segment_max_size_mb = m;
@@ -149,35 +147,36 @@ pub fn fig3(profile: &Profile) {
     // parameters; weighted performance best-so-far.
     let w = workload_for(DatasetKind::Glove);
     let samples = profile.iters.max(20);
-    let per_type: Vec<(IndexType, Vec<f64>)> = run_parallel(
-        IndexType::ALL.to_vec(),
-        |&it| {
-            let space = vdtuner_core::ConfigSpace;
-            let free = vdtuner_core::ConfigSpace::free_dims(it);
-            let pts = mobo::sampling::latin_hypercube(samples, free.len(), profile.seed ^ it.ordinal() as u64);
-            let outs: Vec<(f64, f64)> = pts
-                .iter()
-                .map(|p| {
-                    let pairs: Vec<(usize, f64)> =
-                        free.iter().copied().zip(p.iter().copied()).collect();
-                    let cfg = space.decode(&space.embed(it, &pairs));
-                    let o = evaluate(&w, &cfg, profile.seed);
-                    (o.qps, o.recall)
-                })
-                .collect();
-            let max_q = outs.iter().map(|o| o.0).fold(1e-9, f64::max);
-            let max_r = outs.iter().map(|o| o.1).fold(1e-9, f64::max);
-            let mut best = 0.0f64;
-            let curve: Vec<f64> = outs
-                .iter()
-                .map(|&(q, r)| {
-                    best = best.max(0.5 * q / max_q + 0.5 * r / max_r);
-                    best
-                })
-                .collect();
-            (it, curve)
-        },
-    );
+    let per_type: Vec<(IndexType, Vec<f64>)> = run_parallel(IndexType::ALL.to_vec(), |&it| {
+        let space = vdtuner_core::ConfigSpace;
+        let free = vdtuner_core::ConfigSpace::free_dims(it);
+        let pts = mobo::sampling::latin_hypercube(
+            samples,
+            free.len(),
+            profile.seed ^ it.ordinal() as u64,
+        );
+        let outs: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|p| {
+                let pairs: Vec<(usize, f64)> =
+                    free.iter().copied().zip(p.iter().copied()).collect();
+                let cfg = space.decode(&space.embed(it, &pairs));
+                let o = evaluate(&w, &cfg, profile.seed);
+                (o.qps, o.recall)
+            })
+            .collect();
+        let max_q = outs.iter().map(|o| o.0).fold(1e-9, f64::max);
+        let max_r = outs.iter().map(|o| o.1).fold(1e-9, f64::max);
+        let mut best = 0.0f64;
+        let curve: Vec<f64> = outs
+            .iter()
+            .map(|&(q, r)| {
+                best = best.max(0.5 * q / max_q + 0.5 * r / max_r);
+                best
+            })
+            .collect();
+        (it, curve)
+    });
     let checkpoints: Vec<usize> =
         (0..samples).step_by((samples / 10).max(1)).chain(std::iter::once(samples - 1)).collect();
     let mut t = Table::new(
@@ -228,10 +227,8 @@ pub fn fig6(profile: &Profile) {
         .into_iter()
         .flat_map(|k| Method::ALL.into_iter().map(move |m| (k, m)))
         .collect();
-    let workloads: Vec<(DatasetKind, Workload)> = DatasetKind::main_three()
-        .into_iter()
-        .map(|k| (k, workload_for(k)))
-        .collect();
+    let workloads: Vec<(DatasetKind, Workload)> =
+        DatasetKind::main_three().into_iter().map(|k| (k, workload_for(k))).collect();
     let outs = run_parallel(jobs.clone(), |&(k, m)| {
         let w = &workloads.iter().find(|(wk, _)| *wk == k).expect("workload").1;
         run_method(m, w, profile.iters, profile.seed)
@@ -278,10 +275,8 @@ pub fn fig7(profile: &Profile) {
 
     for &floor in &floors {
         let step = (profile.iters / 10).max(1);
-        let checkpoints: Vec<usize> = (0..profile.iters)
-            .step_by(step)
-            .chain(std::iter::once(profile.iters - 1))
-            .collect();
+        let checkpoints: Vec<usize> =
+            (0..profile.iters).step_by(step).chain(std::iter::once(profile.iters - 1)).collect();
         let mut t = Table::new(
             std::iter::once("method".to_string())
                 .chain(checkpoints.iter().map(|c| format!("it{}", c + 1)))
@@ -390,10 +385,7 @@ pub fn fig9(profile: &Profile) {
                 None => "0%".into(), // abandoned
             }
         };
-        let leader = row
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(t, _)| *t);
+        let leader = row.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(t, _)| *t);
         let marker = match (leader, last_leader) {
             (Some(l), Some(prev)) if l != prev => format!("{} *", l.name()),
             (Some(l), _) => l.name().to_string(),
@@ -449,18 +441,9 @@ pub fn fig10(profile: &Profile) {
         let max_q = out.observations.iter().map(|o| o.qps).fold(0.0, f64::max);
         let max_r = recalls.iter().copied().fold(0.0, f64::max);
         // "Red rectangle": both objectives high simultaneously.
-        let good = out
-            .observations
-            .iter()
-            .filter(|o| o.qps >= 0.7 * max_q && o.recall >= 0.9)
-            .count();
-        summary.row(vec![
-            name.to_string(),
-            f3(sigma),
-            good.to_string(),
-            f1(max_q),
-            f3(max_r),
-        ]);
+        let good =
+            out.observations.iter().filter(|o| o.qps >= 0.7 * max_q && o.recall >= 0.9).count();
+        summary.row(vec![name.to_string(), f3(sigma), good.to_string(), f1(max_q), f3(max_r)]);
     }
     emit("fig10_summary", "Fig 10 summary: polling explores wider and samples better", &summary);
 }
@@ -471,10 +454,8 @@ pub fn fig11(profile: &Profile) {
     let out = run_vdtuner_variant(&w, profile.iters, profile.seed, |_| {});
     let trace = out.param_trace();
     let tracked = ["nlist", "nprobe", "segment_sealProportion", "gracefulTime"];
-    let dims: Vec<usize> = tracked
-        .iter()
-        .map(|n| DIM_NAMES.iter().position(|d| d == n).expect("dim"))
-        .collect();
+    let dims: Vec<usize> =
+        tracked.iter().map(|n| DIM_NAMES.iter().position(|d| d == n).expect("dim")).collect();
     let mut t = Table::new(
         std::iter::once("iter".to_string())
             .chain(tracked.iter().map(|s| s.to_string()))
@@ -516,11 +497,8 @@ pub fn fig12(profile: &Profile) {
     let runs = run_parallel(vec![0usize, 1, 2], |&v| {
         let mut per_phase: Vec<TuningOutcome> = Vec::new();
         for (pi, &lim) in phases.iter().enumerate() {
-            let boot = if v == 2 && pi > 0 {
-                per_phase[pi - 1].observations.clone()
-            } else {
-                Vec::new()
-            };
+            let boot =
+                if v == 2 && pi > 0 { per_phase[pi - 1].observations.clone() } else { Vec::new() };
             let out = run_vdtuner_variant(&w, iters, seed ^ (pi as u64) << 8, |o| {
                 if v >= 1 {
                     o.mode = TunerMode::Constrained { recall_limit: lim };
@@ -606,10 +584,8 @@ pub fn fig13(profile: &Profile) {
 
     // (b) SHAP attribution of parameters to memory usage and search speed,
     // using the simulator itself as the explained function.
-    let target = qps_run
-        .best_balanced()
-        .map(|o| o.config)
-        .unwrap_or_else(VdmsConfig::default_config);
+    let target =
+        qps_run.best_balanced().map(|o| o.config).unwrap_or_else(VdmsConfig::default_config);
     let baseline = VdmsConfig::default_config();
     let perms = 4;
     let attr_mem = shapley_attribution(
@@ -676,7 +652,10 @@ pub fn table6(profile: &Profile) {
     }
     emit(
         "table6",
-        &format!("Table VI: time breakdown for {} iterations of each method (GloVe)", profile.iters),
+        &format!(
+            "Table VI: time breakdown for {} iterations of each method (GloVe)",
+            profile.iters
+        ),
         &t,
     );
 }
@@ -685,8 +664,14 @@ pub fn table6(profile: &Profile) {
 pub fn scale(profile: &Profile) {
     let w = workload_for(DatasetKind::DeepImage);
     let methods = vec![Method::VdTuner, Method::Qehvi];
-    let outs = run_parallel(methods.clone(), |&m| run_method(m, &w, profile.scale_iters, profile.seed));
-    let mut t = Table::new(vec!["method", "best QPS @ recall>0.9", "best QPS @ recall>0.99", "sim tuning secs"]);
+    let outs =
+        run_parallel(methods.clone(), |&m| run_method(m, &w, profile.scale_iters, profile.seed));
+    let mut t = Table::new(vec![
+        "method",
+        "best QPS @ recall>0.9",
+        "best QPS @ recall>0.99",
+        "sim tuning secs",
+    ]);
     for (m, out) in methods.iter().zip(&outs) {
         t.row(vec![
             m.name().to_string(),
@@ -699,16 +684,9 @@ pub fn scale(profile: &Profile) {
     let vd = &outs[0];
     let qe = &outs[1];
     if let Some(qe_best) = qe.best_qps_with_recall(0.99) {
-        let improvement = vd
-            .best_qps_with_recall(0.99)
-            .map(|v| v / qe_best - 1.0)
-            .unwrap_or(0.0);
+        let improvement = vd.best_qps_with_recall(0.99).map(|v| v / qe_best - 1.0).unwrap_or(0.0);
         let vd_secs = vd.secs_to_reach(qe_best, 0.99);
-        let qe_secs: f64 = qe
-            .observations
-            .iter()
-            .map(|o| o.replay_secs + o.recommend_secs)
-            .sum();
+        let qe_secs: f64 = qe.observations.iter().map(|o| o.replay_secs + o.recommend_secs).sum();
         t.row(vec![
             "VDTuner advantage".to_string(),
             pct(improvement),

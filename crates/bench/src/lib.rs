@@ -145,20 +145,16 @@ where
     J: Send + Sync,
     R: Send,
 {
-    let n = jobs.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, job) in jobs.iter().enumerate() {
-            let f = &f;
-            handles.push((i, s.spawn(move |_| f(job))));
-        }
-        for (i, h) in handles {
-            results[i] = Some(h.join().expect("experiment thread panicked"));
-        }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|job| {
+                let f = &f;
+                s.spawn(move || f(job))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
     })
-    .expect("crossbeam scope");
-    results.into_iter().map(|r| r.expect("filled")).collect()
 }
 
 /// Prepared workloads for the main three datasets (Table III), top-100 as

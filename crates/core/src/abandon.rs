@@ -20,8 +20,7 @@ pub type ScoreRow = Vec<(IndexType, f64)>;
 /// base of the *global* non-dominated set (Eq. 3 applied to all data), as
 /// specified under Eq. 5.
 pub fn scores(per_type: &[(IndexType, Vec<[f64; 2]>)]) -> ScoreRow {
-    let all: Vec<[f64; 2]> =
-        per_type.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let all: Vec<[f64; 2]> = per_type.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
     if all.is_empty() {
         return per_type.iter().map(|(t, _)| (*t, 0.0)).collect();
     }
@@ -40,8 +39,7 @@ pub fn scores(per_type: &[(IndexType, Vec<[f64; 2]>)]) -> ScoreRow {
             (*t, hv2d(&rest, &r))
         })
         .collect();
-    let max_without =
-        hv_without.iter().map(|(_, h)| *h).fold(f64::MIN, f64::max);
+    let max_without = hv_without.iter().map(|(_, h)| *h).fold(f64::MIN, f64::max);
     // Score(t) = max_t' HV(Y/Y_t') − HV(Y/Y_t): large when removing t hurts.
     hv_without.into_iter().map(|(t, h)| (t, max_without - h)).collect()
 }
@@ -72,11 +70,8 @@ impl AbandonPolicy {
             self.score_trace.push(row);
             return None;
         }
-        let worst = row
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(t, _)| *t)
-            .expect("non-empty");
+        let worst =
+            row.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|(t, _)| *t).expect("non-empty");
         self.score_trace.push(row);
 
         let streak = match self.streak {

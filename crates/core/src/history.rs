@@ -40,30 +40,25 @@ impl TuningOutcome {
 
     /// Indices of the non-dominated observations (speed × recall).
     pub fn pareto_indices(&self) -> Vec<usize> {
-        let ys: Vec<[f64; 2]> =
-            self.observations.iter().map(|o| [o.qps, o.recall]).collect();
+        let ys: Vec<[f64; 2]> = self.observations.iter().map(|o| [o.qps, o.recall]).collect();
         non_dominated_indices(&ys)
     }
 
     /// Pareto rank per observation (Figure 10 marker sizes).
     pub fn pareto_rank_per_obs(&self) -> Vec<usize> {
-        let ys: Vec<[f64; 2]> =
-            self.observations.iter().map(|o| [o.qps, o.recall]).collect();
+        let ys: Vec<[f64; 2]> = self.observations.iter().map(|o| [o.qps, o.recall]).collect();
         pareto_ranks(&ys)
     }
 
     /// The most balanced non-dominated observation (Eq. 3 applied to the
     /// whole run) — the single configuration VDTuner would hand the user.
     pub fn best_balanced(&self) -> Option<&Observation> {
-        let ys: Vec<[f64; 2]> =
-            self.observations.iter().map(|o| [o.qps, o.recall]).collect();
+        let ys: Vec<[f64; 2]> = self.observations.iter().map(|o| [o.qps, o.recall]).collect();
         if ys.is_empty() {
             return None;
         }
         let base = balanced_base(&ys);
-        self.observations
-            .iter()
-            .find(|o| o.qps == base.speed && o.recall == base.recall)
+        self.observations.iter().find(|o| o.qps == base.speed && o.recall == base.recall)
     }
 
     /// Best QPS among observations meeting the recall floor (Figures 6–8).
@@ -190,11 +185,7 @@ mod tests {
     fn outcome(data: &[(f64, f64)]) -> TuningOutcome {
         TuningOutcome {
             tuner: "T".into(),
-            observations: data
-                .iter()
-                .enumerate()
-                .map(|(i, &(q, r))| obs(i, q, r))
-                .collect(),
+            observations: data.iter().enumerate().map(|(i, &(q, r))| obs(i, q, r)).collect(),
             score_trace: Vec::new(),
             total_replay_secs: 0.0,
             total_recommend_secs: 0.0,

@@ -39,8 +39,7 @@ pub fn balanced_base(ys: &[[f64; 2]]) -> BaseValue {
     if ys.is_empty() {
         return BaseValue::unit();
     }
-    let front: Vec<[f64; 2]> =
-        non_dominated_indices(ys).into_iter().map(|i| ys[i]).collect();
+    let front: Vec<[f64; 2]> = non_dominated_indices(ys).into_iter().map(|i| ys[i]).collect();
     let y1_max = front.iter().map(|y| y[0]).fold(f64::MIN, f64::max).max(1e-12);
     let y2_max = front.iter().map(|y| y[1]).fold(f64::MIN, f64::max).max(1e-12);
     let mut best = front[0];
@@ -97,11 +96,7 @@ impl NpiNormalizer {
 
     /// The base value for `t` (unit if the type was never observed).
     pub fn base(&self, t: IndexType) -> BaseValue {
-        self.bases
-            .iter()
-            .find(|(bt, _)| *bt == t)
-            .map(|(_, b)| *b)
-            .unwrap_or_else(BaseValue::unit)
+        self.bases.iter().find(|(bt, _)| *bt == t).map(|(_, b)| *b).unwrap_or_else(BaseValue::unit)
     }
 
     /// Normalize one observation of type `t` (Eq. 2).

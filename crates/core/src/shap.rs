@@ -122,9 +122,8 @@ mod tests {
         target.system.insert_buf_size_mb = 2048.0;
         target.system.graceful_time_ms = 0.0;
         let baseline = VdmsConfig::default_config();
-        let f = |c: &VdmsConfig| {
-            c.system.insert_buf_size_mb * 2.0 - c.system.graceful_time_ms * 0.1
-        };
+        let f =
+            |c: &VdmsConfig| c.system.insert_buf_size_mb * 2.0 - c.system.graceful_time_ms * 0.1;
         let attr = shapley_attribution(f, &target, &baseline, 4, 5);
         let ranked = attr.ranked();
         assert!(ranked[0].1.abs() >= ranked[1].1.abs());

@@ -19,12 +19,18 @@ use crate::space::ConfigSpace;
 use anns::params::IndexType;
 use gp::{fit_gp, FitOptions, GaussianProcess, Matern52};
 use mobo::acquisition::constrained_ei;
-use mobo::optimize::{argmax_acquisition, candidate_pool, local_refine, CandidateOptions};
+use mobo::optimize::{argmax_acquisition_par, candidate_pool, local_refine_par, CandidateOptions};
 use mobo::pareto::non_dominated_indices;
 use rand::Rng;
 use vdms::VdmsConfig;
 use vecdata::rng::{derive, rng, standard_normal};
-use workload::{run_tuner, Evaluator, Observation, Tuner, Workload};
+use workload::{run_tuner, run_tuner_batched, Evaluator, Observation, Tuner, Workload};
+
+/// A boxed acquisition function over encoded configurations. `Sync` so the
+/// candidate pool can be scored from worker threads; the lifetime lets it
+/// borrow the fitted surrogates, which outlive it for the fantasy
+/// prediction of batched proposals.
+type Acquisition<'a> = Box<dyn Fn(&[f64]) -> f64 + Sync + 'a>;
 
 /// Which surrogate-target transformation to use (Figure 8b ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,8 +182,7 @@ impl VdTuner {
         history: &[Observation],
         normalizer: &NpiNormalizer,
     ) -> Option<(GaussianProcess<Matern52>, GaussianProcess<Matern52>, Vec<[f64; 2]>)> {
-        let all: Vec<&Observation> =
-            self.options.bootstrap.iter().chain(history.iter()).collect();
+        let all: Vec<&Observation> = self.options.bootstrap.iter().chain(history.iter()).collect();
         if all.is_empty() {
             return None;
         }
@@ -188,9 +193,7 @@ impl VdTuner {
         for o in &all {
             let raw = [self.speed_objective(o), o.recall];
             let target = match self.options.surrogate {
-                SurrogateKind::Polling => {
-                    normalizer.normalize(o.config.index_type, raw[0], raw[1])
-                }
+                SurrogateKind::Polling => normalizer.normalize(o.config.index_type, raw[0], raw[1]),
                 SurrogateKind::Native => raw,
             };
             x.push(self.space.encode(&o.config));
@@ -205,7 +208,12 @@ impl VdTuner {
 
     /// Reference point for EHVI: `0.5 · base` in the surrogate's target
     /// units (so `(0.5, 0.5)` in polling mode, where the base maps to 1).
-    fn reference_point(&self, t: IndexType, normalizer: &NpiNormalizer, all_pairs: &[[f64; 2]]) -> [f64; 2] {
+    fn reference_point(
+        &self,
+        t: IndexType,
+        normalizer: &NpiNormalizer,
+        all_pairs: &[[f64; 2]],
+    ) -> [f64; 2] {
         match self.options.surrogate {
             SurrogateKind::Polling => {
                 let _ = (t, all_pairs);
@@ -243,29 +251,26 @@ impl VdTuner {
                 .expect("front non-empty")
         };
         let base = crate::npi::balanced_base(&ys);
-        let balanced = front
-            .iter()
-            .copied()
-            .find(|&i| ys[i] == [base.speed, base.recall])
-            .unwrap_or(front[0]);
+        let balanced =
+            front.iter().copied().find(|&i| ys[i] == [base.speed, base.recall]).unwrap_or(front[0]);
         let mut idx = vec![pick(|y| y[0]), pick(|y| y[1]), balanced];
         idx.dedup();
         idx.into_iter().map(|i| self.space.encode(&of_t[i].config)).collect()
     }
-}
 
-impl Tuner for VdTuner {
-    fn name(&self) -> &str {
-        "VDTuner"
-    }
-
-    fn propose(&mut self, history: &[Observation]) -> VdmsConfig {
+    /// One proposal step (Algorithm 1, lines 1–22), returning the chosen
+    /// configuration plus — when a surrogate was fit — the posterior-mean
+    /// prediction `(speed, recall)` at it in raw objective units. The
+    /// prediction is the kriging-believer fantasy for batched proposals
+    /// (Ginsbourger et al.'s constant-believer strategy); computing it here
+    /// reuses the GPs this very proposal fit, instead of refitting them.
+    fn propose_inner(&mut self, history: &[Observation]) -> (VdmsConfig, Option<(f64, f64)>) {
         self.iter += 1;
         // Algorithm 1 lines 1–5: initial sampling — the default
         // configuration of every index type.
         if let Some(t) = self.init_queue.first().copied() {
             self.init_queue.remove(0);
-            return VdmsConfig::default_for(t);
+            return (VdmsConfig::default_for(t), None);
         }
 
         // Lines 7–14: score remaining types; maybe abandon the worst.
@@ -287,7 +292,7 @@ impl Tuner for VdTuner {
         let grouped_all = self.grouped(history, &IndexType::ALL);
         let normalizer = NpiNormalizer::fit(&grouped_all, constraint_mode);
         let Some((gp_speed, gp_recall, pairs)) = self.fit_surrogates(history, &normalizer) else {
-            return VdmsConfig::default_config();
+            return (VdmsConfig::default_config(), None);
         };
 
         // Line 19: next polling index type.
@@ -327,25 +332,27 @@ impl Tuner for VdTuner {
             SurrogateKind::Native => 1.0,
         };
 
-        let acq: Box<dyn Fn(&[f64]) -> f64> = match self.options.mode {
+        // The acquisition borrows the GPs (rather than consuming them) so
+        // the fantasy prediction below can reuse the same fit.
+        let (gps, gpr) = (&gp_speed, &gp_recall);
+        let acq: Acquisition<'_> = match self.options.mode {
             TunerMode::MultiObjective | TunerMode::CostEffective => {
                 let (front, reference, z_pairs) = (front, reference, z_pairs);
                 Box::new(move |c: &[f64]| {
                     // Log-normal MC for speed, ceiling-clipped normal for
                     // recall; hypervolume improvement in objective space.
-                    let ps = gp_speed.predict(c);
-                    let pr = gp_recall.predict(c);
+                    // `mc_mean` evaluates the samples in parallel (degrading
+                    // to a serial loop when the candidate fan-out above
+                    // already owns the cores) with an in-order reduction, so
+                    // the estimate is thread-count independent.
+                    let ps = gps.predict(c);
+                    let pr = gpr.predict(c);
                     let (ms, ss) = (ps.mean, ps.std_dev());
                     let (mr, sr) = (pr.mean, pr.std_dev());
-                    let mut acc = 0.0;
-                    for &(z1, z2) in &z_pairs {
-                        let y = [
-                            (ms + ss * z1).exp(),
-                            (mr + sr * z2).min(recall_ceiling),
-                        ];
-                        acc += mobo::hypervolume::hv_improvement_2d(&front, &reference, &y);
-                    }
-                    acc / z_pairs.len().max(1) as f64
+                    mobo::acquisition::mc_mean(&z_pairs, |z1, z2| {
+                        let y = [(ms + ss * z1).exp(), (mr + sr * z2).min(recall_ceiling)];
+                        mobo::hypervolume::hv_improvement_2d(&front, &reference, &y)
+                    })
                 })
             }
             TunerMode::Constrained { recall_limit } => {
@@ -358,8 +365,11 @@ impl Tuner for VdTuner {
                     .chain(history.iter())
                     .filter(|o| o.recall >= recall_limit && !o.failed)
                     .map(|o| match self.options.surrogate {
-                        SurrogateKind::Polling => normalizer
-                            .normalize(o.config.index_type, self.speed_objective(o), o.recall)[0],
+                        SurrogateKind::Polling => normalizer.normalize(
+                            o.config.index_type,
+                            self.speed_objective(o),
+                            o.recall,
+                        )[0],
                         SurrogateKind::Native => self.speed_objective(o),
                     })
                     .fold(f64::NEG_INFINITY, f64::max);
@@ -373,29 +383,97 @@ impl Tuner for VdTuner {
                     SurrogateKind::Native => recall_limit,
                 };
                 Box::new(move |c: &[f64]| {
-                    let ps = gp_speed.predict(c);
-                    let pr = gp_recall.predict(c);
+                    let ps = gps.predict(c);
+                    let pr = gpr.predict(c);
                     constrained_ei(&ps, &pr, log_best, rlim)
                 })
             }
         };
 
+        // Candidate scoring fans out across cores; the winner is selected
+        // by a serial scan, so results are identical to the serial path.
         let acq_sub = |sub: &[f64]| acq(&embed_sub(sub));
-        let chosen = argmax_acquisition(&sub_pool, acq_sub).map(|(start, v0)| {
+        let chosen = argmax_acquisition_par(&sub_pool, &acq_sub).map(|(start, v0)| {
             // Local refinement of the acquisition optimum (the paper's
             // BoTorch backend optimizes the acquisition with multi-start
-            // gradients; shrinking perturbation search is our equivalent).
-            local_refine(acq_sub, &start, v0, 3, 24, derive(self.seed, 0x0F1E + self.iter as u64))
+            // gradients; shrinking perturbation search is our equivalent),
+            // with each refinement round's probes scored in parallel.
+            local_refine_par(
+                &acq_sub,
+                &start,
+                v0,
+                3,
+                24,
+                derive(self.seed, 0x0F1E + self.iter as u64),
+            )
         });
 
         match chosen {
             Some((sub, _)) => {
-                let mut cfg = self.space.decode(&embed_sub(&sub));
+                let enc = embed_sub(&sub);
+                let mut cfg = self.space.decode(&enc);
                 cfg.index_type = t; // guard against rounding on the type dim
-                cfg
+                                    // Posterior-mean belief at the chosen point, mapped back to
+                                    // raw objective units (speed GP lives in log space of the
+                                    // possibly-normalized target).
+                let s_norm = gp_speed.predict(&enc).mean.exp();
+                let r_norm = gp_recall.predict(&enc).mean;
+                let pred = match self.options.surrogate {
+                    SurrogateKind::Polling => {
+                        let base = normalizer.base(t);
+                        (s_norm * base.speed, (r_norm * base.recall).clamp(0.0, 1.0))
+                    }
+                    SurrogateKind::Native => (s_norm, r_norm.clamp(0.0, 1.0)),
+                };
+                (cfg, Some(pred))
             }
-            None => VdmsConfig::default_for(t),
+            None => (VdmsConfig::default_for(t), None),
         }
+    }
+}
+
+impl Tuner for VdTuner {
+    fn name(&self) -> &str {
+        "VDTuner"
+    }
+
+    fn propose(&mut self, history: &[Observation]) -> VdmsConfig {
+        self.propose_inner(history).0
+    }
+
+    /// q-batch proposals via a greedy kriging-believer loop: propose one
+    /// candidate, append a fantasy observation carrying the surrogate's
+    /// posterior-mean prediction for it (computed from the same GPs the
+    /// proposal fit — no refit), and repeat against the augmented history.
+    /// Because the polling cursor advances per proposal, a batch naturally
+    /// spreads across the remaining index types, and the fantasy keeps
+    /// later candidates from piling onto the first one's optimum.
+    fn propose_batch(&mut self, history: &[Observation], q: usize) -> Vec<VdmsConfig> {
+        if q <= 1 {
+            return vec![self.propose(history)];
+        }
+        let mut fantasy: Vec<Observation> = history.to_vec();
+        let mut batch = Vec::with_capacity(q);
+        for _ in 0..q {
+            let (cfg, pred) = self.propose_inner(&fantasy);
+            // During the init phase (or before any fit) there is no model;
+            // a neutral belief is enough — the init queue drives proposals
+            // until real observations arrive.
+            let (qps, recall) = pred.unwrap_or((1.0, 0.5));
+            fantasy.push(Observation {
+                iter: fantasy.len(),
+                config: cfg,
+                qps: qps.max(1e-9),
+                recall,
+                // Unit memory so `speed_objective` equals `qps` in every mode.
+                memory_gib: 1.0,
+                failed: false,
+                replay_secs: 0.0,
+                recommend_secs: 0.0,
+            });
+            batch.push(cfg);
+        }
+        batch
     }
 }
 
@@ -403,8 +481,24 @@ impl VdTuner {
     /// Convenience driver: run `iterations` evaluations against `workload`
     /// and package everything a report needs.
     pub fn run(&mut self, workload: &Workload, iterations: usize) -> TuningOutcome {
+        self.run_batched(workload, iterations, 1)
+    }
+
+    /// Batched driver: per polling step, propose `q` candidates via the
+    /// kriging-believer loop and evaluate them concurrently. `q = 1` is the
+    /// paper's sequential Algorithm 1 (and what [`VdTuner::run`] uses).
+    pub fn run_batched(
+        &mut self,
+        workload: &Workload,
+        iterations: usize,
+        q: usize,
+    ) -> TuningOutcome {
         let mut evaluator = Evaluator::new(workload, derive(self.seed, 0xEBA1));
-        run_tuner(self, &mut evaluator, iterations);
+        if q <= 1 {
+            run_tuner(self, &mut evaluator, iterations);
+        } else {
+            run_tuner_batched(self, &mut evaluator, iterations, q);
+        }
         TuningOutcome::from_evaluator(
             self.name().to_string(),
             &evaluator,
@@ -435,8 +529,7 @@ mod tests {
         let mut tuner = VdTuner::new(TunerOptions::default(), 1);
         let mut ev = Evaluator::new(&w, 2);
         run_tuner(&mut tuner, &mut ev, 7);
-        let types: Vec<IndexType> =
-            ev.history().iter().map(|o| o.config.index_type).collect();
+        let types: Vec<IndexType> = ev.history().iter().map(|o| o.config.index_type).collect();
         assert_eq!(types, IndexType::ALL.to_vec());
     }
 
@@ -532,6 +625,69 @@ mod tests {
         );
         let out = tuner.run(&w, 10);
         assert_eq!(out.observations.len(), 10);
+    }
+
+    fn small_options() -> TunerOptions {
+        TunerOptions {
+            mc_samples: 8,
+            candidates: CandidateOptions {
+                n_lhs: 8,
+                n_uniform: 4,
+                n_local_per_incumbent: 2,
+                local_sigma: 0.1,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn propose_batch_returns_q_valid_candidates() {
+        let w = tiny_workload();
+        let mut tuner = VdTuner::new(small_options(), 3);
+        let mut ev = Evaluator::new(&w, 2);
+        run_tuner(&mut tuner, &mut ev, 8); // past the init phase
+        let batch = tuner.propose_batch(ev.history(), 4);
+        assert_eq!(batch.len(), 4);
+        for c in &batch {
+            assert!(IndexType::ALL.contains(&c.index_type));
+        }
+        // The polling rotation advances per candidate, so a batch spreads
+        // over more than one index type once several types remain.
+        let distinct: std::collections::HashSet<IndexType> =
+            batch.iter().map(|c| c.index_type).collect();
+        assert!(distinct.len() > 1, "batch should poll multiple types: {distinct:?}");
+    }
+
+    #[test]
+    fn batched_run_completes_budget_and_is_deterministic() {
+        let w = tiny_workload();
+        let a = VdTuner::new(small_options(), 11).run_batched(&w, 12, 4);
+        let b = VdTuner::new(small_options(), 11).run_batched(&w, 12, 4);
+        assert_eq!(a.observations.len(), 12);
+        let ka: Vec<String> = a.observations.iter().map(|o| o.config.summary()).collect();
+        let kb: Vec<String> = b.observations.iter().map(|o| o.config.summary()).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn propose_inner_predicts_reasonable_fantasy_values() {
+        let w = tiny_workload();
+        let mut tuner = VdTuner::new(small_options(), 7);
+        let mut ev = Evaluator::new(&w, 2);
+        run_tuner(&mut tuner, &mut ev, 8); // past the init phase: model is fit
+        let (cfg, pred) = tuner.propose_inner(ev.history());
+        assert!(IndexType::ALL.contains(&cfg.index_type));
+        let (qps, recall) = pred.expect("post-init proposals carry a prediction");
+        assert!(qps > 0.0);
+        assert!((0.0..=1.0).contains(&recall));
+    }
+
+    #[test]
+    fn init_phase_proposals_carry_no_prediction() {
+        let mut tuner = VdTuner::new(small_options(), 7);
+        let (cfg, pred) = tuner.propose_inner(&[]);
+        assert_eq!(cfg.index_type, IndexType::ALL[0]);
+        assert!(pred.is_none());
     }
 
     #[test]

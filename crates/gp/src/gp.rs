@@ -138,7 +138,9 @@ mod tests {
     #[test]
     fn variance_small_at_data_large_away() {
         let (x, y) = toy();
-        let gp = GaussianProcess::fit(x, &y, Matern52 { lengthscale: 0.15, ..Default::default() }, 1e-6).unwrap();
+        let gp =
+            GaussianProcess::fit(x, &y, Matern52 { lengthscale: 0.15, ..Default::default() }, 1e-6)
+                .unwrap();
         let at_data = gp.predict(&[0.5]).variance;
         let away = gp.predict(&[3.0]).variance;
         assert!(away > at_data * 10.0, "{away} vs {at_data}");
@@ -167,12 +169,18 @@ mod tests {
     #[test]
     fn lml_prefers_sensible_lengthscale() {
         let (x, y) = toy();
-        let good = GaussianProcess::fit(x.clone(), &y, Matern52 { lengthscale: 0.3, signal_variance: 1.0 }, 1e-4)
-            .unwrap()
-            .log_marginal_likelihood();
-        let bad = GaussianProcess::fit(x, &y, Matern52 { lengthscale: 1e-3, signal_variance: 1.0 }, 1e-4)
-            .unwrap()
-            .log_marginal_likelihood();
+        let good = GaussianProcess::fit(
+            x.clone(),
+            &y,
+            Matern52 { lengthscale: 0.3, signal_variance: 1.0 },
+            1e-4,
+        )
+        .unwrap()
+        .log_marginal_likelihood();
+        let bad =
+            GaussianProcess::fit(x, &y, Matern52 { lengthscale: 1e-3, signal_variance: 1.0 }, 1e-4)
+                .unwrap()
+                .log_marginal_likelihood();
         assert!(good > bad, "good {good} bad {bad}");
     }
 

@@ -46,8 +46,7 @@ pub fn cholesky_in_place(a: &mut [f64], n: usize) -> Result<(), NotPositiveDefin
 /// jitter growing from `1e-10` to `1e-2` relative to the mean diagonal.
 /// Returns the factor and the jitter actually used.
 pub fn cholesky_jittered(a: &[f64], n: usize) -> Result<(Vec<f64>, f64), NotPositiveDefinite> {
-    let mean_diag =
-        (0..n).map(|i| a[i * n + i]).sum::<f64>().max(1e-300) / n.max(1) as f64;
+    let mean_diag = (0..n).map(|i| a[i * n + i]).sum::<f64>().max(1e-300) / n.max(1) as f64;
     let mut jitter = 0.0f64;
     for attempt in 0..9 {
         let mut work = a.to_vec();

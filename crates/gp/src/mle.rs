@@ -58,11 +58,7 @@ pub fn fit_gp(x: &[Vec<f64>], y: &[f64], opts: &FitOptions) -> GaussianProcess<M
     let starts: Vec<[f64; 3]> = (0..opts.restarts.max(1))
         .map(|i| {
             let t = i as f64 / opts.restarts.max(2).saturating_sub(1).max(1) as f64;
-            [
-                LOG_LS_RANGE.0 + 0.3 + t * (LOG_LS_RANGE.1 - LOG_LS_RANGE.0 - 0.8),
-                0.0,
-                -3.0,
-            ]
+            [LOG_LS_RANGE.0 + 0.3 + t * (LOG_LS_RANGE.1 - LOG_LS_RANGE.0 - 0.8), 0.0, -3.0]
         })
         .collect();
 

@@ -64,7 +64,8 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             let expand: Vec<f64> =
                 centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
             let f_expand = f(&expand);
-            simplex[d] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            simplex[d] =
+                if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
         } else if f_reflect < simplex[d - 1].1 {
             simplex[d] = (reflect, f_reflect);
         } else {
@@ -112,8 +113,11 @@ mod tests {
             let (a, b) = (v[0], v[1]);
             (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
         };
-        let (x, fx) =
-            nelder_mead(rosen, &[-1.0, 1.0], &NelderMeadOptions { max_iters: 2000, f_tol: 1e-14, ..Default::default() });
+        let (x, fx) = nelder_mead(
+            rosen,
+            &[-1.0, 1.0],
+            &NelderMeadOptions { max_iters: 2000, f_tol: 1e-14, ..Default::default() },
+        );
         assert!(fx < 1e-4, "f={fx} at {x:?}");
     }
 

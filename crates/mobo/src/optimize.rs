@@ -6,6 +6,7 @@
 //! the tuner's dimensionality of 16).
 
 use crate::sampling::{latin_hypercube, perturbations, uniform_points};
+use rayon::prelude::*;
 
 /// How a candidate pool is composed.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +87,38 @@ pub fn argmax_acquisition<F: FnMut(&[f64]) -> f64>(
     candidates: &[Vec<f64>],
     mut acq: F,
 ) -> Option<(Vec<f64>, f64)> {
+    argmax_of(candidates, |c| acq(c))
+}
+
+/// Score every candidate with `acq` **in parallel**, preserving candidate
+/// order in the returned values. The acquisition must be a pure `Sync`
+/// function for the scores to be thread-count independent.
+pub fn score_candidates<F: Fn(&[f64]) -> f64 + Sync>(candidates: &[Vec<f64>], acq: &F) -> Vec<f64> {
+    candidates.par_iter().map(|c| acq(c)).collect()
+}
+
+/// Parallel [`argmax_acquisition`]: candidates are scored concurrently and
+/// the winner is selected by a serial scan, so ties still resolve to the
+/// earliest candidate and the result is identical to the serial version for
+/// any thread count.
+pub fn argmax_acquisition_par<F: Fn(&[f64]) -> f64 + Sync>(
+    candidates: &[Vec<f64>],
+    acq: &F,
+) -> Option<(Vec<f64>, f64)> {
+    let values = score_candidates(candidates, acq);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_finite() && best.is_none_or(|(_, b)| v > b) {
+            best = Some((i, v));
+        }
+    }
+    best.map(|(i, v)| (candidates[i].clone(), v))
+}
+
+fn argmax_of<F: FnMut(&[f64]) -> f64>(
+    candidates: &[Vec<f64>],
+    mut acq: F,
+) -> Option<(Vec<f64>, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (i, c) in candidates.iter().enumerate() {
         let v = acq(c);
@@ -94,6 +127,40 @@ pub fn argmax_acquisition<F: FnMut(&[f64]) -> f64>(
         }
     }
     best.map(|(i, v)| (candidates[i].clone(), v))
+}
+
+/// Parallel [`local_refine`]: each round's perturbation batch is scored
+/// concurrently (order-preserving), then the round winner is picked by a
+/// serial scan — identical trajectory to the serial version for any thread
+/// count, since rounds remain sequential and within-round ties resolve to
+/// the earliest candidate.
+pub fn local_refine_par<F: Fn(&[f64]) -> f64 + Sync>(
+    acq: &F,
+    start: &[f64],
+    start_value: f64,
+    rounds: usize,
+    per_round: usize,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let mut best = start.to_vec();
+    let mut best_v = start_value;
+    for round in 0..rounds {
+        let sigma = 0.08 * 0.5f64.powi(round as i32);
+        let cands = crate::sampling::perturbations(
+            &best,
+            per_round,
+            sigma,
+            seed.wrapping_add(round as u64),
+        );
+        let values = score_candidates(&cands, acq);
+        for (c, v) in cands.into_iter().zip(values) {
+            if v.is_finite() && v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+    }
+    (best, best_v)
 }
 
 #[cfg(test)]
@@ -125,14 +192,8 @@ mod tests {
     #[test]
     fn argmax_skips_nan() {
         let candidates = vec![vec![0.0], vec![1.0]];
-        let (best, _) = argmax_acquisition(&candidates, |x| {
-            if x[0] < 0.5 {
-                f64::NAN
-            } else {
-                1.0
-            }
-        })
-        .unwrap();
+        let (best, _) =
+            argmax_acquisition(&candidates, |x| if x[0] < 0.5 { f64::NAN } else { 1.0 }).unwrap();
         assert_eq!(best[0], 1.0);
     }
 
@@ -157,5 +218,50 @@ mod tests {
         let start = vec![0.95, 0.98];
         let (best, _) = local_refine(acq, &start, acq(&start), 3, 16, 3);
         assert!(best.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+    }
+
+    #[test]
+    fn parallel_argmax_matches_serial_bitwise() {
+        let candidates: Vec<Vec<f64>> =
+            (0..257).map(|i| vec![i as f64 / 256.0, (i as f64 * 0.37).fract()]).collect();
+        let acq = |x: &[f64]| (x[0] * 9.7).sin() * (x[1] * 3.1).cos();
+        let serial = argmax_acquisition(&candidates, acq).unwrap();
+        for threads in [1, 4] {
+            let par = with_threads(threads, || argmax_acquisition_par(&candidates, &acq)).unwrap();
+            assert_eq!(par.0, serial.0, "threads={threads}");
+            assert_eq!(par.1.to_bits(), serial.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_argmax_ties_resolve_to_earliest() {
+        let candidates = vec![vec![0.1], vec![0.2], vec![0.3]];
+        let (best, _) =
+            with_threads(4, || argmax_acquisition_par(&candidates, &|_: &[f64]| 1.0)).unwrap();
+        assert_eq!(best, vec![0.1]);
+    }
+
+    #[test]
+    fn parallel_local_refine_matches_serial_bitwise() {
+        let acq = |x: &[f64]| -(x[0] - 0.61).powi(2) - (x[1] - 0.3).powi(2);
+        let start = vec![0.5, 0.5];
+        let v0 = acq(&start);
+        let serial = local_refine(acq, &start, v0, 4, 32, 7);
+        for threads in [1, 3] {
+            let par = with_threads(threads, || local_refine_par(&acq, &start, v0, 4, 32, 7));
+            assert_eq!(par.0, serial.0, "threads={threads}");
+            assert_eq!(par.1.to_bits(), serial.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn score_candidates_preserves_order() {
+        let candidates: Vec<Vec<f64>> = (0..33).map(|i| vec![i as f64]).collect();
+        let scores = with_threads(4, || score_candidates(&candidates, &|x: &[f64]| x[0] * 2.0));
+        assert_eq!(scores, (0..33).map(|i| i as f64 * 2.0).collect::<Vec<_>>());
     }
 }

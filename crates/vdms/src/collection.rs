@@ -10,6 +10,7 @@ use crate::segment::SegmentLayout;
 use anns::cost::{BuildStats, SearchCost};
 use anns::index::{AnnIndex, VectorIndex};
 use anns::params::SearchParams;
+use rayon::prelude::*;
 use vecdata::distance::l2_sq;
 use vecdata::ground_truth::TopK;
 use vecdata::{Dataset, Neighbor};
@@ -45,20 +46,37 @@ impl<'a> Collection<'a> {
     /// Fails with [`VdmsError::Build`] on invalid index parameters and
     /// [`VdmsError::OutOfMemory`] when the accounted memory exceeds the
     /// testbed budget.
-    pub fn load(dataset: &'a Dataset, config: &VdmsConfig, seed: u64) -> Result<Collection<'a>, VdmsError> {
+    pub fn load(
+        dataset: &'a Dataset,
+        config: &VdmsConfig,
+        seed: u64,
+    ) -> Result<Collection<'a>, VdmsError> {
         let dim = dataset.dim();
         let layout = SegmentLayout::plan(dataset.len(), &config.system);
+        // Sealed segments are independent, so their indexes build in
+        // parallel. Per-segment RNG seeds are derived from the segment
+        // index exactly as in the serial path, and results are collected in
+        // segment order (first build error in segment order wins), so the
+        // parallel build is bit-identical to the serial one.
+        let jobs: Vec<(usize, (usize, usize))> =
+            layout.sealed.iter().copied().enumerate().collect();
+        let built: Result<Vec<(AnnIndex, BuildStats)>, VdmsError> = jobs
+            .par_iter()
+            .map(|&(i, (start, end))| {
+                let rows = &dataset.raw()[start * dim..end * dim];
+                AnnIndex::build(
+                    config.index_type,
+                    rows,
+                    dim,
+                    &config.index,
+                    seed.wrapping_add(i as u64),
+                )
+                .map_err(VdmsError::from)
+            })
+            .collect();
         let mut sealed = Vec::with_capacity(layout.sealed.len());
         let mut build_stats = BuildStats::default();
-        for (i, &(start, end)) in layout.sealed.iter().enumerate() {
-            let rows = &dataset.raw()[start * dim..end * dim];
-            let (index, stats) = AnnIndex::build(
-                config.index_type,
-                rows,
-                dim,
-                &config.index,
-                seed.wrapping_add(i as u64),
-            )?;
+        for ((index, stats), &(start, _)) in built?.into_iter().zip(&layout.sealed) {
             build_stats.add(&stats);
             sealed.push(SealedSegment { start, index });
         }
@@ -100,9 +118,24 @@ impl<'a> Collection<'a> {
         let sp = SearchParams::from_params(&self.config.index, top_k);
         let dim = self.dataset.dim();
         let mut merged = TopK::new(top_k);
-        for (seg, &(start, end)) in self.sealed.iter().zip(&self.layout.sealed) {
-            let mut seg_cost = SearchCost { segments: 1, ..Default::default() };
-            for n in seg.index.search(query, &sp, &mut seg_cost) {
+        // Scatter: probe every sealed segment concurrently (this is the
+        // query-node fan-out of a real VDMS). Each task returns its local
+        // hits plus its cost record.
+        let per_segment: Vec<(Vec<Neighbor>, SearchCost)> = self
+            .sealed
+            .par_iter()
+            .map(|seg| {
+                let mut seg_cost = SearchCost { segments: 1, ..Default::default() };
+                let hits = seg.index.search(query, &sp, &mut seg_cost);
+                (hits, seg_cost)
+            })
+            .collect();
+        // Gather: merge in segment order, so the heap sees pushes in the
+        // same sequence as the serial path (bit-identical results).
+        for ((seg, &(start, end)), (hits, mut seg_cost)) in
+            self.sealed.iter().zip(&self.layout.sealed).zip(per_segment)
+        {
+            for n in hits {
                 merged.push(n.id + seg.start as u32, n.distance);
             }
             debug_assert_eq!(seg.start, start);
@@ -123,14 +156,25 @@ impl<'a> Collection<'a> {
 
     /// Run every query in the dataset once; returns mean per-query cost and
     /// the per-query result id lists (for recall measurement).
+    ///
+    /// Queries are independent, so they execute in parallel; results are
+    /// collected in query order and costs (integer op counts) are summed in
+    /// query order, making the output identical to a serial run for any
+    /// thread count.
     pub fn run_queries(&self, top_k: usize) -> (SearchCost, Vec<Vec<u32>>) {
+        let per_query: Vec<(SearchCost, Vec<u32>)> = (0..self.dataset.n_queries())
+            .into_par_iter()
+            .map(|qi| {
+                let mut cost = SearchCost::default();
+                let res = self.search(self.dataset.query(qi), top_k, &mut cost);
+                (cost, res.into_iter().map(|n| n.id).collect())
+            })
+            .collect();
         let mut total = SearchCost::default();
-        let mut results = Vec::with_capacity(self.dataset.n_queries());
-        for qi in 0..self.dataset.n_queries() {
-            let mut cost = SearchCost::default();
-            let res = self.search(self.dataset.query(qi), top_k, &mut cost);
+        let mut results = Vec::with_capacity(per_query.len());
+        for (cost, res) in per_query {
             total.add(&cost);
-            results.push(res.into_iter().map(|n| n.id).collect());
+            results.push(res);
         }
         (total, results)
     }
@@ -209,8 +253,8 @@ mod tests {
         let col = Collection::load(&ds, &cfg, 1).unwrap();
         let mut cost = SearchCost::default();
         col.search(ds.query(0), 10, &mut cost);
-        let expected = col.layout().sealed_count() as u64
-            + u64::from(col.layout().growing_rows() > 0);
+        let expected =
+            col.layout().sealed_count() as u64 + u64::from(col.layout().growing_rows() > 0);
         assert_eq!(cost.segments, expected);
     }
 

@@ -117,8 +117,7 @@ impl CostModel {
 
     /// Simulated seconds to load `n` rows into the collection.
     pub fn load_secs(&self, n: usize) -> f64 {
-        n as f64 * crate::system_params::VIRTUAL_ROW_BYTES as f64
-            / unit_costs::LOAD_BYTES_PER_SEC
+        n as f64 * crate::system_params::VIRTUAL_ROW_BYTES as f64 / unit_costs::LOAD_BYTES_PER_SEC
     }
 
     /// Simulated seconds to replay the full workload at `qps`.
@@ -133,12 +132,7 @@ mod tests {
 
     fn flat_cost() -> SearchCost {
         // A FLAT scan over 8000 x 48-dim vectors in one segment.
-        SearchCost {
-            f32_dims: 8_000 * 48,
-            heap_pushes: 8_000,
-            segments: 1,
-            ..Default::default()
-        }
+        SearchCost { f32_dims: 8_000 * 48, heap_pushes: 8_000, segments: 1, ..Default::default() }
     }
 
     #[test]
@@ -153,7 +147,13 @@ mod tests {
     fn cheaper_scan_is_faster() {
         let model = CostModel::default();
         let sys = SystemParams::default();
-        let mut ivf = SearchCost { f32_dims: 500 * 48, heap_pushes: 500, lists_probed: 8, segments: 1, ..Default::default() };
+        let mut ivf = SearchCost {
+            f32_dims: 500 * 48,
+            heap_pushes: 500,
+            lists_probed: 8,
+            segments: 1,
+            ..Default::default()
+        };
         let flat = model.query_perf(&flat_cost(), &sys);
         let fast = model.query_perf(&ivf, &sys);
         assert!(fast.qps > flat.qps * 3.0);
@@ -211,8 +211,14 @@ mod tests {
     #[test]
     fn build_time_scales_with_parallelism() {
         let model = CostModel::default();
-        let slow = model.build_secs(1_000_000_000, &SystemParams { build_parallelism: 1, ..Default::default() });
-        let fast = model.build_secs(1_000_000_000, &SystemParams { build_parallelism: 8, ..Default::default() });
+        let slow = model.build_secs(
+            1_000_000_000,
+            &SystemParams { build_parallelism: 1, ..Default::default() },
+        );
+        let fast = model.build_secs(
+            1_000_000_000,
+            &SystemParams { build_parallelism: 8, ..Default::default() },
+        );
         assert!(fast < slow / 3.0);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
         let m = MemoryUsage::account(&l, &sys, 1_000_000, 192);
         assert_eq!(
             m.total_bytes(),
-            m.index_bytes + m.growing_bytes + m.insert_buffer_bytes + m.build_peak_bytes + m.base_bytes
+            m.index_bytes
+                + m.growing_bytes
+                + m.insert_buffer_bytes
+                + m.build_peak_bytes
+                + m.base_bytes
         );
         assert!(m.total_gib() > 1.0, "at least the base GiB");
     }
@@ -102,8 +106,16 @@ mod tests {
     #[test]
     fn bigger_segments_raise_build_peak() {
         // Fig 13b: segment_maxSize is the dominant memory knob.
-        let small = SystemParams { segment_max_size_mb: 128.0, segment_seal_proportion: 1.0, ..Default::default() };
-        let big = SystemParams { segment_max_size_mb: 1024.0, segment_seal_proportion: 1.0, ..Default::default() };
+        let small = SystemParams {
+            segment_max_size_mb: 128.0,
+            segment_seal_proportion: 1.0,
+            ..Default::default()
+        };
+        let big = SystemParams {
+            segment_max_size_mb: 1024.0,
+            segment_seal_proportion: 1.0,
+            ..Default::default()
+        };
         let ms = MemoryUsage::account(&layout(20_000, &small), &small, 0, 192);
         let mb = MemoryUsage::account(&layout(20_000, &big), &big, 0, 192);
         assert!(mb.build_peak_bytes > ms.build_peak_bytes * 4);

@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn covers_all_rows_disjointly() {
-        for (n, s) in [(8000, sys(100.0, 0.5, 64.0)), (3000, sys(512.0, 0.25, 256.0)), (50, sys(64.0, 0.05, 16.0))] {
+        for (n, s) in [
+            (8000, sys(100.0, 0.5, 64.0)),
+            (3000, sys(512.0, 0.25, 256.0)),
+            (50, sys(64.0, 0.05, 16.0)),
+        ] {
             let layout = SegmentLayout::plan(n, &s);
             let mut covered = 0;
             let mut prev_end = 0;

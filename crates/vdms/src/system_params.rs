@@ -92,9 +92,8 @@ impl SystemParams {
     /// Clamp all values into their tuning ranges.
     pub fn sanitized(mut self) -> Self {
         use ranges::*;
-        self.segment_max_size_mb = self
-            .segment_max_size_mb
-            .clamp(SEGMENT_MAX_SIZE_MB.lo, SEGMENT_MAX_SIZE_MB.hi);
+        self.segment_max_size_mb =
+            self.segment_max_size_mb.clamp(SEGMENT_MAX_SIZE_MB.lo, SEGMENT_MAX_SIZE_MB.hi);
         self.segment_seal_proportion = self
             .segment_seal_proportion
             .clamp(SEGMENT_SEAL_PROPORTION.lo, SEGMENT_SEAL_PROPORTION.hi);
@@ -114,8 +113,8 @@ impl SystemParams {
 
     /// Rows a sealed segment holds before sealing, given the seal threshold.
     pub fn seal_rows(&self) -> usize {
-        let max_rows = (self.segment_max_size_mb * 1024.0 * 1024.0 / VIRTUAL_ROW_BYTES as f64)
-            .max(1.0);
+        let max_rows =
+            (self.segment_max_size_mb * 1024.0 * 1024.0 / VIRTUAL_ROW_BYTES as f64).max(1.0);
         ((max_rows * self.segment_seal_proportion).round() as usize).max(64)
     }
 

@@ -81,21 +81,39 @@ impl DatasetSpec {
     pub fn scaled(kind: DatasetKind) -> Self {
         match kind {
             DatasetKind::Glove => Self { kind, n: 8_000, dim: 48, n_queries: 100, seed: 0x1001 },
-            DatasetKind::KeywordMatch => Self { kind, n: 8_000, dim: 48, n_queries: 100, seed: 0x1002 },
-            DatasetKind::GeoRadius => Self { kind, n: 8_192, dim: 256, n_queries: 100, seed: 0x1003 },
-            DatasetKind::ArxivTitles => Self { kind, n: 8_000, dim: 64, n_queries: 100, seed: 0x1004 },
-            DatasetKind::DeepImage => Self { kind, n: 40_000, dim: 48, n_queries: 100, seed: 0x1005 },
+            DatasetKind::KeywordMatch => {
+                Self { kind, n: 8_000, dim: 48, n_queries: 100, seed: 0x1002 }
+            }
+            DatasetKind::GeoRadius => {
+                Self { kind, n: 8_192, dim: 256, n_queries: 100, seed: 0x1003 }
+            }
+            DatasetKind::ArxivTitles => {
+                Self { kind, n: 8_000, dim: 64, n_queries: 100, seed: 0x1004 }
+            }
+            DatasetKind::DeepImage => {
+                Self { kind, n: 40_000, dim: 48, n_queries: 100, seed: 0x1005 }
+            }
         }
     }
 
     /// Paper-scale profile (Table III sizes). Only practical for offline runs.
     pub fn paper_full(kind: DatasetKind) -> Self {
         match kind {
-            DatasetKind::Glove => Self { kind, n: 1_183_514, dim: 100, n_queries: 1_000, seed: 0x2001 },
-            DatasetKind::KeywordMatch => Self { kind, n: 1_000_000, dim: 100, n_queries: 1_000, seed: 0x2002 },
-            DatasetKind::GeoRadius => Self { kind, n: 100_000, dim: 2048, n_queries: 1_000, seed: 0x2003 },
-            DatasetKind::ArxivTitles => Self { kind, n: 500_000, dim: 768, n_queries: 1_000, seed: 0x2004 },
-            DatasetKind::DeepImage => Self { kind, n: 9_990_000, dim: 96, n_queries: 1_000, seed: 0x2005 },
+            DatasetKind::Glove => {
+                Self { kind, n: 1_183_514, dim: 100, n_queries: 1_000, seed: 0x2001 }
+            }
+            DatasetKind::KeywordMatch => {
+                Self { kind, n: 1_000_000, dim: 100, n_queries: 1_000, seed: 0x2002 }
+            }
+            DatasetKind::GeoRadius => {
+                Self { kind, n: 100_000, dim: 2048, n_queries: 1_000, seed: 0x2003 }
+            }
+            DatasetKind::ArxivTitles => {
+                Self { kind, n: 500_000, dim: 768, n_queries: 1_000, seed: 0x2004 }
+            }
+            DatasetKind::DeepImage => {
+                Self { kind, n: 9_990_000, dim: 96, n_queries: 1_000, seed: 0x2005 }
+            }
         }
     }
 
@@ -250,14 +268,12 @@ impl GenProfile {
         // Sparse support masks per cluster.
         let mut masks: Vec<Vec<bool>> = Vec::with_capacity(k);
         for _ in 0..k {
-            let mask: Vec<bool> =
-                (0..dim).map(|_| r.gen::<f32>() >= self.sparsity).collect();
+            let mask: Vec<bool> = (0..dim).map(|_| r.gen::<f32>() >= self.sparsity).collect();
             masks.push(mask);
         }
         // Zipf-ish cluster weights.
-        let weights: Vec<f64> = (0..k)
-            .map(|i| 1.0 / ((i + 1) as f64).powf(self.size_skew))
-            .collect();
+        let weights: Vec<f64> =
+            (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(self.size_skew)).collect();
         let total_w: f64 = weights.iter().sum();
         let cum: Vec<f64> = weights
             .iter()
@@ -340,7 +356,8 @@ mod tests {
 
     #[test]
     fn shapes_match_spec() {
-        let spec = DatasetSpec { kind: DatasetKind::ArxivTitles, n: 100, dim: 12, n_queries: 7, seed: 5 };
+        let spec =
+            DatasetSpec { kind: DatasetKind::ArxivTitles, n: 100, dim: 12, n_queries: 7, seed: 5 };
         let ds = spec.generate();
         assert_eq!(ds.len(), 100);
         assert_eq!(ds.dim(), 12);

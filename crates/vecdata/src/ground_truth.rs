@@ -114,12 +114,7 @@ pub fn exact_top_k(dataset: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> 
 /// Returns one `Vec<u32>` (sorted by ascending distance) per query.
 pub fn ground_truth(dataset: &Dataset, k: usize) -> Vec<Vec<u32>> {
     (0..dataset.n_queries())
-        .map(|qi| {
-            exact_top_k(dataset, dataset.query(qi), k)
-                .into_iter()
-                .map(|n| n.id)
-                .collect()
-        })
+        .map(|qi| exact_top_k(dataset, dataset.query(qi), k).into_iter().map(|n| n.id).collect())
         .collect()
 }
 

@@ -22,7 +22,7 @@ mod noise_tests;
 
 pub use replay::{evaluate, Outcome};
 pub use runner::{Evaluator, Observation};
-pub use tuner::{run_tuner, Tuner};
+pub use tuner::{run_tuner, run_tuner_batched, Tuner};
 
 use vdms::cost_model::CostModel;
 use vecdata::{ground_truth, Dataset, DatasetSpec};

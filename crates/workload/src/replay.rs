@@ -1,7 +1,7 @@
 //! Evaluate one configuration: load, replay, measure.
 
 use crate::Workload;
-use vdms::cost_model::{REPLAY_TIME_CAP_SECS, REPLAY_REQUESTS};
+use vdms::cost_model::{REPLAY_REQUESTS, REPLAY_TIME_CAP_SECS};
 use vdms::{Collection, VdmsConfig, VdmsError};
 
 /// Relative σ of throughput measurement noise. Real VDMS benchmarks show
@@ -87,7 +87,7 @@ pub fn evaluate(workload: &Workload, config: &VdmsConfig, seed: u64) -> Outcome 
                 // is noticed; charge a fixed fraction of the cap.
                 simulated_secs: REPLAY_TIME_CAP_SECS * 0.25,
                 failure: Some(e),
-            }
+            };
         }
     };
 
@@ -197,7 +197,13 @@ mod tests {
 
     #[test]
     fn cost_effectiveness_divides_by_memory() {
-        let o = Outcome { qps: 100.0, recall: 0.9, memory_gib: 4.0, simulated_secs: 1.0, failure: None };
+        let o = Outcome {
+            qps: 100.0,
+            recall: 0.9,
+            memory_gib: 4.0,
+            simulated_secs: 1.0,
+            failure: None,
+        };
         assert!((o.cost_effectiveness() - 25.0).abs() < 1e-9);
     }
 }

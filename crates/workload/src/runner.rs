@@ -4,6 +4,7 @@
 
 use crate::replay::{evaluate, Outcome};
 use crate::Workload;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use vdms::VdmsConfig;
 
@@ -37,25 +38,28 @@ impl Observation {
     }
 }
 
-/// Quantized cache key for a configuration (16 integers).
-fn config_key(c: &VdmsConfig) -> [i64; 16] {
+/// Exact cache key for a configuration (16 integers). Float fields are
+/// encoded bit-exactly via [`f64::to_bits`]: quantizing them (as an earlier
+/// revision did) let distinct configurations alias to one cache entry and
+/// return stale measurements for a config that was never evaluated.
+fn config_key(c: &VdmsConfig) -> [u64; 16] {
     [
-        c.index_type.ordinal() as i64,
-        c.index.nlist as i64,
-        c.index.nprobe as i64,
-        c.index.m as i64,
-        c.index.nbits as i64,
-        c.index.hnsw_m as i64,
-        c.index.ef_construction as i64,
-        c.index.ef as i64,
-        c.index.reorder_k as i64,
-        (c.system.segment_max_size_mb * 4.0).round() as i64,
-        (c.system.segment_seal_proportion * 1000.0).round() as i64,
-        c.system.graceful_time_ms.round() as i64,
-        (c.system.insert_buf_size_mb * 4.0).round() as i64,
-        c.system.max_read_concurrency as i64,
-        c.system.chunk_rows as i64,
-        c.system.build_parallelism as i64,
+        c.index_type.ordinal() as u64,
+        c.index.nlist as u64,
+        c.index.nprobe as u64,
+        c.index.m as u64,
+        c.index.nbits as u64,
+        c.index.hnsw_m as u64,
+        c.index.ef_construction as u64,
+        c.index.ef as u64,
+        c.index.reorder_k as u64,
+        c.system.segment_max_size_mb.to_bits(),
+        c.system.segment_seal_proportion.to_bits(),
+        c.system.graceful_time_ms.to_bits(),
+        c.system.insert_buf_size_mb.to_bits(),
+        c.system.max_read_concurrency as u64,
+        c.system.chunk_rows as u64,
+        c.system.build_parallelism as u64,
     ]
 }
 
@@ -64,7 +68,7 @@ pub struct Evaluator<'a> {
     workload: &'a Workload,
     seed: u64,
     history: Vec<Observation>,
-    cache: HashMap<[i64; 16], Outcome>,
+    cache: HashMap<[u64; 16], Outcome>,
     /// Total simulated tuning seconds (replay side of Table VI).
     pub total_replay_secs: f64,
     /// Total wall-clock recommendation seconds (model side of Table VI).
@@ -106,10 +110,15 @@ impl<'a> Evaluator<'a> {
     /// Worst successful feedback seen so far; used as the substitute for
     /// failed configurations (avoiding the GP scaling problems the paper
     /// cites [35], [36]).
-    fn worst_feedback(&self) -> (f64, f64) {
+    ///
+    /// When the *first* evaluation fails there is no history to substitute
+    /// from; in that case fall back to the failed outcome's own raw
+    /// measurements (clamped away from zero so GP log-transforms stay
+    /// finite) instead of a fabricated constant the GP would then train on.
+    fn worst_feedback(&self, failed: &Outcome) -> (f64, f64) {
         let ok: Vec<&Observation> = self.history.iter().filter(|o| !o.failed).collect();
         if ok.is_empty() {
-            (1.0, 0.01)
+            (failed.qps.max(1e-3), failed.recall.clamp(1e-3, 1.0))
         } else {
             (
                 ok.iter().map(|o| o.qps).fold(f64::INFINITY, f64::min),
@@ -118,27 +127,26 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Evaluate `config`, record and return the observation.
-    ///
-    /// `recommend_secs` is the wall-clock time the tuner took to propose
-    /// this configuration (pass 0.0 when not tracked).
-    pub fn observe(&mut self, config: &VdmsConfig, recommend_secs: f64) -> Observation {
-        let cfg = config.sanitized(self.workload.dataset.dim(), self.workload.top_k);
-        let key = config_key(&cfg);
-        let outcome = if let Some(cached) = self.cache.get(&key) {
+    /// Fetch the outcome for a sanitized config, evaluating on a cache miss.
+    fn outcome_for(&mut self, cfg: &VdmsConfig, key: [u64; 16]) -> Outcome {
+        if let Some(cached) = self.cache.get(&key) {
             cached.clone()
         } else {
-            let out = evaluate(self.workload, &cfg, self.seed);
+            let out = evaluate(self.workload, cfg, self.seed);
             self.cache.insert(key, out.clone());
             out
-        };
+        }
+    }
 
+    /// Append one outcome to the history with the tuner-facing semantics
+    /// (worst-in-history substitution, timing accounting). The single
+    /// record path shared by [`Evaluator::observe`] and
+    /// [`Evaluator::observe_batch`], which is what keeps the two
+    /// bit-identical.
+    fn record(&mut self, cfg: VdmsConfig, outcome: Outcome, recommend_secs: f64) -> Observation {
         let failed = !outcome.is_ok();
-        let (qps, recall) = if failed {
-            self.worst_feedback()
-        } else {
-            (outcome.qps, outcome.recall)
-        };
+        let (qps, recall) =
+            if failed { self.worst_feedback(&outcome) } else { (outcome.qps, outcome.recall) };
         let obs = Observation {
             iter: self.history.len(),
             config: cfg,
@@ -153,6 +161,73 @@ impl<'a> Evaluator<'a> {
         self.total_recommend_secs += recommend_secs;
         self.history.push(obs.clone());
         obs
+    }
+
+    /// Evaluate `config`, record and return the observation.
+    ///
+    /// `recommend_secs` is the wall-clock time the tuner took to propose
+    /// this configuration (pass 0.0 when not tracked).
+    pub fn observe(&mut self, config: &VdmsConfig, recommend_secs: f64) -> Observation {
+        let cfg = config.sanitized(self.workload.dataset.dim(), self.workload.top_k);
+        let key = config_key(&cfg);
+        let outcome = self.outcome_for(&cfg, key);
+        self.record(cfg, outcome, recommend_secs)
+    }
+
+    /// Evaluate a batch of candidate configurations, replaying the uncached
+    /// ones **in parallel**, and record them in candidate order.
+    ///
+    /// The observation history is bit-identical to calling
+    /// [`Evaluator::observe`] on the same configs in the same order:
+    /// replays are pure functions of `(workload, config, seed)`, duplicates
+    /// within the batch are deduplicated before dispatch exactly like the
+    /// serial cache would, and the stateful bookkeeping (worst-in-history
+    /// substitution, iteration numbering, timing totals) runs serially in
+    /// candidate order afterwards. `recommend_secs` — the wall-clock cost of
+    /// proposing the whole batch — is attributed to the batch's first
+    /// observation, so `observe_batch(&[c], t)` equals `observe(&c, t)`.
+    pub fn observe_batch(
+        &mut self,
+        configs: &[VdmsConfig],
+        recommend_secs: f64,
+    ) -> Vec<Observation> {
+        let sanitized: Vec<(VdmsConfig, [u64; 16])> = configs
+            .iter()
+            .map(|c| {
+                let cfg = c.sanitized(self.workload.dataset.dim(), self.workload.top_k);
+                let key = config_key(&cfg);
+                (cfg, key)
+            })
+            .collect();
+
+        // Unique uncached configs, first-occurrence order.
+        let mut pending: Vec<(VdmsConfig, [u64; 16])> = Vec::new();
+        for &(cfg, key) in &sanitized {
+            if !self.cache.contains_key(&key) && pending.iter().all(|&(_, k)| k != key) {
+                pending.push((cfg, key));
+            }
+        }
+
+        // The parallel fan-out: replay every missing config concurrently.
+        let workload = self.workload;
+        let seed = self.seed;
+        let outcomes: Vec<Outcome> =
+            pending.par_iter().map(|(cfg, _)| evaluate(workload, cfg, seed)).collect();
+        for ((_, key), out) in pending.into_iter().zip(outcomes) {
+            self.cache.insert(key, out);
+        }
+
+        // Serial bookkeeping in candidate order — every lookup now hits the
+        // cache, so this is pure (deterministic) state threading.
+        sanitized
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cfg, key))| {
+                let outcome = self.outcome_for(&cfg, key);
+                let rs = if i == 0 { recommend_secs } else { 0.0 };
+                self.record(cfg, outcome, rs)
+            })
+            .collect()
     }
 
     /// Best observed QPS among configurations with `recall >= min_recall`
@@ -210,6 +285,114 @@ mod tests {
         let b = ev.observe(&VdmsConfig::default_config(), 0.0);
         assert_eq!(a.qps, b.qps);
         assert_eq!(ev.cache.len(), 1);
+    }
+
+    #[test]
+    fn near_identical_configs_do_not_alias_in_cache() {
+        // Regression: the old quantized key (`* 4.0`, `* 1000.0`, round)
+        // mapped these two distinct configs to one cache entry.
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let a = VdmsConfig::default_config();
+        let mut b = VdmsConfig::default_config();
+        b.system.segment_max_size_mb = a.system.segment_max_size_mb + 0.01;
+        b.system.segment_seal_proportion = (a.system.segment_seal_proportion + 1e-5).min(1.0);
+        ev.observe(&a, 0.0);
+        ev.observe(&b, 0.0);
+        assert_eq!(ev.cache.len(), 2, "distinct configs must get distinct cache entries");
+    }
+
+    #[test]
+    fn first_eval_failure_feeds_back_raw_clamped_outcome() {
+        // A failing *first* evaluation must not fabricate the old constant
+        // (1.0, 0.01); the GP trains on the failure's own measurements.
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let mut bad = VdmsConfig::default_config();
+        bad.system.graceful_time_ms = 0.0;
+        bad.system.insert_buf_size_mb = 2048.0; // consistency lag >> window
+        let obs = ev.observe(&bad, 0.0);
+        assert!(obs.failed);
+        // The timeout outcome carries a real modeled QPS; the fallback must
+        // preserve it rather than substituting 1.0.
+        let raw = crate::replay::evaluate(&w, &bad, 1);
+        assert!(!raw.is_ok());
+        assert_eq!(obs.qps, raw.qps.max(1e-3));
+        assert_eq!(obs.recall, raw.recall.clamp(1e-3, 1.0));
+        assert_ne!((obs.qps, obs.recall), (1.0, 0.01), "fabricated constant is gone");
+    }
+
+    #[test]
+    fn observe_batch_matches_serial_observe_bitwise() {
+        let w = make();
+        let configs: Vec<VdmsConfig> =
+            [IndexType::Flat, IndexType::Hnsw, IndexType::IvfFlat, IndexType::IvfSq8]
+                .into_iter()
+                .map(VdmsConfig::default_for)
+                .collect();
+
+        let mut serial = Evaluator::new(&w, 5);
+        for c in &configs {
+            serial.observe(c, 0.0);
+        }
+        let mut batched = Evaluator::new(&w, 5);
+        batched.observe_batch(&configs, 0.0);
+
+        assert_eq!(serial.len(), batched.len());
+        for (a, b) in serial.history().iter().zip(batched.history()) {
+            assert_eq!(a.iter, b.iter);
+            assert_eq!(a.qps.to_bits(), b.qps.to_bits());
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            assert_eq!(a.memory_gib.to_bits(), b.memory_gib.to_bits());
+            assert_eq!(a.failed, b.failed);
+            assert_eq!(a.replay_secs.to_bits(), b.replay_secs.to_bits());
+        }
+        assert_eq!(serial.total_replay_secs.to_bits(), batched.total_replay_secs.to_bits());
+    }
+
+    #[test]
+    fn observe_batch_attributes_recommend_time_to_first() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let obs = ev.observe_batch(
+            &[VdmsConfig::default_config(), VdmsConfig::default_for(IndexType::Flat)],
+            0.25,
+        );
+        assert_eq!(obs[0].recommend_secs, 0.25);
+        assert_eq!(obs[1].recommend_secs, 0.0);
+        assert!((ev.total_recommend_secs - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_batch_dedups_identical_candidates() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let c = VdmsConfig::default_config();
+        let obs = ev.observe_batch(&[c, c, c], 0.0);
+        assert_eq!(obs.len(), 3);
+        assert_eq!(ev.cache.len(), 1, "one replay for three identical candidates");
+        assert_eq!(obs[0].qps.to_bits(), obs[2].qps.to_bits());
+        assert_eq!(obs[2].iter, 2);
+    }
+
+    #[test]
+    fn observe_batch_failure_substitution_follows_batch_order() {
+        // A failing config *later* in the batch must pick up worst-in-history
+        // from the successful configs recorded before it — same as serial.
+        let w = make();
+        let good = VdmsConfig::default_config();
+        let mut bad = VdmsConfig::default_config();
+        bad.system.graceful_time_ms = 0.0;
+        bad.system.insert_buf_size_mb = 2048.0;
+
+        let mut serial = Evaluator::new(&w, 2);
+        serial.observe(&good, 0.0);
+        serial.observe(&bad, 0.0);
+        let mut batched = Evaluator::new(&w, 2);
+        let obs = batched.observe_batch(&[good, bad], 0.0);
+        assert!(obs[1].failed);
+        assert_eq!(obs[1].qps.to_bits(), serial.history()[1].qps.to_bits());
+        assert_eq!(obs[1].recall.to_bits(), serial.history()[1].recall.to_bits());
     }
 
     #[test]

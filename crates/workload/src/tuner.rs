@@ -19,6 +19,18 @@ pub trait Tuner {
     /// Recommend the next configuration to evaluate.
     fn propose(&mut self, history: &[Observation]) -> VdmsConfig;
 
+    /// Recommend `q` configurations to evaluate concurrently.
+    ///
+    /// The default draws `q` sequential proposals against the same history:
+    /// stochastic tuners (Random/LHS, OpenTuner's ensemble) naturally
+    /// diversify because their internal RNG state advances per call, so
+    /// every baseline works batched out of the box. Model-based tuners
+    /// should override this with a fantasy scheme (VDTuner uses a
+    /// kriging-believer loop) to avoid proposing near-duplicates.
+    fn propose_batch(&mut self, history: &[Observation], q: usize) -> Vec<VdmsConfig> {
+        (0..q).map(|_| self.propose(history)).collect()
+    }
+
     /// Feedback hook after the proposal was evaluated. Default: no-op.
     fn observe(&mut self, _obs: &Observation) {}
 }
@@ -36,6 +48,32 @@ pub fn run_tuner<T: Tuner + ?Sized>(
         let recommend_secs = t0.elapsed().as_secs_f64();
         let obs = evaluator.observe(&config, recommend_secs);
         tuner.observe(&obs);
+    }
+}
+
+/// Batched driver: per step, ask `tuner` for up to `q` candidates and
+/// evaluate them concurrently via [`Evaluator::observe_batch`]. Exactly
+/// `iterations` evaluations are performed in total (the final batch is
+/// truncated). With `q == 1` the observation history is bit-identical to
+/// [`run_tuner`].
+pub fn run_tuner_batched<T: Tuner + ?Sized>(
+    tuner: &mut T,
+    evaluator: &mut Evaluator<'_>,
+    iterations: usize,
+    q: usize,
+) {
+    let q = q.max(1);
+    let mut remaining = iterations;
+    while remaining > 0 {
+        let batch = q.min(remaining);
+        let t0 = Instant::now();
+        let configs = tuner.propose_batch(evaluator.history(), batch);
+        assert_eq!(configs.len(), batch, "tuner must return exactly q candidates");
+        let recommend_secs = t0.elapsed().as_secs_f64();
+        for obs in evaluator.observe_batch(&configs, recommend_secs) {
+            tuner.observe(&obs);
+        }
+        remaining -= batch;
     }
 }
 
@@ -64,5 +102,37 @@ mod tests {
         run_tuner(&mut t, &mut ev, 3);
         assert_eq!(ev.len(), 3);
         assert!(ev.history().iter().all(|o| o.recommend_secs >= 0.0));
+    }
+
+    #[test]
+    fn default_propose_batch_returns_q_candidates() {
+        let mut t = FixedTuner;
+        let batch = t.propose_batch(&[], 4);
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn batched_driver_hits_exact_iteration_budget() {
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let mut ev = Evaluator::new(&w, 3);
+        let mut t = FixedTuner;
+        // 7 iterations at q=3 -> batches of 3, 3, 1.
+        run_tuner_batched(&mut t, &mut ev, 7, 3);
+        assert_eq!(ev.len(), 7);
+        let iters: Vec<usize> = ev.history().iter().map(|o| o.iter).collect();
+        assert_eq!(iters, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_driver_q1_matches_serial_driver() {
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let mut ev_a = Evaluator::new(&w, 3);
+        run_tuner(&mut FixedTuner, &mut ev_a, 4);
+        let mut ev_b = Evaluator::new(&w, 3);
+        run_tuner_batched(&mut FixedTuner, &mut ev_b, 4, 1);
+        for (a, b) in ev_a.history().iter().zip(ev_b.history()) {
+            assert_eq!(a.qps.to_bits(), b.qps.to_bits());
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+        }
     }
 }

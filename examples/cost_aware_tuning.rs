@@ -52,6 +52,8 @@ fn main() {
             (1.0 - m_qpd / m_qps) * 100.0
         );
     } else {
-        println!("\nnote: at this tiny budget the memory gap has not opened yet; raise `iterations`");
+        println!(
+            "\nnote: at this tiny budget the memory gap has not opened yet; raise `iterations`"
+        );
     }
 }

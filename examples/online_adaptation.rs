@@ -22,9 +22,7 @@ fn main() {
     let best1 = epoch1.best_balanced().expect("epoch 1 found configs");
     println!(
         "epoch 1 (GloVe-like):      best balanced {:.0} QPS @ recall {:.3} [{}]",
-        best1.qps,
-        best1.recall,
-        best1.config.index_type
+        best1.qps, best1.recall, best1.config.index_type
     );
 
     // Epoch 2: the product pivots — documents are re-embedded with a text
@@ -37,8 +35,7 @@ fn main() {
     // Warm restart: bootstrap the surrogate with epoch-1 observations. The
     // shared system parameters (gracefulTime, buffers, concurrency) carry
     // over even though the data distribution changed.
-    let warm_opts =
-        TunerOptions { bootstrap: epoch1.observations.clone(), ..Default::default() };
+    let warm_opts = TunerOptions { bootstrap: epoch1.observations.clone(), ..Default::default() };
     let warm = VdTuner::new(warm_opts, 22).run(&w2, iterations);
 
     for (name, out) in [("cold restart", &cold), ("warm (bootstrapped)", &warm)] {

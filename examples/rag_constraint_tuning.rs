@@ -21,10 +21,8 @@ fn main() {
     let iterations = 36;
 
     // Phase 1: the service launches with a soft recall floor of 0.85.
-    let opts_085 = TunerOptions {
-        mode: TunerMode::Constrained { recall_limit: 0.85 },
-        ..Default::default()
-    };
+    let opts_085 =
+        TunerOptions { mode: TunerMode::Constrained { recall_limit: 0.85 }, ..Default::default() };
     let mut tuner = VdTuner::new(opts_085, 7);
     let phase1 = tuner.run(&workload, iterations);
     report("phase 1 (recall > 0.85)", &phase1, 0.85);
@@ -57,14 +55,6 @@ fn report(title: &str, outcome: &vdtuner::core::TuningOutcome, floor: f64) {
         }
         None => println!("  no feasible configuration found — increase the budget"),
     }
-    let feasible = outcome
-        .observations
-        .iter()
-        .filter(|o| !o.failed && o.recall >= floor)
-        .count();
-    println!(
-        "  {}/{} evaluations were feasible\n",
-        feasible,
-        outcome.observations.len()
-    );
+    let feasible = outcome.observations.iter().filter(|o| !o.failed && o.recall >= floor).count();
+    println!("  {}/{} evaluations were feasible\n", feasible, outcome.observations.len());
 }

@@ -4,8 +4,8 @@
 use vdtuner::baselines::{OpenTunerStyle, OtterTuneStyle, QehviTuner, RandomLhs};
 use vdtuner::core::{BudgetAllocation, SurrogateKind, TunerMode, TunerOptions, VdTuner};
 use vdtuner::prelude::*;
-use vdtuner::workload::{run_tuner, Evaluator, Tuner};
 use vdtuner::vecdata::DatasetSpec as Spec;
+use vdtuner::workload::{run_tuner, Evaluator, Tuner};
 
 fn tiny_workload() -> Workload {
     Workload::prepare(Spec::tiny(DatasetKind::Glove), 10)
@@ -34,10 +34,7 @@ fn vdtuner_full_pipeline() {
     let first7: Vec<_> = out.observations[..7].iter().map(|o| o.config.index_type).collect();
     assert_eq!(first7.len(), 7);
     // Tuning must find something at least as good as the best default.
-    let best_default = out.observations[..7]
-        .iter()
-        .map(|o| o.qps)
-        .fold(0.0, f64::max);
+    let best_default = out.observations[..7].iter().map(|o| o.qps).fold(0.0, f64::max);
     let best_overall = out.observations.iter().map(|o| o.qps).fold(0.0, f64::max);
     assert!(best_overall >= best_default);
     // Timing breakdown recorded.

@@ -4,8 +4,8 @@
 use vdtuner::anns::params::IndexType;
 use vdtuner::prelude::*;
 use vdtuner::vdms::system_params::SystemParams;
-use vdtuner::workload::evaluate;
 use vdtuner::vecdata::DatasetSpec as Spec;
+use vdtuner::workload::evaluate;
 
 fn tiny_workload() -> Workload {
     Workload::prepare(Spec::tiny(DatasetKind::Glove), 10)

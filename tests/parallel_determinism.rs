@@ -1,0 +1,132 @@
+//! The parallel evaluation engine must be a pure speedup: for a fixed seed,
+//! observation histories are bit-identical whether the work runs on one
+//! rayon thread or many, and the batched APIs degrade exactly to their
+//! serial counterparts at q = 1.
+
+use proptest::prelude::*;
+use vdtuner::core::{ConfigSpace, TunerOptions, VdTuner};
+use vdtuner::prelude::*;
+use vdtuner::workload::Evaluator;
+
+fn tiny_workload() -> Workload {
+    Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10)
+}
+
+fn small_options() -> TunerOptions {
+    TunerOptions {
+        mc_samples: 8,
+        candidates: vdtuner::mobo::optimize::CandidateOptions {
+            n_lhs: 8,
+            n_uniform: 4,
+            n_local_per_incumbent: 2,
+            local_sigma: 0.1,
+        },
+        ..Default::default()
+    }
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+}
+
+/// Bit-level fingerprint of an observation history.
+fn fingerprint(out: &vdtuner::core::TuningOutcome) -> Vec<(String, u64, u64, u64, bool)> {
+    out.observations
+        .iter()
+        .map(|o| {
+            (
+                o.config.summary(),
+                o.qps.to_bits(),
+                o.recall.to_bits(),
+                o.memory_gib.to_bits(),
+                o.failed,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn vdtuner_run_is_thread_count_invariant() {
+    let w = tiny_workload();
+    let serial = with_threads(1, || VdTuner::new(small_options(), 42).run(&w, 10));
+    let parallel = with_threads(4, || VdTuner::new(small_options(), 42).run(&w, 10));
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+}
+
+#[test]
+fn batched_run_is_thread_count_invariant() {
+    let w = tiny_workload();
+    let serial = with_threads(1, || VdTuner::new(small_options(), 7).run_batched(&w, 12, 4));
+    let parallel = with_threads(4, || VdTuner::new(small_options(), 7).run_batched(&w, 12, 4));
+    assert_eq!(serial.observations.len(), 12);
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+}
+
+#[test]
+fn collection_load_and_search_are_thread_count_invariant() {
+    // Multi-segment layout so the parallel build and scatter-gather paths
+    // actually fan out.
+    let ds = DatasetSpec { n: 4000, ..DatasetSpec::tiny(DatasetKind::Glove) }.generate();
+    let mut cfg = VdmsConfig::default_for(IndexType::IvfFlat);
+    cfg.system.segment_max_size_mb = 64.0;
+    cfg.system.segment_seal_proportion = 1.0;
+    let cfg = cfg.sanitized(ds.dim(), 10);
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let col = vdtuner::vdms::Collection::load(&ds, &cfg, 3).unwrap();
+            assert!(col.layout().sealed_count() >= 3);
+            col.run_queries(10)
+        })
+    };
+    let (cost_a, res_a) = run(1);
+    let (cost_b, res_b) = run(4);
+    assert_eq!(res_a, res_b);
+    assert_eq!(cost_a, cost_b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `observe_batch` with q = 1 is the same function as `observe`, for
+    /// arbitrary (decoded) configurations.
+    #[test]
+    fn observe_batch_q1_matches_observe(u in prop::collection::vec(0.0f64..=1.0, 16),
+                                        seed in 0u64..32) {
+        let w = tiny_workload();
+        let cfg = ConfigSpace.decode(&u);
+        let mut a = Evaluator::new(&w, seed);
+        let oa = a.observe(&cfg, 0.125);
+        let mut b = Evaluator::new(&w, seed);
+        let ob = b.observe_batch(std::slice::from_ref(&cfg), 0.125);
+        prop_assert_eq!(ob.len(), 1);
+        prop_assert_eq!(oa.qps.to_bits(), ob[0].qps.to_bits());
+        prop_assert_eq!(oa.recall.to_bits(), ob[0].recall.to_bits());
+        prop_assert_eq!(oa.memory_gib.to_bits(), ob[0].memory_gib.to_bits());
+        prop_assert_eq!(oa.failed, ob[0].failed);
+        prop_assert_eq!(oa.replay_secs.to_bits(), ob[0].replay_secs.to_bits());
+        prop_assert_eq!(oa.recommend_secs.to_bits(), ob[0].recommend_secs.to_bits());
+    }
+
+    /// A whole batch equals the serial replay of the same candidate list,
+    /// bit for bit, under any thread count.
+    #[test]
+    fn observe_batch_matches_serial_loop(us in prop::collection::vec(
+                                             prop::collection::vec(0.0f64..=1.0, 16), 2..5),
+                                         threads in 1usize..5) {
+        let w = tiny_workload();
+        let configs: Vec<VdmsConfig> = us.iter().map(|u| ConfigSpace.decode(u)).collect();
+        let mut serial = Evaluator::new(&w, 9);
+        for c in &configs {
+            serial.observe(c, 0.0);
+        }
+        let mut batched = Evaluator::new(&w, 9);
+        let obs = with_threads(threads, || batched.observe_batch(&configs, 0.0));
+        prop_assert_eq!(obs.len(), configs.len());
+        for (a, b) in serial.history().iter().zip(&obs) {
+            prop_assert_eq!(a.qps.to_bits(), b.qps.to_bits());
+            prop_assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            prop_assert_eq!(a.failed, b.failed);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Implements the slice this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — on top of plain `std::time::Instant` timing. Per benchmark it
+//! runs a short warm-up, then `sample_size` timed samples, and prints
+//! `name  time: [min  median  max]` in criterion's familiar shape.
+//!
+//! Under `cargo test` (which runs `harness = false` bench targets with no
+//! `--bench` flag) every benchmark body executes exactly once, so benches
+//! stay compile-and-run-checked without costing test time; full measurement
+//! happens only under `cargo bench`, which passes `--bench`.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported compiler fence against over-optimization.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (the shim treats all variants alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One benchmark's measurement loop.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up and iteration-count calibration: grow the batch until one
+        // timed batch takes >= 1ms so Instant overhead stays negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.samples.push(0.0);
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API parity; the shim's calibration is time-based already.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Parse CLI args the way cargo invokes `harness = false` bench
+    /// binaries: `cargo bench` passes `--bench` (full measurement), while
+    /// `cargo test` passes no mode flag at all. Like upstream criterion,
+    /// absence of `--bench` means test mode — each benchmark body runs
+    /// exactly once, keeping benches compile-and-run-checked without
+    /// costing measurement time.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut bench_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => self.test_mode = true,
+                a if a.starts_with("--") => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        if !bench_mode {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if self.skipped(id) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: test passed");
+            return;
+        }
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{id}: no samples");
+            return;
+        }
+        s.sort_by(f64::total_cmp);
+        let median = s[s.len() / 2];
+        println!("{id:<50} time: [{} {} {}]", fmt_ns(s[0]), fmt_ns(median), fmt_ns(s[s.len() - 1]));
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Open a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group: either `criterion_group!(name, fn_a, fn_b)` or
+/// the braced form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no network access, so the workspace carries the
+//! slice of rayon it uses: `par_iter()` / `into_par_iter()` with
+//! `map(..).collect::<Vec<_>>()`, `rayon::join`, `current_num_threads`, and
+//! a `ThreadPoolBuilder` whose pools scope a thread-count override via
+//! `install`. Execution model: each `collect` splits the items into
+//! contiguous chunks, runs one `std::thread` per chunk, and reassembles the
+//! results **in input order** — so any pure `map` is bit-identical to its
+//! serial equivalent regardless of thread count.
+//!
+//! Nested parallel calls (a `par_iter` inside a worker) degrade to serial
+//! execution instead of spawning threads quadratically, mirroring how rayon
+//! re-uses the worker that is already running.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set inside worker closures and `install`-scoped regions.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True while the current thread is already a parallel worker.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Global default, settable once via [`ThreadPoolBuilder::build_global`].
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let local = THREAD_OVERRIDE.with(|o| o.get());
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    hardware_threads()
+}
+
+/// Run `a` and `b` potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || IN_WORKER.with(|w| w.get()) {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: join worker panicked"))
+    })
+}
+
+/// Ordered parallel map: the workhorse behind every `collect`.
+///
+/// Items are moved into contiguous chunks; chunk `i` of the output always
+/// holds the results for chunk `i` of the input, so output order equals
+/// input order no matter how many threads ran.
+fn parallel_map<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 || IN_WORKER.with(|w| w.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim: map worker panicked"));
+        }
+        out
+    })
+}
+
+pub mod iter {
+    use super::parallel_map;
+
+    /// A not-yet-mapped parallel iterator over owned items.
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    pub struct ParMap<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    impl<I: Send> ParIter<I> {
+        pub fn map<U, F>(self, f: F) -> ParMap<I, F>
+        where
+            U: Send,
+            F: Fn(I) -> U + Sync,
+        {
+            ParMap { items: self.items, f }
+        }
+
+        /// Number of items this iterator will produce.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    impl<I, U, F> ParMap<I, F>
+    where
+        I: Send,
+        U: Send,
+        F: Fn(I) -> U + Sync,
+    {
+        pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+            C::from_ordered_vec(parallel_map(self.items, self.f))
+        }
+
+        /// Sum of the mapped values, folded **in input order** (bit-stable
+        /// for floats across thread counts).
+        pub fn sum<S>(self) -> S
+        where
+            S: core::iter::Sum<U>,
+        {
+            parallel_map(self.items, self.f).into_iter().sum()
+        }
+    }
+
+    /// Sinks for [`ParMap::collect`].
+    pub trait FromParallelIterator<U> {
+        fn from_ordered_vec(v: Vec<U>) -> Self;
+    }
+
+    impl<U> FromParallelIterator<U> for Vec<U> {
+        fn from_ordered_vec(v: Vec<U>) -> Vec<U> {
+            v
+        }
+    }
+
+    impl<U, E> FromParallelIterator<Result<U, E>> for Result<Vec<U>, E> {
+        /// First error in input order wins, matching a serial `collect`.
+        fn from_ordered_vec(v: Vec<Result<U, E>>) -> Result<Vec<U>, E> {
+            v.into_iter().collect()
+        }
+    }
+
+    /// Conversion into a parallel iterator over owned items.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for core::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter { items: self.collect() }
+        }
+    }
+
+    /// Conversion into a parallel iterator over `&T`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; the shim cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread-count configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// 0 means "use the environment/hardware default".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+
+    /// Install the thread count as the process-wide default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A scoped thread-count override (the shim has no persistent workers; the
+/// pool only pins how many threads parallel calls under `install` use).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count active on the current thread.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(self.num_threads));
+        let out = f();
+        THREAD_OVERRIDE.with(|o| o.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            hardware_threads()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let serial: Vec<usize> = xs.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 7] {
+            let par: Vec<usize> =
+                with_threads(threads, || xs.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let out: Vec<usize> = with_threads(4, || (0..37).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn float_sum_is_bit_stable_across_thread_counts() {
+        let xs: Vec<f64> = (0..501).map(|i| (i as f64).sin() * 1e-3).collect();
+        let one: f64 = with_threads(1, || xs.par_iter().map(|&x| x * x).sum());
+        let many: f64 = with_threads(8, || xs.par_iter().map(|&x| x * x).sum());
+        assert_eq!(one.to_bits(), many.to_bits());
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error() {
+        let xs: Vec<i32> = (0..20).collect();
+        let r: Result<Vec<i32>, String> = with_threads(3, || {
+            xs.par_iter()
+                .map(|&x| if x % 7 == 6 { Err(format!("bad {x}")) } else { Ok(x) })
+                .collect()
+        });
+        assert_eq!(r.unwrap_err(), "bad 6");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = with_threads(2, || join(|| 40 + 2, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_gracefully() {
+        let out: Vec<usize> = with_threads(4, || {
+            (0..8)
+                .into_par_iter()
+                .map(|i| (0..8).into_par_iter().map(|j| i * 8 + j).collect::<Vec<_>>().len())
+                .collect()
+        });
+        assert_eq!(out, vec![8; 8]);
+    }
+
+    #[test]
+    fn install_scopes_and_restores() {
+        assert_eq!(THREAD_OVERRIDE.with(|o| o.get()), 0);
+        let inside = with_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(THREAD_OVERRIDE.with(|o| o.get()), 0);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> =
+            with_threads(4, || Vec::<u8>::new().into_par_iter().map(|x| x).collect());
+        assert!(empty.is_empty());
+        let single: Vec<u8> =
+            with_threads(4, || vec![5u8].into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(single, vec![6]);
+    }
+}
