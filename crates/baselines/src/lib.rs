@@ -38,10 +38,31 @@ pub fn weighted_reward(history: &[Observation], qps: f64, recall: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vecdata::{DatasetKind, DatasetSpec};
+    use workload::{run_tuner, Evaluator, ShardedSimBackend, Tuner, Workload};
 
     #[test]
     fn weighted_reward_balances_objectives() {
         let r_best = weighted_reward(&[], 100.0, 1.0);
         assert!((r_best - 1.0).abs() < 1e-12, "sole observation is the max of both");
+    }
+
+    #[test]
+    fn every_baseline_runs_against_the_sharded_backend() {
+        // The baselines only see the `Tuner` trait and the evaluator, so
+        // swapping the backend must be transparent to all four of them.
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let tuners: Vec<Box<dyn Tuner>> = vec![
+            Box::new(RandomLhs::new(5)),
+            Box::new(OpenTunerStyle::new(5)),
+            Box::new(OtterTuneStyle::new(5, 2)),
+            Box::new(QehviTuner::new(5, 2)),
+        ];
+        for mut t in tuners {
+            let mut ev = Evaluator::with_backend(ShardedSimBackend::new(&w, 2), 5);
+            run_tuner(t.as_mut(), &mut ev, 4);
+            assert_eq!(ev.len(), 4, "{}", t.name());
+            assert!(ev.history().iter().any(|o| !o.failed), "{}", t.name());
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 table5 table6 scale. Output goes to stdout and to
+//! fig12 fig13 table5 table6 scale sharding. Output goes to stdout and to
 //! `results/*.csv`.
 
 use bench::{experiments, Profile};
@@ -51,7 +51,7 @@ fn main() {
 
     let all = [
         "fig1", "fig2", "fig3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "table5", "table6", "scale",
+        "fig12", "fig13", "table5", "table6", "scale", "sharding",
     ];
     let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
         all.to_vec()
@@ -83,6 +83,7 @@ fn main() {
             "table5" => experiments::table5(&profile),
             "table6" => experiments::table6(&profile),
             "scale" => experiments::scale(&profile),
+            "sharding" => experiments::sharding(&profile),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
@@ -99,7 +100,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
-         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale all"
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding all"
     );
     std::process::exit(2);
 }

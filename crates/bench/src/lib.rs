@@ -9,7 +9,7 @@ use anns::params::IndexType;
 use baselines::{OpenTunerStyle, OtterTuneStyle, QehviTuner, RandomLhs};
 use vdtuner_core::{TunerOptions, TuningOutcome, VdTuner};
 use vecdata::DatasetSpec;
-use workload::{run_tuner, Evaluator, Workload};
+use workload::{run_tuner, EvalBackend, Evaluator, SimBackend, Workload};
 
 /// The five tuning methods of §V-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,35 +82,46 @@ pub fn vdtuner_paper_options(iters: usize) -> TunerOptions {
     }
 }
 
-/// Run one method against a prepared workload.
+/// Run one method against a prepared workload (single-node simulator).
 pub fn run_method(method: Method, workload: &Workload, iters: usize, seed: u64) -> TuningOutcome {
+    run_method_on(method, SimBackend::new(workload), iters, seed)
+}
+
+/// Run one method against an arbitrary evaluation backend (sharded
+/// cluster, live system, ...). [`run_method`] is this over [`SimBackend`].
+pub fn run_method_on<B: EvalBackend>(
+    method: Method,
+    backend: B,
+    iters: usize,
+    seed: u64,
+) -> TuningOutcome {
     match method {
         Method::VdTuner => {
             let mut t = VdTuner::new(vdtuner_paper_options(iters), seed);
-            t.run(workload, iters)
+            t.run_on(backend, iters)
         }
         Method::Random => {
             let mut t = RandomLhs::new(seed);
-            let mut ev = Evaluator::new(workload, seed);
+            let mut ev = Evaluator::with_backend(backend, seed);
             run_tuner(&mut t, &mut ev, iters);
             TuningOutcome::from_evaluator(t_name(&t), &ev, Vec::new())
         }
         Method::OpenTuner => {
             let mut t = OpenTunerStyle::new(seed);
-            let mut ev = Evaluator::new(workload, seed);
+            let mut ev = Evaluator::with_backend(backend, seed);
             run_tuner(&mut t, &mut ev, iters);
             TuningOutcome::from_evaluator(t_name(&t), &ev, Vec::new())
         }
         Method::OtterTune => {
             // 10 LHS initial samples, as in §V-A.
             let mut t = OtterTuneStyle::new(seed, 10);
-            let mut ev = Evaluator::new(workload, seed);
+            let mut ev = Evaluator::with_backend(backend, seed);
             run_tuner(&mut t, &mut ev, iters);
             TuningOutcome::from_evaluator(t_name(&t), &ev, Vec::new())
         }
         Method::Qehvi => {
             let mut t = QehviTuner::new(seed, 10);
-            let mut ev = Evaluator::new(workload, seed);
+            let mut ev = Evaluator::with_backend(backend, seed);
             run_tuner(&mut t, &mut ev, iters);
             TuningOutcome::from_evaluator(t_name(&t), &ev, Vec::new())
         }
@@ -191,6 +202,14 @@ mod tests {
             let out = run_method(m, &w, 8, 1);
             assert_eq!(out.observations.len(), 8, "{}", m.name());
         }
+    }
+
+    #[test]
+    fn run_method_on_sharded_backend_produces_history() {
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let out = run_method_on(Method::Random, workload::ShardedSimBackend::new(&w, 2), 6, 1);
+        assert_eq!(out.observations.len(), 6);
+        assert!(out.observations.iter().any(|o| !o.failed));
     }
 
     #[test]

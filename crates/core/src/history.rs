@@ -5,7 +5,7 @@ use crate::abandon::ScoreRow;
 use crate::npi::balanced_base;
 use crate::space::{ConfigSpace, DIMS};
 use mobo::pareto::{non_dominated_indices, pareto_ranks};
-use workload::{Evaluator, Observation};
+use workload::{EvalBackend, Evaluator, Observation};
 
 /// Everything a finished tuning run produced.
 #[derive(Debug, Clone)]
@@ -23,10 +23,10 @@ pub struct TuningOutcome {
 }
 
 impl TuningOutcome {
-    /// Package an evaluator's records.
-    pub fn from_evaluator(
+    /// Package an evaluator's records (over any evaluation backend).
+    pub fn from_evaluator<B: EvalBackend>(
         tuner: String,
-        evaluator: &Evaluator<'_>,
+        evaluator: &Evaluator<B>,
         score_trace: Vec<ScoreRow>,
     ) -> TuningOutcome {
         TuningOutcome {

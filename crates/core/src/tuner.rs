@@ -24,7 +24,9 @@ use mobo::pareto::non_dominated_indices;
 use rand::Rng;
 use vdms::VdmsConfig;
 use vecdata::rng::{derive, rng, standard_normal};
-use workload::{run_tuner, run_tuner_batched, Evaluator, Observation, Tuner, Workload};
+use workload::{
+    run_tuner, run_tuner_batched, EvalBackend, Evaluator, Observation, SimBackend, Tuner, Workload,
+};
 
 /// A boxed acquisition function over encoded configurations. `Sync` so the
 /// candidate pool can be scored from worker threads; the lifetime lets it
@@ -493,7 +495,24 @@ impl VdTuner {
         iterations: usize,
         q: usize,
     ) -> TuningOutcome {
-        let mut evaluator = Evaluator::new(workload, derive(self.seed, 0xEBA1));
+        self.run_batched_on(SimBackend::new(workload), iterations, q)
+    }
+
+    /// Run against an arbitrary evaluation backend (sharded cluster, live
+    /// system, ...) — the tuner never sees what is behind the evaluator.
+    pub fn run_on<B: EvalBackend>(&mut self, backend: B, iterations: usize) -> TuningOutcome {
+        self.run_batched_on(backend, iterations, 1)
+    }
+
+    /// Batched driver over an arbitrary evaluation backend; see
+    /// [`VdTuner::run_batched`].
+    pub fn run_batched_on<B: EvalBackend>(
+        &mut self,
+        backend: B,
+        iterations: usize,
+        q: usize,
+    ) -> TuningOutcome {
+        let mut evaluator = Evaluator::with_backend(backend, derive(self.seed, 0xEBA1));
         if q <= 1 {
             run_tuner(self, &mut evaluator, iterations);
         } else {
@@ -688,6 +707,29 @@ mod tests {
         let (cfg, pred) = tuner.propose_inner(&[]);
         assert_eq!(cfg.index_type, IndexType::ALL[0]);
         assert!(pred.is_none());
+    }
+
+    #[test]
+    fn run_on_sim_backend_matches_run_bitwise() {
+        let w = tiny_workload();
+        let via_workload = VdTuner::new(small_options(), 9).run(&w, 9);
+        let via_backend = VdTuner::new(small_options(), 9).run_on(workload::SimBackend::new(&w), 9);
+        let key = |out: &TuningOutcome| -> Vec<(String, u64, u64)> {
+            out.observations
+                .iter()
+                .map(|o| (o.config.summary(), o.qps.to_bits(), o.recall.to_bits()))
+                .collect()
+        };
+        assert_eq!(key(&via_workload), key(&via_backend));
+    }
+
+    #[test]
+    fn tuning_runs_against_sharded_backend() {
+        let w = tiny_workload();
+        let backend = workload::ShardedSimBackend::new(&w, 2);
+        let out = VdTuner::new(small_options(), 5).run_batched_on(backend, 10, 2);
+        assert_eq!(out.observations.len(), 10);
+        assert!(out.observations.iter().any(|o| !o.failed));
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Sharded multi-node serving: a collection partitioned across simulated
+//! query nodes behind a scatter-gather proxy.
+//!
+//! This is the simulator's equivalent of the proxy / query-node
+//! architecture every production VDMS uses (Milvus, and the scatter-gather
+//! design described in the *Survey of Vector Database Management Systems*):
+//!
+//! * the **proxy** receives a query, scatters it to every query node,
+//!   gathers the per-node partial top-k results and merges them —
+//!   [`ShardedCollection::search`] plays this role, merging in global
+//!   segment order so results are **bit-identical** to the single-node
+//!   [`Collection`] for any shard count;
+//! * each **query node** (shard) hosts a subset of the sealed segments
+//!   under its own memory budget ([`ClusterSpec::shard_budget_gib`]);
+//!   segment *placement* is balanced round-robin with deterministic
+//!   rebalancing — a segment that would blow its preferred node's budget
+//!   is moved to the node with the most headroom, and only when **no**
+//!   node can host it does the whole configuration fail
+//!   ([`VdmsError::ShardOutOfMemory`]);
+//! * the **shard delegator** (node 0) additionally serves the growing
+//!   (streaming) tail and holds the insert buffer, exactly as Milvus'
+//!   delegator serves streaming segments alongside sealed ones.
+//!
+//! Search *results* do not depend on the sharding: merging happens in
+//! global segment order regardless of placement. What sharding changes is
+//! the **performance model** — per-shard search costs feed
+//! [`CostModel::cluster_perf`] (straggler latency + proxy merge overhead),
+//! per-node builds and loads proceed in parallel (wall time is the slowest
+//! node's), and every node pays its own fixed process overhead. With one
+//! shard all of it reduces bit-exactly to the single-node collection.
+
+use crate::collection::{Collection, MEMORY_BUDGET_GIB};
+use crate::config::VdmsConfig;
+use crate::cost_model::CostModel;
+use crate::error::VdmsError;
+use crate::memory::MemoryUsage;
+use anns::cost::SearchCost;
+use anns::index::VectorIndex;
+use rayon::prelude::*;
+use vecdata::ground_truth::TopK;
+use vecdata::{Dataset, Neighbor};
+
+/// Shape of a simulated cluster: how many query nodes, and how much memory
+/// each may use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of query nodes (≥ 1).
+    pub shards: usize,
+    /// Memory budget per query node, GiB.
+    pub shard_budget_gib: f64,
+}
+
+impl ClusterSpec {
+    /// A cluster of `shards` nodes splitting the testbed budget evenly:
+    /// aggregate capacity stays at [`MEMORY_BUDGET_GIB`], so one node of a
+    /// 1-shard cluster is exactly the paper's single-node testbed.
+    pub fn new(shards: usize) -> ClusterSpec {
+        let shards = shards.max(1);
+        ClusterSpec { shards, shard_budget_gib: MEMORY_BUDGET_GIB / shards as f64 }
+    }
+
+    /// A cluster with an explicit per-node budget (for tight-memory
+    /// experiments where the even split would never bind).
+    pub fn with_budget(shards: usize, shard_budget_gib: f64) -> ClusterSpec {
+        ClusterSpec { shards: shards.max(1), shard_budget_gib }
+    }
+
+    /// Total memory capacity across all nodes.
+    pub fn aggregate_budget_gib(&self) -> f64 {
+        self.shards as f64 * self.shard_budget_gib
+    }
+
+    /// Clamp a (possibly directly constructed) spec into validity: at
+    /// least one shard. [`ShardedCollection::load`] applies this, and
+    /// backends that surface the spec in their metadata should too, so
+    /// they report the shape the cluster layer actually serves.
+    pub fn normalized(self) -> ClusterSpec {
+        ClusterSpec { shards: self.shards.max(1), ..self }
+    }
+}
+
+/// A collection partitioned across simulated query nodes.
+#[derive(Debug)]
+pub struct ShardedCollection<'a> {
+    collection: Collection<'a>,
+    spec: ClusterSpec,
+    /// `assignment[i]` = shard hosting sealed segment `i`.
+    assignment: Vec<usize>,
+    /// Segment indices per shard, in placement order.
+    shard_segments: Vec<Vec<usize>>,
+    /// Memory accounting per query node.
+    shard_memory: Vec<MemoryUsage>,
+}
+
+impl<'a> ShardedCollection<'a> {
+    /// Ingest the dataset under `config` and place the sealed segments
+    /// across `spec.shards` query nodes.
+    ///
+    /// Fails like [`Collection::load`] (bad index params, aggregate OOM —
+    /// checked against the cluster's *aggregate* capacity, so a cluster
+    /// provisioned beyond the single-node testbed can use it) plus
+    /// [`VdmsError::ShardOutOfMemory`] when no node can host a segment —
+    /// or the delegator's fixed streaming state — within the per-shard
+    /// budget.
+    pub fn load(
+        dataset: &'a Dataset,
+        config: &VdmsConfig,
+        seed: u64,
+        spec: ClusterSpec,
+    ) -> Result<ShardedCollection<'a>, VdmsError> {
+        let spec = spec.normalized();
+        let collection =
+            Collection::load_with_budget(dataset, config, seed, spec.aggregate_budget_gib())?;
+        let (assignment, shard_segments, shard_memory) = place(&collection, &spec)?;
+        Ok(ShardedCollection { collection, spec, assignment, shard_segments, shard_memory })
+    }
+
+    /// The cluster shape this collection was loaded with.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of query nodes.
+    pub fn shards(&self) -> usize {
+        self.spec.shards
+    }
+
+    /// Shard hosting each sealed segment, in segment order.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Per-node memory accounting.
+    pub fn shard_memory(&self) -> &[MemoryUsage] {
+        &self.shard_memory
+    }
+
+    /// The underlying (single-node-equivalent) collection.
+    pub fn collection(&self) -> &Collection<'a> {
+        &self.collection
+    }
+
+    /// Aggregate cluster memory, GiB — the QP$ denominator. More nodes
+    /// mean more fixed process overhead, so sharding is not free.
+    pub fn total_memory_gib(&self) -> f64 {
+        let bytes: u64 = self.shard_memory.iter().map(MemoryUsage::total_bytes).sum();
+        bytes as f64 / (1u64 << 30) as f64
+    }
+
+    /// Proxy-side scatter-gather search: probe every node's segments,
+    /// merge partials in **global segment order** (then the delegator's
+    /// growing scan), charging each node's work to `shard_costs`.
+    ///
+    /// Results are bit-identical to [`Collection::search`] for any shard
+    /// count and any placement; only the cost attribution differs.
+    pub fn search(
+        &self,
+        query: &[f32],
+        top_k: usize,
+        shard_costs: &mut [SearchCost],
+    ) -> Vec<Neighbor> {
+        assert_eq!(shard_costs.len(), self.spec.shards, "one cost slot per shard");
+        let sp = self.collection.search_params(top_k);
+        let per_segment: Vec<(Vec<Neighbor>, SearchCost)> = (0..self.assignment.len())
+            .into_par_iter()
+            .map(|si| self.collection.search_sealed(si, query, &sp))
+            .collect();
+        let mut merged = TopK::new(top_k);
+        for (si, (hits, seg_cost)) in per_segment.into_iter().enumerate() {
+            let start = self.collection.layout().sealed[si].0;
+            for n in hits {
+                merged.push(n.id + start as u32, n.distance);
+            }
+            shard_costs[self.assignment[si]].add(&seg_cost);
+        }
+        // Streaming data is served by the shard delegator (node 0).
+        self.collection.scan_growing(query, &mut merged, &mut shard_costs[0]);
+        merged.into_sorted()
+    }
+
+    /// Run every query once; returns accumulated per-shard costs plus the
+    /// per-query result id lists. Queries execute in parallel; costs and
+    /// results are folded in query order, so the output is identical for
+    /// any thread count.
+    pub fn run_queries(&self, top_k: usize) -> (Vec<SearchCost>, Vec<Vec<u32>>) {
+        let shards = self.spec.shards;
+        let dataset = self.collection.dataset;
+        let per_query: Vec<(Vec<SearchCost>, Vec<u32>)> = (0..dataset.n_queries())
+            .into_par_iter()
+            .map(|qi| {
+                let mut costs = vec![SearchCost::default(); shards];
+                let res = self.search(dataset.query(qi), top_k, &mut costs);
+                (costs, res.into_iter().map(|n| n.id).collect())
+            })
+            .collect();
+        let mut totals = vec![SearchCost::default(); shards];
+        let mut results = Vec::with_capacity(per_query.len());
+        for (costs, res) in per_query {
+            for (t, c) in totals.iter_mut().zip(&costs) {
+                t.add(c);
+            }
+            results.push(res);
+        }
+        (totals, results)
+    }
+
+    /// Simulated seconds to build and load the cluster: nodes work in
+    /// parallel, so wall time is the slowest node's build + load (the
+    /// delegator also ingests the growing tail).
+    pub fn build_and_load_secs(&self, model: &CostModel) -> f64 {
+        let sys = &self.collection.config().system;
+        let layout = self.collection.layout();
+        (0..self.spec.shards)
+            .map(|s| {
+                let train: u64 = self.shard_segments[s]
+                    .iter()
+                    .map(|&i| self.collection.sealed[i].stats.train_dims)
+                    .sum();
+                let rows: usize = self.shard_segments[s]
+                    .iter()
+                    .map(|&i| {
+                        let (start, end) = layout.sealed[i];
+                        end - start
+                    })
+                    .sum::<usize>()
+                    + if s == 0 { layout.growing_rows() } else { 0 };
+                model.build_secs(train, sys) + model.load_secs(rows)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Memory footprint of shard `s` hosting the given segments.
+fn account_shard(col: &Collection<'_>, segs: &[usize], delegator: bool) -> MemoryUsage {
+    let layout = col.layout();
+    let measured: u64 = segs.iter().map(|&i| col.sealed[i].index.memory_bytes()).sum();
+    let max_rows = segs
+        .iter()
+        .map(|&i| {
+            let (start, end) = layout.sealed[i];
+            end - start
+        })
+        .max()
+        .unwrap_or(0);
+    MemoryUsage::account_query_node(
+        layout,
+        &col.config().system,
+        measured,
+        (col.dataset.dim() * 4) as u64,
+        max_rows,
+        delegator,
+    )
+}
+
+/// Place sealed segments on query nodes: round-robin preference, with
+/// deterministic rebalancing to the least-loaded node when the preferred
+/// one would exceed its budget.
+#[allow(clippy::type_complexity)]
+fn place(
+    col: &Collection<'_>,
+    spec: &ClusterSpec,
+) -> Result<(Vec<usize>, Vec<Vec<usize>>, Vec<MemoryUsage>), VdmsError> {
+    let shards = spec.shards;
+    let budget = spec.shard_budget_gib;
+    let mut shard_segments: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut totals: Vec<f64> =
+        (0..shards).map(|s| account_shard(col, &shard_segments[s], s == 0).total_gib()).collect();
+    // The delegator's fixed streaming state (growing tail + insert buffer)
+    // and every node's process overhead must fit before any segment does.
+    for (s, &t) in totals.iter().enumerate() {
+        if t > budget {
+            return Err(VdmsError::ShardOutOfMemory {
+                shard: s,
+                required_gib: t,
+                budget_gib: budget,
+            });
+        }
+    }
+    let n_seg = col.sealed.len();
+    let mut assignment = vec![0usize; n_seg];
+    for i in 0..n_seg {
+        let pref = i % shards;
+        // Candidates: the round-robin preferred node first, then the rest
+        // by ascending current load (ties broken by node index) — the
+        // "rebalance" path when the preferred node is full.
+        let mut others: Vec<usize> = (0..shards).filter(|&s| s != pref).collect();
+        others.sort_by(|&a, &b| totals[a].total_cmp(&totals[b]).then(a.cmp(&b)));
+        let mut placed = false;
+        for s in std::iter::once(pref).chain(others) {
+            shard_segments[s].push(i);
+            let m = account_shard(col, &shard_segments[s], s == 0);
+            if m.total_gib() <= budget {
+                totals[s] = m.total_gib();
+                assignment[i] = s;
+                placed = true;
+                break;
+            }
+            shard_segments[s].pop();
+        }
+        if !placed {
+            let mut tentative = shard_segments[pref].clone();
+            tentative.push(i);
+            let required = account_shard(col, &tentative, pref == 0).total_gib();
+            return Err(VdmsError::ShardOutOfMemory {
+                shard: pref,
+                required_gib: required,
+                budget_gib: budget,
+            });
+        }
+    }
+    let shard_memory: Vec<MemoryUsage> =
+        (0..shards).map(|s| account_shard(col, &shard_segments[s], s == 0)).collect();
+    Ok((assignment, shard_segments, shard_memory))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system_params::SystemParams;
+    use anns::params::IndexType;
+    use vecdata::{DatasetKind, DatasetSpec};
+
+    /// A layout with several sealed segments plus a growing tail.
+    fn multi_segment_setup() -> (Dataset, VdmsConfig) {
+        let ds = DatasetSpec { n: 4200, ..DatasetSpec::tiny(DatasetKind::Glove) }.generate();
+        let mut cfg = VdmsConfig::default_for(IndexType::IvfFlat);
+        cfg.system = SystemParams {
+            segment_max_size_mb: 64.0, // 1024 rows/segment at seal=1.0
+            segment_seal_proportion: 1.0,
+            ..Default::default()
+        };
+        let cfg = cfg.sanitized(ds.dim(), 10);
+        (ds, cfg)
+    }
+
+    #[test]
+    fn one_shard_matches_single_node_bitwise() {
+        let (ds, cfg) = multi_segment_setup();
+        let single = Collection::load(&ds, &cfg, 3).unwrap();
+        let sharded = ShardedCollection::load(&ds, &cfg, 3, ClusterSpec::new(1)).unwrap();
+        assert_eq!(sharded.shard_memory()[0], single.memory);
+        assert_eq!(
+            sharded.total_memory_gib().to_bits(),
+            single.memory.total_gib().to_bits(),
+            "aggregate memory must reduce to the single node's"
+        );
+        let model = CostModel::default();
+        assert_eq!(
+            sharded.build_and_load_secs(&model).to_bits(),
+            single.build_and_load_secs(&model).to_bits()
+        );
+        let (sharded_costs, sharded_res) = sharded.run_queries(10);
+        let (single_cost, single_res) = single.run_queries(10);
+        assert_eq!(sharded_res, single_res);
+        assert_eq!(sharded_costs[0], single_cost);
+    }
+
+    #[test]
+    fn any_shard_count_returns_identical_results() {
+        let (ds, cfg) = multi_segment_setup();
+        let single = Collection::load(&ds, &cfg, 7).unwrap();
+        let (single_cost, single_res) = single.run_queries(10);
+        for shards in [2usize, 3, 5, 8] {
+            let sharded = ShardedCollection::load(&ds, &cfg, 7, ClusterSpec::new(shards)).unwrap();
+            let (costs, res) = sharded.run_queries(10);
+            assert_eq!(res, single_res, "{shards} shards");
+            // Total work is conserved; only its attribution moves.
+            let mut total = SearchCost::default();
+            for c in &costs {
+                total.add(c);
+            }
+            assert_eq!(total, single_cost, "{shards} shards");
+            assert!(costs.iter().filter(|c| !c.is_zero()).count() >= 2, "work actually spreads");
+        }
+    }
+
+    #[test]
+    fn placement_is_balanced_round_robin() {
+        let (ds, cfg) = multi_segment_setup();
+        let sharded = ShardedCollection::load(&ds, &cfg, 1, ClusterSpec::new(2)).unwrap();
+        assert!(sharded.assignment().len() >= 3);
+        for (i, &s) in sharded.assignment().iter().enumerate() {
+            assert_eq!(s, i % 2, "with slack budgets the preferred node always fits");
+        }
+    }
+
+    #[test]
+    fn every_node_pays_process_overhead() {
+        let (ds, cfg) = multi_segment_setup();
+        let single = Collection::load(&ds, &cfg, 1).unwrap();
+        let sharded = ShardedCollection::load(&ds, &cfg, 1, ClusterSpec::new(4)).unwrap();
+        assert!(
+            sharded.total_memory_gib() > single.memory.total_gib(),
+            "sharding adds per-node fixed overhead"
+        );
+        // Only the delegator holds streaming state.
+        for (s, m) in sharded.shard_memory().iter().enumerate() {
+            if s > 0 {
+                assert_eq!(m.insert_buffer_bytes, 0);
+                assert_eq!(m.growing_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_rebalances_before_failing() {
+        let (ds, cfg) = multi_segment_setup();
+        let col = Collection::load(&ds, &cfg, 1).unwrap();
+        assert!(col.layout().sealed_count() >= 4);
+        // A budget that lets the delegator host exactly one segment: its
+        // round-robin share would be two, so the second one must rebalance
+        // to node 1 (which has headroom — it carries no streaming state).
+        let one = account_shard(&col, &[0], true).total_gib();
+        let two = account_shard(&col, &[0, 2], true).total_gib();
+        let spec = ClusterSpec::with_budget(2, (one + two) / 2.0);
+        let sharded = ShardedCollection::load(&ds, &cfg, 1, spec).unwrap();
+        assert_eq!(sharded.assignment()[0], 0, "first segment fits its preferred node");
+        assert_eq!(sharded.assignment()[2], 1, "overflow segment rebalances off the delegator");
+        for m in sharded.shard_memory() {
+            assert!(m.total_gib() <= spec.shard_budget_gib);
+        }
+    }
+
+    #[test]
+    fn aggregate_fit_but_per_shard_overflow_fails_placement() {
+        let (ds, cfg) = multi_segment_setup();
+        // The delegator's fixed state alone (insert buffer + base) blows a
+        // sub-GiB per-node budget even though the aggregate (4 × budget)
+        // would hold the whole collection.
+        let spec = ClusterSpec::with_budget(4, 1.1);
+        let err = ShardedCollection::load(&ds, &cfg, 1, spec);
+        assert!(
+            matches!(err, Err(VdmsError::ShardOutOfMemory { shard: 0, .. })),
+            "expected delegator placement failure, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ClusterSpec::new(0).shards, 1);
+        assert_eq!(ClusterSpec::new(1).shard_budget_gib, MEMORY_BUDGET_GIB);
+    }
+
+    #[test]
+    fn directly_constructed_zero_shard_spec_does_not_panic() {
+        // ClusterSpec has public fields; a hand-built `shards: 0` must be
+        // served as a one-node cluster, not a modulo-by-zero panic.
+        let (ds, cfg) = multi_segment_setup();
+        let spec = ClusterSpec { shards: 0, shard_budget_gib: MEMORY_BUDGET_GIB };
+        let sharded = ShardedCollection::load(&ds, &cfg, 1, spec).unwrap();
+        assert_eq!(sharded.shards(), 1);
+        let (costs, _) = sharded.run_queries(10);
+        assert_eq!(costs.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_check_uses_cluster_capacity_not_testbed_cap() {
+        let (ds, cfg) = multi_segment_setup();
+        let single = Collection::load(&ds, &cfg, 1).unwrap();
+        let need = single.memory.total_gib();
+        // A cluster whose aggregate is below the collection's footprint
+        // fails fast with the *cluster's* budget in the error...
+        let tight = ClusterSpec::with_budget(2, need * 0.4);
+        match ShardedCollection::load(&ds, &cfg, 1, tight) {
+            Err(VdmsError::OutOfMemory { budget_gib, .. }) => {
+                assert!((budget_gib - need * 0.8).abs() < 1e-9, "aggregate, not 125");
+            }
+            other => panic!("expected aggregate OOM, got {other:?}"),
+        }
+        // ...while a cluster provisioned beyond the single-node testbed cap
+        // accepts what its nodes can jointly hold (per-shard placement is
+        // still the binding constraint).
+        let big = ClusterSpec::with_budget(4, MEMORY_BUDGET_GIB);
+        let sharded = ShardedCollection::load(&ds, &cfg, 1, big).unwrap();
+        assert_eq!(sharded.spec().aggregate_budget_gib(), 4.0 * MEMORY_BUDGET_GIB);
+    }
+}

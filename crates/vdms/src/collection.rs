@@ -19,20 +19,23 @@ use vecdata::{Dataset, Neighbor};
 /// (Table II); we keep the same budget so OOM behaviour matches.
 pub const MEMORY_BUDGET_GIB: f64 = 125.0;
 
-/// One sealed segment: its global row offset and its index.
+/// One sealed segment: its global row offset, its index, and the build
+/// stats it cost (kept per segment so the cluster layer can attribute
+/// build work to the query node that owns the segment).
 #[derive(Debug)]
-struct SealedSegment {
-    start: usize,
-    index: AnnIndex,
+pub(crate) struct SealedSegment {
+    pub(crate) start: usize,
+    pub(crate) index: AnnIndex,
+    pub(crate) stats: BuildStats,
 }
 
 /// A collection loaded under a specific [`VdmsConfig`].
 #[derive(Debug)]
 pub struct Collection<'a> {
-    dataset: &'a Dataset,
+    pub(crate) dataset: &'a Dataset,
     config: VdmsConfig,
     layout: SegmentLayout,
-    sealed: Vec<SealedSegment>,
+    pub(crate) sealed: Vec<SealedSegment>,
     /// Aggregated build statistics (training work, measured index bytes).
     pub build_stats: BuildStats,
     /// Memory accounting under the virtual row scale.
@@ -50,6 +53,19 @@ impl<'a> Collection<'a> {
         dataset: &'a Dataset,
         config: &VdmsConfig,
         seed: u64,
+    ) -> Result<Collection<'a>, VdmsError> {
+        Collection::load_with_budget(dataset, config, seed, MEMORY_BUDGET_GIB)
+    }
+
+    /// [`Collection::load`] against an explicit memory budget. The cluster
+    /// layer passes its *aggregate* capacity here (per-shard budgets are
+    /// enforced separately during placement), so a cluster provisioned
+    /// beyond the single-node testbed can actually use its memory.
+    pub(crate) fn load_with_budget(
+        dataset: &'a Dataset,
+        config: &VdmsConfig,
+        seed: u64,
+        budget_gib: f64,
     ) -> Result<Collection<'a>, VdmsError> {
         let dim = dataset.dim();
         let layout = SegmentLayout::plan(dataset.len(), &config.system);
@@ -78,16 +94,13 @@ impl<'a> Collection<'a> {
         let mut build_stats = BuildStats::default();
         for ((index, stats), &(start, _)) in built?.into_iter().zip(&layout.sealed) {
             build_stats.add(&stats);
-            sealed.push(SealedSegment { start, index });
+            sealed.push(SealedSegment { start, index, stats });
         }
         let measured_index_bytes: u64 = sealed.iter().map(|s| s.index.memory_bytes()).sum();
         let memory =
             MemoryUsage::account(&layout, &config.system, measured_index_bytes, (dim * 4) as u64);
-        if memory.total_gib() > MEMORY_BUDGET_GIB {
-            return Err(VdmsError::OutOfMemory {
-                required_gib: memory.total_gib(),
-                budget_gib: MEMORY_BUDGET_GIB,
-            });
+        if memory.total_gib() > budget_gib {
+            return Err(VdmsError::OutOfMemory { required_gib: memory.total_gib(), budget_gib });
         }
         Ok(Collection { dataset, config: *config, layout, sealed, build_stats, memory })
     }
@@ -111,46 +124,75 @@ impl<'a> Collection<'a> {
         1.0 + 0.25 * ((rows.max(1) as f64 / 2048.0).max(1.0)).log2()
     }
 
+    /// Probe one sealed segment: local hits (segment-relative ids) plus its
+    /// cost record, with the graph cache premium applied to the traversal
+    /// work. The scaled count is *rounded*, not truncated: truncation
+    /// dropped up to a full unit of graph_dims per segment, silently
+    /// under-charging graph traversal on many-segment layouts.
+    pub(crate) fn search_sealed(
+        &self,
+        si: usize,
+        query: &[f32],
+        sp: &SearchParams,
+    ) -> (Vec<Neighbor>, SearchCost) {
+        let seg = &self.sealed[si];
+        let (start, end) = self.layout.sealed[si];
+        debug_assert_eq!(seg.start, start);
+        let mut seg_cost = SearchCost { segments: 1, ..Default::default() };
+        let hits = seg.index.search(query, sp, &mut seg_cost);
+        seg_cost.graph_dims = Self::scale_graph_dims(seg_cost.graph_dims, end - start);
+        (hits, seg_cost)
+    }
+
+    /// Apply the graph cache premium to a traversal work count, rounding to
+    /// the nearest unit (see [`Collection::search_sealed`]).
+    fn scale_graph_dims(raw: u64, rows: usize) -> u64 {
+        (raw as f64 * Self::graph_cache_factor(rows)).round() as u64
+    }
+
+    /// Brute-force scan of the growing tail (exactly like Milvus'
+    /// growing-segment scan), pushing candidates into the caller's merge
+    /// heap and charging `cost`. No-op when nothing is growing.
+    pub(crate) fn scan_growing(&self, query: &[f32], merged: &mut TopK, cost: &mut SearchCost) {
+        if self.layout.growing_rows() == 0 {
+            return;
+        }
+        let dim = self.dataset.dim();
+        cost.segments += 1;
+        for i in self.layout.growing_start..self.layout.n {
+            cost.add_f32_distance(dim);
+            cost.heap_pushes += 1;
+            merged.push(i as u32, l2_sq(query, self.dataset.vector(i)));
+        }
+    }
+
+    /// Search parameters for this collection's index configuration.
+    pub(crate) fn search_params(&self, top_k: usize) -> SearchParams {
+        SearchParams::from_params(&self.config.index, top_k)
+    }
+
     /// Scatter-gather top-k search: query every sealed segment's index plus
     /// the growing tail (brute force, exactly like Milvus' growing-segment
     /// scan), then merge by reported distance.
     pub fn search(&self, query: &[f32], top_k: usize, cost: &mut SearchCost) -> Vec<Neighbor> {
-        let sp = SearchParams::from_params(&self.config.index, top_k);
-        let dim = self.dataset.dim();
+        let sp = self.search_params(top_k);
         let mut merged = TopK::new(top_k);
         // Scatter: probe every sealed segment concurrently (this is the
         // query-node fan-out of a real VDMS). Each task returns its local
         // hits plus its cost record.
-        let per_segment: Vec<(Vec<Neighbor>, SearchCost)> = self
-            .sealed
-            .par_iter()
-            .map(|seg| {
-                let mut seg_cost = SearchCost { segments: 1, ..Default::default() };
-                let hits = seg.index.search(query, &sp, &mut seg_cost);
-                (hits, seg_cost)
-            })
+        let per_segment: Vec<(Vec<Neighbor>, SearchCost)> = (0..self.sealed.len())
+            .into_par_iter()
+            .map(|si| self.search_sealed(si, query, &sp))
             .collect();
         // Gather: merge in segment order, so the heap sees pushes in the
         // same sequence as the serial path (bit-identical results).
-        for ((seg, &(start, end)), (hits, mut seg_cost)) in
-            self.sealed.iter().zip(&self.layout.sealed).zip(per_segment)
-        {
+        for (seg, (hits, seg_cost)) in self.sealed.iter().zip(per_segment) {
             for n in hits {
                 merged.push(n.id + seg.start as u32, n.distance);
             }
-            debug_assert_eq!(seg.start, start);
-            seg_cost.graph_dims =
-                (seg_cost.graph_dims as f64 * Self::graph_cache_factor(end - start)) as u64;
             cost.add(&seg_cost);
         }
-        if self.layout.growing_rows() > 0 {
-            cost.segments += 1;
-            for i in self.layout.growing_start..self.layout.n {
-                cost.add_f32_distance(dim);
-                cost.heap_pushes += 1;
-                merged.push(i as u32, l2_sq(query, self.dataset.vector(i)));
-            }
-        }
+        self.scan_growing(query, &mut merged, cost);
         merged.into_sorted()
     }
 
@@ -256,6 +298,18 @@ mod tests {
         let expected =
             col.layout().sealed_count() as u64 + u64::from(col.layout().growing_rows() > 0);
         assert_eq!(cost.segments, expected);
+    }
+
+    #[test]
+    fn graph_cost_scaling_rounds_to_nearest() {
+        // 4096-row segment → cache factor 1 + 0.25·log2(2) = 1.25 exactly.
+        // Truncation used to drop the fraction: 3·1.25 = 3.75 must report 4
+        // graph-dim units (and 2·1.25 = 2.5 rounds half away from zero).
+        assert_eq!(Collection::scale_graph_dims(3, 4096), 4);
+        assert_eq!(Collection::scale_graph_dims(2, 4096), 3);
+        // At or below the 2048-row cache knee the factor is exactly 1.
+        assert_eq!(Collection::scale_graph_dims(7, 2048), 7);
+        assert_eq!(Collection::scale_graph_dims(0, 1 << 20), 0);
     }
 
     #[test]

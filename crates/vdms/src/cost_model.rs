@@ -109,6 +109,41 @@ impl CostModel {
         QueryPerf { latency_secs, qps }
     }
 
+    /// Proxy-side scatter-gather overhead per query for an `shards`-node
+    /// cluster: each extra query node costs half a dispatch (the fan-out is
+    /// issued asynchronously, but serialization/reduce work remains) plus a
+    /// top-k merge of that node's partial result. Exactly zero for a single
+    /// node, where proxy and query node are colocated (Milvus standalone).
+    pub fn proxy_merge_secs(&self, shards: usize, top_k: usize) -> f64 {
+        let extra = shards.saturating_sub(1) as f64;
+        extra * (0.5 * unit_costs::QUERY_BASE_NS + top_k as f64 * unit_costs::HEAP_PUSH_NS) / 1e9
+    }
+
+    /// Per-query performance of a sharded cluster: the proxy scatters every
+    /// query to all shards, so latency is the *straggler* shard's latency
+    /// plus the proxy merge overhead. With one shard this reduces exactly
+    /// (bit for bit) to [`CostModel::query_perf`] on that shard's cost.
+    ///
+    /// `shard_costs` holds one mean per-query [`SearchCost`] per shard.
+    pub fn cluster_perf(
+        &self,
+        shard_costs: &[SearchCost],
+        sys: &SystemParams,
+        top_k: usize,
+    ) -> QueryPerf {
+        let slowest = shard_costs
+            .iter()
+            .map(|c| self.query_perf(c, sys))
+            .max_by(|a, b| a.latency_secs.total_cmp(&b.latency_secs))
+            .expect("cluster_perf needs at least one shard");
+        let proxy = self.proxy_merge_secs(shard_costs.len(), top_k);
+        if proxy == 0.0 {
+            return slowest;
+        }
+        let latency_secs = slowest.latency_secs + proxy;
+        QueryPerf { latency_secs, qps: self.parallelism(sys) / latency_secs.max(1e-9) }
+    }
+
     /// Simulated seconds to build all segment indexes.
     pub fn build_secs(&self, train_dims: u64, sys: &SystemParams) -> f64 {
         let speedup = (sys.build_parallelism as f64).powf(0.8);
@@ -206,6 +241,35 @@ mod tests {
         let huge = model.query_perf(&cost, &SystemParams { max_read_concurrency: 64, ..base });
         assert!(ten.qps > low.qps * 5.0);
         assert!(huge.qps < ten.qps, "over-provisioning must not help");
+    }
+
+    #[test]
+    fn one_shard_cluster_is_bitwise_single_node() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let single = model.query_perf(&flat_cost(), &sys);
+        let cluster = model.cluster_perf(&[flat_cost()], &sys, 100);
+        assert_eq!(single.latency_secs.to_bits(), cluster.latency_secs.to_bits());
+        assert_eq!(single.qps.to_bits(), cluster.qps.to_bits());
+    }
+
+    #[test]
+    fn straggler_shard_governs_cluster_latency() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let light = SearchCost { f32_dims: 100 * 48, segments: 1, ..Default::default() };
+        let cluster = model.cluster_perf(&[light, flat_cost(), light], &sys, 10);
+        let straggler = model.query_perf(&flat_cost(), &sys);
+        assert!(cluster.latency_secs > straggler.latency_secs, "merge overhead adds latency");
+        assert!(cluster.qps < straggler.qps);
+    }
+
+    #[test]
+    fn proxy_overhead_grows_with_fanout_and_k() {
+        let model = CostModel::default();
+        assert_eq!(model.proxy_merge_secs(1, 100), 0.0);
+        assert!(model.proxy_merge_secs(4, 100) > model.proxy_merge_secs(2, 100));
+        assert!(model.proxy_merge_secs(2, 100) > model.proxy_merge_secs(2, 10));
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum VdmsError {
     /// The configuration exceeds the memory budget of the testbed
     /// (125 GB in Table II; scaled in the simulator).
     OutOfMemory { required_gib: f64, budget_gib: f64 },
+    /// No query node of a sharded cluster could host a segment within its
+    /// per-shard budget: the configuration may fit the aggregate cluster
+    /// memory but not any single node's share, even after rebalancing.
+    ShardOutOfMemory { shard: usize, required_gib: f64, budget_gib: f64 },
 }
 
 impl std::fmt::Display for VdmsError {
@@ -29,6 +33,13 @@ impl std::fmt::Display for VdmsError {
             }
             VdmsError::OutOfMemory { required_gib, budget_gib } => {
                 write!(f, "out of memory: {required_gib:.1} GiB > {budget_gib:.1} GiB budget")
+            }
+            VdmsError::ShardOutOfMemory { shard, required_gib, budget_gib } => {
+                write!(
+                    f,
+                    "shard {shard} out of memory: {required_gib:.1} GiB > {budget_gib:.1} GiB \
+                     per-shard budget (no node can host the placement)"
+                )
             }
         }
     }

@@ -23,10 +23,13 @@
 //! * [`segment`] — segment layout planning from the system parameters,
 //! * [`collection`] — a loaded collection: sealed segment indexes plus a
 //!   growing tail, with scatter-gather top-k search,
+//! * [`cluster`] — the same collection partitioned across simulated query
+//!   nodes with per-shard memory budgets behind a scatter-gather proxy,
 //! * [`cost_model`] — counts → latency/QPS/build-time,
 //! * [`memory`] — resident + peak memory accounting (for QP$ tuning),
 //! * [`error`] — build/evaluation failure semantics.
 
+pub mod cluster;
 pub mod collection;
 pub mod config;
 pub mod cost_model;
@@ -35,6 +38,7 @@ pub mod memory;
 pub mod segment;
 pub mod system_params;
 
+pub use cluster::{ClusterSpec, ShardedCollection};
 pub use collection::Collection;
 pub use config::VdmsConfig;
 pub use cost_model::{CostModel, QueryPerf};

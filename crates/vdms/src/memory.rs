@@ -27,6 +27,13 @@ pub struct MemoryUsage {
 /// Fixed overhead of the VDMS processes themselves.
 const BASE_SYSTEM_BYTES: u64 = 1 << 30; // 1 GiB
 
+/// Floor for tuner-facing accounted memory (GiB): the fixed base overhead
+/// of the system processes. No deployment — single node or one query node
+/// of a sharded cluster — reports less than its own footprint, so failed
+/// evaluations (which account 0 bytes) are floored here before entering
+/// the QP$ objective.
+pub const MIN_MEMORY_GIB: f64 = BASE_SYSTEM_BYTES as f64 / (1u64 << 30) as f64;
+
 impl MemoryUsage {
     /// Account memory for a loaded collection.
     ///
@@ -39,11 +46,40 @@ impl MemoryUsage {
         measured_index_bytes: u64,
         actual_row_bytes: u64,
     ) -> MemoryUsage {
+        MemoryUsage::account_query_node(
+            layout,
+            sys,
+            measured_index_bytes,
+            actual_row_bytes,
+            layout.max_sealed_rows(),
+            true,
+        )
+    }
+
+    /// Account memory for one query node of a (possibly sharded) cluster.
+    ///
+    /// `measured_index_bytes` covers only the segments placed on this node
+    /// and `max_segment_rows` is the largest of them (drives its build
+    /// peak). The *delegator* node additionally hosts the growing tail and
+    /// the insert buffer — exactly like the Milvus shard delegator, which
+    /// serves streaming data alongside its sealed segments. A single-node
+    /// deployment is the delegator hosting everything, which is why
+    /// [`MemoryUsage::account`] delegates here.
+    pub fn account_query_node(
+        layout: &SegmentLayout,
+        sys: &SystemParams,
+        measured_index_bytes: u64,
+        actual_row_bytes: u64,
+        max_segment_rows: usize,
+        delegator: bool,
+    ) -> MemoryUsage {
         let scale = VIRTUAL_ROW_BYTES as f64 / actual_row_bytes.max(1) as f64;
         let index_bytes = (measured_index_bytes as f64 * scale) as u64;
-        let growing_bytes = layout.growing_rows() as u64 * VIRTUAL_ROW_BYTES;
-        let insert_buffer_bytes = (sys.insert_buf_size_mb * 1024.0 * 1024.0) as u64;
-        let build_peak_bytes = (layout.max_sealed_rows() as u64 * VIRTUAL_ROW_BYTES) as f64
+        let growing_bytes =
+            if delegator { layout.growing_rows() as u64 * VIRTUAL_ROW_BYTES } else { 0 };
+        let insert_buffer_bytes =
+            if delegator { (sys.insert_buf_size_mb * 1024.0 * 1024.0) as u64 } else { 0 };
+        let build_peak_bytes = (max_segment_rows as u64 * VIRTUAL_ROW_BYTES) as f64
             * (1.0 + 0.15 * sys.build_parallelism as f64);
         MemoryUsage {
             index_bytes,
@@ -119,6 +155,35 @@ mod tests {
         let ms = MemoryUsage::account(&layout(20_000, &small), &small, 0, 192);
         let mb = MemoryUsage::account(&layout(20_000, &big), &big, 0, 192);
         assert!(mb.build_peak_bytes > ms.build_peak_bytes * 4);
+    }
+
+    #[test]
+    fn single_node_account_is_the_delegator_hosting_everything() {
+        let sys = SystemParams::default();
+        let l = layout(8500, &sys);
+        let whole = MemoryUsage::account(&l, &sys, 2_000_000, 192);
+        let node =
+            MemoryUsage::account_query_node(&l, &sys, 2_000_000, 192, l.max_sealed_rows(), true);
+        assert_eq!(whole, node);
+    }
+
+    #[test]
+    fn non_delegator_node_carries_no_streaming_state() {
+        let sys = SystemParams::default();
+        let l = layout(8500, &sys);
+        let node =
+            MemoryUsage::account_query_node(&l, &sys, 2_000_000, 192, l.max_sealed_rows(), false);
+        assert_eq!(node.growing_bytes, 0);
+        assert_eq!(node.insert_buffer_bytes, 0);
+        assert!(node.base_bytes > 0, "every node pays the process overhead");
+    }
+
+    #[test]
+    fn min_memory_is_the_base_overhead() {
+        assert_eq!(MIN_MEMORY_GIB, 1.0);
+        let sys = SystemParams::default();
+        let empty = MemoryUsage::account_query_node(&layout(0, &sys), &sys, 0, 192, 0, false);
+        assert!(empty.total_gib() >= MIN_MEMORY_GIB);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Evaluation backends: *what* gets measured when the tuner asks for an
+//! observation.
+//!
+//! The paper tunes a live Milvus deployment; this reproduction tunes a
+//! simulator. [`EvalBackend`] is the seam between the two: the
+//! [`Evaluator`](crate::Evaluator) owns the tuner-facing bookkeeping
+//! (caching, worst-in-history substitution for failures, timing) and is
+//! generic over a backend that turns a configuration into an
+//! [`Outcome`]. Two backends ship in-tree:
+//!
+//! * [`SimBackend`] — the single-node simulator replay
+//!   ([`crate::replay::evaluate`]), bit-identical to the pre-trait
+//!   evaluation path for a fixed seed;
+//! * [`ShardedSimBackend`] — the same workload served by a
+//!   [`vdms::cluster::ShardedCollection`]: segments partitioned across N
+//!   simulated query nodes with per-shard memory budgets behind a
+//!   scatter-gather proxy.
+//!
+//! A future backend against a real VDMS (Milvus/qdrant over HTTP) drops in
+//! behind the same `observe`/`observe_batch` API by implementing
+//! [`EvalBackend`] — declaring `deterministic: false` in its
+//! [`BackendInfo`] switches the evaluator's caching off.
+
+use crate::replay::{evaluate, evaluate_sharded, Outcome};
+use crate::Workload;
+use vdms::cluster::ClusterSpec;
+use vdms::VdmsConfig;
+
+/// Capabilities and metadata of an evaluation backend, snapshotted by the
+/// evaluator at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendInfo {
+    /// Display name for reports ("sim", "sharded-sim(4)", ...).
+    pub name: String,
+    /// Dataset dimensionality, for configuration sanitization.
+    pub dim: usize,
+    /// Neighbors retrieved per query.
+    pub top_k: usize,
+    /// Query nodes serving the collection (1 for single-node backends).
+    pub shards: usize,
+    /// Whether `(config, seed)` fully determines the outcome. Enables the
+    /// evaluator's result cache; a live-system backend reports `false`.
+    pub deterministic: bool,
+}
+
+/// A system that can evaluate one VDMS configuration.
+///
+/// `Sync` so batched evaluation can fan candidates out across threads.
+/// Implementations receive *sanitized* configurations (the evaluator clamps
+/// them using [`BackendInfo::dim`]/[`BackendInfo::top_k`] first) but must
+/// tolerate unsanitized ones, like a real deployment would (reject, crash,
+/// or clamp — all of which surface as a failed [`Outcome`]).
+pub trait EvalBackend: Sync {
+    /// Static description of this backend.
+    fn info(&self) -> BackendInfo;
+
+    /// Measure one configuration. Failures (crash / timeout / OOM) are
+    /// reported *inside* the outcome, never as a panic.
+    fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome;
+}
+
+/// A shared reference to a backend is a backend.
+impl<B: EvalBackend + ?Sized> EvalBackend for &B {
+    fn info(&self) -> BackendInfo {
+        (**self).info()
+    }
+    fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome {
+        (**self).evaluate(config, seed)
+    }
+}
+
+/// The single-node simulator backend: today's replay path, unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct SimBackend<'a> {
+    workload: &'a Workload,
+}
+
+impl<'a> SimBackend<'a> {
+    pub fn new(workload: &'a Workload) -> SimBackend<'a> {
+        SimBackend { workload }
+    }
+
+    /// The workload this backend replays.
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+}
+
+impl EvalBackend for SimBackend<'_> {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "sim".to_string(),
+            dim: self.workload.dataset.dim(),
+            top_k: self.workload.top_k,
+            shards: 1,
+            deterministic: true,
+        }
+    }
+
+    fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome {
+        evaluate(self.workload, config, seed)
+    }
+}
+
+/// The sharded-cluster simulator backend: the workload served by N query
+/// nodes with per-shard memory budgets. With one shard it produces
+/// outcomes bit-identical to [`SimBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSimBackend<'a> {
+    workload: &'a Workload,
+    spec: ClusterSpec,
+}
+
+impl<'a> ShardedSimBackend<'a> {
+    /// A cluster of `shards` nodes splitting the testbed memory budget
+    /// evenly.
+    pub fn new(workload: &'a Workload, shards: usize) -> ShardedSimBackend<'a> {
+        ShardedSimBackend { workload, spec: ClusterSpec::new(shards) }
+    }
+
+    /// A cluster with an explicit [`ClusterSpec`] (custom per-shard
+    /// budgets). A directly constructed spec with `shards: 0` is clamped
+    /// to one node, matching what the cluster layer would serve.
+    pub fn with_spec(workload: &'a Workload, spec: ClusterSpec) -> ShardedSimBackend<'a> {
+        ShardedSimBackend { workload, spec: spec.normalized() }
+    }
+
+    /// The workload this backend replays.
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+
+    /// The cluster shape evaluations run against.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+}
+
+impl EvalBackend for ShardedSimBackend<'_> {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: format!("sharded-sim({})", self.spec.shards),
+            dim: self.workload.dataset.dim(),
+            top_k: self.workload.top_k,
+            shards: self.spec.shards,
+            deterministic: true,
+        }
+    }
+
+    fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome {
+        evaluate_sharded(self.workload, config, seed, self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecdata::{DatasetKind, DatasetSpec};
+
+    fn make() -> Workload {
+        Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10)
+    }
+
+    #[test]
+    fn sim_backend_reports_workload_shape() {
+        let w = make();
+        let info = SimBackend::new(&w).info();
+        assert_eq!(info.dim, w.dataset.dim());
+        assert_eq!(info.top_k, 10);
+        assert_eq!(info.shards, 1);
+        assert!(info.deterministic);
+    }
+
+    #[test]
+    fn sharded_backend_reports_shards() {
+        let w = make();
+        let info = ShardedSimBackend::new(&w, 4).info();
+        assert_eq!(info.shards, 4);
+        assert_eq!(info.name, "sharded-sim(4)");
+    }
+
+    #[test]
+    fn backend_references_delegate() {
+        let w = make();
+        let b = SimBackend::new(&w);
+        let by_ref: &dyn EvalBackend = &b;
+        let via_ref = by_ref.evaluate(&VdmsConfig::default_config(), 3);
+        let direct = b.evaluate(&VdmsConfig::default_config(), 3);
+        assert_eq!(via_ref, direct);
+        assert_eq!(by_ref.info(), b.info());
+    }
+
+    #[test]
+    fn one_shard_outcome_is_bitwise_single_node() {
+        let w = make();
+        let single = SimBackend::new(&w);
+        let sharded = ShardedSimBackend::new(&w, 1);
+        for seed in [0u64, 7, 131] {
+            let a = single.evaluate(&VdmsConfig::default_config(), seed);
+            let b = sharded.evaluate(&VdmsConfig::default_config(), seed);
+            assert_eq!(a.qps.to_bits(), b.qps.to_bits());
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            assert_eq!(a.memory_gib.to_bits(), b.memory_gib.to_bits());
+            assert_eq!(a.simulated_secs.to_bits(), b.simulated_secs.to_bits());
+            assert_eq!(a.failure, b.failure);
+        }
+    }
+
+    #[test]
+    fn more_shards_cost_memory_and_merge_overhead() {
+        let w = make();
+        // A layout with multiple sealed segments so sharding has work to
+        // spread.
+        let mut cfg = VdmsConfig::default_config();
+        cfg.system.segment_max_size_mb = 64.0;
+        cfg.system.segment_seal_proportion = 0.5;
+        let one = ShardedSimBackend::new(&w, 1).evaluate(&cfg, 5);
+        let four = ShardedSimBackend::new(&w, 4).evaluate(&cfg, 5);
+        assert!(one.is_ok() && four.is_ok());
+        assert_eq!(one.recall.to_bits(), four.recall.to_bits(), "recall is placement-invariant");
+        assert!(four.memory_gib > one.memory_gib, "per-node overhead accumulates");
+    }
+}

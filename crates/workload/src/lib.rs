@@ -12,7 +12,14 @@
 //! configurations are fed back with worst-in-history values (§V-A),
 //! evaluations are cached, and per-iteration timing (recommendation
 //! wall-clock vs simulated replay) is recorded for Table VI.
+//!
+//! The evaluator is generic over an [`backend::EvalBackend`] — the thing
+//! that actually measures a configuration. [`backend::SimBackend`] is the
+//! single-node simulator; [`backend::ShardedSimBackend`] serves the same
+//! workload from a sharded multi-node cluster (`vdms::cluster`); a live
+//! Milvus/qdrant driver would implement the same trait.
 
+pub mod backend;
 pub mod replay;
 pub mod runner;
 pub mod tuner;
@@ -20,7 +27,8 @@ pub mod tuner;
 #[cfg(test)]
 mod noise_tests;
 
-pub use replay::{evaluate, Outcome};
+pub use backend::{BackendInfo, EvalBackend, ShardedSimBackend, SimBackend};
+pub use replay::{evaluate, evaluate_sharded, Outcome};
 pub use runner::{Evaluator, Observation};
 pub use tuner::{run_tuner, run_tuner_batched, Tuner};
 

@@ -1,6 +1,9 @@
-//! Evaluate one configuration: load, replay, measure.
+//! Evaluate one configuration: load, replay, measure — against the
+//! single-node collection ([`evaluate`]) or a sharded cluster
+//! ([`evaluate_sharded`]).
 
 use crate::Workload;
+use vdms::cluster::{ClusterSpec, ShardedCollection};
 use vdms::cost_model::{REPLAY_REQUESTS, REPLAY_TIME_CAP_SECS};
 use vdms::{Collection, VdmsConfig, VdmsError};
 
@@ -78,39 +81,105 @@ pub fn evaluate(workload: &Workload, config: &VdmsConfig, seed: u64) -> Outcome 
     let cfg = config.sanitized(workload.dataset.dim(), workload.top_k);
     let collection = match Collection::load(&workload.dataset, &cfg, seed) {
         Ok(c) => c,
-        Err(e) => {
-            return Outcome {
-                qps: 0.0,
-                recall: 0.0,
-                memory_gib: 0.0,
-                // A failed build still burns tuning time before the failure
-                // is noticed; charge a fixed fraction of the cap.
-                simulated_secs: REPLAY_TIME_CAP_SECS * 0.25,
-                failure: Some(e),
-            };
-        }
+        Err(e) => return load_failure_outcome(e),
     };
 
     let (total_cost, results) = collection.run_queries(workload.top_k);
     // Mean per-query cost drives the latency model.
     let nq = workload.dataset.n_queries().max(1) as u64;
-    let mean_cost = anns::SearchCost {
-        f32_dims: total_cost.f32_dims / nq,
-        graph_dims: total_cost.graph_dims / nq,
-        u8_dims: total_cost.u8_dims / nq,
-        pq_lookups: total_cost.pq_lookups / nq,
-        graph_hops: total_cost.graph_hops / nq,
-        lists_probed: total_cost.lists_probed / nq,
-        heap_pushes: total_cost.heap_pushes / nq,
-        segments: total_cost.segments / nq,
+    let perf = workload.cost_model.query_perf(&mean_cost(&total_cost, nq), &cfg.system);
+    finish(
+        workload,
+        &cfg,
+        seed,
+        perf,
+        &results,
+        collection.build_and_load_secs(&workload.cost_model),
+        collection.memory.total_gib(),
+    )
+}
+
+/// Replay the workload under `config` on a sharded cluster.
+///
+/// Same semantics as [`evaluate`], with the collection served by
+/// `spec.shards` query nodes: per-shard placement failures
+/// ([`VdmsError::ShardOutOfMemory`]) surface as failed outcomes exactly
+/// like single-node OOMs, the latency model pays the straggler shard plus
+/// the proxy merge ([`vdms::CostModel::cluster_perf`]), builds and loads
+/// proceed per node in parallel, and memory is the cluster aggregate.
+/// With `spec.shards == 1` (and the default budget) every field of the
+/// outcome is bit-identical to [`evaluate`].
+pub fn evaluate_sharded(
+    workload: &Workload,
+    config: &VdmsConfig,
+    seed: u64,
+    spec: ClusterSpec,
+) -> Outcome {
+    let cfg = config.sanitized(workload.dataset.dim(), workload.top_k);
+    let cluster = match ShardedCollection::load(&workload.dataset, &cfg, seed, spec) {
+        Ok(c) => c,
+        Err(e) => return load_failure_outcome(e),
     };
-    let mut perf = workload.cost_model.query_perf(&mean_cost, &cfg.system);
-    perf.qps *= qps_noise_factor(&cfg, seed);
-    let recall = workload.mean_recall(&results);
-    let build_load = collection.build_and_load_secs(&workload.cost_model);
+
+    let (shard_totals, results) = cluster.run_queries(workload.top_k);
+    let nq = workload.dataset.n_queries().max(1) as u64;
+    let shard_means: Vec<anns::SearchCost> =
+        shard_totals.iter().map(|c| mean_cost(c, nq)).collect();
+    let perf = workload.cost_model.cluster_perf(&shard_means, &cfg.system, workload.top_k);
+    finish(
+        workload,
+        &cfg,
+        seed,
+        perf,
+        &results,
+        cluster.build_and_load_secs(&workload.cost_model),
+        cluster.total_memory_gib(),
+    )
+}
+
+/// Outcome of an evaluation that failed before any query ran (build
+/// error, OOM, shard placement). Shared by every backend path so the
+/// failure feedback — including the bit-identical shards=1 contract —
+/// cannot drift between them. A failed load still burns tuning time
+/// before the failure is noticed; charge a fixed fraction of the cap.
+fn load_failure_outcome(e: VdmsError) -> Outcome {
+    Outcome {
+        qps: 0.0,
+        recall: 0.0,
+        memory_gib: 0.0,
+        simulated_secs: REPLAY_TIME_CAP_SECS * 0.25,
+        failure: Some(e),
+    }
+}
+
+/// Mean per-query cost from a replay's accumulated counts.
+fn mean_cost(total: &anns::SearchCost, nq: u64) -> anns::SearchCost {
+    anns::SearchCost {
+        f32_dims: total.f32_dims / nq,
+        graph_dims: total.graph_dims / nq,
+        u8_dims: total.u8_dims / nq,
+        pq_lookups: total.pq_lookups / nq,
+        graph_hops: total.graph_hops / nq,
+        lists_probed: total.lists_probed / nq,
+        heap_pushes: total.heap_pushes / nq,
+        segments: total.segments / nq,
+    }
+}
+
+/// Shared tail of an evaluation: noise, recall, timing cap, packaging.
+fn finish(
+    workload: &Workload,
+    cfg: &VdmsConfig,
+    seed: u64,
+    mut perf: vdms::QueryPerf,
+    results: &[Vec<u32>],
+    build_load: f64,
+    memory_gib: f64,
+) -> Outcome {
+    perf.qps *= qps_noise_factor(cfg, seed);
+    let recall = workload.mean_recall(results);
     let replay = workload.cost_model.replay_secs(perf.qps);
     let simulated_secs = build_load + replay;
-    let memory_gib = collection.memory.total_gib();
 
     let failure = if simulated_secs > REPLAY_TIME_CAP_SECS {
         Some(VdmsError::ReplayTimeout { simulated_seconds: simulated_secs })

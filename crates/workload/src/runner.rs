@@ -1,11 +1,17 @@
 //! The evaluation driver shared by VDTuner and every baseline: history,
 //! worst-value substitution for failed configs, caching, and the timing
 //! breakdown reported in Table VI.
+//!
+//! The driver is generic over *what* it evaluates: an
+//! [`EvalBackend`](crate::backend::EvalBackend) — the single-node
+//! simulator, a sharded cluster, or (eventually) a live VDMS over HTTP.
 
-use crate::replay::{evaluate, Outcome};
+use crate::backend::{BackendInfo, EvalBackend, SimBackend};
+use crate::replay::Outcome;
 use crate::Workload;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use vdms::memory::MIN_MEMORY_GIB;
 use vdms::VdmsConfig;
 
 /// One completed evaluation, as seen by a tuner.
@@ -63,9 +69,16 @@ fn config_key(c: &VdmsConfig) -> [u64; 16] {
     ]
 }
 
-/// Evaluates configurations against a workload with tuner-facing semantics.
-pub struct Evaluator<'a> {
-    workload: &'a Workload,
+/// Evaluates configurations against a backend with tuner-facing semantics.
+///
+/// The evaluator owns the bookkeeping every tuner needs — observation
+/// history, worst-in-history substitution for failures, result caching
+/// (when the backend is deterministic), timing totals — and delegates the
+/// measurement itself to an [`EvalBackend`].
+pub struct Evaluator<B: EvalBackend> {
+    backend: B,
+    /// Backend capabilities, snapshotted at construction.
+    info: BackendInfo,
     seed: u64,
     history: Vec<Observation>,
     cache: HashMap<[u64; 16], Outcome>,
@@ -75,10 +88,26 @@ pub struct Evaluator<'a> {
     pub total_recommend_secs: f64,
 }
 
-impl<'a> Evaluator<'a> {
-    pub fn new(workload: &'a Workload, seed: u64) -> Evaluator<'a> {
+impl<'a> Evaluator<SimBackend<'a>> {
+    /// Evaluator over the single-node simulator — the pre-backend-trait
+    /// construction, kept as the default.
+    pub fn new(workload: &'a Workload, seed: u64) -> Evaluator<SimBackend<'a>> {
+        Evaluator::with_backend(SimBackend::new(workload), seed)
+    }
+
+    /// The workload under evaluation.
+    pub fn workload(&self) -> &Workload {
+        self.backend.workload()
+    }
+}
+
+impl<B: EvalBackend> Evaluator<B> {
+    /// Evaluator over an arbitrary backend.
+    pub fn with_backend(backend: B, seed: u64) -> Evaluator<B> {
+        let info = backend.info();
         Evaluator {
-            workload,
+            backend,
+            info,
             seed,
             history: Vec::new(),
             cache: HashMap::new(),
@@ -87,9 +116,14 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// The workload under evaluation.
-    pub fn workload(&self) -> &Workload {
-        self.workload
+    /// The backend under evaluation.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Capabilities of the backend (snapshotted at construction).
+    pub fn info(&self) -> &BackendInfo {
+        &self.info
     }
 
     /// All observations so far, in evaluation order.
@@ -127,12 +161,17 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Fetch the outcome for a sanitized config, evaluating on a cache miss.
+    /// Fetch the outcome for a sanitized config, evaluating on a cache
+    /// miss. Non-deterministic backends (live systems) bypass the cache:
+    /// re-proposing a config re-measures it.
     fn outcome_for(&mut self, cfg: &VdmsConfig, key: [u64; 16]) -> Outcome {
+        if !self.info.deterministic {
+            return self.backend.evaluate(cfg, self.seed);
+        }
         if let Some(cached) = self.cache.get(&key) {
             cached.clone()
         } else {
-            let out = evaluate(self.workload, cfg, self.seed);
+            let out = self.backend.evaluate(cfg, self.seed);
             self.cache.insert(key, out.clone());
             out
         }
@@ -152,7 +191,10 @@ impl<'a> Evaluator<'a> {
             config: cfg,
             qps,
             recall,
-            memory_gib: outcome.memory_gib.max(1.0),
+            // Failed evaluations account 0 bytes; floor at the fixed system
+            // overhead so QP$ never divides by (near-)zero. The constant is
+            // the same base footprint the cluster layer charges per node.
+            memory_gib: outcome.memory_gib.max(MIN_MEMORY_GIB),
             failed,
             replay_secs: outcome.simulated_secs,
             recommend_secs,
@@ -168,7 +210,7 @@ impl<'a> Evaluator<'a> {
     /// `recommend_secs` is the wall-clock time the tuner took to propose
     /// this configuration (pass 0.0 when not tracked).
     pub fn observe(&mut self, config: &VdmsConfig, recommend_secs: f64) -> Observation {
-        let cfg = config.sanitized(self.workload.dataset.dim(), self.workload.top_k);
+        let cfg = config.sanitized(self.info.dim, self.info.top_k);
         let key = config_key(&cfg);
         let outcome = self.outcome_for(&cfg, key);
         self.record(cfg, outcome, recommend_secs)
@@ -194,40 +236,57 @@ impl<'a> Evaluator<'a> {
         let sanitized: Vec<(VdmsConfig, [u64; 16])> = configs
             .iter()
             .map(|c| {
-                let cfg = c.sanitized(self.workload.dataset.dim(), self.workload.top_k);
+                let cfg = c.sanitized(self.info.dim, self.info.top_k);
                 let key = config_key(&cfg);
                 (cfg, key)
             })
             .collect();
 
-        // Unique uncached configs, first-occurrence order.
-        let mut pending: Vec<(VdmsConfig, [u64; 16])> = Vec::new();
-        for &(cfg, key) in &sanitized {
-            if !self.cache.contains_key(&key) && pending.iter().all(|&(_, k)| k != key) {
-                pending.push((cfg, key));
-            }
-        }
-
-        // The parallel fan-out: replay every missing config concurrently.
-        let workload = self.workload;
+        let backend = &self.backend;
         let seed = self.seed;
-        let outcomes: Vec<Outcome> =
-            pending.par_iter().map(|(cfg, _)| evaluate(workload, cfg, seed)).collect();
-        for ((_, key), out) in pending.into_iter().zip(outcomes) {
-            self.cache.insert(key, out);
-        }
+        if self.info.deterministic {
+            // Unique uncached configs, first-occurrence order.
+            let mut pending: Vec<(VdmsConfig, [u64; 16])> = Vec::new();
+            for &(cfg, key) in &sanitized {
+                if !self.cache.contains_key(&key) && pending.iter().all(|&(_, k)| k != key) {
+                    pending.push((cfg, key));
+                }
+            }
 
-        // Serial bookkeeping in candidate order — every lookup now hits the
-        // cache, so this is pure (deterministic) state threading.
-        sanitized
-            .into_iter()
-            .enumerate()
-            .map(|(i, (cfg, key))| {
-                let outcome = self.outcome_for(&cfg, key);
-                let rs = if i == 0 { recommend_secs } else { 0.0 };
-                self.record(cfg, outcome, rs)
-            })
-            .collect()
+            // The parallel fan-out: replay every missing config concurrently.
+            let outcomes: Vec<Outcome> =
+                pending.par_iter().map(|(cfg, _)| backend.evaluate(cfg, seed)).collect();
+            for ((_, key), out) in pending.into_iter().zip(outcomes) {
+                self.cache.insert(key, out);
+            }
+
+            // Serial bookkeeping in candidate order — every lookup now hits
+            // the cache, so this is pure (deterministic) state threading.
+            sanitized
+                .into_iter()
+                .enumerate()
+                .map(|(i, (cfg, key))| {
+                    let outcome = self.outcome_for(&cfg, key);
+                    let rs = if i == 0 { recommend_secs } else { 0.0 };
+                    self.record(cfg, outcome, rs)
+                })
+                .collect()
+        } else {
+            // Non-deterministic backend: no cache to share, so every
+            // candidate — duplicates included — is measured independently
+            // (still in parallel), then recorded in candidate order.
+            let outcomes: Vec<Outcome> =
+                sanitized.par_iter().map(|(cfg, _)| backend.evaluate(cfg, seed)).collect();
+            sanitized
+                .into_iter()
+                .zip(outcomes)
+                .enumerate()
+                .map(|(i, ((cfg, _), outcome))| {
+                    let rs = if i == 0 { recommend_secs } else { 0.0 };
+                    self.record(cfg, outcome, rs)
+                })
+                .collect()
+        }
     }
 
     /// Best observed QPS among configurations with `recall >= min_recall`
@@ -431,5 +490,85 @@ mod tests {
         let curve = ev.qps_curve(0.5);
         assert_eq!(curve.len(), 4);
         assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    /// A config whose evaluation fails (timeout path).
+    fn failing_config() -> VdmsConfig {
+        let mut bad = VdmsConfig::default_config();
+        bad.system.graceful_time_ms = 0.0;
+        bad.system.insert_buf_size_mb = 2048.0;
+        bad
+    }
+
+    #[test]
+    fn failed_observation_memory_floors_at_named_constant() {
+        // Regression: the floor used to be a magic `1.0` literal; it must
+        // stay tied to the base-overhead constant the cluster accounting
+        // charges per node, and apply to failed outcomes that account
+        // 0 GiB (load/placement failures never measure memory).
+        let w = make();
+        let spec = vdms::cluster::ClusterSpec::with_budget(4, 0.5);
+        let backend = crate::backend::ShardedSimBackend::with_spec(&w, spec);
+        let raw = backend.evaluate(&VdmsConfig::default_config().sanitized(w.dataset.dim(), 10), 1);
+        assert!(!raw.is_ok());
+        assert_eq!(raw.memory_gib, 0.0, "placement failure accounts no memory");
+        let mut ev = Evaluator::with_backend(backend, 1);
+        let obs = ev.observe(&VdmsConfig::default_config(), 0.0);
+        assert!(obs.failed);
+        assert_eq!(obs.memory_gib, MIN_MEMORY_GIB, "floored at the shared base-overhead constant");
+    }
+
+    #[test]
+    fn best_qps_with_all_failed_history_is_none() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let obs = ev.observe(&failing_config(), 0.0);
+        assert!(obs.failed);
+        assert_eq!(ev.best_qps_with_recall(0.0), None, "failed-only history has no best");
+        assert_eq!(ev.qps_curve(0.0), vec![0.0], "curve stays at zero");
+    }
+
+    #[test]
+    fn recall_floor_excluding_everything_yields_empty_curve() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        ev.observe(&VdmsConfig::default_for(IndexType::Flat), 0.0);
+        ev.observe(&VdmsConfig::default_for(IndexType::Hnsw), 0.0);
+        assert_eq!(ev.best_qps_with_recall(1.01), None);
+        assert_eq!(ev.qps_curve(1.01), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn qps_curve_ignores_failed_observations_but_keeps_positions() {
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        ev.observe(&VdmsConfig::default_for(IndexType::Flat), 0.0);
+        ev.observe(&failing_config(), 0.0);
+        ev.observe(&VdmsConfig::default_for(IndexType::Hnsw), 0.0);
+        let curve = ev.qps_curve(0.0);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]), "monotone despite the failure");
+        assert_eq!(curve[0], curve[1], "a failed observation cannot improve the best");
+        // The failed observation's substituted qps must not leak into the
+        // curve even though it is numerically positive.
+        assert!(ev.history()[1].qps > 0.0);
+        assert_eq!(curve[1], ev.history()[0].qps);
+    }
+
+    #[test]
+    fn evaluator_works_against_sharded_backend() {
+        let w = make();
+        let backend = crate::backend::ShardedSimBackend::new(&w, 2);
+        let mut ev = Evaluator::with_backend(backend, 1);
+        assert_eq!(ev.info().shards, 2);
+        let obs = ev.observe(&VdmsConfig::default_config(), 0.0);
+        assert!(!obs.failed);
+        assert!(obs.qps > 0.0);
+        let batch = ev.observe_batch(
+            &[VdmsConfig::default_for(IndexType::Flat), VdmsConfig::default_for(IndexType::Hnsw)],
+            0.0,
+        );
+        assert_eq!(batch.len(), 2);
+        assert_eq!(ev.len(), 3);
     }
 }

@@ -1,6 +1,7 @@
 //! The tuner interface shared by VDTuner and all baselines, plus the driver
 //! loop that times recommendations (Table VI's breakdown).
 
+use crate::backend::EvalBackend;
 use crate::runner::{Evaluator, Observation};
 use std::time::Instant;
 use vdms::VdmsConfig;
@@ -35,11 +36,12 @@ pub trait Tuner {
     fn observe(&mut self, _obs: &Observation) {}
 }
 
-/// Run `tuner` for `iterations` evaluations against `evaluator`, measuring
-/// wall-clock recommendation time per iteration.
-pub fn run_tuner<T: Tuner + ?Sized>(
+/// Run `tuner` for `iterations` evaluations against `evaluator` (over any
+/// evaluation backend), measuring wall-clock recommendation time per
+/// iteration.
+pub fn run_tuner<T: Tuner + ?Sized, B: EvalBackend>(
     tuner: &mut T,
-    evaluator: &mut Evaluator<'_>,
+    evaluator: &mut Evaluator<B>,
     iterations: usize,
 ) {
     for _ in 0..iterations {
@@ -56,9 +58,9 @@ pub fn run_tuner<T: Tuner + ?Sized>(
 /// `iterations` evaluations are performed in total (the final batch is
 /// truncated). With `q == 1` the observation history is bit-identical to
 /// [`run_tuner`].
-pub fn run_tuner_batched<T: Tuner + ?Sized>(
+pub fn run_tuner_batched<T: Tuner + ?Sized, B: EvalBackend>(
     tuner: &mut T,
-    evaluator: &mut Evaluator<'_>,
+    evaluator: &mut Evaluator<B>,
     iterations: usize,
     q: usize,
 ) {
@@ -121,6 +123,17 @@ mod tests {
         assert_eq!(ev.len(), 7);
         let iters: Vec<usize> = ev.history().iter().map(|o| o.iter).collect();
         assert_eq!(iters, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drivers_run_against_any_backend() {
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let backend = crate::backend::ShardedSimBackend::new(&w, 2);
+        let mut ev = Evaluator::with_backend(backend, 3);
+        run_tuner(&mut FixedTuner, &mut ev, 2);
+        run_tuner_batched(&mut FixedTuner, &mut ev, 4, 2);
+        assert_eq!(ev.len(), 6);
+        assert!(ev.history().iter().all(|o| !o.failed));
     }
 
     #[test]

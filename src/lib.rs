@@ -9,7 +9,10 @@
 //! * [`anns`] — the seven Milvus index types (FLAT, IVF_FLAT, IVF_SQ8,
 //!   IVF_PQ, HNSW, SCANN, AUTOINDEX),
 //! * [`vdms`] — the Milvus-like vector data management system simulator,
-//! * [`workload`] — the vector-db-benchmark-style replay harness,
+//!   including the sharded multi-node serving layer (`vdms::cluster`),
+//! * [`workload`] — the vector-db-benchmark-style replay harness and the
+//!   evaluation-backend seam (`EvalBackend`: single-node `SimBackend`,
+//!   multi-node `ShardedSimBackend`),
 //! * [`gp`] — Gaussian-process regression,
 //! * [`mobo`] — multi-objective Bayesian-optimization building blocks,
 //! * [`core`] (package `vdtuner-core`) — the VDTuner algorithm itself,
@@ -41,7 +44,8 @@ pub use workload;
 pub mod prelude {
     pub use crate::core::{TunerOptions, TuningOutcome, VdTuner};
     pub use anns::params::IndexType;
+    pub use vdms::cluster::ClusterSpec;
     pub use vdms::config::VdmsConfig;
     pub use vecdata::{Dataset, DatasetKind, DatasetSpec};
-    pub use workload::Workload;
+    pub use workload::{EvalBackend, ShardedSimBackend, SimBackend, Workload};
 }

@@ -8,6 +8,7 @@ use vdtuner::mobo::hypervolume::{hv2d, hv_improvement_2d};
 use vdtuner::mobo::pareto::{non_dominated_indices, pareto_ranks};
 use vdtuner::mobo::sampling::latin_hypercube;
 use vdtuner::vecdata::ground_truth::TopK;
+use vdtuner::vecdata::{DatasetKind, DatasetSpec};
 
 fn point_strategy() -> impl Strategy<Value = [f64; 2]> {
     (0.0f64..100.0, 0.0f64..1.0).prop_map(|(a, b)| [a, b])
@@ -124,6 +125,39 @@ proptest! {
             let expect: Vec<usize> = (0..n).collect();
             prop_assert_eq!(&strata, &expect);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any shard count and seed, the sharded collection returns
+    /// bit-identical search results (hence recall) and conserves the total
+    /// search cost relative to the single-node collection — sharding is a
+    /// serving-topology choice, never a results change.
+    #[test]
+    fn sharded_collection_matches_single_node(shards in 1usize..=8,
+                                              seed in 0u64..32,
+                                              u in prop::collection::vec(0.0f64..=1.0, 16)) {
+        use vdtuner::vdms::cluster::{ClusterSpec, ShardedCollection};
+        use vdtuner::vdms::Collection;
+
+        let w = vdtuner::workload::Workload::prepare(
+            DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let cfg = ConfigSpace.decode(&u).sanitized(w.dataset.dim(), 10);
+        let single = Collection::load(&w.dataset, &cfg, seed).expect("tiny configs fit");
+        let sharded = ShardedCollection::load(&w.dataset, &cfg, seed, ClusterSpec::new(shards))
+            .expect("even budget split fits the tiny workload");
+
+        let (single_cost, single_res) = single.run_queries(10);
+        let (shard_costs, sharded_res) = sharded.run_queries(10);
+        prop_assert_eq!(&sharded_res, &single_res);
+        let total = shard_costs.into_iter().fold(
+            vdtuner::anns::SearchCost::default(), |acc, c| acc + c);
+        prop_assert_eq!(total, single_cost);
+        let recall_single = w.mean_recall(&single_res);
+        let recall_sharded = w.mean_recall(&sharded_res);
+        prop_assert_eq!(recall_single.to_bits(), recall_sharded.to_bits());
     }
 }
 
