@@ -1,9 +1,12 @@
 //! Baseline auto-configuration methods the paper compares against (§V-A).
 //!
-//! All baselines operate on the same holistic 16-dimensional encoded space
-//! as VDTuner — the paper "hypothetically assumes the index type as a
-//! searching dimension to make the baselines suitable for optimizing
-//! multiple indexes simultaneously":
+//! All baselines operate on the same holistic encoded space as VDTuner —
+//! the paper "hypothetically assumes the index type as a searching
+//! dimension to make the baselines suitable for optimizing multiple
+//! indexes simultaneously". Each baseline takes the space as data (a
+//! `SpaceSpec`): the default constructors use the paper's 16 dimensions,
+//! and every baseline also offers a `with_space` constructor for extended
+//! spaces (e.g. topology-as-a-knob):
 //!
 //! * [`random_lhs`] — Latin-hypercube random search (the paper's `Random`),
 //! * [`opentuner`] — an OpenTuner-style ensemble of numerical techniques
@@ -62,6 +65,31 @@ mod tests {
             let mut ev = Evaluator::with_backend(ShardedSimBackend::new(&w, 2), 5);
             run_tuner(t.as_mut(), &mut ev, 4);
             assert_eq!(ev.len(), 4, "{}", t.name());
+            assert!(ev.history().iter().any(|o| !o.failed), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn every_baseline_co_tunes_topology_with_the_extended_space() {
+        // With the 17-dimensional spec every baseline emits candidates the
+        // topology backend accepts (shard request included) — nothing is
+        // rejected by the evaluator's space gate.
+        use vdtuner_core::SpaceSpec;
+        let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+        let space = || SpaceSpec::with_topology(4);
+        let tuners: Vec<Box<dyn Tuner>> = vec![
+            Box::new(RandomLhs::with_space(space(), 5)),
+            Box::new(OpenTunerStyle::with_space(space(), 5)),
+            Box::new(OtterTuneStyle::with_space(space(), 5, 2)),
+            Box::new(QehviTuner::with_space(space(), 5, 2)),
+        ];
+        for mut t in tuners {
+            let mut ev = Evaluator::with_backend(workload::TopologyBackend::new(&w, 4), 5);
+            run_tuner(t.as_mut(), &mut ev, 4);
+            assert_eq!(ev.len(), 4, "{}", t.name());
+            for o in ev.history() {
+                assert!(o.config.shards.is_some(), "{}: {}", t.name(), o.config.summary());
+            }
             assert!(ev.history().iter().any(|o| !o.failed), "{}", t.name());
         }
     }

@@ -12,7 +12,7 @@
 use crate::weighted_reward;
 use rand::Rng;
 use vdms::VdmsConfig;
-use vdtuner_core::space::{ConfigSpace, DIMS};
+use vdtuner_core::space::SpaceSpec;
 use vecdata::rng::{derive, rng, standard_normal};
 use workload::{Observation, Tuner};
 
@@ -42,7 +42,7 @@ struct Arm {
 
 /// OpenTuner-style ensemble tuner.
 pub struct OpenTunerStyle {
-    space: ConfigSpace,
+    space: SpaceSpec,
     seed: u64,
     iter: u64,
     arms: Vec<Arm>,
@@ -55,8 +55,14 @@ pub struct OpenTunerStyle {
 
 impl OpenTunerStyle {
     pub fn new(seed: u64) -> OpenTunerStyle {
+        OpenTunerStyle::with_space(SpaceSpec::legacy(), seed)
+    }
+
+    /// Ensemble search over an arbitrary tuning space (e.g. with the
+    /// topology dimension).
+    pub fn with_space(space: SpaceSpec, seed: u64) -> OpenTunerStyle {
         OpenTunerStyle {
-            space: ConfigSpace,
+            space,
             seed,
             iter: 0,
             arms: vec![Arm::default(); TECHNIQUES.len()],
@@ -100,26 +106,27 @@ impl Tuner for OpenTunerStyle {
 
     fn propose(&mut self, history: &[Observation]) -> VdmsConfig {
         self.iter += 1;
+        let dims = self.space.dims();
         let mut r = rng(derive(self.seed, self.iter));
         if history.is_empty() {
             self.pending_arm = None;
-            return VdmsConfig::default_config();
+            return self.space.seed_default();
         }
         let arm_idx = self.select_arm();
         self.pending_arm = Some(arm_idx);
         self.arms[arm_idx].uses += 1;
 
         let elites = self.elites(history, 4);
-        let base = elites.first().cloned().unwrap_or_else(|| vec![0.5; DIMS]);
+        let base = elites.first().cloned().unwrap_or_else(|| vec![0.5; dims]);
         let u: Vec<f64> = match TECHNIQUES[arm_idx] {
-            Technique::UniformRandom => (0..DIMS).map(|_| r.gen()).collect(),
+            Technique::UniformRandom => (0..dims).map(|_| r.gen()).collect(),
             Technique::HillClimbSmall => {
                 base.iter().map(|&v| (v + 0.03 * standard_normal(&mut r)).clamp(0.0, 1.0)).collect()
             }
             Technique::PatternLarge => {
                 // Move far along a single random coordinate (pattern search).
                 let mut v = base.clone();
-                let d = r.gen_range(0..DIMS);
+                let d = r.gen_range(0..dims);
                 v[d] = r.gen();
                 v
             }
@@ -127,7 +134,7 @@ impl Tuner for OpenTunerStyle {
                 let other = if elites.len() > 1 {
                     elites[r.gen_range(1..elites.len())].clone()
                 } else {
-                    (0..DIMS).map(|_| r.gen()).collect()
+                    (0..dims).map(|_| r.gen()).collect()
                 };
                 base.iter()
                     .zip(&other)
@@ -138,7 +145,7 @@ impl Tuner for OpenTunerStyle {
                     .collect()
             }
         };
-        self.space.decode(&u)
+        self.space.decode(&u).expect("technique proposals span the full space")
     }
 
     fn observe(&mut self, obs: &Observation) {

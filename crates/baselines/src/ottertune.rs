@@ -8,13 +8,13 @@ use mobo::acquisition::expected_improvement;
 use mobo::optimize::{argmax_acquisition, candidate_pool, local_refine, CandidateOptions};
 use mobo::sampling::latin_hypercube;
 use vdms::VdmsConfig;
-use vdtuner_core::space::{ConfigSpace, DIMS};
+use vdtuner_core::space::SpaceSpec;
 use vecdata::rng::derive;
 use workload::{Observation, Tuner};
 
 /// Single-objective GP-BO with EI over the weighted-sum reward.
 pub struct OtterTuneStyle {
-    space: ConfigSpace,
+    space: SpaceSpec,
     seed: u64,
     init: Vec<Vec<f64>>,
     iter: u64,
@@ -25,10 +25,17 @@ pub struct OtterTuneStyle {
 impl OtterTuneStyle {
     /// `init_samples` = 10 in the paper's setup.
     pub fn new(seed: u64, init_samples: usize) -> OtterTuneStyle {
+        OtterTuneStyle::with_space(SpaceSpec::legacy(), seed, init_samples)
+    }
+
+    /// GP-BO over an arbitrary tuning space (e.g. with the topology
+    /// dimension).
+    pub fn with_space(space: SpaceSpec, seed: u64, init_samples: usize) -> OtterTuneStyle {
+        let init = latin_hypercube(init_samples, space.dims(), derive(seed, 0x0771));
         OtterTuneStyle {
-            space: ConfigSpace,
+            space,
             seed,
-            init: latin_hypercube(init_samples, DIMS, derive(seed, 0x0771)),
+            init,
             iter: 0,
             fit: FitOptions::default(),
             candidates: CandidateOptions::default(),
@@ -45,10 +52,10 @@ impl Tuner for OtterTuneStyle {
         self.iter += 1;
         if let Some(u) = self.init.first().cloned() {
             self.init.remove(0);
-            return self.space.decode(&u);
+            return self.space.decode(&u).expect("init designs span the full space");
         }
         if history.is_empty() {
-            return VdmsConfig::default_config();
+            return self.space.seed_default();
         }
 
         // Fit the reward GP on all observations.
@@ -62,14 +69,18 @@ impl Tuner for OtterTuneStyle {
         let best_idx =
             y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0);
         let incumbents = vec![x[best_idx].clone()];
-        let pool =
-            candidate_pool(DIMS, &incumbents, &self.candidates, derive(self.seed, self.iter));
+        let pool = candidate_pool(
+            self.space.dims(),
+            &incumbents,
+            &self.candidates,
+            derive(self.seed, self.iter),
+        );
         let acq = |c: &[f64]| expected_improvement(&gp.predict(c), best);
         match argmax_acquisition(&pool, acq)
             .map(|(u, v)| local_refine(acq, &u, v, 3, 24, derive(self.seed, 0x07 + self.iter)))
         {
-            Some((u, _)) => self.space.decode(&u),
-            None => VdmsConfig::default_config(),
+            Some((u, _)) => self.space.decode(&u).expect("pool candidates span the full space"),
+            None => self.space.seed_default(),
         }
     }
 }

@@ -11,13 +11,13 @@ use mobo::optimize::{argmax_acquisition, candidate_pool, local_refine, Candidate
 use mobo::pareto::non_dominated_indices;
 use mobo::sampling::latin_hypercube;
 use vdms::VdmsConfig;
-use vdtuner_core::space::{ConfigSpace, DIMS};
+use vdtuner_core::space::SpaceSpec;
 use vecdata::rng::{derive, rng, standard_normal};
 use workload::{Observation, Tuner};
 
 /// Standard MOBO with MC-EHVI.
 pub struct QehviTuner {
-    space: ConfigSpace,
+    space: SpaceSpec,
     seed: u64,
     init: Vec<Vec<f64>>,
     iter: u64,
@@ -28,10 +28,17 @@ pub struct QehviTuner {
 
 impl QehviTuner {
     pub fn new(seed: u64, init_samples: usize) -> QehviTuner {
+        QehviTuner::with_space(SpaceSpec::legacy(), seed, init_samples)
+    }
+
+    /// qEHVI over an arbitrary tuning space (e.g. with the topology
+    /// dimension).
+    pub fn with_space(space: SpaceSpec, seed: u64, init_samples: usize) -> QehviTuner {
+        let init = latin_hypercube(init_samples, space.dims(), derive(seed, 0x0E51));
         QehviTuner {
-            space: ConfigSpace,
+            space,
             seed,
-            init: latin_hypercube(init_samples, DIMS, derive(seed, 0x0E51)),
+            init,
             iter: 0,
             mc_samples: 64,
             fit: FitOptions::default(),
@@ -49,10 +56,10 @@ impl Tuner for QehviTuner {
         self.iter += 1;
         if let Some(u) = self.init.first().cloned() {
             self.init.remove(0);
-            return self.space.decode(&u);
+            return self.space.decode(&u).expect("init designs span the full space");
         }
         if history.is_empty() {
-            return VdmsConfig::default_config();
+            return self.space.seed_default();
         }
 
         let x: Vec<Vec<f64>> = history.iter().map(|o| self.space.encode(&o.config)).collect();
@@ -73,8 +80,12 @@ impl Tuner for QehviTuner {
 
         let incumbents: Vec<Vec<f64>> =
             non_dominated_indices(&pairs).into_iter().take(3).map(|i| x[i].clone()).collect();
-        let pool =
-            candidate_pool(DIMS, &incumbents, &self.candidates, derive(self.seed, self.iter));
+        let pool = candidate_pool(
+            self.space.dims(),
+            &incumbents,
+            &self.candidates,
+            derive(self.seed, self.iter),
+        );
         let mut zrng = rng(derive(self.seed, 0xE0 + self.iter));
         let z_pairs: Vec<(f64, f64)> = (0..self.mc_samples)
             .map(|_| (standard_normal(&mut zrng), standard_normal(&mut zrng)))
@@ -88,8 +99,8 @@ impl Tuner for QehviTuner {
         match argmax_acquisition(&pool, acq)
             .map(|(u, v)| local_refine(acq, &u, v, 3, 24, derive(self.seed, 0xF0 + self.iter)))
         {
-            Some((u, _)) => self.space.decode(&u),
-            None => VdmsConfig::default_config(),
+            Some((u, _)) => self.space.decode(&u).expect("pool candidates span the full space"),
+            None => self.space.seed_default(),
         }
     }
 }

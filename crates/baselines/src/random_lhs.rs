@@ -4,13 +4,14 @@
 
 use mobo::sampling::latin_hypercube;
 use vdms::VdmsConfig;
-use vdtuner_core::space::{ConfigSpace, DIMS};
+use vdtuner_core::space::SpaceSpec;
 use vecdata::rng::derive;
 use workload::{Observation, Tuner};
 
-/// LHS random search over the full 16-dimensional space.
+/// LHS random search over the full tuning space (16-dimensional by
+/// default; any [`SpaceSpec`] via [`RandomLhs::with_space`]).
 pub struct RandomLhs {
-    space: ConfigSpace,
+    space: SpaceSpec,
     seed: u64,
     batch: Vec<Vec<f64>>,
     batch_no: u64,
@@ -20,14 +21,13 @@ pub struct RandomLhs {
 
 impl RandomLhs {
     pub fn new(seed: u64) -> RandomLhs {
-        RandomLhs {
-            space: ConfigSpace,
-            seed,
-            batch: Vec::new(),
-            batch_no: 0,
-            cursor: 0,
-            batch_size: 50,
-        }
+        RandomLhs::with_space(SpaceSpec::legacy(), seed)
+    }
+
+    /// Random search over an arbitrary tuning space (e.g. with the
+    /// topology dimension).
+    pub fn with_space(space: SpaceSpec, seed: u64) -> RandomLhs {
+        RandomLhs { space, seed, batch: Vec::new(), batch_no: 0, cursor: 0, batch_size: 50 }
     }
 }
 
@@ -40,13 +40,17 @@ impl Tuner for RandomLhs {
         if self.cursor >= self.batch.len() {
             // Stratified batch: each batch is a fresh LHS design, so any
             // prefix of the run is near-uniform and long runs stay stratified.
-            self.batch = latin_hypercube(self.batch_size, DIMS, derive(self.seed, self.batch_no));
+            self.batch = latin_hypercube(
+                self.batch_size,
+                self.space.dims(),
+                derive(self.seed, self.batch_no),
+            );
             self.batch_no += 1;
             self.cursor = 0;
         }
         let u = &self.batch[self.cursor];
         self.cursor += 1;
-        self.space.decode(u)
+        self.space.decode(u).expect("LHS points span the full space")
     }
 }
 
@@ -73,6 +77,18 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.propose(&[]).summary(), b.propose(&[]).summary());
         }
+    }
+
+    #[test]
+    fn topology_space_proposals_carry_shard_requests() {
+        let mut t = RandomLhs::with_space(SpaceSpec::with_topology(8), 3);
+        let mut counts = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let c = t.propose(&[]);
+            counts.insert(c.shards.expect("topology space always requests a shape"));
+        }
+        assert!(counts.len() >= 3, "LHS must explore shard counts: {counts:?}");
+        assert!(counts.iter().all(|s| (1..=8).contains(s)));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! ```
 //!
 //! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 table5 table6 scale sharding. Output goes to stdout and to
-//! `results/*.csv`.
+//! fig12 fig13 table5 table6 scale sharding topology. Output goes to
+//! stdout and to `results/*.csv` (plus `results/topology.json` for the
+//! topology co-tuning summary).
 
 use bench::{experiments, Profile};
 
@@ -51,7 +52,7 @@ fn main() {
 
     let all = [
         "fig1", "fig2", "fig3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "table5", "table6", "scale", "sharding",
+        "fig12", "fig13", "table5", "table6", "scale", "sharding", "topology",
     ];
     let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
         all.to_vec()
@@ -84,6 +85,7 @@ fn main() {
             "table6" => experiments::table6(&profile),
             "scale" => experiments::scale(&profile),
             "sharding" => experiments::sharding(&profile),
+            "topology" => experiments::topology(&profile),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
@@ -100,7 +102,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
-         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding all"
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology all"
     );
     std::process::exit(2);
 }

@@ -5,10 +5,10 @@
 //! model; the claims under reproduction are the *shapes* — who wins, by
 //! roughly what factor, where crossovers fall (see EXPERIMENTS.md).
 
-use crate::report::{emit, f1, f2, f3, pct, Table};
+use crate::report::{emit, emit_json, f1, f2, f3, pct, JsonValue, Table};
 use crate::{
-    recall_floor, run_method, run_method_on, run_parallel, run_vdtuner_variant, Method, Profile,
-    SACRIFICES,
+    recall_floor, run_method, run_method_on, run_parallel, run_vdtuner_variant,
+    vdtuner_paper_options, Method, Profile, SACRIFICES,
 };
 use anns::params::IndexType;
 use vdms::cluster::ClusterSpec;
@@ -17,9 +17,9 @@ use vdms::system_params::SystemParams;
 use vdms::{SegmentLayout, VdmsConfig};
 use vdtuner_core::shap::shapley_attribution;
 use vdtuner_core::space::DIM_NAMES;
-use vdtuner_core::{BudgetAllocation, SurrogateKind, TunerMode, TuningOutcome};
+use vdtuner_core::{BudgetAllocation, SpaceSpec, SurrogateKind, TunerMode, TuningOutcome, VdTuner};
 use vecdata::{DatasetKind, DatasetSpec};
-use workload::{evaluate, EvalBackend, Evaluator, ShardedSimBackend, Workload};
+use workload::{evaluate, EvalBackend, Evaluator, ShardedSimBackend, TopologyBackend, Workload};
 
 fn workload_for(kind: DatasetKind) -> Workload {
     Workload::paper_default(DatasetSpec::scaled(kind))
@@ -475,7 +475,7 @@ pub fn fig11(profile: &Profile) {
     let mut s = Table::new(vec!["parameter", "early σ", "late σ"]);
     let half = trace.len() / 2;
     for (name, &d) in tracked.iter().zip(&dims) {
-        let std = |rows: &[[f64; 16]]| {
+        let std = |rows: &[Vec<f64>]| {
             let vals: Vec<f64> = rows.iter().map(|r| r[d]).collect();
             let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
             (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len().max(1) as f64)
@@ -744,6 +744,189 @@ pub fn sharding(profile: &Profile) {
         "sharding_budget",
         "Per-shard budget enforcement: aggregate fits, no single node does (GloVe)",
         &t,
+    );
+}
+
+/// Topology-as-a-knob (beyond the paper): 17-dimensional co-tuning of the
+/// shard count with the index/system knobs, against fixed-topology
+/// 16-dimensional tuning at every shard count — same evaluation budget per
+/// run. Emits a machine-readable `results/topology.json` so future PRs can
+/// track the co-tuning trajectory.
+pub fn topology(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let max_shards = 8usize;
+    let fixed_counts = [1usize, 2, 4, 8];
+    let floor = 0.9;
+
+    // Arm 1: the shard count as an experiment axis — one full 16-dim
+    // tuning run per fixed cluster shape.
+    let fixed = run_parallel(fixed_counts.to_vec(), |&s| {
+        run_method_on(Method::VdTuner, ShardedSimBackend::new(&w, s), profile.iters, profile.seed)
+    });
+    // Arm 2: the shard count as the 17th dimension — one tuning run whose
+    // candidates each deploy their own cluster.
+    let mut co_tuner = VdTuner::with_space(
+        vdtuner_paper_options(profile.iters),
+        SpaceSpec::with_topology(max_shards),
+        profile.seed,
+    );
+    let co = co_tuner.run_on(TopologyBackend::new(&w, max_shards), profile.iters);
+
+    let mut t =
+        Table::new(vec!["arm", "best QPS @0.9", "best QP$ @0.9", "mem mean (GiB)", "failed evals"]);
+    let mut fixed_rows = Vec::new();
+    for (&s, out) in fixed_counts.iter().zip(&fixed) {
+        let best_qps = out.best_qps_with_recall(floor);
+        let best_qpd = out.best_qpd_with_recall(floor);
+        let (mem, _) = out.memory_mean_std();
+        let failed = out.observations.iter().filter(|o| o.failed).count();
+        t.row(vec![
+            format!("fixed {s}-shard (16-dim)"),
+            best_qps.map_or("-".into(), f1),
+            best_qpd.map_or("-".into(), f1),
+            f2(mem),
+            failed.to_string(),
+        ]);
+        fixed_rows.push(JsonValue::obj(vec![
+            ("shards", JsonValue::Int(s as i64)),
+            ("best_qps", JsonValue::opt_num(best_qps)),
+            ("best_qpd", JsonValue::opt_num(best_qpd)),
+            ("failed", JsonValue::Int(failed as i64)),
+        ]));
+    }
+    let co_best = co.best_qps_with_recall(floor);
+    let co_qpd = co.best_qpd_with_recall(floor);
+    let (co_mem, _) = co.memory_mean_std();
+    let co_failed = co.observations.iter().filter(|o| o.failed).count();
+    t.row(vec![
+        format!("co-tuned 1..={max_shards} (17-dim)"),
+        co_best.map_or("-".into(), f1),
+        co_qpd.map_or("-".into(), f1),
+        f2(co_mem),
+        co_failed.to_string(),
+    ]);
+    emit(
+        "topology",
+        &format!(
+            "Topology co-tuning: shard count as the 17th dimension, {} evals/run (GloVe)",
+            profile.iters
+        ),
+        &t,
+    );
+
+    // Where did the co-tuner spend its budget, and what shape won?
+    let mut hist = vec![0usize; max_shards + 1];
+    for o in &co.observations {
+        hist[o.config.shards.unwrap_or(1).min(max_shards)] += 1;
+    }
+    let best_obs = co
+        .observations
+        .iter()
+        .filter(|o| !o.failed && o.recall >= floor)
+        .max_by(|a, b| a.qps.total_cmp(&b.qps));
+    let mut ht = Table::new(vec!["shards", "evals", "best QPS @0.9 at this shape"]);
+    for s in 1..=max_shards {
+        let best_at = co
+            .observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= floor && o.config.shards == Some(s))
+            .map(|o| o.qps)
+            .fold(None::<f64>, |acc, q| Some(acc.map_or(q, |a| a.max(q))));
+        ht.row(vec![s.to_string(), hist[s].to_string(), best_at.map_or("-".into(), f1)]);
+    }
+    emit("topology_budget", "Topology co-tuning: evaluation budget per cluster shape", &ht);
+
+    // Honest comparison: co-tuning must match the best fixed-shape run
+    // given the same per-run budget — or the gap is reported as-is.
+    let best_fixed = fixed_counts
+        .iter()
+        .zip(&fixed)
+        .filter_map(|(&s, out)| out.best_qps_with_recall(floor).map(|q| (s, q)))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let mut s = Table::new(vec!["metric", "value"]);
+    match (best_fixed, co_best) {
+        (Some((bs, bq)), Some(cq)) => {
+            s.row(vec!["best fixed arm".into(), format!("{bs} shards @ {}", f1(bq))]);
+            s.row(vec![
+                "co-tuned best shape".into(),
+                best_obs.map_or("-".into(), |o| {
+                    format!("{} shards @ {}", o.config.shards.unwrap_or(1), f1(o.qps))
+                }),
+            ]);
+            s.row(vec!["co-tuned / best fixed".into(), f2(cq / bq)]);
+            s.row(vec![
+                "verdict".into(),
+                if cq >= bq {
+                    "co-tuning matches or beats the best fixed topology".into()
+                } else {
+                    format!("co-tuning trails the best fixed topology by {}", pct(1.0 - cq / bq))
+                },
+            ]);
+        }
+        _ => {
+            s.row(vec![
+                "verdict".to_string(),
+                "a run found no config above the recall floor".to_string(),
+            ]);
+        }
+    }
+    emit("topology_verdict", "Topology co-tuning vs best fixed topology (same budget)", &s);
+
+    emit_json(
+        "topology",
+        &JsonValue::obj(vec![
+            ("experiment", JsonValue::Str("topology".into())),
+            ("dataset", JsonValue::Str("GloVe".into())),
+            ("iters_per_run", JsonValue::Int(profile.iters as i64)),
+            ("seed", JsonValue::Int(profile.seed as i64)),
+            ("recall_floor", JsonValue::Num(floor)),
+            ("max_shards", JsonValue::Int(max_shards as i64)),
+            ("fixed", JsonValue::Arr(fixed_rows)),
+            (
+                "cotuned",
+                JsonValue::obj(vec![
+                    ("best_qps", JsonValue::opt_num(co_best)),
+                    ("best_qpd", JsonValue::opt_num(co_qpd)),
+                    (
+                        "best_shards",
+                        best_obs.map_or(JsonValue::Null, |o| {
+                            JsonValue::Int(o.config.shards.unwrap_or(1) as i64)
+                        }),
+                    ),
+                    ("failed", JsonValue::Int(co_failed as i64)),
+                    (
+                        "shard_histogram",
+                        JsonValue::Arr(
+                            (1..=max_shards).map(|s| JsonValue::Int(hist[s] as i64)).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "comparison",
+                JsonValue::obj(vec![
+                    (
+                        "best_fixed_shards",
+                        best_fixed.map_or(JsonValue::Null, |(s, _)| JsonValue::Int(s as i64)),
+                    ),
+                    ("best_fixed_qps", JsonValue::opt_num(best_fixed.map(|(_, q)| q))),
+                    (
+                        "cotuned_over_fixed",
+                        JsonValue::opt_num(match (co_best, best_fixed) {
+                            (Some(c), Some((_, b))) if b > 0.0 => Some(c / b),
+                            _ => None,
+                        }),
+                    ),
+                    (
+                        "cotuned_ge_fixed",
+                        match (co_best, best_fixed) {
+                            (Some(c), Some((_, b))) => JsonValue::Bool(c >= b),
+                            _ => JsonValue::Null,
+                        },
+                    ),
+                ]),
+            ),
+        ]),
     );
 }
 

@@ -88,6 +88,99 @@ pub fn emit(name: &str, title: &str, table: &Table) {
     }
 }
 
+/// Persist a machine-readable summary as `results/<name>.json`, so future
+/// sessions can track a metric across PRs without parsing tables.
+pub fn emit_json(name: &str, json: &JsonValue) {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = format!("{}\n", json.render(0));
+    if let Err(e) = fs::write(&path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[written {}]", path.display());
+    }
+}
+
+/// A minimal JSON document builder (the workspace is offline — no serde).
+/// Covers what the result summaries need: objects, arrays, numbers,
+/// strings, booleans, null.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object from `(key, value)` pairs, preserving insertion order.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `None` renders as `null`.
+    pub fn opt_num(v: Option<f64>) -> JsonValue {
+        v.map_or(JsonValue::Null, JsonValue::Num)
+    }
+
+    /// Render with two-space indentation at nesting `depth`.
+    pub fn render(&self, depth: usize) -> String {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Int(i) => i.to_string(),
+            JsonValue::Num(v) if v.is_finite() => {
+                // Shortest lossless float form; keep integers readable.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            JsonValue::Num(_) => "null".to_string(), // NaN/inf are not JSON
+            JsonValue::Str(s) => {
+                // RFC 8259: escape the quote, the backslash, and every
+                // control character (U+0000..U+001F).
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+            JsonValue::Arr(items) if items.is_empty() => "[]".to_string(),
+            JsonValue::Arr(items) => {
+                let body: Vec<String> =
+                    items.iter().map(|v| format!("{pad}{}", v.render(depth + 1))).collect();
+                format!("[\n{}\n{close}]", body.join(",\n"))
+            }
+            JsonValue::Obj(pairs) if pairs.is_empty() => "{}".to_string(),
+            JsonValue::Obj(pairs) => {
+                let body: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{pad}\"{k}\": {}", v.render(depth + 1)))
+                    .collect();
+                format!("{{\n{}\n{close}}}", body.join(",\n"))
+            }
+        }
+    }
+}
+
 /// Format helpers.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")
@@ -130,5 +223,36 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn json_renders_nested_documents() {
+        let doc = JsonValue::obj(vec![
+            ("name", JsonValue::Str("topology".into())),
+            ("count", JsonValue::Int(3)),
+            ("best", JsonValue::Num(1276.5)),
+            ("missing", JsonValue::opt_num(None)),
+            ("whole", JsonValue::Num(4.0)),
+            ("ok", JsonValue::Bool(true)),
+            ("rows", JsonValue::Arr(vec![JsonValue::obj(vec![("shards", JsonValue::Int(1))])])),
+        ]);
+        let s = doc.render(0);
+        assert!(s.contains("\"name\": \"topology\""), "{s}");
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"best\": 1276.5"));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.contains("\"whole\": 4.0"));
+        assert!(s.contains("\"shards\": 1"));
+        // Balanced braces/brackets — structurally valid.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let v = JsonValue::Str("a \"quoted\" \\ path".into());
+        assert_eq!(v.render(0), "\"a \\\"quoted\\\" \\\\ path\"");
+        let ctl = JsonValue::Str("line1\nline2\ttab\u{1}end".into());
+        assert_eq!(ctl.render(0), "\"line1\\nline2\\ttab\\u0001end\"");
     }
 }

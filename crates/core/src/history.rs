@@ -3,7 +3,7 @@
 
 use crate::abandon::ScoreRow;
 use crate::npi::balanced_base;
-use crate::space::{ConfigSpace, DIMS};
+use crate::space::SpaceSpec;
 use mobo::pareto::{non_dominated_indices, pareto_ranks};
 use workload::{EvalBackend, Evaluator, Observation};
 
@@ -113,19 +113,17 @@ impl TuningOutcome {
         (speed_best / qps_d - 1.0, recall_best / recall_d - 1.0)
     }
 
-    /// Normalized parameter values per iteration (Figure 11): one row per
-    /// observation, `DIMS` unit-interval coordinates.
-    pub fn param_trace(&self) -> Vec<[f64; DIMS]> {
-        let space = ConfigSpace;
-        self.observations
-            .iter()
-            .map(|o| {
-                let enc = space.encode(&o.config);
-                let mut row = [0.0; DIMS];
-                row.copy_from_slice(&enc);
-                row
-            })
-            .collect()
+    /// Normalized parameter values per iteration (Figure 11) in the
+    /// paper's 16-dimensional space: one row per observation. For runs over
+    /// an extended space use [`TuningOutcome::param_trace_in`].
+    pub fn param_trace(&self) -> Vec<Vec<f64>> {
+        self.param_trace_in(SpaceSpec::legacy_ref())
+    }
+
+    /// Normalized parameter values per iteration under `space`: one row per
+    /// observation, `space.dims()` unit-interval coordinates each.
+    pub fn param_trace_in(&self, space: &SpaceSpec) -> Vec<Vec<f64>> {
+        self.observations.iter().map(|o| space.encode(&o.config)).collect()
     }
 
     /// Mean memory usage over successful observations (Figure 13 analysis).
@@ -252,6 +250,15 @@ mod tests {
         let out = outcome(&[(1.0, 0.1), (2.0, 0.2)]);
         let trace = out.param_trace();
         assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].len(), crate::space::DIMS);
+        assert!(trace[0].iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn param_trace_follows_the_space_width() {
+        let out = outcome(&[(1.0, 0.1)]);
+        let trace = out.param_trace_in(&SpaceSpec::with_topology(8));
+        assert_eq!(trace[0].len(), crate::space::DIMS + 1);
         assert!(trace[0].iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 }

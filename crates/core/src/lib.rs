@@ -6,7 +6,10 @@
 //! vanilla MOBO (paper §IV):
 //!
 //! 1. a **holistic BO model** over the union of every index type's
-//!    parameters plus the shared system parameters ([`space`]),
+//!    parameters plus the shared system parameters ([`space`]) — the space
+//!    is declarative ([`SpaceSpec`]): dimensions are data, and extensions
+//!    like the serving-topology knob ([`space::SHARD_COUNT_DIM_NAME`])
+//!    plug in without touching the pipeline,
 //! 2. a **polling surrogate** that trains the GP on per-index-type
 //!    normalized performance improvement (NPI, Eq. 2–3) and recommends a
 //!    configuration for one polled index type per iteration ([`npi`],
@@ -29,5 +32,5 @@ pub mod space;
 pub mod tuner;
 
 pub use history::TuningOutcome;
-pub use space::ConfigSpace;
+pub use space::{ConfigSpace, Dimension, DimensionKind, SpaceError, SpaceSpec};
 pub use tuner::{BudgetAllocation, SurrogateKind, TunerMode, TunerOptions, VdTuner};

@@ -1,19 +1,20 @@
 //! Shapley-value attribution of configuration parameters to an objective
 //! (paper §V-E, Figure 13b, which uses "a game theory method, SHAP").
 //!
-//! Monte-Carlo permutation sampling of exact Shapley values over the 16
-//! encoded dimensions: for a random permutation of dimensions, flip each
-//! dimension from the baseline value to the target value in permutation
-//! order and charge the observed change of `f` to that dimension. Averaged
-//! over permutations this converges to the Shapley value; per permutation
-//! the contributions telescope to `f(target) − f(baseline)` exactly.
+//! Monte-Carlo permutation sampling of exact Shapley values over the
+//! encoded dimensions of a [`SpaceSpec`]: for a random permutation of
+//! dimensions, flip each dimension from the baseline value to the target
+//! value in permutation order and charge the observed change of `f` to that
+//! dimension. Averaged over permutations this converges to the Shapley
+//! value; per permutation the contributions telescope to
+//! `f(target) − f(baseline)` exactly.
 
-use crate::space::{ConfigSpace, DIMS, DIM_NAMES};
+use crate::space::SpaceSpec;
 use rand::seq::SliceRandom;
 use vdms::VdmsConfig;
 use vecdata::rng::rng;
 
-/// Attribution of each of the 16 dimensions to `f(target) − f(baseline)`.
+/// Attribution of each encoded dimension to `f(target) − f(baseline)`.
 #[derive(Debug, Clone)]
 pub struct Attribution {
     /// `(dimension name, mean Shapley contribution)`, encoding order.
@@ -31,41 +32,57 @@ impl Attribution {
     }
 }
 
-/// Estimate Shapley contributions of every encoded dimension.
+/// Estimate Shapley contributions of every dimension of the paper's
+/// 16-dimensional space. See [`shapley_attribution_in`] for arbitrary
+/// (e.g. topology-extended) spaces.
+pub fn shapley_attribution<F: FnMut(&VdmsConfig) -> f64>(
+    f: F,
+    target: &VdmsConfig,
+    baseline: &VdmsConfig,
+    permutations: usize,
+    seed: u64,
+) -> Attribution {
+    shapley_attribution_in(SpaceSpec::legacy_ref(), f, target, baseline, permutations, seed)
+}
+
+/// Estimate Shapley contributions of every encoded dimension of `space`.
 ///
 /// `f` may be the simulator itself (exact but slower) or a surrogate
 /// prediction (fast). `permutations` of 8–32 give stable rankings.
-pub fn shapley_attribution<F: FnMut(&VdmsConfig) -> f64>(
+pub fn shapley_attribution_in<F: FnMut(&VdmsConfig) -> f64>(
+    space: &SpaceSpec,
     mut f: F,
     target: &VdmsConfig,
     baseline: &VdmsConfig,
     permutations: usize,
     seed: u64,
 ) -> Attribution {
-    let space = ConfigSpace;
+    let dims = space.dims();
     let enc_target = space.encode(target);
     let enc_base = space.encode(baseline);
     let f_target = f(target);
     let f_baseline = f(baseline);
 
-    let mut totals = vec![0.0f64; DIMS];
+    let mut totals = vec![0.0f64; dims];
     let mut r = rng(seed);
-    let mut order: Vec<usize> = (0..DIMS).collect();
+    let mut order: Vec<usize> = (0..dims).collect();
     for _ in 0..permutations.max(1) {
         order.shuffle(&mut r);
         let mut current = enc_base.clone();
         let mut prev = f_baseline;
         for &d in &order {
             current[d] = enc_target[d];
-            let v = f(&space.decode(&current));
+            let probe = space.decode(&current).expect("flipped point spans the full space");
+            let v = f(&probe);
             totals[d] += v - prev;
             prev = v;
         }
     }
-    let contributions = DIM_NAMES
-        .iter()
+    let contributions = space
+        .dim_names()
+        .into_iter()
         .zip(&totals)
-        .map(|(name, t)| (*name, t / permutations.max(1) as f64))
+        .map(|(name, t)| (name, t / permutations.max(1) as f64))
         .collect();
     Attribution { contributions, f_target, f_baseline }
 }
@@ -114,6 +131,22 @@ mod tests {
         let c = VdmsConfig::default_config();
         let attr = shapley_attribution(|_| 7.0, &c, &c, 3, 1);
         assert!(attr.contributions.iter().all(|(_, v)| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn topology_space_attributes_shard_count() {
+        // In the 17-dimensional space a shard-count-only difference is
+        // charged entirely to the topology dimension.
+        let space = SpaceSpec::with_topology(8);
+        let mut target = space.seed_default();
+        target.shards = Some(8);
+        let baseline = space.seed_default();
+        let f = |c: &VdmsConfig| c.shards.unwrap_or(1) as f64 * 10.0;
+        let attr = shapley_attribution_in(&space, f, &target, &baseline, 4, 2);
+        assert_eq!(attr.contributions.len(), 17);
+        let top = attr.ranked()[0];
+        assert_eq!(top.0, "shard_count");
+        assert!((top.1 - 70.0).abs() < 1e-9, "Δf = 70, got {}", top.1);
     }
 
     #[test]

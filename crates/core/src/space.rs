@@ -1,25 +1,46 @@
-//! The holistic 16-dimensional configuration space (paper §IV-A, §V-A).
+//! The holistic configuration space (paper §IV-A, §V-A), as data.
 //!
-//! One encoded point is `[index_type, 8 index params, 7 system params]`,
-//! every coordinate normalized into `[0, 1]` (log-scaled where the Milvus
-//! docs tune exponentially). The shared parameters exist **once** — that is
-//! the holistic-model property that lets knowledge about e.g. `gracefulTime`
-//! transfer across index types. When the acquisition works on a specific
-//! polled index type, the index-type coordinate is frozen to that type and
-//! the parameters of *other* index types are frozen to their defaults
-//! (paper §IV-C).
+//! The paper tunes a fixed 16-dimensional space: `[index_type, 8 index
+//! params, 7 system params]`, every coordinate normalized into `[0, 1]`
+//! (log-scaled where the Milvus docs tune exponentially). This module makes
+//! that space *declarative*: a [`SpaceSpec`] is a list of [`Dimension`]
+//! descriptors — name, range, and a [`DimensionKind`] that determines when
+//! the acquisition may vary the coordinate — and owns encoding, decoding,
+//! free-dimension masks, and polling templates for whatever dimensionality
+//! the list spans. Adding a tunable is a spec change, not a surgery across
+//! every crate that used to assume `DIMS == 16`.
+//!
+//! Two specs ship in-tree:
+//!
+//! * [`SpaceSpec::legacy`] — the paper's 16 dimensions, bit-identical to
+//!   the original hard-coded encoder/decoder;
+//! * [`SpaceSpec::with_topology`] — the 16 base dimensions plus a
+//!   log-scaled `shard_count` dimension (1..=`max_shards` query nodes), so
+//!   the tuner co-optimizes the serving topology with the index and system
+//!   knobs. With `max_shards == 1` the dimension is *frozen*: it is encoded
+//!   (17-dimensional points) but never free, and tuning histories are
+//!   bit-identical to the 16-dimensional spec.
+//!
+//! The shared parameters exist **once** — that is the holistic-model
+//! property that lets knowledge about e.g. `gracefulTime` transfer across
+//! index types. When the acquisition works on a specific polled index type,
+//! the index-type coordinate is frozen to that type and the parameters of
+//! *other* index types are frozen to their defaults (paper §IV-C).
 
-use anns::params::{ranges, IndexParams, IndexType};
-use vdms::system_params::SystemParams;
+use anns::params::{ranges, IndexType, ParamRange};
+use std::sync::OnceLock;
+use vdms::system_params::ranges as sys_ranges;
 use vdms::VdmsConfig;
 
-/// Total encoded dimensionality: 1 (index type) + 8 (index) + 7 (system).
+/// Dimensionality of the paper's space: 1 (index type) + 8 (index) + 7
+/// (system). Kept for the fixed-space call sites; spec-aware code asks
+/// [`SpaceSpec::dims`] instead.
 pub const DIMS: usize = 16;
 
 /// Index of the index-type coordinate.
 pub const IDX_TYPE_DIM: usize = 0;
 
-/// Names of all 16 dimensions, in encoding order.
+/// Names of the 16 base dimensions, in encoding order.
 pub const DIM_NAMES: [&str; DIMS] = [
     "index_type",
     "nlist",
@@ -39,7 +60,380 @@ pub const DIM_NAMES: [&str; DIMS] = [
     "buildParallelism",
 ];
 
-/// Encoder/decoder between [`VdmsConfig`] and the unit hypercube.
+/// Name of the optional topology dimension appended by
+/// [`SpaceSpec::with_topology`].
+pub const SHARD_COUNT_DIM_NAME: &str = "shard_count";
+
+/// A point handed to the space that it cannot decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The point carries fewer coordinates than the space has dimensions —
+    /// an adversarial or truncated input (e.g. a deserialized history row
+    /// from a smaller spec). Callers surface this as a failed observation,
+    /// never as an abort.
+    TooFewCoords { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::TooFewCoords { expected, got } => {
+                write!(f, "encoded point has {got} coordinates, space needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// What role a dimension plays, which determines when the acquisition may
+/// vary it (paper §IV-C's search-region restriction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimensionKind {
+    /// The index-type selector. Never free: polling fixes it.
+    IndexType,
+    /// A per-index-type build/search parameter; free only while its owning
+    /// type is polled, frozen to its default otherwise.
+    IndexParam,
+    /// A shared system parameter; free for every polled type.
+    System,
+    /// A deployment-topology knob (shard count, …); shared like a system
+    /// parameter, but realized by the evaluation backend's cluster layer
+    /// rather than inside one node.
+    Topology,
+}
+
+/// The concrete configuration field a dimension reads and writes. Closed
+/// enum rather than function pointers so [`Dimension`] stays `Copy` and a
+/// topology dimension can carry its range as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldRef {
+    IndexType,
+    Nlist,
+    Nprobe,
+    PqM,
+    PqNbits,
+    HnswM,
+    EfConstruction,
+    Ef,
+    ReorderK,
+    SegmentMaxSize,
+    SealProportion,
+    GracefulTime,
+    InsertBufSize,
+    MaxReadConcurrency,
+    ChunkRows,
+    BuildParallelism,
+    ShardCount,
+}
+
+/// One tunable dimension: its display name, the role it plays, and the
+/// value range it is normalized over.
+#[derive(Debug, Clone, Copy)]
+pub struct Dimension {
+    pub name: &'static str,
+    pub kind: DimensionKind,
+    /// The raw-value range the unit coordinate maps over (log-scaled where
+    /// the Milvus docs tune exponentially). For the index-type dimension
+    /// the range is the ordinal span and encoding is handled specially.
+    pub range: ParamRange,
+    field: FieldRef,
+}
+
+impl Dimension {
+    const fn new(
+        name: &'static str,
+        kind: DimensionKind,
+        range: ParamRange,
+        field: FieldRef,
+    ) -> Dimension {
+        Dimension { name, kind, range, field }
+    }
+
+    /// A dimension whose range has collapsed to a single value is frozen:
+    /// it stays in the encoding (so histories keep a stable width) but the
+    /// acquisition never varies it.
+    pub fn is_frozen(&self) -> bool {
+        self.range.lo >= self.range.hi
+    }
+
+    /// Unit-cube coordinate of this dimension in `c`.
+    fn read(&self, c: &VdmsConfig) -> f64 {
+        match self.field {
+            FieldRef::IndexType => ConfigSpace::type_coord(c.index_type),
+            FieldRef::Nlist => self.range.normalize(c.index.nlist as f64),
+            FieldRef::Nprobe => self.range.normalize(c.index.nprobe as f64),
+            FieldRef::PqM => self.range.normalize(c.index.m as f64),
+            FieldRef::PqNbits => self.range.normalize(c.index.nbits as f64),
+            FieldRef::HnswM => self.range.normalize(c.index.hnsw_m as f64),
+            FieldRef::EfConstruction => self.range.normalize(c.index.ef_construction as f64),
+            FieldRef::Ef => self.range.normalize(c.index.ef as f64),
+            FieldRef::ReorderK => self.range.normalize(c.index.reorder_k as f64),
+            FieldRef::SegmentMaxSize => self.range.normalize(c.system.segment_max_size_mb),
+            FieldRef::SealProportion => self.range.normalize(c.system.segment_seal_proportion),
+            FieldRef::GracefulTime => self.range.normalize(c.system.graceful_time_ms),
+            FieldRef::InsertBufSize => self.range.normalize(c.system.insert_buf_size_mb),
+            FieldRef::MaxReadConcurrency => {
+                self.range.normalize(c.system.max_read_concurrency as f64)
+            }
+            FieldRef::ChunkRows => self.range.normalize(c.system.chunk_rows as f64),
+            FieldRef::BuildParallelism => self.range.normalize(c.system.build_parallelism as f64),
+            FieldRef::ShardCount => self.range.normalize(c.shards.unwrap_or(1) as f64),
+        }
+    }
+
+    /// Apply the unit-cube coordinate `v` to `c`.
+    ///
+    /// The rounding/clamping per field group reproduces the original
+    /// decoder op for op (index parameters: round without clamping; system
+    /// parameters: [`vdms::system_params::SystemParams::sanitized`]'s
+    /// per-field clamp), so the legacy spec decodes bit-identically to the
+    /// pre-refactor hard-coded path.
+    fn write(&self, c: &mut VdmsConfig, v: f64) {
+        let int = |r: &ParamRange| r.denormalize(v).round() as usize;
+        let int_clamped = |r: &ParamRange| (int(r) as f64).clamp(r.lo, r.hi) as usize;
+        let float_clamped = |r: &ParamRange| r.denormalize(v).clamp(r.lo, r.hi);
+        match self.field {
+            FieldRef::IndexType => c.index_type = ConfigSpace::type_from_coord(v),
+            FieldRef::Nlist => c.index.nlist = int(&self.range),
+            FieldRef::Nprobe => c.index.nprobe = int(&self.range),
+            FieldRef::PqM => c.index.m = int(&self.range),
+            FieldRef::PqNbits => c.index.nbits = int(&self.range),
+            FieldRef::HnswM => c.index.hnsw_m = int(&self.range),
+            FieldRef::EfConstruction => c.index.ef_construction = int(&self.range),
+            FieldRef::Ef => c.index.ef = int(&self.range),
+            FieldRef::ReorderK => c.index.reorder_k = int(&self.range),
+            FieldRef::SegmentMaxSize => c.system.segment_max_size_mb = float_clamped(&self.range),
+            FieldRef::SealProportion => {
+                c.system.segment_seal_proportion = float_clamped(&self.range)
+            }
+            FieldRef::GracefulTime => c.system.graceful_time_ms = float_clamped(&self.range),
+            FieldRef::InsertBufSize => c.system.insert_buf_size_mb = float_clamped(&self.range),
+            FieldRef::MaxReadConcurrency => {
+                c.system.max_read_concurrency = int_clamped(&self.range)
+            }
+            FieldRef::ChunkRows => c.system.chunk_rows = int_clamped(&self.range),
+            FieldRef::BuildParallelism => c.system.build_parallelism = int_clamped(&self.range),
+            FieldRef::ShardCount => c.shards = Some(int(&self.range).max(1)),
+        }
+    }
+}
+
+/// Index-type ordinal span, for the type dimension's descriptor.
+const TYPE_RANGE: ParamRange = ParamRange::new(0.0, (IndexType::ALL.len() - 1) as f64, false);
+
+/// The 16 base dimensions of the paper's space, in encoding order.
+fn base_dimensions() -> Vec<Dimension> {
+    use DimensionKind::{IndexParam, IndexType as TypeDim, System};
+    vec![
+        Dimension::new("index_type", TypeDim, TYPE_RANGE, FieldRef::IndexType),
+        Dimension::new("nlist", IndexParam, ranges::NLIST, FieldRef::Nlist),
+        Dimension::new("nprobe", IndexParam, ranges::NPROBE, FieldRef::Nprobe),
+        Dimension::new("m", IndexParam, ranges::PQ_M, FieldRef::PqM),
+        Dimension::new("nbits", IndexParam, ranges::PQ_NBITS, FieldRef::PqNbits),
+        Dimension::new("M", IndexParam, ranges::HNSW_M, FieldRef::HnswM),
+        Dimension::new(
+            "efConstruction",
+            IndexParam,
+            ranges::EF_CONSTRUCTION,
+            FieldRef::EfConstruction,
+        ),
+        Dimension::new("ef", IndexParam, ranges::EF, FieldRef::Ef),
+        Dimension::new("reorder_k", IndexParam, ranges::REORDER_K, FieldRef::ReorderK),
+        Dimension::new(
+            "segment_maxSize",
+            System,
+            sys_ranges::SEGMENT_MAX_SIZE_MB,
+            FieldRef::SegmentMaxSize,
+        ),
+        Dimension::new(
+            "segment_sealProportion",
+            System,
+            sys_ranges::SEGMENT_SEAL_PROPORTION,
+            FieldRef::SealProportion,
+        ),
+        Dimension::new(
+            "gracefulTime",
+            System,
+            sys_ranges::GRACEFUL_TIME_MS,
+            FieldRef::GracefulTime,
+        ),
+        Dimension::new(
+            "insertBufSize",
+            System,
+            sys_ranges::INSERT_BUF_SIZE_MB,
+            FieldRef::InsertBufSize,
+        ),
+        Dimension::new(
+            "maxReadConcurrency",
+            System,
+            sys_ranges::MAX_READ_CONCURRENCY,
+            FieldRef::MaxReadConcurrency,
+        ),
+        Dimension::new("chunkRows", System, sys_ranges::CHUNK_ROWS, FieldRef::ChunkRows),
+        Dimension::new(
+            "buildParallelism",
+            System,
+            sys_ranges::BUILD_PARALLELISM,
+            FieldRef::BuildParallelism,
+        ),
+    ]
+}
+
+/// A declarative tuning space: the ordered list of dimensions the tuner
+/// optimizes over. Owns encoding/decoding between [`VdmsConfig`] and the
+/// unit hypercube, the per-index-type free-dimension masks, and the frozen
+/// polling templates.
+#[derive(Debug, Clone)]
+pub struct SpaceSpec {
+    dims: Vec<Dimension>,
+}
+
+impl SpaceSpec {
+    /// The paper's 16-dimensional space (§V-A). Bit-identical to the
+    /// original hard-coded `ConfigSpace` encoder/decoder.
+    pub fn legacy() -> SpaceSpec {
+        SpaceSpec { dims: base_dimensions() }
+    }
+
+    /// Shared instance of the legacy spec, for the fixed-space facades
+    /// ([`ConfigSpace`], the legacy SHAP/trace entry points).
+    pub fn legacy_ref() -> &'static SpaceSpec {
+        static LEGACY: OnceLock<SpaceSpec> = OnceLock::new();
+        LEGACY.get_or_init(SpaceSpec::legacy)
+    }
+
+    /// The 16 base dimensions plus a log-scaled `shard_count` topology
+    /// dimension over 1..=`max_shards` query nodes. With `max_shards == 1`
+    /// the dimension is frozen (encoded but never free), which makes the
+    /// 17-dimensional spec reproduce 16-dimensional tuning bit for bit.
+    pub fn with_topology(max_shards: usize) -> SpaceSpec {
+        let mut dims = base_dimensions();
+        let range = ParamRange::new(1.0, max_shards.max(1) as f64, true);
+        dims.push(Dimension::new(
+            SHARD_COUNT_DIM_NAME,
+            DimensionKind::Topology,
+            range,
+            FieldRef::ShardCount,
+        ));
+        SpaceSpec { dims }
+    }
+
+    /// Number of encoded dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimension descriptors, in encoding order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Dimension names, in encoding order.
+    pub fn dim_names(&self) -> Vec<&'static str> {
+        self.dims.iter().map(|d| d.name).collect()
+    }
+
+    /// Whether this spec carries a (non-frozen or frozen) topology
+    /// dimension.
+    pub fn has_topology(&self) -> bool {
+        self.dims.iter().any(|d| d.kind == DimensionKind::Topology)
+    }
+
+    /// Largest shard count the topology dimension spans (1 when the spec
+    /// has no topology dimension).
+    pub fn max_shards(&self) -> usize {
+        self.dims
+            .iter()
+            .find(|d| d.field == FieldRef::ShardCount)
+            .map_or(1, |d| d.range.hi.round() as usize)
+    }
+
+    /// The configuration the tuner seeds index type `t` with (Algorithm 1,
+    /// line 2): Milvus defaults, plus the single-node topology when this
+    /// spec tunes the shard count — so topology exploration starts from the
+    /// paper's testbed shape.
+    pub fn seed_config(&self, t: IndexType) -> VdmsConfig {
+        let mut c = VdmsConfig::default_for(t);
+        if self.has_topology() {
+            c.shards = Some(1);
+        }
+        c
+    }
+
+    /// [`SpaceSpec::seed_config`] with the default index type.
+    pub fn seed_default(&self) -> VdmsConfig {
+        let mut c = VdmsConfig::default_config();
+        if self.has_topology() {
+            c.shards = Some(1);
+        }
+        c
+    }
+
+    /// Encode a configuration into the unit hypercube.
+    pub fn encode(&self, c: &VdmsConfig) -> Vec<f64> {
+        self.dims.iter().map(|d| d.read(c)).collect()
+    }
+
+    /// Decode a unit-hypercube point into a configuration.
+    ///
+    /// Extra trailing coordinates are ignored (a wider spec's history can
+    /// be projected down); a point with fewer coordinates than the space
+    /// has dimensions is a typed error, never a panic.
+    pub fn decode(&self, u: &[f64]) -> Result<VdmsConfig, SpaceError> {
+        if u.len() < self.dims.len() {
+            return Err(SpaceError::TooFewCoords { expected: self.dims.len(), got: u.len() });
+        }
+        let mut c = VdmsConfig::default_config();
+        for (d, &v) in self.dims.iter().zip(u) {
+            d.write(&mut c, v);
+        }
+        Ok(c)
+    }
+
+    /// Dimensions the acquisition may vary when polling `t`: the index
+    /// parameters belonging to `t` plus every shared (system and non-frozen
+    /// topology) dimension. The index-type coordinate and foreign index
+    /// parameters stay frozen.
+    pub fn free_dims(&self, t: IndexType) -> Vec<usize> {
+        self.dims
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| match d.kind {
+                DimensionKind::IndexType => false,
+                DimensionKind::IndexParam => t.param_names().contains(&d.name),
+                DimensionKind::System => true,
+                DimensionKind::Topology => !d.is_frozen(),
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The frozen template for polling `t`: index type set to `t`, all
+    /// index parameters at their defaults (paper §IV-C: "sets the
+    /// parameters not belonging to this index type as their default
+    /// values"), system parameters at defaults, topology at the seed shape.
+    pub fn template_for(&self, t: IndexType) -> Vec<f64> {
+        let mut u = self.encode(&self.seed_config(t));
+        u[IDX_TYPE_DIM] = ConfigSpace::type_coord(t);
+        u
+    }
+
+    /// Embed free-dimension values into the template for `t`.
+    pub fn embed(&self, t: IndexType, free: &[(usize, f64)]) -> Vec<f64> {
+        let mut u = self.template_for(t);
+        for &(dim, v) in free {
+            debug_assert_ne!(dim, IDX_TYPE_DIM, "index type is never free");
+            u[dim] = v.clamp(0.0, 1.0);
+        }
+        u
+    }
+}
+
+/// The fixed 16-dimensional encoder/decoder of the paper — a zero-sized
+/// facade over [`SpaceSpec::legacy`], kept for call sites (baselines'
+/// default constructors, property tests, exploratory code) that work on
+/// the paper's space and want an infallible API.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ConfigSpace;
 
@@ -55,85 +449,63 @@ impl ConfigSpace {
         IndexType::from_ordinal(t)
     }
 
-    /// Encode a configuration into the unit hypercube.
+    /// Encode a configuration into the 16-dimensional unit hypercube.
     pub fn encode(&self, c: &VdmsConfig) -> Vec<f64> {
-        let mut u = Vec::with_capacity(DIMS);
-        u.push(Self::type_coord(c.index_type));
-        u.push(ranges::NLIST.normalize(c.index.nlist as f64));
-        u.push(ranges::NPROBE.normalize(c.index.nprobe as f64));
-        u.push(ranges::PQ_M.normalize(c.index.m as f64));
-        u.push(ranges::PQ_NBITS.normalize(c.index.nbits as f64));
-        u.push(ranges::HNSW_M.normalize(c.index.hnsw_m as f64));
-        u.push(ranges::EF_CONSTRUCTION.normalize(c.index.ef_construction as f64));
-        u.push(ranges::EF.normalize(c.index.ef as f64));
-        u.push(ranges::REORDER_K.normalize(c.index.reorder_k as f64));
-        u.extend_from_slice(&c.system.encode());
-        u
+        SpaceSpec::legacy_ref().encode(c)
     }
 
     /// Decode a unit-hypercube point into a configuration.
+    ///
+    /// Lenient by design where [`SpaceSpec::decode`] is typed: a point
+    /// with fewer than 16 coordinates decodes its prefix against the
+    /// default configuration's encoding instead of aborting (the original
+    /// implementation panicked here). Code that needs to *reject* short
+    /// points — the evaluator, anything ingesting external history — uses
+    /// the fallible [`SpaceSpec::decode`] and surfaces the error as a
+    /// failed observation.
     pub fn decode(&self, u: &[f64]) -> VdmsConfig {
-        assert!(u.len() >= DIMS, "need {DIMS} coords, got {}", u.len());
-        let index = IndexParams {
-            nlist: ranges::NLIST.denormalize(u[1]).round() as usize,
-            nprobe: ranges::NPROBE.denormalize(u[2]).round() as usize,
-            m: ranges::PQ_M.denormalize(u[3]).round() as usize,
-            nbits: ranges::PQ_NBITS.denormalize(u[4]).round() as usize,
-            hnsw_m: ranges::HNSW_M.denormalize(u[5]).round() as usize,
-            ef_construction: ranges::EF_CONSTRUCTION.denormalize(u[6]).round() as usize,
-            ef: ranges::EF.denormalize(u[7]).round() as usize,
-            reorder_k: ranges::REORDER_K.denormalize(u[8]).round() as usize,
-        };
-        VdmsConfig {
-            index_type: Self::type_from_coord(u[0]),
-            index,
-            system: SystemParams::decode(&u[9..16]),
-        }
-    }
-
-    /// Dimensions the acquisition may vary when polling `t`: the index
-    /// parameters belonging to `t` plus all 7 system parameters. The
-    /// index-type coordinate and foreign index parameters stay frozen.
-    pub fn free_dims(t: IndexType) -> Vec<usize> {
-        let mut dims: Vec<usize> = Vec::new();
-        for (i, name) in DIM_NAMES.iter().enumerate().skip(1).take(8) {
-            if t.param_names().contains(name) {
-                dims.push(i);
+        let spec = SpaceSpec::legacy_ref();
+        match spec.decode(u) {
+            Ok(c) => c,
+            Err(SpaceError::TooFewCoords { .. }) => {
+                let mut full = spec.encode(&VdmsConfig::default_config());
+                full[..u.len()].copy_from_slice(u);
+                spec.decode(&full).expect("padded point spans the full space")
             }
         }
-        dims.extend(9..DIMS);
-        dims
     }
 
-    /// The frozen template for polling `t`: index type set to `t`, all
-    /// index parameters at their defaults (paper §IV-C: "sets the
-    /// parameters not belonging to this index type as their default
-    /// values"), system parameters at defaults.
+    /// Free dimensions when polling `t` in the 16-dimensional space.
+    pub fn free_dims(t: IndexType) -> Vec<usize> {
+        SpaceSpec::legacy_ref().free_dims(t)
+    }
+
+    /// Frozen polling template for `t` in the 16-dimensional space.
     pub fn template_for(&self, t: IndexType) -> Vec<f64> {
-        let mut u = self.encode(&VdmsConfig::default_for(t));
-        u[IDX_TYPE_DIM] = Self::type_coord(t);
-        u
+        SpaceSpec::legacy_ref().template_for(t)
     }
 
     /// Embed free-dimension values into the template for `t`.
     pub fn embed(&self, t: IndexType, free: &[(usize, f64)]) -> Vec<f64> {
-        let mut u = self.template_for(t);
-        for &(dim, v) in free {
-            debug_assert_ne!(dim, IDX_TYPE_DIM, "index type is never free");
-            u[dim] = v.clamp(0.0, 1.0);
-        }
-        u
+        SpaceSpec::legacy_ref().embed(t, free)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anns::params::IndexParams;
+    use vdms::system_params::SystemParams;
 
     #[test]
     fn dims_is_sixteen_as_in_paper() {
         assert_eq!(DIMS, 16);
         assert_eq!(DIM_NAMES.len(), 16);
+        assert_eq!(DIMS, VdmsConfig::BASE_TUNABLES);
+        let legacy = SpaceSpec::legacy();
+        assert_eq!(legacy.dims(), DIMS);
+        assert_eq!(legacy.dim_names(), DIM_NAMES.to_vec());
+        assert!(!legacy.has_topology());
     }
 
     #[test]
@@ -206,5 +578,125 @@ mod tests {
             assert!((c.system.segment_seal_proportion - d.segment_seal_proportion).abs() < 0.01);
             assert_eq!(c.system.max_read_concurrency, d.max_read_concurrency);
         }
+    }
+
+    #[test]
+    fn short_point_is_typed_error_not_abort() {
+        // Satellite regression: the original decoder panicked on short
+        // points; the canonical API returns a typed error and the legacy
+        // facade pads against the default template instead of aborting.
+        let spec = SpaceSpec::legacy();
+        assert_eq!(
+            spec.decode(&[0.5, 0.5, 0.5]),
+            Err(SpaceError::TooFewCoords { expected: 16, got: 3 })
+        );
+        let lenient = ConfigSpace.decode(&[0.0, 0.5, 0.5]);
+        assert_eq!(lenient.index_type, IndexType::Flat, "provided prefix is honored");
+        let default_roundtrip =
+            ConfigSpace.decode(&ConfigSpace.encode(&VdmsConfig::default_config()));
+        assert_eq!(
+            lenient.system, default_roundtrip.system,
+            "missing coordinates fall back to the default encoding"
+        );
+        let err = SpaceError::TooFewCoords { expected: 16, got: 3 };
+        assert!(err.to_string().contains("3 coordinates"));
+    }
+
+    #[test]
+    fn topology_spec_appends_shard_dimension() {
+        let spec = SpaceSpec::with_topology(8);
+        assert_eq!(spec.dims(), DIMS + 1);
+        assert!(spec.has_topology());
+        assert_eq!(spec.max_shards(), 8);
+        assert_eq!(spec.dim_names()[DIMS], SHARD_COUNT_DIM_NAME);
+        let last = spec.dimensions()[DIMS];
+        assert_eq!(last.kind, DimensionKind::Topology);
+        assert!(!last.is_frozen());
+        assert!(last.range.log, "shard count tunes on a log scale");
+        // Every index type gains the topology dim as a shared free dim.
+        for t in IndexType::ALL {
+            let free = spec.free_dims(t);
+            assert_eq!(free.last(), Some(&DIMS), "{t}");
+            assert_eq!(free.len(), SpaceSpec::legacy().free_dims(t).len() + 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn topology_roundtrip_covers_every_shard_count() {
+        let spec = SpaceSpec::with_topology(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..=100 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS] = i as f64 / 100.0;
+            let c = spec.decode(&u).unwrap();
+            let s = c.shards.expect("topology spec always decodes a shard count");
+            assert!((1..=8).contains(&s));
+            seen.insert(s);
+            // Round-trip: encode puts the shard count back on the same
+            // unit-cube value its decode quantized to.
+            let back = spec.decode(&spec.encode(&c)).unwrap();
+            assert_eq!(back.shards, Some(s));
+        }
+        assert_eq!(seen.len(), 8, "all shard counts reachable: {seen:?}");
+    }
+
+    #[test]
+    fn frozen_topology_dimension_never_free() {
+        let spec = SpaceSpec::with_topology(1);
+        assert_eq!(spec.dims(), DIMS + 1);
+        assert!(spec.dimensions()[DIMS].is_frozen());
+        for t in IndexType::ALL {
+            assert_eq!(spec.free_dims(t), SpaceSpec::legacy().free_dims(t), "{t}");
+        }
+        // The frozen coordinate encodes to a constant, so GP inputs differ
+        // from the 16-dim spec only by an appended constant.
+        let u = spec.encode(&spec.seed_config(IndexType::Hnsw));
+        assert_eq!(u.len(), DIMS + 1);
+        assert_eq!(u[DIMS].to_bits(), 0.0f64.to_bits());
+        assert_eq!(spec.decode(&u).unwrap().shards, Some(1));
+    }
+
+    #[test]
+    fn legacy_spec_matches_config_space_bitwise() {
+        // The facade and the spec are the same encoder/decoder.
+        let spec = SpaceSpec::legacy();
+        let facade = ConfigSpace;
+        for (i, t) in IndexType::ALL.iter().enumerate() {
+            let u: Vec<f64> = (0..DIMS).map(|d| ((d * 7 + i * 3) % 11) as f64 / 10.0).collect();
+            let a = spec.decode(&u).unwrap();
+            let b = facade.decode(&u);
+            assert_eq!(a, b, "{t}");
+            let ea = spec.encode(&a);
+            let eb = facade.encode(&b);
+            assert_eq!(
+                ea.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                eb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn seed_configs_carry_topology_only_when_tuned() {
+        assert_eq!(SpaceSpec::legacy().seed_config(IndexType::Hnsw).shards, None);
+        assert_eq!(SpaceSpec::legacy().seed_default().shards, None);
+        let topo = SpaceSpec::with_topology(4);
+        assert_eq!(topo.seed_config(IndexType::Hnsw).shards, Some(1));
+        assert_eq!(topo.seed_default().shards, Some(1));
+        assert_eq!(topo.seed_default().index_type, IndexType::AutoIndex);
+    }
+
+    #[test]
+    fn wider_points_project_down() {
+        // A 17-dim point decodes under the legacy spec by ignoring the
+        // trailing topology coordinate.
+        let topo = SpaceSpec::with_topology(8);
+        let mut u = topo.template_for(IndexType::Scann);
+        u[DIMS] = 1.0;
+        let wide = topo.decode(&u).unwrap();
+        assert_eq!(wide.shards, Some(8));
+        let narrow = SpaceSpec::legacy().decode(&u).unwrap();
+        assert_eq!(narrow.shards, None);
+        assert_eq!(narrow.index, wide.index);
+        assert_eq!(narrow.system, wide.system);
     }
 }

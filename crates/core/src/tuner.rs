@@ -15,7 +15,7 @@
 use crate::abandon::{scores, AbandonPolicy, ScoreRow};
 use crate::history::TuningOutcome;
 use crate::npi::NpiNormalizer;
-use crate::space::ConfigSpace;
+use crate::space::SpaceSpec;
 use anns::params::IndexType;
 use gp::{fit_gp, FitOptions, GaussianProcess, Matern52};
 use mobo::acquisition::constrained_ei;
@@ -100,7 +100,7 @@ impl Default for TunerOptions {
 /// by the same harness as every baseline, or via [`VdTuner::run`].
 pub struct VdTuner {
     options: TunerOptions,
-    space: ConfigSpace,
+    space: SpaceSpec,
     seed: u64,
     /// Index types not yet given their initial default sample.
     init_queue: Vec<IndexType>,
@@ -112,14 +112,23 @@ pub struct VdTuner {
 }
 
 impl VdTuner {
+    /// A tuner over the paper's 16-dimensional space.
     pub fn new(options: TunerOptions, seed: u64) -> VdTuner {
+        VdTuner::with_space(options, SpaceSpec::legacy(), seed)
+    }
+
+    /// A tuner over an arbitrary [`SpaceSpec`] — e.g.
+    /// [`SpaceSpec::with_topology`] to co-tune the shard count with the
+    /// index and system knobs. The whole pipeline (GP fits, acquisition,
+    /// SHAP, batching) follows the spec's dimensionality.
+    pub fn with_space(options: TunerOptions, space: SpaceSpec, seed: u64) -> VdTuner {
         let window = match options.budget {
             BudgetAllocation::SuccessiveAbandon { window } => window,
             BudgetAllocation::RoundRobin => usize::MAX,
         };
         VdTuner {
             options,
-            space: ConfigSpace,
+            space,
             seed,
             init_queue: IndexType::ALL.to_vec(),
             remaining: IndexType::ALL.to_vec(),
@@ -127,6 +136,11 @@ impl VdTuner {
             poll_cursor: 0,
             iter: 0,
         }
+    }
+
+    /// The tuning space this tuner optimizes over.
+    pub fn space(&self) -> &SpaceSpec {
+        &self.space
     }
 
     /// The index types still being polled.
@@ -269,10 +283,11 @@ impl VdTuner {
     fn propose_inner(&mut self, history: &[Observation]) -> (VdmsConfig, Option<(f64, f64)>) {
         self.iter += 1;
         // Algorithm 1 lines 1–5: initial sampling — the default
-        // configuration of every index type.
+        // configuration of every index type (at the spec's seed topology
+        // when the shard count is tuned).
         if let Some(t) = self.init_queue.first().copied() {
             self.init_queue.remove(0);
-            return (VdmsConfig::default_for(t), None);
+            return (self.space.seed_config(t), None);
         }
 
         // Lines 7–14: score remaining types; maybe abandon the worst.
@@ -294,15 +309,16 @@ impl VdTuner {
         let grouped_all = self.grouped(history, &IndexType::ALL);
         let normalizer = NpiNormalizer::fit(&grouped_all, constraint_mode);
         let Some((gp_speed, gp_recall, pairs)) = self.fit_surrogates(history, &normalizer) else {
-            return (VdmsConfig::default_config(), None);
+            return (self.space.seed_default(), None);
         };
 
         // Line 19: next polling index type.
         let t = self.remaining[self.poll_cursor % self.remaining.len()];
         self.poll_cursor += 1;
 
-        // Line 20: search region X' for t — its params + system params.
-        let free = ConfigSpace::free_dims(t);
+        // Line 20: search region X' for t — its params + the shared
+        // (system / topology) dimensions.
+        let free = self.space.free_dims(t);
         let incumbents: Vec<Vec<f64>> = self
             .incumbents_of(history, t)
             .into_iter()
@@ -413,7 +429,8 @@ impl VdTuner {
         match chosen {
             Some((sub, _)) => {
                 let enc = embed_sub(&sub);
-                let mut cfg = self.space.decode(&enc);
+                let mut cfg =
+                    self.space.decode(&enc).expect("embedded candidates span the full space");
                 cfg.index_type = t; // guard against rounding on the type dim
                                     // Posterior-mean belief at the chosen point, mapped back to
                                     // raw objective units (speed GP lives in log space of the
@@ -429,7 +446,7 @@ impl VdTuner {
                 };
                 (cfg, Some(pred))
             }
-            None => (VdmsConfig::default_for(t), None),
+            None => (self.space.seed_config(t), None),
         }
     }
 }

@@ -5,15 +5,31 @@ use anns::params::{IndexParams, IndexType};
 
 /// Index type + index parameters + system parameters (16 tunables total,
 /// matching §V-A of the paper: 1 index type, 8 index params, 7 system
-/// params).
+/// params), plus an optional *serving-topology* request beyond the paper:
+/// how many query nodes should serve the collection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VdmsConfig {
     pub index_type: IndexType,
     pub index: IndexParams,
     pub system: SystemParams,
+    /// Requested query-node count. `None` means "the backend's fixed
+    /// topology" (the paper's single-node testbed, or whatever cluster an
+    /// experiment pinned); `Some(n)` is a topology-tuning candidate that
+    /// only a backend advertising the topology dimension can realize.
+    pub shards: Option<usize>,
 }
 
 impl VdmsConfig {
+    /// Dimensionality of the paper's tuning space: 1 index type + 8 index
+    /// parameters + 7 system parameters.
+    pub const BASE_TUNABLES: usize = 16;
+
+    /// Encoded dimensionality this configuration spans: the 16 base
+    /// tunables, plus one when it carries a topology request.
+    pub fn tunable_dims(&self) -> usize {
+        Self::BASE_TUNABLES + usize::from(self.shards.is_some())
+    }
+
     /// The Milvus default configuration (the paper's `Default` baseline
     /// uses AUTOINDEX, which is what Milvus ships with).
     pub fn default_config() -> VdmsConfig {
@@ -21,6 +37,7 @@ impl VdmsConfig {
             index_type: IndexType::AutoIndex,
             index: IndexParams::default(),
             system: SystemParams::default(),
+            shards: None,
         }
     }
 
@@ -34,6 +51,7 @@ impl VdmsConfig {
     pub fn sanitized(mut self, dim: usize, top_k: usize) -> Self {
         self.index = self.index.sanitized(dim, top_k);
         self.system = self.system.sanitized();
+        self.shards = self.shards.map(|s| s.max(1));
         self
     }
 
@@ -65,6 +83,9 @@ impl VdmsConfig {
             self.system.chunk_rows,
             self.system.build_parallelism,
         ));
+        if let Some(s) = self.shards {
+            parts.push(format!("shards={s}"));
+        }
         parts.join(" ")
     }
 }
@@ -95,5 +116,24 @@ mod tests {
         let s = c.sanitized(48, 10);
         assert_eq!(48 % s.index.m, 0);
         assert!(s.system.max_read_concurrency <= 64);
+    }
+
+    #[test]
+    fn tunable_dims_counts_topology() {
+        let base = VdmsConfig::default_config();
+        assert_eq!(base.tunable_dims(), VdmsConfig::BASE_TUNABLES);
+        let topo = VdmsConfig { shards: Some(4), ..base };
+        assert_eq!(topo.tunable_dims(), VdmsConfig::BASE_TUNABLES + 1);
+    }
+
+    #[test]
+    fn sanitize_clamps_zero_shards_and_summary_shows_topology() {
+        let c = VdmsConfig { shards: Some(0), ..VdmsConfig::default_config() }.sanitized(48, 10);
+        assert_eq!(c.shards, Some(1));
+        assert!(c.summary().ends_with("shards=1"), "{}", c.summary());
+        assert!(
+            !VdmsConfig::default_config().summary().contains("shards"),
+            "no topology request, no topology in the summary"
+        );
     }
 }

@@ -22,6 +22,17 @@ pub enum VdmsError {
     /// per-shard budget: the configuration may fit the aggregate cluster
     /// memory but not any single node's share, even after rebalancing.
     ShardOutOfMemory { shard: usize, required_gib: f64, budget_gib: f64 },
+    /// The candidate spans a different tuning space than the evaluation
+    /// backend serves (e.g. it carries a topology request but the backend's
+    /// deployment shape is fixed, or vice versa). Raised by the evaluator
+    /// *before* dispatch, so mismatched points surface as failed
+    /// observations instead of silently tuning a knob nobody realizes.
+    SpaceMismatch { config_dims: usize, backend_dims: usize },
+    /// The candidate requests more query nodes than the control plane can
+    /// deploy. Rejecting (rather than clamping) keeps the recorded
+    /// topology honest: the tuner never trains on a shape that was
+    /// silently substituted by another.
+    TopologyUnrealizable { requested_shards: usize, max_shards: usize },
 }
 
 impl std::fmt::Display for VdmsError {
@@ -39,6 +50,20 @@ impl std::fmt::Display for VdmsError {
                     f,
                     "shard {shard} out of memory: {required_gib:.1} GiB > {budget_gib:.1} GiB \
                      per-shard budget (no node can host the placement)"
+                )
+            }
+            VdmsError::SpaceMismatch { config_dims, backend_dims } => {
+                write!(
+                    f,
+                    "space mismatch: candidate spans {config_dims} tunables but the backend \
+                     serves a {backend_dims}-dimensional space"
+                )
+            }
+            VdmsError::TopologyUnrealizable { requested_shards, max_shards } => {
+                write!(
+                    f,
+                    "topology unrealizable: candidate requests {requested_shards} query nodes \
+                     but the backend deploys at most {max_shards}"
                 )
             }
         }

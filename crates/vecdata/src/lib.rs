@@ -7,7 +7,8 @@
 //! * [`dataset`] — deterministic synthetic dataset generators that mimic the
 //!   statistical signatures of the datasets evaluated in the VDTuner paper
 //!   (GloVe, Keyword-match, Geo-radius, ArXiv-titles, deep-image),
-//! * [`ground_truth`] — exact top-K computation used for recall measurement,
+//! * [`mod@ground_truth`] — exact top-K computation used for recall
+//!   measurement,
 //! * [`rng`] — small deterministic RNG utilities so every experiment is
 //!   reproducible from a single seed.
 //!

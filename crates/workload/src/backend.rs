@@ -14,7 +14,12 @@
 //! * [`ShardedSimBackend`] — the same workload served by a
 //!   [`vdms::cluster::ShardedCollection`]: segments partitioned across N
 //!   simulated query nodes with per-shard memory budgets behind a
-//!   scatter-gather proxy.
+//!   scatter-gather proxy;
+//! * [`TopologyBackend`] — the topology-as-a-knob backend: each candidate
+//!   carries its own requested shard count ([`VdmsConfig::shards`]) and is
+//!   served by the matching cluster, with the testbed memory budget split
+//!   evenly across the requested nodes — so the tuner feels the real
+//!   capacity trade-off of fanning out.
 //!
 //! A future backend against a real VDMS (Milvus/qdrant over HTTP) drops in
 //! behind the same `observe`/`observe_batch` API by implementing
@@ -24,7 +29,7 @@
 use crate::replay::{evaluate, evaluate_sharded, Outcome};
 use crate::Workload;
 use vdms::cluster::ClusterSpec;
-use vdms::VdmsConfig;
+use vdms::{VdmsConfig, VdmsError};
 
 /// Capabilities and metadata of an evaluation backend, snapshotted by the
 /// evaluator at construction.
@@ -36,11 +41,17 @@ pub struct BackendInfo {
     pub dim: usize,
     /// Neighbors retrieved per query.
     pub top_k: usize,
-    /// Query nodes serving the collection (1 for single-node backends).
+    /// Query nodes serving the collection (1 for single-node backends; the
+    /// ceiling for topology-tuning backends).
     pub shards: usize,
     /// Whether `(config, seed)` fully determines the outcome. Enables the
     /// evaluator's result cache; a live-system backend reports `false`.
     pub deterministic: bool,
+    /// Dimensionality of the tuning space this backend realizes: the 16
+    /// base tunables, plus one per deployment knob (shard count) it lets
+    /// candidates choose. The evaluator rejects candidates whose encoded
+    /// length disagrees — as failed observations, never panics.
+    pub space_dims: usize,
 }
 
 /// A system that can evaluate one VDMS configuration.
@@ -94,6 +105,7 @@ impl EvalBackend for SimBackend<'_> {
             top_k: self.workload.top_k,
             shards: 1,
             deterministic: true,
+            space_dims: VdmsConfig::BASE_TUNABLES,
         }
     }
 
@@ -144,11 +156,90 @@ impl EvalBackend for ShardedSimBackend<'_> {
             top_k: self.workload.top_k,
             shards: self.spec.shards,
             deterministic: true,
+            // The cluster shape is fixed per backend; candidates tune the
+            // 16 base knobs only.
+            space_dims: VdmsConfig::BASE_TUNABLES,
         }
     }
 
     fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome {
         evaluate_sharded(self.workload, config, seed, self.spec)
+    }
+}
+
+/// The topology-tuning backend: the deployment shape is *part of the
+/// candidate*. Each configuration's requested shard count
+/// ([`VdmsConfig::shards`]) selects the cluster that serves it, with the
+/// single-node testbed budget split evenly across the requested nodes
+/// ([`ClusterSpec::new`]) — fanning out buys straggler-bounded latency at
+/// the price of per-node capacity and fixed overhead, so the tuner
+/// optimizes a real trade-off rather than a free knob.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyBackend<'a> {
+    workload: &'a Workload,
+    max_shards: usize,
+}
+
+impl<'a> TopologyBackend<'a> {
+    /// A backend serving clusters of 1..=`max_shards` query nodes.
+    pub fn new(workload: &'a Workload, max_shards: usize) -> TopologyBackend<'a> {
+        TopologyBackend { workload, max_shards: max_shards.max(1) }
+    }
+
+    /// The workload this backend replays.
+    pub fn workload(&self) -> &Workload {
+        self.workload
+    }
+
+    /// Largest cluster this backend will deploy.
+    pub fn max_shards(&self) -> usize {
+        self.max_shards
+    }
+
+    /// The cluster a candidate's topology request maps to, or a typed
+    /// refusal when the request exceeds what this control plane can
+    /// deploy. Rejecting — instead of silently clamping — keeps the
+    /// recorded topology honest: the tuner and the evaluator's cache never
+    /// see a shape that was substituted by another. Missing requests
+    /// deploy the single-node testbed.
+    pub fn cluster_spec_for(&self, config: &VdmsConfig) -> Result<ClusterSpec, VdmsError> {
+        let requested = config.shards.unwrap_or(1).max(1);
+        if requested > self.max_shards {
+            return Err(VdmsError::TopologyUnrealizable {
+                requested_shards: requested,
+                max_shards: self.max_shards,
+            });
+        }
+        Ok(ClusterSpec::new(requested))
+    }
+}
+
+impl EvalBackend for TopologyBackend<'_> {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: format!("topology(1..={})", self.max_shards),
+            dim: self.workload.dataset.dim(),
+            top_k: self.workload.top_k,
+            shards: self.max_shards,
+            deterministic: true,
+            // 16 base knobs + the shard-count deployment knob.
+            space_dims: VdmsConfig::BASE_TUNABLES + 1,
+        }
+    }
+
+    fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome {
+        match self.cluster_spec_for(config) {
+            Ok(spec) => evaluate_sharded(self.workload, config, seed, spec),
+            // Refused by the control plane before any work ran: no memory
+            // accounted, no replay time burned.
+            Err(e) => Outcome {
+                qps: 0.0,
+                recall: 0.0,
+                memory_gib: 0.0,
+                simulated_secs: 0.0,
+                failure: Some(e),
+            },
+        }
     }
 }
 
@@ -204,6 +295,63 @@ mod tests {
             assert_eq!(a.simulated_secs.to_bits(), b.simulated_secs.to_bits());
             assert_eq!(a.failure, b.failure);
         }
+    }
+
+    #[test]
+    fn topology_backend_reports_extended_space() {
+        let w = make();
+        let info = TopologyBackend::new(&w, 8).info();
+        assert_eq!(info.space_dims, VdmsConfig::BASE_TUNABLES + 1);
+        assert_eq!(info.shards, 8);
+        assert_eq!(info.name, "topology(1..=8)");
+        assert!(info.deterministic);
+        // Fixed-shape backends keep the paper's 16-dimensional space.
+        assert_eq!(SimBackend::new(&w).info().space_dims, VdmsConfig::BASE_TUNABLES);
+        assert_eq!(ShardedSimBackend::new(&w, 4).info().space_dims, VdmsConfig::BASE_TUNABLES);
+    }
+
+    #[test]
+    fn topology_backend_serves_the_requested_cluster() {
+        let w = make();
+        let b = TopologyBackend::new(&w, 8);
+        // A layout with several sealed segments so sharding has work.
+        let mut cfg = VdmsConfig::default_config();
+        cfg.system.segment_max_size_mb = 64.0;
+        cfg.system.segment_seal_proportion = 0.5;
+        for shards in [1usize, 2, 4] {
+            cfg.shards = Some(shards);
+            let via_topology = b.evaluate(&cfg, 5);
+            let via_fixed = ShardedSimBackend::new(&w, shards).evaluate(&cfg, 5);
+            assert_eq!(via_topology.qps.to_bits(), via_fixed.qps.to_bits(), "{shards}");
+            assert_eq!(via_topology.memory_gib.to_bits(), via_fixed.memory_gib.to_bits());
+        }
+        // No topology request → the single-node testbed.
+        cfg.shards = None;
+        let default_shape = b.evaluate(&cfg, 5);
+        let single = SimBackend::new(&w).evaluate(&cfg, 5);
+        assert_eq!(default_shape.qps.to_bits(), single.qps.to_bits());
+    }
+
+    #[test]
+    fn topology_backend_refuses_over_ceiling_requests() {
+        // A request beyond the deployable ceiling is a typed failure, not a
+        // silent clamp: clamping would record (and cache) a topology that
+        // was never deployed, flattening the surrogate over 9..=N shapes.
+        let w = make();
+        let b = TopologyBackend::new(&w, 8);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(64);
+        assert!(matches!(
+            b.cluster_spec_for(&cfg),
+            Err(VdmsError::TopologyUnrealizable { requested_shards: 64, max_shards: 8 })
+        ));
+        let out = b.evaluate(&cfg, 5);
+        assert!(!out.is_ok());
+        assert_eq!(out.simulated_secs, 0.0, "refused before any work ran");
+        assert!(matches!(out.failure, Some(VdmsError::TopologyUnrealizable { .. })));
+        // In-range requests still deploy exactly what was asked.
+        cfg.shards = Some(8);
+        assert_eq!(b.cluster_spec_for(&cfg).unwrap().shards, 8);
     }
 
     #[test]

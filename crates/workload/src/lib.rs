@@ -16,8 +16,10 @@
 //! The evaluator is generic over an [`backend::EvalBackend`] — the thing
 //! that actually measures a configuration. [`backend::SimBackend`] is the
 //! single-node simulator; [`backend::ShardedSimBackend`] serves the same
-//! workload from a sharded multi-node cluster (`vdms::cluster`); a live
-//! Milvus/qdrant driver would implement the same trait.
+//! workload from a sharded multi-node cluster (`vdms::cluster`);
+//! [`backend::TopologyBackend`] deploys whatever cluster shape each
+//! candidate requests, for topology-as-a-knob tuning; a live Milvus/qdrant
+//! driver would implement the same trait.
 
 pub mod backend;
 pub mod replay;
@@ -27,7 +29,7 @@ pub mod tuner;
 #[cfg(test)]
 mod noise_tests;
 
-pub use backend::{BackendInfo, EvalBackend, ShardedSimBackend, SimBackend};
+pub use backend::{BackendInfo, EvalBackend, ShardedSimBackend, SimBackend, TopologyBackend};
 pub use replay::{evaluate, evaluate_sharded, Outcome};
 pub use runner::{Evaluator, Observation};
 pub use tuner::{run_tuner, run_tuner_batched, Tuner};

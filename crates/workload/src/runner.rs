@@ -3,7 +3,7 @@
 //! breakdown reported in Table VI.
 //!
 //! The driver is generic over *what* it evaluates: an
-//! [`EvalBackend`](crate::backend::EvalBackend) — the single-node
+//! [`EvalBackend`] — the single-node
 //! simulator, a sharded cluster, or (eventually) a live VDMS over HTTP.
 
 use crate::backend::{BackendInfo, EvalBackend, SimBackend};
@@ -12,7 +12,7 @@ use crate::Workload;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use vdms::memory::MIN_MEMORY_GIB;
-use vdms::VdmsConfig;
+use vdms::{VdmsConfig, VdmsError};
 
 /// One completed evaluation, as seen by a tuner.
 #[derive(Debug, Clone)]
@@ -44,11 +44,14 @@ impl Observation {
     }
 }
 
-/// Exact cache key for a configuration (16 integers). Float fields are
-/// encoded bit-exactly via [`f64::to_bits`]: quantizing them (as an earlier
-/// revision did) let distinct configurations alias to one cache entry and
-/// return stale measurements for a config that was never evaluated.
-fn config_key(c: &VdmsConfig) -> [u64; 16] {
+/// Exact cache key for a configuration (16 base tunables + the topology
+/// request). Float fields are encoded bit-exactly via [`f64::to_bits`]:
+/// quantizing them (as an earlier revision did) let distinct configurations
+/// alias to one cache entry and return stale measurements for a config that
+/// was never evaluated. The topology slot is 0 for "no request" — distinct
+/// from every sanitized `Some(n)` (which is ≥ 1) — so candidates differing
+/// only in shard count never alias.
+fn config_key(c: &VdmsConfig) -> [u64; 17] {
     [
         c.index_type.ordinal() as u64,
         c.index.nlist as u64,
@@ -66,7 +69,27 @@ fn config_key(c: &VdmsConfig) -> [u64; 16] {
         c.system.max_read_concurrency as u64,
         c.system.chunk_rows as u64,
         c.system.build_parallelism as u64,
+        c.shards.map_or(0, |s| s as u64),
     ]
+}
+
+/// When a candidate spans a different tuning space than the backend serves
+/// (e.g. it requests a deployment shape a fixed-topology backend cannot
+/// realize), the evaluator rejects it *before* dispatch — as a failed
+/// outcome the usual worst-in-history substitution applies to, never a
+/// panic. A rejected candidate burns no replay time.
+fn space_mismatch_outcome(cfg: &VdmsConfig, backend_dims: usize) -> Option<Outcome> {
+    let config_dims = cfg.tunable_dims();
+    if config_dims == backend_dims {
+        return None;
+    }
+    Some(Outcome {
+        qps: 0.0,
+        recall: 0.0,
+        memory_gib: 0.0,
+        simulated_secs: 0.0,
+        failure: Some(VdmsError::SpaceMismatch { config_dims, backend_dims }),
+    })
 }
 
 /// Evaluates configurations against a backend with tuner-facing semantics.
@@ -81,7 +104,7 @@ pub struct Evaluator<B: EvalBackend> {
     info: BackendInfo,
     seed: u64,
     history: Vec<Observation>,
-    cache: HashMap<[u64; 16], Outcome>,
+    cache: HashMap<[u64; 17], Outcome>,
     /// Total simulated tuning seconds (replay side of Table VI).
     pub total_replay_secs: f64,
     /// Total wall-clock recommendation seconds (model side of Table VI).
@@ -164,7 +187,7 @@ impl<B: EvalBackend> Evaluator<B> {
     /// Fetch the outcome for a sanitized config, evaluating on a cache
     /// miss. Non-deterministic backends (live systems) bypass the cache:
     /// re-proposing a config re-measures it.
-    fn outcome_for(&mut self, cfg: &VdmsConfig, key: [u64; 16]) -> Outcome {
+    fn outcome_for(&mut self, cfg: &VdmsConfig, key: [u64; 17]) -> Outcome {
         if !self.info.deterministic {
             return self.backend.evaluate(cfg, self.seed);
         }
@@ -211,6 +234,9 @@ impl<B: EvalBackend> Evaluator<B> {
     /// this configuration (pass 0.0 when not tracked).
     pub fn observe(&mut self, config: &VdmsConfig, recommend_secs: f64) -> Observation {
         let cfg = config.sanitized(self.info.dim, self.info.top_k);
+        if let Some(rejected) = space_mismatch_outcome(&cfg, self.info.space_dims) {
+            return self.record(cfg, rejected, recommend_secs);
+        }
         let key = config_key(&cfg);
         let outcome = self.outcome_for(&cfg, key);
         self.record(cfg, outcome, recommend_secs)
@@ -233,7 +259,7 @@ impl<B: EvalBackend> Evaluator<B> {
         configs: &[VdmsConfig],
         recommend_secs: f64,
     ) -> Vec<Observation> {
-        let sanitized: Vec<(VdmsConfig, [u64; 16])> = configs
+        let sanitized: Vec<(VdmsConfig, [u64; 17])> = configs
             .iter()
             .map(|c| {
                 let cfg = c.sanitized(self.info.dim, self.info.top_k);
@@ -244,11 +270,17 @@ impl<B: EvalBackend> Evaluator<B> {
 
         let backend = &self.backend;
         let seed = self.seed;
+        let space_dims = self.info.space_dims;
         if self.info.deterministic {
-            // Unique uncached configs, first-occurrence order.
-            let mut pending: Vec<(VdmsConfig, [u64; 16])> = Vec::new();
+            // Unique uncached configs, first-occurrence order. Candidates
+            // the space-mismatch gate rejects are never dispatched (their
+            // failure outcome is synthesized during bookkeeping below).
+            let mut pending: Vec<(VdmsConfig, [u64; 17])> = Vec::new();
             for &(cfg, key) in &sanitized {
-                if !self.cache.contains_key(&key) && pending.iter().all(|&(_, k)| k != key) {
+                if space_mismatch_outcome(&cfg, space_dims).is_none()
+                    && !self.cache.contains_key(&key)
+                    && pending.iter().all(|&(_, k)| k != key)
+                {
                     pending.push((cfg, key));
                 }
             }
@@ -266,7 +298,8 @@ impl<B: EvalBackend> Evaluator<B> {
                 .into_iter()
                 .enumerate()
                 .map(|(i, (cfg, key))| {
-                    let outcome = self.outcome_for(&cfg, key);
+                    let outcome = space_mismatch_outcome(&cfg, space_dims)
+                        .unwrap_or_else(|| self.outcome_for(&cfg, key));
                     let rs = if i == 0 { recommend_secs } else { 0.0 };
                     self.record(cfg, outcome, rs)
                 })
@@ -275,8 +308,13 @@ impl<B: EvalBackend> Evaluator<B> {
             // Non-deterministic backend: no cache to share, so every
             // candidate — duplicates included — is measured independently
             // (still in parallel), then recorded in candidate order.
-            let outcomes: Vec<Outcome> =
-                sanitized.par_iter().map(|(cfg, _)| backend.evaluate(cfg, seed)).collect();
+            let outcomes: Vec<Outcome> = sanitized
+                .par_iter()
+                .map(|(cfg, _)| {
+                    space_mismatch_outcome(cfg, space_dims)
+                        .unwrap_or_else(|| backend.evaluate(cfg, seed))
+                })
+                .collect();
             sanitized
                 .into_iter()
                 .zip(outcomes)
@@ -553,6 +591,73 @@ mod tests {
         // curve even though it is numerically positive.
         assert!(ev.history()[1].qps > 0.0);
         assert_eq!(curve[1], ev.history()[0].qps);
+    }
+
+    #[test]
+    fn space_mismatch_is_failed_observation_not_panic() {
+        // A candidate carrying a topology request is rejected by a
+        // fixed-topology backend as a failed outcome; worst-in-history
+        // substitution applies exactly as for a crash.
+        let w = make();
+        let mut ev = Evaluator::new(&w, 1);
+        let good = ev.observe(&VdmsConfig::default_config(), 0.0);
+        let mut wide = VdmsConfig::default_config();
+        wide.shards = Some(2);
+        let obs = ev.observe(&wide, 0.0);
+        assert!(obs.failed);
+        assert_eq!(obs.qps, good.qps, "worst-in-history substitution");
+        assert_eq!(obs.replay_secs, 0.0, "rejected before dispatch, no replay time");
+        assert_eq!(ev.cache.len(), 1, "rejected candidates are not cached");
+        // The raw outcome carries the typed error.
+        let raw = space_mismatch_outcome(&wide.sanitized(w.dataset.dim(), 10), 16).unwrap();
+        assert!(matches!(
+            raw.failure,
+            Some(VdmsError::SpaceMismatch { config_dims: 17, backend_dims: 16 })
+        ));
+    }
+
+    #[test]
+    fn space_mismatch_rejects_in_batches_too() {
+        let w = make();
+        let mut wide = VdmsConfig::default_for(IndexType::Flat);
+        wide.shards = Some(3);
+        let good = VdmsConfig::default_config();
+        let mut ev = Evaluator::new(&w, 2);
+        let obs = ev.observe_batch(&[good, wide, good], 0.0);
+        assert!(!obs[0].failed && !obs[2].failed);
+        assert!(obs[1].failed);
+        assert_eq!(obs[1].qps.to_bits(), obs[0].qps.to_bits(), "substituted from the batch");
+        assert_eq!(ev.cache.len(), 1, "only the good config was dispatched");
+    }
+
+    #[test]
+    fn topology_backend_accepts_matching_candidates_only() {
+        let w = make();
+        let mut ev = Evaluator::with_backend(crate::backend::TopologyBackend::new(&w, 4), 1);
+        assert_eq!(ev.info().space_dims, VdmsConfig::BASE_TUNABLES + 1);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(2);
+        let obs = ev.observe(&cfg, 0.0);
+        assert!(!obs.failed, "17-dim candidate on a 17-dim backend");
+        // A 16-dim candidate on the topology backend is a mismatch: the
+        // tuner driving this backend must own the topology knob.
+        let narrow = ev.observe(&VdmsConfig::default_config(), 0.0);
+        assert!(narrow.failed);
+    }
+
+    #[test]
+    fn shard_request_is_part_of_the_cache_key() {
+        let w = make();
+        let mut ev = Evaluator::with_backend(crate::backend::TopologyBackend::new(&w, 4), 1);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.system.segment_max_size_mb = 64.0;
+        cfg.system.segment_seal_proportion = 0.5;
+        cfg.shards = Some(1);
+        let one = ev.observe(&cfg, 0.0);
+        cfg.shards = Some(4);
+        let four = ev.observe(&cfg, 0.0);
+        assert_eq!(ev.cache.len(), 2, "same base knobs, different topology: two entries");
+        assert!(four.memory_gib > one.memory_gib, "per-node overhead accumulates");
     }
 
     #[test]

@@ -42,10 +42,10 @@ pub use workload;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use crate::core::{TunerOptions, TuningOutcome, VdTuner};
+    pub use crate::core::{SpaceSpec, TunerOptions, TuningOutcome, VdTuner};
     pub use anns::params::IndexType;
     pub use vdms::cluster::ClusterSpec;
     pub use vdms::config::VdmsConfig;
     pub use vecdata::{Dataset, DatasetKind, DatasetSpec};
-    pub use workload::{EvalBackend, ShardedSimBackend, SimBackend, Workload};
+    pub use workload::{EvalBackend, ShardedSimBackend, SimBackend, TopologyBackend, Workload};
 }
