@@ -8,9 +8,9 @@
 //! ```
 //!
 //! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 table5 table6 scale sharding topology. Output goes to
-//! stdout and to `results/*.csv` (plus `results/topology.json` for the
-//! topology co-tuning summary).
+//! fig12 fig13 table5 table6 scale sharding topology serving. Output goes
+//! to stdout and to `results/*.csv` (plus `results/topology.json` and
+//! `results/serving.json` machine-readable summaries).
 
 use bench::{experiments, Profile};
 
@@ -52,7 +52,7 @@ fn main() {
 
     let all = [
         "fig1", "fig2", "fig3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "table5", "table6", "scale", "sharding", "topology",
+        "fig12", "fig13", "table5", "table6", "scale", "sharding", "topology", "serving",
     ];
     let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
         all.to_vec()
@@ -86,6 +86,7 @@ fn main() {
             "scale" => experiments::scale(&profile),
             "sharding" => experiments::sharding(&profile),
             "topology" => experiments::topology(&profile),
+            "serving" => experiments::serving(&profile),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
@@ -102,7 +103,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
-         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology all"
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving all"
     );
     std::process::exit(2);
 }

@@ -90,8 +90,42 @@ pub fn emit(name: &str, title: &str, table: &Table) {
 
 /// Persist a machine-readable summary as `results/<name>.json`, so future
 /// sessions can track a metric across PRs without parsing tables.
+///
+/// The document is **validated before serialization**: a `NaN` or infinite
+/// number anywhere in the tree makes the emitter refuse to write (with the
+/// offending path on stderr) instead of silently laundering the value into
+/// `null`. Optional metrics must be passed through [`JsonValue::opt_num`] /
+/// [`JsonValue::opt_finite`], which encode absence as an explicit `null`.
+///
+/// ## `results/serving.json` schema
+///
+/// Written by `repro serving` and consumed by the CI `repro-smoke` job.
+/// Top-level keys (all required):
+///
+/// * `experiment` (str, `"serving"`), `dataset` (str), `seed` (int),
+///   `iters_per_run` (int), `recall_floor` (num);
+/// * `slo_p99_ms` (num) — the p99 SLO the serving-tuned run enforced;
+/// * `rates` (array of num) — offered arrival rates (requests/s), ascending;
+/// * `offline` / `serving` (obj) — one per tuning arm:
+///   `best_qps` (num|null, best QPS@recall of the tuning run),
+///   `best_config` (str|null — null when the arm found no config above
+///   the recall floor), `slo_rejections` (int, serving arm only),
+///   `measured` (array, one obj per rate: `rate`, `p50_ms`, `p99_ms`,
+///   `achieved_qps`, `shed` — latencies null when nothing completed);
+/// * `comparison` (obj): `p99_ratio_at_max_rate` (num|null,
+///   serving-tuned p99 / offline-tuned p99 at the highest rate — `< 1`
+///   means the serving-tuned config wins), `qps_ratio` (num|null,
+///   serving-tuned best QPS@recall / offline-tuned), `serving_wins_p99`
+///   (bool|null), `qps_within_10pct` (bool|null).
+///
+/// `results/topology.json` (written by `repro topology`) keeps its
+/// PR 3 schema: `experiment`, `dataset`, `fixed`, `cotuned`, `comparison`.
 pub fn emit_json(name: &str, json: &JsonValue) {
     let path = results_dir().join(format!("{name}.json"));
+    if let Err(e) = json.validate() {
+        eprintln!("error: refusing to write {}: {e}", path.display());
+        return;
+    }
     let text = format!("{}\n", json.render(0));
     if let Err(e) = fs::write(&path, text) {
         eprintln!("warning: could not write {}: {e}", path.display());
@@ -123,6 +157,51 @@ impl JsonValue {
     /// `None` renders as `null`.
     pub fn opt_num(v: Option<f64>) -> JsonValue {
         v.map_or(JsonValue::Null, JsonValue::Num)
+    }
+
+    /// A finite number, or `null` for `None`/NaN/±∞ — the explicit way to
+    /// record "this metric has no value" (e.g. a p99 of a run that
+    /// completed nothing) without tripping [`JsonValue::validate`].
+    pub fn opt_finite(v: Option<f64>) -> JsonValue {
+        match v {
+            Some(x) if x.is_finite() => JsonValue::Num(x),
+            _ => JsonValue::Null,
+        }
+    }
+
+    /// Reject non-finite numbers anywhere in the document, reporting the
+    /// JSON-pointer-style path of the first offender. [`emit_json`] calls
+    /// this before serialization so a NaN produced by an experiment fails
+    /// loudly instead of quietly becoming `null` in the artifact.
+    pub fn validate(&self) -> Result<(), String> {
+        fn walk(v: &JsonValue, path: &mut String) -> Result<(), String> {
+            match v {
+                JsonValue::Num(x) if !x.is_finite() => Err(format!(
+                    "non-finite number ({x}) at {}",
+                    if path.is_empty() { "/" } else { path.as_str() }
+                )),
+                JsonValue::Arr(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        let len = path.len();
+                        path.push_str(&format!("/{i}"));
+                        walk(item, path)?;
+                        path.truncate(len);
+                    }
+                    Ok(())
+                }
+                JsonValue::Obj(pairs) => {
+                    for (k, item) in pairs {
+                        let len = path.len();
+                        path.push_str(&format!("/{k}"));
+                        walk(item, path)?;
+                        path.truncate(len);
+                    }
+                    Ok(())
+                }
+                _ => Ok(()),
+            }
+        }
+        walk(self, &mut String::new())
     }
 
     /// Render with two-space indentation at nesting `depth`.
@@ -246,6 +325,43 @@ mod tests {
         // Balanced braces/brackets — structurally valid.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_numbers_with_path() {
+        let bad = JsonValue::obj(vec![(
+            "rows",
+            JsonValue::Arr(vec![
+                JsonValue::obj(vec![("ok", JsonValue::Num(1.0))]),
+                JsonValue::obj(vec![("p99", JsonValue::Num(f64::NAN))]),
+            ]),
+        )]);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("/rows/1/p99"), "{err}");
+        assert!(JsonValue::obj(vec![("v", JsonValue::Num(f64::INFINITY))]).validate().is_err());
+        assert!(JsonValue::obj(vec![("v", JsonValue::Num(1.5))]).validate().is_ok());
+    }
+
+    #[test]
+    fn opt_finite_nullifies_non_finite_values() {
+        assert!(matches!(JsonValue::opt_finite(Some(2.0)), JsonValue::Num(_)));
+        assert!(matches!(JsonValue::opt_finite(Some(f64::INFINITY)), JsonValue::Null));
+        assert!(matches!(JsonValue::opt_finite(Some(f64::NAN)), JsonValue::Null));
+        assert!(matches!(JsonValue::opt_finite(None), JsonValue::Null));
+        // The nullified form always survives validation.
+        assert!(JsonValue::opt_finite(Some(f64::NAN)).validate().is_ok());
+    }
+
+    #[test]
+    fn emit_json_refuses_invalid_documents() {
+        // The emitter must not write a file for a document that fails
+        // validation; use a unique name so parallel tests don't collide.
+        let name = "test_invalid_emit";
+        let path = results_dir().join(format!("{name}.json"));
+        let _ = fs::remove_file(&path);
+        emit_json(name, &JsonValue::obj(vec![("p99", JsonValue::Num(f64::NAN))]));
+        assert!(!path.exists(), "invalid document must not be written");
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

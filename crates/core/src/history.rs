@@ -138,6 +138,39 @@ impl TuningOutcome {
         (mean, var.sqrt())
     }
 
+    /// Lowest p99 serving latency among successful observations meeting
+    /// the recall floor — the serving-side headline next to
+    /// [`TuningOutcome::best_qps_with_recall`]. `None` when no successful
+    /// observation carries serving stats (offline runs).
+    pub fn best_p99_with_recall(&self, min_recall: f64) -> Option<f64> {
+        self.observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= min_recall)
+            .filter_map(|o| o.serving.map(|s| s.p99_latency_secs))
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p))))
+    }
+
+    /// Best QPS among successful observations that meet the recall floor
+    /// *and* a p99 SLO, judged post-hoc from the recorded serving stats —
+    /// for holding a run that was tuned *without* an SLO against one after
+    /// the fact. Observations without serving stats never qualify.
+    pub fn best_qps_with_recall_under_slo(&self, min_recall: f64, slo_p99: f64) -> Option<f64> {
+        self.observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= min_recall)
+            .filter(|o| o.serving.is_some_and(|s| s.p99_latency_secs <= slo_p99))
+            .map(|o| o.qps)
+            .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+    }
+
+    /// Failed observations that carry serving stats — in a serving-tuned
+    /// run these are exactly the SLO rejections (offline failures never
+    /// reach the serving phase), the analogue of the budget/space
+    /// rejection counts in the sharding/topology reports.
+    pub fn slo_rejections(&self) -> usize {
+        self.observations.iter().filter(|o| o.failed && o.serving.is_some()).count()
+    }
+
     /// Iterations needed to first reach `target_qps` under a recall floor —
     /// the tuning-efficiency metric behind Figure 7's speedup claims.
     pub fn iterations_to_reach(&self, target_qps: f64, min_recall: f64) -> Option<usize> {
@@ -177,7 +210,25 @@ mod tests {
             failed: false,
             replay_secs: 100.0,
             recommend_secs: 1.0,
+            serving: None,
         }
+    }
+
+    fn with_p99(mut o: Observation, p99: f64) -> Observation {
+        o.serving = Some(workload::ServingStats {
+            offered_qps: 100.0,
+            achieved_qps: 100.0,
+            mean_latency_secs: p99 / 2.0,
+            p50_latency_secs: p99 / 2.0,
+            p95_latency_secs: p99 * 0.9,
+            p99_latency_secs: p99,
+            max_queue_depth: 1,
+            completed: 100,
+            shed: 0,
+            timeouts: 0,
+            makespan_secs: 1.0,
+        });
+        o
     }
 
     fn outcome(data: &[(f64, f64)]) -> TuningOutcome {
@@ -243,6 +294,37 @@ mod tests {
         let out = outcome(&[(100.0, 0.5), (60.0, 0.9), (10.0, 0.99)]);
         let b = out.best_balanced().unwrap();
         assert_eq!(b.qps, 60.0);
+    }
+
+    #[test]
+    fn serving_helpers_filter_on_slo_and_recall() {
+        let mut out = outcome(&[(100.0, 0.95), (200.0, 0.95), (300.0, 0.5)]);
+        out.observations[0] = with_p99(out.observations[0].clone(), 0.010);
+        out.observations[1] = with_p99(out.observations[1].clone(), 0.040);
+        out.observations[2] = with_p99(out.observations[2].clone(), 0.001);
+        // Lowest p99 above the recall floor (the 0.001 obs misses recall).
+        assert_eq!(out.best_p99_with_recall(0.9), Some(0.010));
+        // SLO 25ms: only the 100-QPS config qualifies.
+        assert_eq!(out.best_qps_with_recall_under_slo(0.9, 0.025), Some(100.0));
+        // SLO 50ms: both qualify; best QPS wins.
+        assert_eq!(out.best_qps_with_recall_under_slo(0.9, 0.050), Some(200.0));
+        // No SLO can be met by observations without serving stats.
+        let offline = outcome(&[(100.0, 0.95)]);
+        assert_eq!(offline.best_p99_with_recall(0.0), None);
+        assert_eq!(offline.best_qps_with_recall_under_slo(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn slo_rejections_count_failed_served_observations() {
+        let mut out = outcome(&[(100.0, 0.95), (200.0, 0.95), (300.0, 0.95)]);
+        // A failed obs with serving stats = SLO rejection.
+        out.observations[1] = with_p99(out.observations[1].clone(), 0.2);
+        out.observations[1].failed = true;
+        // A failed obs without stats = offline failure (crash/OOM).
+        out.observations[2].failed = true;
+        assert_eq!(out.slo_rejections(), 1);
+        // Failed observations never win the serving headline either.
+        assert_eq!(out.best_p99_with_recall(0.0), None);
     }
 
     #[test]

@@ -489,6 +489,7 @@ impl Tuner for VdTuner {
                 failed: false,
                 replay_secs: 0.0,
                 recommend_secs: 0.0,
+                serving: None,
             });
             batch.push(cfg);
         }

@@ -51,15 +51,21 @@ pub struct QueryPerf {
 }
 
 /// The cost model; holds the workload concurrency (10 clients by default,
-/// as in §V-A).
+/// as in §V-A) and the simulated query node's core count, which caps how
+/// many worker slots the serving executor can actually run in parallel.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     pub workload_concurrency: usize,
+    /// Physical cores of one simulated query node. `maxReadConcurrency`
+    /// beyond this adds scheduling overhead instead of parallelism — the
+    /// serving-side analogue of the offline throughput law's
+    /// over-provisioning penalty.
+    pub query_node_cores: usize,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { workload_concurrency: 10 }
+        CostModel { workload_concurrency: 10, query_node_cores: 16 }
     }
 }
 
@@ -73,12 +79,55 @@ impl CostModel {
         1.0 + 0.8 * (x / 3.0) * (x / 3.0)
     }
 
+    /// Mean ingestion lag (ms) the tsafe watermark trails behind wall
+    /// clock: a fixed pipeline delay plus a buffer-proportional term
+    /// (bigger insert buffers flush less often).
+    pub fn ingest_lag_ms(sys: &SystemParams) -> f64 {
+        50.0 + 0.2 * sys.insert_buf_size_mb
+    }
+
+    /// Interval (seconds) between tsafe watermark publications. Flushes are
+    /// what advance the watermark, and bigger insert buffers fill — and
+    /// therefore flush — less often. This quantization is invisible to the
+    /// *mean-field* offline model (its stall term charges only
+    /// the average excess lag) but is exactly what creates the consistency
+    /// *tail* in the serving simulator: a query arriving right after a
+    /// publication waits a full interval longer than one arriving right
+    /// before it.
+    pub fn flush_interval_secs(sys: &SystemParams) -> f64 {
+        0.02 + 0.16 * (sys.insert_buf_size_mb / 2048.0).sqrt()
+    }
+
     /// Consistency stall per query (seconds): queries wait for the tsafe
     /// watermark to pass `now - gracefulTime`. The ingestion lag grows with
-    /// the insert buffer (bigger buffers flush less often).
+    /// the insert buffer (bigger buffers flush less often). This is the
+    /// *mean-field* form used by the offline replay; the serving simulator
+    /// resolves the same mechanism per event via
+    /// [`CostModel::consistency_wait_secs`].
     fn stall_secs(sys: &SystemParams) -> f64 {
-        let lag_ms = 50.0 + 0.2 * sys.insert_buf_size_mb;
+        let lag_ms = Self::ingest_lag_ms(sys);
         ((lag_ms - sys.graceful_time_ms).max(0.0)) / 1_000.0
+    }
+
+    /// Event-level consistency wait for a query arriving at `arrival_secs`:
+    /// the query may start once some flush published a watermark covering
+    /// `arrival - gracefulTime`, i.e. once a flush happened at or after
+    /// `arrival - gracefulTime + lag`. Flushes occur at multiples of
+    /// [`CostModel::flush_interval_secs`], so the wait depends on the
+    /// arrival's *phase* within the flush cycle — the source of the
+    /// consistency tail. Zero for every arrival once
+    /// `gracefulTime >= lag + flush_interval`; up to
+    /// `lag - gracefulTime + flush_interval` otherwise.
+    pub fn consistency_wait_secs(sys: &SystemParams, arrival_secs: f64) -> f64 {
+        let lag = Self::ingest_lag_ms(sys) / 1_000.0;
+        let graceful = sys.graceful_time_ms / 1_000.0;
+        let needed_flush = arrival_secs - graceful + lag;
+        if needed_flush <= 0.0 {
+            return 0.0;
+        }
+        let interval = Self::flush_interval_secs(sys);
+        let next_flush = (needed_flush / interval).ceil() * interval;
+        (next_flush - arrival_secs).max(0.0)
     }
 
     /// Scheduling efficiency of read concurrency: capped by the workload's
@@ -107,6 +156,42 @@ impl CostModel {
         let latency_secs = (scan_ns * chunk + graph_ns + fixed_ns) / 1e9 + Self::stall_secs(sys);
         let qps = self.parallelism(sys) / latency_secs.max(1e-9);
         QueryPerf { latency_secs, qps }
+    }
+
+    /// Inverse of [`CostModel::query_perf`]'s throughput law: the mean
+    /// per-query latency a measured QPS implies under this workload's
+    /// concurrency. Lets the serving layer recover service times from any
+    /// evaluation backend's outcome — single-node, sharded
+    /// (straggler + proxy merge already folded into the cluster's QPS) or
+    /// topology-tuned — without re-running the replay.
+    pub fn latency_from_qps(&self, qps: f64, sys: &SystemParams) -> f64 {
+        self.parallelism(sys) / qps.max(1e-9)
+    }
+
+    /// Worker slots the serving executor actually runs concurrently: the
+    /// configured `maxReadConcurrency`, capped by the node's core count.
+    pub fn serving_slots(&self, sys: &SystemParams) -> usize {
+        sys.max_read_concurrency.clamp(1, self.query_node_cores.max(1))
+    }
+
+    /// Per-query service-time inflation from over-provisioned read
+    /// concurrency: slots beyond the physical cores buy no parallelism
+    /// (see [`CostModel::serving_slots`]) but still pay context-switch and
+    /// scheduler-queue overhead on every query.
+    pub fn serving_overhead_factor(&self, sys: &SystemParams) -> f64 {
+        let over = (sys.max_read_concurrency as f64 / self.query_node_cores.max(1) as f64).max(1.0);
+        1.0 + 0.04 * (over - 1.0)
+    }
+
+    /// Base service time of one query on a worker slot, derived from a
+    /// measured QPS: the implied mean latency *minus* the mean-field
+    /// consistency stall (the serving simulator re-applies consistency per
+    /// event via [`CostModel::consistency_wait_secs`], so keeping the
+    /// stall here would double-charge it), inflated by the
+    /// over-provisioning overhead.
+    pub fn service_secs_from_qps(&self, qps: f64, sys: &SystemParams) -> f64 {
+        (self.latency_from_qps(qps, sys) - Self::stall_secs(sys)).max(1e-6)
+            * self.serving_overhead_factor(sys)
     }
 
     /// Proxy-side scatter-gather overhead per query for an `shards`-node
@@ -270,6 +355,73 @@ mod tests {
         assert_eq!(model.proxy_merge_secs(1, 100), 0.0);
         assert!(model.proxy_merge_secs(4, 100) > model.proxy_merge_secs(2, 100));
         assert!(model.proxy_merge_secs(2, 100) > model.proxy_merge_secs(2, 10));
+    }
+
+    #[test]
+    fn latency_from_qps_inverts_query_perf() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let perf = model.query_perf(&flat_cost(), &sys);
+        let back = model.latency_from_qps(perf.qps, &sys);
+        assert!((back - perf.latency_secs).abs() < 1e-12, "{back} vs {}", perf.latency_secs);
+    }
+
+    #[test]
+    fn service_secs_excludes_the_mean_field_stall() {
+        // The serving path re-applies consistency per event; the derived
+        // service time must not double-charge the offline stall.
+        let model = CostModel::default();
+        let stalled = SystemParams { graceful_time_ms: 0.0, ..Default::default() };
+        let perf = model.query_perf(&flat_cost(), &stalled);
+        let service = model.service_secs_from_qps(perf.qps, &stalled);
+        let covered = SystemParams::default();
+        let pure = model.query_perf(&flat_cost(), &covered);
+        // Both systems do the same compute; only the stall differs, and the
+        // over-provisioning factor (same concurrency) is identical.
+        let service_covered = model.service_secs_from_qps(pure.qps, &covered);
+        assert!((service - service_covered).abs() < 1e-9, "{service} vs {service_covered}");
+        assert!(service < perf.latency_secs, "stall removed from the service time");
+    }
+
+    #[test]
+    fn consistency_wait_is_phase_dependent_and_vanishes_when_covered() {
+        let sys = SystemParams { graceful_time_ms: 0.0, ..Default::default() };
+        let interval = CostModel::flush_interval_secs(&sys);
+        let lag = CostModel::ingest_lag_ms(&sys) / 1_000.0;
+        // Two arrivals a quarter-interval apart wait different amounts.
+        let w1 = CostModel::consistency_wait_secs(&sys, 10.0 * interval + 0.01);
+        let w2 = CostModel::consistency_wait_secs(&sys, 10.0 * interval + 0.01 + interval / 4.0);
+        assert!(w1 >= lag - 1e-12, "uncovered arrivals wait at least the lag");
+        assert!((w1 - w2).abs() > 1e-9, "wait depends on the flush-cycle phase");
+        // A graceful window past lag + interval covers every arrival.
+        let covered = SystemParams {
+            graceful_time_ms: CostModel::ingest_lag_ms(&sys) + 1_000.0 * interval + 1.0,
+            ..sys
+        };
+        for k in 0..7 {
+            let t = 3.0 + 0.13 * k as f64;
+            assert_eq!(CostModel::consistency_wait_secs(&covered, t), 0.0, "t={t}");
+        }
+    }
+
+    #[test]
+    fn serving_slots_cap_at_cores_with_overhead_beyond() {
+        let model = CostModel::default();
+        let base = SystemParams::default();
+        assert_eq!(model.serving_slots(&SystemParams { max_read_concurrency: 4, ..base }), 4);
+        assert_eq!(model.serving_slots(&SystemParams { max_read_concurrency: 64, ..base }), 16);
+        let at = model.serving_overhead_factor(&SystemParams { max_read_concurrency: 16, ..base });
+        let over =
+            model.serving_overhead_factor(&SystemParams { max_read_concurrency: 64, ..base });
+        assert_eq!(at, 1.0, "no penalty at or below the core count");
+        assert!(over > 1.0);
+    }
+
+    #[test]
+    fn flush_interval_grows_with_insert_buffer() {
+        let small = SystemParams { insert_buf_size_mb: 16.0, ..Default::default() };
+        let large = SystemParams { insert_buf_size_mb: 2048.0, ..Default::default() };
+        assert!(CostModel::flush_interval_secs(&large) > CostModel::flush_interval_secs(&small));
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum VdmsError {
     /// topology honest: the tuner never trains on a shape that was
     /// silently substituted by another.
     TopologyUnrealizable { requested_shards: usize, max_shards: usize },
+    /// The configuration served the workload but violated the operator's
+    /// serving-level objective: p99 latency above the SLO, or more than
+    /// the tolerated fraction of requests shed from a full queue. Like a
+    /// budget or space rejection, the config is recorded as a failed
+    /// observation — the tuner optimizes QPS@recall *subject to* the SLO.
+    SloViolation { p99_secs: f64, slo_secs: f64, shed: usize },
 }
 
 impl std::fmt::Display for VdmsError {
@@ -64,6 +70,16 @@ impl std::fmt::Display for VdmsError {
                     f,
                     "topology unrealizable: candidate requests {requested_shards} query nodes \
                      but the backend deploys at most {max_shards}"
+                )
+            }
+            VdmsError::SloViolation { p99_secs, slo_secs, shed } => {
+                // Either condition (tail or shed tolerance) can trip the
+                // SLO; state the measurements without claiming which did.
+                write!(
+                    f,
+                    "SLO violation: p99 latency {:.1} ms (SLO {:.1} ms), {shed} requests shed",
+                    p99_secs * 1_000.0,
+                    slo_secs * 1_000.0
                 )
             }
         }

@@ -27,9 +27,11 @@
 //! [`BackendInfo`] switches the evaluator's caching off.
 
 use crate::replay::{evaluate, evaluate_sharded, Outcome};
+use crate::serving::{simulate, ServingSpec};
 use crate::Workload;
 use vdms::cluster::ClusterSpec;
 use vdms::{VdmsConfig, VdmsError};
+use vecdata::rng::derive;
 
 /// Capabilities and metadata of an evaluation backend, snapshotted by the
 /// evaluator at construction.
@@ -238,8 +240,95 @@ impl EvalBackend for TopologyBackend<'_> {
                 memory_gib: 0.0,
                 simulated_secs: 0.0,
                 failure: Some(e),
+                serving: None,
             },
         }
+    }
+}
+
+/// The live-serving backend: every candidate is measured by the offline
+/// path first (QPS capacity, recall, memory — via the wrapped `inner`
+/// backend, so serving works single-node, sharded, or under topology
+/// co-tuning), then *exercised* by the discrete-event serving simulator
+/// ([`crate::serving`]): an open-loop arrival process, consistency waits
+/// gated by `gracefulTime`, a bounded queue drained by
+/// `maxReadConcurrency` worker slots.
+///
+/// The outcome keeps the inner backend's `qps`/`recall`/`memory_gib`
+/// (tuners still optimize QPS@recall; with `arrival_qps <= 0` the backend
+/// degrades to the offline semantics bit-for-bit) and attaches
+/// [`crate::serving::ServingStats`]. When the spec carries a p99 SLO,
+/// violating configs come back *failed*
+/// ([`VdmsError::SloViolation`]) — the tuner optimizes QPS@recall
+/// **subject to** the SLO, exactly like budget and space rejections.
+#[derive(Debug, Clone)]
+pub struct ServingBackend<'a, B: EvalBackend> {
+    workload: &'a Workload,
+    inner: B,
+    spec: ServingSpec,
+    /// Inner capabilities, snapshotted at construction — `evaluate` reads
+    /// `dim`/`top_k` per candidate and must not rebuild the info (and its
+    /// heap-allocated name) every time.
+    inner_info: BackendInfo,
+}
+
+impl<'a> ServingBackend<'a, SimBackend<'a>> {
+    /// Serving over the single-node simulator.
+    pub fn over_sim(workload: &'a Workload, spec: ServingSpec) -> Self {
+        ServingBackend::new(workload, SimBackend::new(workload), spec)
+    }
+}
+
+impl<'a, B: EvalBackend> ServingBackend<'a, B> {
+    /// Serving over an arbitrary inner backend. `workload` must be the
+    /// same workload `inner` measures — it supplies the cost model that
+    /// turns the inner QPS back into per-query service times.
+    pub fn new(workload: &'a Workload, inner: B, spec: ServingSpec) -> Self {
+        let inner_info = inner.info();
+        ServingBackend { workload, inner, spec, inner_info }
+    }
+
+    /// The wrapped offline backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The arrival process and SLO this backend serves under.
+    pub fn spec(&self) -> &ServingSpec {
+        &self.spec
+    }
+}
+
+impl<B: EvalBackend> EvalBackend for ServingBackend<'_, B> {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: format!("serving({} @ {:.0} qps)", self.inner_info.name, self.spec.arrival_qps),
+            ..self.inner_info.clone()
+        }
+    }
+
+    fn evaluate(&self, config: &VdmsConfig, seed: u64) -> Outcome {
+        let mut out = self.inner.evaluate(config, seed);
+        // Offline failures (crash/OOM/timeout/space) propagate untouched;
+        // a zero arrival rate means "no serving phase" and degrades to the
+        // inner backend bit-for-bit.
+        if !out.is_ok() || self.spec.arrival_qps <= 0.0 {
+            return out;
+        }
+        let sys = config.sanitized(self.inner_info.dim, self.inner_info.top_k).system;
+        let model = &self.workload.cost_model;
+        let service = model.service_secs_from_qps(out.qps, &sys);
+        let trace = simulate(model, &sys, service, &self.spec, derive(seed, 0x5E2B));
+        let stats = trace.stats(&self.spec);
+        if stats.violates_slo(&self.spec) {
+            out.failure = Some(VdmsError::SloViolation {
+                p99_secs: stats.p99_latency_secs,
+                slo_secs: self.spec.slo_p99_secs.unwrap_or(f64::INFINITY),
+                shed: stats.shed,
+            });
+        }
+        out.serving = Some(stats);
+        out
     }
 }
 
@@ -367,5 +456,66 @@ mod tests {
         assert!(one.is_ok() && four.is_ok());
         assert_eq!(one.recall.to_bits(), four.recall.to_bits(), "recall is placement-invariant");
         assert!(four.memory_gib > one.memory_gib, "per-node overhead accumulates");
+    }
+
+    #[test]
+    fn serving_backend_attaches_stats_and_keeps_offline_objectives() {
+        let w = make();
+        let offline = SimBackend::new(&w).evaluate(&VdmsConfig::default_config(), 5);
+        let spec = ServingSpec { arrival_qps: 50.0, requests: 400, ..Default::default() };
+        let b = ServingBackend::over_sim(&w, spec);
+        let served = b.evaluate(&VdmsConfig::default_config(), 5);
+        assert!(served.is_ok());
+        // The tuner-facing objectives are the offline backend's, bitwise.
+        assert_eq!(served.qps.to_bits(), offline.qps.to_bits());
+        assert_eq!(served.recall.to_bits(), offline.recall.to_bits());
+        assert_eq!(served.memory_gib.to_bits(), offline.memory_gib.to_bits());
+        let stats = served.serving.expect("serving phase ran");
+        assert_eq!(stats.completed + stats.shed, 400);
+        assert!(stats.p99_latency_secs >= stats.p50_latency_secs);
+        assert!(b.info().name.starts_with("serving(sim @"), "{}", b.info().name);
+    }
+
+    #[test]
+    fn serving_backend_at_rate_zero_is_bitwise_offline() {
+        let w = make();
+        let b = ServingBackend::over_sim(&w, ServingSpec::default().at_rate(0.0));
+        let a = b.evaluate(&VdmsConfig::default_config(), 9);
+        let o = SimBackend::new(&w).evaluate(&VdmsConfig::default_config(), 9);
+        assert_eq!(a, o, "rate 0 degrades to the offline backend");
+        assert!(a.serving.is_none());
+    }
+
+    #[test]
+    fn serving_backend_flags_slo_violations_as_failures() {
+        let w = make();
+        // An SLO below any achievable p99 (1 ns) must reject every config.
+        let spec =
+            ServingSpec { arrival_qps: 50.0, requests: 200, ..Default::default() }.with_slo(1e-9);
+        let b = ServingBackend::over_sim(&w, spec);
+        let out = b.evaluate(&VdmsConfig::default_config(), 5);
+        assert!(!out.is_ok());
+        assert!(matches!(out.failure, Some(VdmsError::SloViolation { .. })));
+        assert!(out.serving.is_some(), "violators still report how far they missed");
+    }
+
+    #[test]
+    fn serving_backend_composes_over_sharded_and_topology_backends() {
+        let w = make();
+        let spec = ServingSpec { arrival_qps: 40.0, requests: 200, ..Default::default() };
+        let sharded = ServingBackend::new(&w, ShardedSimBackend::new(&w, 2), spec);
+        let out = sharded.evaluate(&VdmsConfig::default_config(), 5);
+        assert!(out.is_ok() && out.serving.is_some());
+        let topo = ServingBackend::new(&w, TopologyBackend::new(&w, 4), spec);
+        assert_eq!(topo.info().space_dims, VdmsConfig::BASE_TUNABLES + 1);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(2);
+        let out = topo.evaluate(&cfg, 5);
+        assert!(out.is_ok() && out.serving.is_some());
+        // Inner failures propagate with no serving phase attached.
+        cfg.shards = Some(64);
+        let refused = topo.evaluate(&cfg, 5);
+        assert!(matches!(refused.failure, Some(VdmsError::TopologyUnrealizable { .. })));
+        assert!(refused.serving.is_none());
     }
 }

@@ -18,20 +18,27 @@
 //! single-node simulator; [`backend::ShardedSimBackend`] serves the same
 //! workload from a sharded multi-node cluster (`vdms::cluster`);
 //! [`backend::TopologyBackend`] deploys whatever cluster shape each
-//! candidate requests, for topology-as-a-knob tuning; a live Milvus/qdrant
-//! driver would implement the same trait.
+//! candidate requests, for topology-as-a-knob tuning;
+//! [`backend::ServingBackend`] composes over any of them and additionally
+//! *exercises* the configuration with a live open-loop serving simulation
+//! ([`serving`]) — tail latency, bounded queues, SLO-aware tuning; a live
+//! Milvus/qdrant driver would implement the same trait.
 
 pub mod backend;
 pub mod replay;
 pub mod runner;
+pub mod serving;
 pub mod tuner;
 
 #[cfg(test)]
 mod noise_tests;
 
-pub use backend::{BackendInfo, EvalBackend, ShardedSimBackend, SimBackend, TopologyBackend};
+pub use backend::{
+    BackendInfo, EvalBackend, ServingBackend, ShardedSimBackend, SimBackend, TopologyBackend,
+};
 pub use replay::{evaluate, evaluate_sharded, Outcome};
 pub use runner::{Evaluator, Observation};
+pub use serving::{ServingSpec, ServingStats, ServingTrace};
 pub use tuner::{run_tuner, run_tuner_batched, Tuner};
 
 use vdms::cost_model::CostModel;

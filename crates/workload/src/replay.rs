@@ -55,6 +55,10 @@ pub struct Outcome {
     /// Set when the evaluation failed (crash / timeout / OOM). The caller
     /// substitutes worst-in-history feedback per §V-A.
     pub failure: Option<VdmsError>,
+    /// Serving-level metrics when the evaluation ran under the live
+    /// serving simulator ([`crate::ServingBackend`]); `None` for offline
+    /// replays.
+    pub serving: Option<crate::serving::ServingStats>,
 }
 
 impl Outcome {
@@ -149,6 +153,7 @@ fn load_failure_outcome(e: VdmsError) -> Outcome {
         memory_gib: 0.0,
         simulated_secs: REPLAY_TIME_CAP_SECS * 0.25,
         failure: Some(e),
+        serving: None,
     }
 }
 
@@ -194,6 +199,7 @@ fn finish(
         // A timed-out run is cut off at the cap (the driver kills it).
         simulated_secs: simulated_secs.min(REPLAY_TIME_CAP_SECS),
         failure,
+        serving: None,
     }
 }
 
@@ -272,6 +278,7 @@ mod tests {
             memory_gib: 4.0,
             simulated_secs: 1.0,
             failure: None,
+            serving: None,
         };
         assert!((o.cost_effectiveness() - 25.0).abs() < 1e-9);
     }

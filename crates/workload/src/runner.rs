@@ -35,6 +35,11 @@ pub struct Observation {
     /// Wall-clock seconds the tuner spent deciding on this configuration
     /// (recorded by the driver around `propose`).
     pub recommend_secs: f64,
+    /// Serving-level metrics (tail latency, queue depth, sheds) when the
+    /// evaluation ran under the live serving simulator; `None` for offline
+    /// replays. Present even for SLO-violating (failed) observations, so
+    /// reports can show *how far* a rejected config missed the objective.
+    pub serving: Option<crate::serving::ServingStats>,
 }
 
 impl Observation {
@@ -89,6 +94,7 @@ fn space_mismatch_outcome(cfg: &VdmsConfig, backend_dims: usize) -> Option<Outco
         memory_gib: 0.0,
         simulated_secs: 0.0,
         failure: Some(VdmsError::SpaceMismatch { config_dims, backend_dims }),
+        serving: None,
     })
 }
 
@@ -221,6 +227,7 @@ impl<B: EvalBackend> Evaluator<B> {
             failed,
             replay_secs: outcome.simulated_secs,
             recommend_secs,
+            serving: outcome.serving,
         };
         self.total_replay_secs += outcome.simulated_secs;
         self.total_recommend_secs += recommend_secs;

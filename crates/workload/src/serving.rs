@@ -1,0 +1,515 @@
+//! A deterministic discrete-event *serving* simulator: the live-traffic
+//! counterpart to the offline batch replay.
+//!
+//! Every evaluation so far replays the workload as a closed batch and
+//! derives QPS analytically — `maxReadConcurrency` and `gracefulTime` are
+//! *costed*, never *exercised*, so tail latency (the metric production
+//! VDBMSs are provisioned for) is invisible to the tuner. This module
+//! simulates the system serving an **open-loop** arrival process instead:
+//!
+//! * a seeded arrival process ([`ServingSpec::arrival_qps`], hyperexponential
+//!   burstiness via [`ServingSpec::burstiness`]) generates request arrivals;
+//! * arrivals wait for *consistency* — a query may start only once a flush
+//!   has published a tsafe watermark covering `arrival - gracefulTime`
+//!   ([`vdms::CostModel::consistency_wait_secs`]); this is where
+//!   `gracefulTime` finally becomes load-bearing, and the flush-cycle phase
+//!   dependence is what creates its latency *tail*;
+//! * eligible requests queue (bounded — overflow is **shed**) for one of
+//!   [`vdms::CostModel::serving_slots`] worker slots (`maxReadConcurrency`
+//!   capped by the node's cores, over-provisioning paying a scheduling
+//!   penalty);
+//! * per-query service times come from the cost model's measured QPS
+//!   ([`vdms::CostModel::service_secs_from_qps`] — the straggler and
+//!   proxy-merge terms of the cluster path are already folded into a
+//!   sharded backend's QPS) with deterministic per-query jitter.
+//!
+//! **Determinism is the contract**: every random draw is a pure function of
+//! `(seed, query index)`, the parallel service-time precomputation uses an
+//! order-stable collect, and the event loop itself is serial — so the same
+//! seed yields a bit-identical [`ServingTrace`] no matter how many rayon
+//! worker threads execute the simulation (`tests/serving.rs` proves 1 vs N
+//! thread invariance by property).
+
+use rayon::prelude::*;
+use std::collections::BinaryHeap;
+use vdms::cost_model::CostModel;
+use vdms::system_params::SystemParams;
+
+/// The open-loop arrival process and serving-level objectives of one
+/// simulation run. `Copy` so backends can embed it freely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingSpec {
+    /// Mean request arrival rate (requests/second). `<= 0` disables the
+    /// simulation entirely: the backend degrades to pure offline semantics.
+    pub arrival_qps: f64,
+    /// Arrival burstiness `>= 0`: inter-arrival gaps are exponential draws
+    /// scaled by a two-point mixture with mean 1 — half the gaps shrink by
+    /// `1/(1+b)`, half stretch by `2 - 1/(1+b)` — so the mean rate is
+    /// preserved while the squared coefficient of variation grows with
+    /// `b`. `0.0` is a plain Poisson process.
+    pub burstiness: f64,
+    /// Number of requests to simulate.
+    pub requests: usize,
+    /// Bound of the scheduler queue (requests waiting for a slot, not
+    /// counting those in service). An arrival that finds the queue full is
+    /// shed — counted, never served.
+    pub queue_capacity: usize,
+    /// Latency above which a completed request counts as a timeout.
+    pub timeout_secs: f64,
+    /// Optional p99 service-level objective. When set, the serving backend
+    /// records configs whose p99 exceeds it — or that shed more than
+    /// [`ServingSpec::max_shed_fraction`] of requests — as *failed*
+    /// observations ([`vdms::VdmsError::SloViolation`]).
+    pub slo_p99_secs: Option<f64>,
+    /// Largest tolerable shed fraction before the SLO counts as violated.
+    pub max_shed_fraction: f64,
+}
+
+impl Default for ServingSpec {
+    fn default() -> Self {
+        ServingSpec {
+            arrival_qps: 500.0,
+            burstiness: 0.5,
+            requests: 2_000,
+            queue_capacity: 256,
+            timeout_secs: 1.0,
+            slo_p99_secs: None,
+            max_shed_fraction: 0.01,
+        }
+    }
+}
+
+impl ServingSpec {
+    /// This spec at a different arrival rate.
+    pub fn at_rate(self, arrival_qps: f64) -> ServingSpec {
+        ServingSpec { arrival_qps, ..self }
+    }
+
+    /// This spec with a p99 SLO (seconds).
+    pub fn with_slo(self, slo_p99_secs: f64) -> ServingSpec {
+        ServingSpec { slo_p99_secs: Some(slo_p99_secs), ..self }
+    }
+}
+
+/// One request's life in the event trace. Times are simulated seconds from
+/// the start of the run; a shed request records only its arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEvent {
+    /// Arrival time of the request.
+    pub arrival_secs: f64,
+    /// Consistency wait before the request became eligible for a slot.
+    pub consistency_wait_secs: f64,
+    /// Time spent executing on a worker slot (0 when shed).
+    pub service_secs: f64,
+    /// Completion time (equals `arrival_secs` when shed).
+    pub finish_secs: f64,
+    /// True when the bounded queue rejected this arrival.
+    pub shed: bool,
+}
+
+impl QueryEvent {
+    /// End-to-end latency: consistency wait + queue wait + service.
+    pub fn latency_secs(&self) -> f64 {
+        self.finish_secs - self.arrival_secs
+    }
+}
+
+/// The full event trace of one simulation — the bit-identical artifact the
+/// determinism contract is stated over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingTrace {
+    /// Per-request events, in arrival order.
+    pub events: Vec<QueryEvent>,
+    /// Worker slots the executor ran (`maxReadConcurrency` capped by
+    /// cores).
+    pub slots: usize,
+    /// Largest scheduler-queue depth observed at any arrival.
+    pub max_queue_depth: usize,
+}
+
+/// Aggregate serving metrics of one trace — what the tuner and the reports
+/// consume. `Copy` so it can ride inside every `Outcome`/`Observation`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingStats {
+    /// Offered load: the spec's mean arrival rate.
+    pub offered_qps: f64,
+    /// Completed requests divided by the makespan.
+    pub achieved_qps: f64,
+    /// Mean end-to-end latency over completed requests.
+    pub mean_latency_secs: f64,
+    /// Median end-to-end latency.
+    pub p50_latency_secs: f64,
+    /// 95th-percentile latency.
+    pub p95_latency_secs: f64,
+    /// 99th-percentile latency — the SLO metric.
+    pub p99_latency_secs: f64,
+    /// Largest scheduler-queue depth observed.
+    pub max_queue_depth: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests rejected by the bounded queue.
+    pub shed: usize,
+    /// Completed requests whose latency exceeded the timeout.
+    pub timeouts: usize,
+    /// Simulated wall time from the first arrival to the last completion.
+    pub makespan_secs: f64,
+}
+
+impl ServingStats {
+    /// Fraction of offered requests that were shed.
+    pub fn shed_fraction(&self) -> f64 {
+        self.shed as f64 / (self.completed + self.shed).max(1) as f64
+    }
+
+    /// Whether these stats violate `spec`'s SLO (when one is set).
+    pub fn violates_slo(&self, spec: &ServingSpec) -> bool {
+        match spec.slo_p99_secs {
+            Some(slo) => {
+                self.p99_latency_secs > slo || self.shed_fraction() > spec.max_shed_fraction
+            }
+            None => false,
+        }
+    }
+}
+
+/// SplitMix64 finalizer over `(seed, stream, index)` — every per-query
+/// draw routes through this, which is what makes each draw a pure function
+/// of its index (and the precomputation thread-count invariant).
+fn mix(seed: u64, stream: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD2B7_4407_B1CE_6E93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `(0, 1]` from 53 high bits (never exactly zero, so
+/// `ln` stays finite).
+fn unit(bits: u64) -> f64 {
+    (((bits >> 11) + 1) as f64) / (1u64 << 53) as f64
+}
+
+const STREAM_ARRIVAL: u64 = 0x5E21;
+const STREAM_BURST: u64 = 0x5E22;
+const STREAM_JITTER: u64 = 0x5E23;
+
+/// Inter-arrival gap before query `i`: an exponential draw at the mean
+/// rate, scaled by the two-point burstiness mixture (mean exactly 1).
+fn interarrival_secs(spec: &ServingSpec, seed: u64, i: u64) -> f64 {
+    let exp = -unit(mix(seed, STREAM_ARRIVAL, i)).ln() / spec.arrival_qps.max(1e-9);
+    let b = spec.burstiness.max(0.0);
+    let tight = 1.0 / (1.0 + b);
+    let scale = if mix(seed, STREAM_BURST, i) & 1 == 0 { tight } else { 2.0 - tight };
+    exp * scale
+}
+
+/// Per-query service-time jitter: lognormal around 1, clamped — stragglers
+/// exist even without queueing, so p99 > p50 at idle.
+fn service_jitter(seed: u64, i: u64) -> f64 {
+    let u1 = unit(mix(seed, STREAM_JITTER, i));
+    let u2 = unit(mix(seed, STREAM_JITTER, i ^ 0x8000_0000_0000_0000));
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (0.25 * z).exp().clamp(0.5, 3.0)
+}
+
+/// Run the serving simulation: `base_service_secs` is the per-query service
+/// time the cost model derived for this configuration
+/// ([`vdms::CostModel::service_secs_from_qps`]); arrivals, consistency
+/// waits, bounded queueing and slot scheduling happen here.
+///
+/// The per-query draws are precomputed with a parallel, order-stable map
+/// (pure functions of the query index); the event loop that threads queue
+/// and slot state is serial. Same `(spec, seed)` ⇒ bit-identical trace on
+/// any thread count.
+pub fn simulate(
+    model: &CostModel,
+    sys: &SystemParams,
+    base_service_secs: f64,
+    spec: &ServingSpec,
+    seed: u64,
+) -> ServingTrace {
+    let slots = model.serving_slots(sys);
+    let n = spec.requests;
+    if n == 0 || spec.arrival_qps <= 0.0 {
+        return ServingTrace { events: Vec::new(), slots, max_queue_depth: 0 };
+    }
+
+    // Parallel fan-out: each draw is a pure function of its index, and the
+    // shim's collect preserves input order, so this is thread-invariant.
+    let draws: Vec<(f64, f64)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let i = i as u64;
+            (interarrival_secs(spec, seed, i), base_service_secs * service_jitter(seed, i))
+        })
+        .collect();
+
+    // Serial event loop: queue + slot state threads through in arrival
+    // order. Slot free times and pending start times live in binary heaps
+    // keyed by `f64::to_bits` — monotone for the non-negative times the
+    // simulation produces, so the cheapest u64 ordering is the time
+    // ordering.
+    let mut slot_free: BinaryHeap<std::cmp::Reverse<u64>> =
+        (0..slots).map(|_| std::cmp::Reverse(0u64)).collect();
+    let mut waiting: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    let mut events = Vec::with_capacity(n);
+    let mut max_queue_depth = 0usize;
+    let mut clock = 0.0f64;
+    for &(gap, service) in &draws {
+        clock += gap;
+        let arrival = clock;
+
+        // Requests admitted earlier whose service has started by now have
+        // left the scheduler queue.
+        while let Some(&std::cmp::Reverse(bits)) = waiting.peek() {
+            if f64::from_bits(bits) <= arrival {
+                waiting.pop();
+            } else {
+                break;
+            }
+        }
+        max_queue_depth = max_queue_depth.max(waiting.len());
+        if waiting.len() >= spec.queue_capacity {
+            events.push(QueryEvent {
+                arrival_secs: arrival,
+                consistency_wait_secs: 0.0,
+                service_secs: 0.0,
+                finish_secs: arrival,
+                shed: true,
+            });
+            continue;
+        }
+
+        let consistency = CostModel::consistency_wait_secs(sys, arrival);
+        let eligible = arrival + consistency;
+        let std::cmp::Reverse(free_bits) = slot_free.pop().expect("slots >= 1 by construction");
+        let start = eligible.max(f64::from_bits(free_bits));
+        let finish = start + service;
+        slot_free.push(std::cmp::Reverse(finish.to_bits()));
+        waiting.push(std::cmp::Reverse(start.to_bits()));
+        events.push(QueryEvent {
+            arrival_secs: arrival,
+            consistency_wait_secs: consistency,
+            service_secs: service,
+            finish_secs: finish,
+            shed: false,
+        });
+    }
+
+    ServingTrace { events, slots, max_queue_depth }
+}
+
+/// `sorted[q]`-style percentile over an ascending slice (nearest-rank);
+/// empty input yields `INFINITY` so an SLO can never be "satisfied" by a
+/// run that completed nothing.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::INFINITY;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServingTrace {
+    /// Aggregate the trace into [`ServingStats`].
+    pub fn stats(&self, spec: &ServingSpec) -> ServingStats {
+        let mut latencies: Vec<f64> =
+            self.events.iter().filter(|e| !e.shed).map(|e| e.latency_secs()).collect();
+        latencies.sort_by(f64::total_cmp);
+        let completed = latencies.len();
+        let shed = self.events.len() - completed;
+        let timeouts = latencies.iter().filter(|&&l| l > spec.timeout_secs).count();
+        // The measurement window runs from the first arrival to the last
+        // completion, so a long idle lead-in (low rates, few requests)
+        // does not deflate the achieved throughput.
+        let first_arrival = self.events.first().map_or(0.0, |e| e.arrival_secs);
+        let last_finish = self.events.iter().map(|e| e.finish_secs).fold(0.0f64, f64::max);
+        let makespan = (last_finish - first_arrival).max(0.0);
+        let mean = if completed == 0 {
+            f64::INFINITY
+        } else {
+            latencies.iter().sum::<f64>() / completed as f64
+        };
+        ServingStats {
+            offered_qps: spec.arrival_qps,
+            achieved_qps: completed as f64 / makespan.max(1e-9),
+            mean_latency_secs: mean,
+            p50_latency_secs: percentile(&latencies, 0.50),
+            p95_latency_secs: percentile(&latencies, 0.95),
+            p99_latency_secs: percentile(&latencies, 0.99),
+            max_queue_depth: self.max_queue_depth,
+            completed,
+            shed,
+            timeouts,
+            makespan_secs: makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: f64) -> ServingSpec {
+        ServingSpec { arrival_qps: rate, requests: 800, ..Default::default() }
+    }
+
+    fn sim(rate: f64, sys: &SystemParams) -> ServingStats {
+        let model = CostModel::default();
+        let s = spec(rate);
+        simulate(&model, sys, 0.004, &s, 7).stats(&s)
+    }
+
+    #[test]
+    fn idle_system_has_no_queueing() {
+        let sys = SystemParams::default();
+        let stats = sim(5.0, &sys);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.completed, 800);
+        assert_eq!(stats.max_queue_depth, 0, "arrivals far apart never queue");
+        // Latency is just service + jitter: p50 near the base service time.
+        assert!(stats.p50_latency_secs < 0.004 * 1.5, "{}", stats.p50_latency_secs);
+        assert!(stats.p99_latency_secs >= stats.p50_latency_secs);
+    }
+
+    #[test]
+    fn overload_sheds_and_bounds_the_queue() {
+        let sys = SystemParams { max_read_concurrency: 1, ..Default::default() };
+        let model = CostModel::default();
+        // Service 10 ms on one slot = 100 QPS capacity; offer 5000 QPS.
+        let s = ServingSpec {
+            arrival_qps: 5_000.0,
+            requests: 2_000,
+            queue_capacity: 16,
+            ..Default::default()
+        };
+        let trace = simulate(&model, &sys, 0.010, &s, 3);
+        let stats = trace.stats(&s);
+        assert!(stats.shed > 0, "overload must shed");
+        assert!(stats.max_queue_depth <= 16, "queue bound respected");
+        assert!(stats.achieved_qps < 150.0, "one 10ms slot serves ~100 QPS");
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let sys = SystemParams::default();
+        let model = CostModel::default();
+        let s = spec(800.0);
+        let a = simulate(&model, &sys, 0.004, &s, 11);
+        let b = simulate(&model, &sys, 0.004, &s, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, simulate(&model, &sys, 0.004, &s, 12), "seed matters");
+    }
+
+    #[test]
+    fn more_slots_cut_tail_latency_under_load() {
+        let narrow = SystemParams { max_read_concurrency: 2, ..Default::default() };
+        let wide = SystemParams { max_read_concurrency: 16, ..Default::default() };
+        let loaded = sim(900.0, &narrow);
+        let relieved = sim(900.0, &wide);
+        assert!(
+            relieved.p99_latency_secs < loaded.p99_latency_secs,
+            "16 slots must beat 2 under load: {} vs {}",
+            relieved.p99_latency_secs,
+            loaded.p99_latency_secs
+        );
+    }
+
+    #[test]
+    fn over_provisioned_slots_pay_overhead_not_parallelism() {
+        let model = CostModel::default();
+        let at_cores = SystemParams { max_read_concurrency: 16, ..Default::default() };
+        let over = SystemParams { max_read_concurrency: 64, ..Default::default() };
+        assert_eq!(model.serving_slots(&at_cores), 16);
+        assert_eq!(model.serving_slots(&over), 16, "slots cap at the node's cores");
+        assert!(model.serving_overhead_factor(&over) > model.serving_overhead_factor(&at_cores));
+    }
+
+    #[test]
+    fn graceful_time_shapes_the_consistency_tail() {
+        // gracefulTime below the ingestion lag: every query waits, and the
+        // flush-cycle phase spreads the waits into a tail.
+        let stalled = SystemParams { graceful_time_ms: 0.0, ..Default::default() };
+        let covered = SystemParams::default(); // graceful 5000ms >> lag
+        let with_stall = sim(200.0, &stalled);
+        let without = sim(200.0, &covered);
+        assert!(
+            with_stall.p99_latency_secs > without.p99_latency_secs + 0.05,
+            "gracefulTime=0 must add ~lag to the tail: {} vs {}",
+            with_stall.p99_latency_secs,
+            without.p99_latency_secs
+        );
+        // The wait is phase-dependent, not constant: p99 strictly above p50
+        // by more than the service-jitter spread alone.
+        let spread_stalled = with_stall.p99_latency_secs - with_stall.p50_latency_secs;
+        let spread_covered = without.p99_latency_secs - without.p50_latency_secs;
+        assert!(spread_stalled > spread_covered, "{spread_stalled} vs {spread_covered}");
+    }
+
+    #[test]
+    fn burstiness_inflates_the_tail_at_fixed_mean_rate() {
+        let sys = SystemParams { max_read_concurrency: 4, ..Default::default() };
+        let model = CostModel::default();
+        let smooth = ServingSpec {
+            arrival_qps: 700.0,
+            burstiness: 0.0,
+            requests: 2_000,
+            ..Default::default()
+        };
+        let bursty = ServingSpec { burstiness: 3.0, ..smooth };
+        let a = simulate(&model, &sys, 0.004, &smooth, 5).stats(&smooth);
+        let b = simulate(&model, &sys, 0.004, &bursty, 5).stats(&bursty);
+        assert!(
+            b.p99_latency_secs > a.p99_latency_secs,
+            "bursts queue deeper: {} vs {}",
+            b.p99_latency_secs,
+            a.p99_latency_secs
+        );
+    }
+
+    #[test]
+    fn empty_run_yields_infinite_percentiles() {
+        let sys = SystemParams::default();
+        let model = CostModel::default();
+        let s = ServingSpec { requests: 0, ..Default::default() };
+        let stats = simulate(&model, &sys, 0.004, &s, 1).stats(&s);
+        assert_eq!(stats.completed, 0);
+        assert!(stats.p99_latency_secs.is_infinite(), "no completions can satisfy an SLO");
+        assert!(stats.violates_slo(&s.with_slo(10.0)));
+    }
+
+    #[test]
+    fn timeouts_count_slow_completions() {
+        let sys = SystemParams { max_read_concurrency: 1, ..Default::default() };
+        let model = CostModel::default();
+        let s = ServingSpec {
+            arrival_qps: 400.0,
+            requests: 500,
+            timeout_secs: 0.02,
+            queue_capacity: 10_000,
+            ..Default::default()
+        };
+        let stats = simulate(&model, &sys, 0.010, &s, 9).stats(&s);
+        assert!(stats.timeouts > 0, "queueing at 4x capacity must blow a 20ms timeout");
+        assert!(stats.timeouts <= stats.completed);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert!(percentile(&[], 0.5).is_infinite());
+    }
+
+    #[test]
+    fn burstiness_mixture_preserves_the_mean_rate() {
+        let s = ServingSpec { arrival_qps: 1_000.0, burstiness: 2.0, ..Default::default() };
+        let n = 200_000u64;
+        let total: f64 = (0..n).map(|i| interarrival_secs(&s, 42, i)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.001).abs() < 5e-5, "mean gap {mean} should be ~1ms");
+    }
+}

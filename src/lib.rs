@@ -12,7 +12,9 @@
 //!   including the sharded multi-node serving layer (`vdms::cluster`),
 //! * [`workload`] — the vector-db-benchmark-style replay harness and the
 //!   evaluation-backend seam (`EvalBackend`: single-node `SimBackend`,
-//!   multi-node `ShardedSimBackend`),
+//!   multi-node `ShardedSimBackend`, topology-tuning `TopologyBackend`,
+//!   and the live-traffic `ServingBackend` over the discrete-event
+//!   serving simulator in `workload::serving`),
 //! * [`gp`] — Gaussian-process regression,
 //! * [`mobo`] — multi-objective Bayesian-optimization building blocks,
 //! * [`core`] (package `vdtuner-core`) — the VDTuner algorithm itself,
@@ -47,5 +49,8 @@ pub mod prelude {
     pub use vdms::cluster::ClusterSpec;
     pub use vdms::config::VdmsConfig;
     pub use vecdata::{Dataset, DatasetKind, DatasetSpec};
-    pub use workload::{EvalBackend, ShardedSimBackend, SimBackend, TopologyBackend, Workload};
+    pub use workload::{
+        EvalBackend, ServingBackend, ServingSpec, ServingStats, ShardedSimBackend, SimBackend,
+        TopologyBackend, Workload,
+    };
 }

@@ -1,0 +1,237 @@
+//! The serving simulator's contracts, stated across crates:
+//!
+//! * the event loop is deterministic — same seed ⇒ bit-identical trace on
+//!   1 vs N rayon worker threads (by property),
+//! * `ServingBackend` with `arrival_qps → 0` degrades to the wrapped
+//!   offline backend's QPS/recall,
+//! * `gracefulTime` is finally load-bearing: the knob moves serving p99 in
+//!   a regime where the offline mean-field model attributes *exactly zero*
+//!   to it (the SHAP contrast the motivation figure needs).
+
+use proptest::prelude::*;
+use vdtuner::core::shap::shapley_attribution;
+use vdtuner::core::{TunerOptions, VdTuner};
+use vdtuner::prelude::*;
+use vdtuner::vdms::cost_model::CostModel;
+use vdtuner::vdms::system_params::SystemParams;
+use vdtuner::workload::serving::simulate;
+use vdtuner::workload::{Evaluator, ServingBackend, ServingSpec, SimBackend};
+
+fn tiny_workload() -> Workload {
+    Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10)
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ bit-identical event trace no matter how many worker
+    /// threads execute the simulation: every draw is a pure function of
+    /// the query index and the event loop is serial.
+    #[test]
+    fn serving_trace_is_thread_count_invariant(
+        rate in 50.0f64..2_000.0,
+        burst in 0.0f64..3.0,
+        graceful in 0.0f64..5_000.0,
+        buf in 16.0f64..2_048.0,
+        conc in 1usize..64,
+        service_ms in 0.5f64..20.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let model = CostModel::default();
+        let sys = SystemParams {
+            graceful_time_ms: graceful,
+            insert_buf_size_mb: buf,
+            max_read_concurrency: conc,
+            ..Default::default()
+        };
+        let spec = ServingSpec { arrival_qps: rate, burstiness: burst, requests: 300, ..Default::default() };
+        let service = service_ms / 1_000.0;
+        let serial = with_threads(1, || simulate(&model, &sys, service, &spec, seed));
+        let parallel = with_threads(4, || simulate(&model, &sys, service, &spec, seed));
+        prop_assert_eq!(&serial, &parallel);
+        // Bit-level, not just PartialEq: fingerprint the latency trace.
+        let bits = |t: &vdtuner::workload::ServingTrace| -> Vec<u64> {
+            t.events.iter().map(|e| e.latency_secs().to_bits()).collect()
+        };
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    /// The tuner-facing objectives of a served evaluation are the wrapped
+    /// offline backend's, bit for bit — at any arrival rate, for any seed.
+    #[test]
+    fn served_objectives_equal_offline_objectives(
+        rate in 0.0f64..200.0,
+        seed in 0u64..1_000,
+    ) {
+        let w = tiny_workload();
+        let spec = ServingSpec { arrival_qps: rate, requests: 150, ..Default::default() };
+        let served = ServingBackend::over_sim(&w, spec).evaluate(&VdmsConfig::default_config(), seed);
+        let offline = SimBackend::new(&w).evaluate(&VdmsConfig::default_config(), seed);
+        prop_assert_eq!(served.qps.to_bits(), offline.qps.to_bits());
+        prop_assert_eq!(served.recall.to_bits(), offline.recall.to_bits());
+        prop_assert_eq!(served.memory_gib.to_bits(), offline.memory_gib.to_bits());
+    }
+}
+
+#[test]
+fn rate_zero_serving_backend_is_bitwise_the_offline_backend() {
+    let w = tiny_workload();
+    let b = ServingBackend::over_sim(&w, ServingSpec::default().at_rate(0.0));
+    for seed in [0u64, 7, 99] {
+        let served = b.evaluate(&VdmsConfig::default_config(), seed);
+        let offline = SimBackend::new(&w).evaluate(&VdmsConfig::default_config(), seed);
+        assert_eq!(served, offline, "rate 0 must disable the serving phase entirely");
+    }
+}
+
+/// Regression for the dead knob: `graceful_time_ms` is clamped and encoded
+/// but — before the serving simulator — never moved any evaluated metric
+/// once it exceeded the ingestion lag. Under serving it must move p99.
+#[test]
+fn graceful_time_moves_serving_p99() {
+    let model = CostModel::default();
+    let spec = ServingSpec { arrival_qps: 300.0, requests: 1_500, ..Default::default() };
+    let p99_at = |graceful_ms: f64| {
+        let sys = SystemParams { graceful_time_ms: graceful_ms, ..Default::default() };
+        simulate(&model, &sys, 0.004, &spec, 17).stats(&spec).p99_latency_secs
+    };
+    // Default buffer: ingestion lag ≈ 101 ms, flush interval ≈ 77 ms.
+    let covered = p99_at(5_000.0); // watermark always old enough: no waits
+    let inside_window = p99_at(120.0); // offline stall = 0, serving tail > 0
+    let stalled = p99_at(0.0); // every query waits ≈ the full lag
+    assert!(
+        inside_window > covered + 0.010,
+        "graceful inside the staleness window must add tail latency: {inside_window} vs {covered}"
+    );
+    assert!(stalled > inside_window, "smaller graceful waits longer: {stalled}");
+
+    // The offline mean-field stall is *identical* (zero) for 120 ms and
+    // 5000 ms — exactly the blindness the serving path fixes.
+    let sys_a = SystemParams { graceful_time_ms: 120.0, ..Default::default() };
+    let sys_b = SystemParams { graceful_time_ms: 5_000.0, ..Default::default() };
+    let cost = anns::SearchCost {
+        f32_dims: 8_000 * 48,
+        heap_pushes: 8_000,
+        segments: 1,
+        ..Default::default()
+    };
+    let off_a = model.query_perf(&cost, &sys_a).latency_secs;
+    let off_b = model.query_perf(&cost, &sys_b).latency_secs;
+    assert_eq!(off_a.to_bits(), off_b.to_bits(), "offline model cannot tell them apart");
+}
+
+/// SHAP attribution contrast: explained by the *offline* latency model,
+/// `gracefulTime` gets exactly zero credit in the covered regime; explained
+/// by serving p99, it dominates.
+#[test]
+fn shap_attributes_serving_p99_to_graceful_time() {
+    let model = CostModel::default();
+    let spec = ServingSpec { arrival_qps: 300.0, requests: 800, ..Default::default() };
+    let cost = anns::SearchCost {
+        f32_dims: 2_000 * 48,
+        heap_pushes: 2_000,
+        segments: 1,
+        ..Default::default()
+    };
+    // Target and baseline differ ONLY in gracefulTime, both above the
+    // ingestion lag (~101 ms) — the offline-invisible zone.
+    let mut target = VdmsConfig::default_config();
+    target.system.graceful_time_ms = 120.0;
+    let baseline = VdmsConfig::default_config(); // graceful 5000 ms
+
+    let offline_attr = shapley_attribution(
+        |c| model.query_perf(&cost, &c.system).latency_secs,
+        &target,
+        &baseline,
+        2,
+        5,
+    );
+    let serving_attr = shapley_attribution(
+        |c| simulate(&model, &c.system, 0.004, &spec, 17).stats(&spec).p99_latency_secs,
+        &target,
+        &baseline,
+        2,
+        5,
+    );
+    let graceful = |attr: &vdtuner::core::shap::Attribution| {
+        attr.contributions
+            .iter()
+            .find(|(name, _)| *name == "gracefulTime")
+            .map(|(_, v)| *v)
+            .expect("gracefulTime dimension exists")
+    };
+    assert_eq!(graceful(&offline_attr), 0.0, "offline model: exactly zero attribution");
+    assert!(
+        graceful(&serving_attr).abs() > 0.001,
+        "serving p99 attribution must be visibly nonzero: {}",
+        graceful(&serving_attr)
+    );
+    // And it is the *dominant* dimension — nothing else differs.
+    assert_eq!(serving_attr.ranked()[0].0, "gracefulTime");
+}
+
+/// Full-pipeline smoke: VDTuner drives an SLO-constrained serving backend;
+/// violations surface as failed observations with stats attached, and the
+/// run still finds feasible configurations.
+#[test]
+fn slo_constrained_tuning_records_rejections_as_failures() {
+    let w = tiny_workload();
+    // Tiny-workload service times are sub-millisecond; a 2 ms SLO at a
+    // rate near capacity rejects slow configs but admits fast ones.
+    let spec =
+        ServingSpec { arrival_qps: 500.0, requests: 600, ..Default::default() }.with_slo(0.002);
+    let backend = ServingBackend::over_sim(&w, spec);
+    let mut tuner = VdTuner::new(
+        TunerOptions {
+            mc_samples: 8,
+            candidates: vdtuner::mobo::optimize::CandidateOptions {
+                n_lhs: 8,
+                n_uniform: 4,
+                n_local_per_incumbent: 2,
+                local_sigma: 0.1,
+            },
+            ..Default::default()
+        },
+        3,
+    );
+    let out = tuner.run_on(backend, 10);
+    assert_eq!(out.observations.len(), 10);
+    assert!(
+        out.observations.iter().any(|o| !o.failed && o.serving.is_some()),
+        "some config must satisfy the SLO"
+    );
+    // Every successful observation satisfied the SLO at evaluation time.
+    for o in out.observations.iter().filter(|o| !o.failed) {
+        let s = o.serving.expect("served evaluations carry stats");
+        assert!(s.p99_latency_secs <= 0.002, "recorded p99 {} breaks the SLO", s.p99_latency_secs);
+    }
+    assert_eq!(
+        out.slo_rejections(),
+        out.observations.iter().filter(|o| o.failed && o.serving.is_some()).count()
+    );
+    // The SLO-aware headline metrics are consistent with the history.
+    if let Some(p99) = out.best_p99_with_recall(0.0) {
+        assert!(p99 <= 0.002);
+    }
+}
+
+/// Serving composes with topology co-tuning: a 17-dim candidate deploys
+/// its own cluster *and* is exercised by the serving simulator.
+#[test]
+fn serving_over_topology_backend_supports_co_tuning() {
+    let w = tiny_workload();
+    let spec = ServingSpec { arrival_qps: 100.0, requests: 200, ..Default::default() };
+    let inner = TopologyBackend::new(&w, 4);
+    let backend = ServingBackend::new(&w, inner, spec);
+    let mut ev = Evaluator::with_backend(backend, 1);
+    assert_eq!(ev.info().space_dims, VdmsConfig::BASE_TUNABLES + 1);
+    let mut cfg = VdmsConfig::default_config();
+    cfg.shards = Some(2);
+    let obs = ev.observe(&cfg, 0.0);
+    assert!(!obs.failed);
+    assert!(obs.serving.is_some(), "sharded serving still records stats");
+}
