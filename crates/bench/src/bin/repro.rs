@@ -8,9 +8,10 @@
 //! ```
 //!
 //! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 table5 table6 scale sharding topology serving. Output goes
-//! to stdout and to `results/*.csv` (plus `results/topology.json` and
-//! `results/serving.json` machine-readable summaries).
+//! fig12 fig13 table5 table6 scale sharding topology serving replication.
+//! Output goes to stdout and to `results/*.csv` (plus
+//! `results/topology.json`, `results/serving.json` and
+//! `results/replication.json` machine-readable summaries).
 
 use bench::{experiments, Profile};
 
@@ -51,8 +52,25 @@ fn main() {
     }
 
     let all = [
-        "fig1", "fig2", "fig3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "table5", "table6", "scale", "sharding", "topology", "serving",
+        "fig1",
+        "fig2",
+        "fig3",
+        "table4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "table5",
+        "table6",
+        "scale",
+        "sharding",
+        "topology",
+        "serving",
+        "replication",
     ];
     let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
         all.to_vec()
@@ -87,6 +105,7 @@ fn main() {
             "sharding" => experiments::sharding(&profile),
             "topology" => experiments::topology(&profile),
             "serving" => experiments::serving(&profile),
+            "replication" => experiments::replication(&profile),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
@@ -103,7 +122,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
-         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving all"
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving replication all"
     );
     std::process::exit(2);
 }

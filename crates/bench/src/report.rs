@@ -120,6 +120,36 @@ pub fn emit(name: &str, title: &str, table: &Table) {
 ///
 /// `results/topology.json` (written by `repro topology`) keeps its
 /// PR 3 schema: `experiment`, `dataset`, `fixed`, `cotuned`, `comparison`.
+///
+/// ## `results/replication.json` schema
+///
+/// Written by `repro replication` and consumed by the CI `repro-smoke`
+/// job. Top-level keys (all required):
+///
+/// * `experiment` (str, `"replication"`), `dataset` (str), `seed` (int),
+///   `iters_per_run` (int), `recall_floor` (num);
+/// * `slo_p99_ms` (num) — the p99 SLO every tuning arm enforced at the
+///   top arrival rate; `max_shards` / `max_replicas` (int) — the control
+///   plane's deployment ceilings;
+/// * `rates` (array of num) — offered arrival rates (requests/s),
+///   ascending; the last is the tuning/SLO rate;
+/// * `fixed` (array of obj, one per pinned-replica arm) — each:
+///   `replicas` (int, the pin), `best_qps` (num|null, best QPS@recall of
+///   SLO-passing observations), `best_p99_ms` (num|null, lowest
+///   shed-charged p99 among them), `best_config` (str|null),
+///   `slo_rejections` / `failed` (int), `measured` (array, one obj per
+///   rate for the arm's deployable winner: `rate`, `p99_ms`,
+///   `goodput_qps`, `shed` — null when the arm had no winner);
+/// * `cotuned` (obj) — the 18-dim arm, same keys as a fixed arm plus
+///   `replica_histogram` (array of int, evals spent at factor 1..=max);
+/// * `frozen_matches_17dim` (bool) — whether the pinned-at-1 arm
+///   reproduced the 17-dim topology tuning history bit for bit (the
+///   frozen-dimension contract, checked in-run);
+/// * `comparison` (obj): `best_fixed_p99_ms_at_top` (num|null),
+///   `cotuned_p99_ms_at_top` (num|null), `cotuned_beats_all_fixed`
+///   (bool|null — `true` means the co-tuned winner's measured p99 at the
+///   top rate beats every fixed arm's, arms with no deployable winner
+///   counting as beaten).
 pub fn emit_json(name: &str, json: &JsonValue) {
     let path = results_dir().join(format!("{name}.json"));
     if let Err(e) = json.validate() {

@@ -19,7 +19,11 @@
 //!   the tuner co-optimizes the serving topology with the index and system
 //!   knobs. With `max_shards == 1` the dimension is *frozen*: it is encoded
 //!   (17-dimensional points) but never free, and tuning histories are
-//!   bit-identical to the 16-dimensional spec.
+//!   bit-identical to the 16-dimensional spec;
+//! * [`SpaceSpec::with_replication`] — a further (linear) `replicas`
+//!   dimension (1..=`max_replicas` copies of every sealed segment), the
+//!   18th dimension when stacked on the topology spec, with the same
+//!   frozen-at-one bit-identity contract.
 //!
 //! The shared parameters exist **once** — that is the holistic-model
 //! property that lets knowledge about e.g. `gracefulTime` transfer across
@@ -63,6 +67,10 @@ pub const DIM_NAMES: [&str; DIMS] = [
 /// Name of the optional topology dimension appended by
 /// [`SpaceSpec::with_topology`].
 pub const SHARD_COUNT_DIM_NAME: &str = "shard_count";
+
+/// Name of the optional replication dimension appended by
+/// [`SpaceSpec::with_replication`].
+pub const REPLICAS_DIM_NAME: &str = "replicas";
 
 /// A point handed to the space that it cannot decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +133,7 @@ enum FieldRef {
     ChunkRows,
     BuildParallelism,
     ShardCount,
+    Replicas,
 }
 
 /// One tunable dimension: its display name, the role it plays, and the
@@ -179,6 +188,7 @@ impl Dimension {
             FieldRef::ChunkRows => self.range.normalize(c.system.chunk_rows as f64),
             FieldRef::BuildParallelism => self.range.normalize(c.system.build_parallelism as f64),
             FieldRef::ShardCount => self.range.normalize(c.shards.unwrap_or(1) as f64),
+            FieldRef::Replicas => self.range.normalize(c.replicas.unwrap_or(1) as f64),
         }
     }
 
@@ -215,6 +225,7 @@ impl Dimension {
             FieldRef::ChunkRows => c.system.chunk_rows = int_clamped(&self.range),
             FieldRef::BuildParallelism => c.system.build_parallelism = int_clamped(&self.range),
             FieldRef::ShardCount => c.shards = Some(int(&self.range).max(1)),
+            FieldRef::Replicas => c.replicas = Some(int(&self.range).max(1)),
         }
     }
 }
@@ -319,6 +330,44 @@ impl SpaceSpec {
         SpaceSpec { dims }
     }
 
+    /// This spec extended with a `replicas` topology dimension over
+    /// 1..=`max_replicas` copies of every sealed segment — the 18th
+    /// dimension when applied to [`SpaceSpec::with_topology`]. The range
+    /// is *linear* (unlike the exponentially-tuned shard count): replica
+    /// counts are small integers whose serving capacity scales linearly,
+    /// and a log scale would starve the high factors of candidate mass
+    /// exactly where read scaling pays. With `max_replicas == 1` the
+    /// dimension is frozen (encoded but never free), which makes the
+    /// extended spec reproduce the unextended spec's tuning bit for bit —
+    /// the same contract [`SpaceSpec::with_topology`] gives at one shard.
+    pub fn with_replication(mut self, max_replicas: usize) -> SpaceSpec {
+        let range = ParamRange::new(1.0, max_replicas.max(1) as f64, false);
+        self.dims.push(Dimension::new(
+            REPLICAS_DIM_NAME,
+            DimensionKind::Topology,
+            range,
+            FieldRef::Replicas,
+        ));
+        self
+    }
+
+    /// This spec extended with a `replicas` dimension *pinned* at exactly
+    /// `replicas` copies: the coordinate is encoded (so histories keep the
+    /// extended width and candidates always decode a replication request)
+    /// but frozen, so the acquisition never varies it. The fixed-replica
+    /// arms of the replication experiment are built this way, keeping
+    /// every arm in the same space against the same backend.
+    pub fn with_pinned_replication(mut self, replicas: usize) -> SpaceSpec {
+        let r = replicas.max(1) as f64;
+        self.dims.push(Dimension::new(
+            REPLICAS_DIM_NAME,
+            DimensionKind::Topology,
+            ParamRange::new(r, r, false),
+            FieldRef::Replicas,
+        ));
+        self
+    }
+
     /// Number of encoded dimensions.
     pub fn dims(&self) -> usize {
         self.dims.len()
@@ -349,15 +398,44 @@ impl SpaceSpec {
             .map_or(1, |d| d.range.hi.round() as usize)
     }
 
+    /// Whether this spec carries a (non-frozen or frozen) replication
+    /// dimension.
+    pub fn has_replication(&self) -> bool {
+        self.dims.iter().any(|d| d.field == FieldRef::Replicas)
+    }
+
+    /// Largest replication factor the replication dimension spans (1 when
+    /// the spec has no replication dimension).
+    pub fn max_replicas(&self) -> usize {
+        self.dims
+            .iter()
+            .find(|d| d.field == FieldRef::Replicas)
+            .map_or(1, |d| d.range.hi.round() as usize)
+    }
+
+    /// The replication request seed configurations carry: the smallest
+    /// factor the replication dimension can express — 1 for
+    /// [`SpaceSpec::with_replication`], the pinned value for
+    /// [`SpaceSpec::with_pinned_replication`], `None` without the
+    /// dimension.
+    fn seed_replicas(&self) -> Option<usize> {
+        self.dims
+            .iter()
+            .find(|d| d.field == FieldRef::Replicas)
+            .map(|d| (d.range.lo.round() as usize).max(1))
+    }
+
     /// The configuration the tuner seeds index type `t` with (Algorithm 1,
-    /// line 2): Milvus defaults, plus the single-node topology when this
-    /// spec tunes the shard count — so topology exploration starts from the
-    /// paper's testbed shape.
+    /// line 2): Milvus defaults, plus the single-node topology (and the
+    /// smallest expressible replication factor) when this spec tunes the
+    /// deployment shape — so shape exploration starts from the paper's
+    /// testbed.
     pub fn seed_config(&self, t: IndexType) -> VdmsConfig {
         let mut c = VdmsConfig::default_for(t);
         if self.has_topology() {
             c.shards = Some(1);
         }
+        c.replicas = self.seed_replicas();
         c
     }
 
@@ -367,6 +445,7 @@ impl SpaceSpec {
         if self.has_topology() {
             c.shards = Some(1);
         }
+        c.replicas = self.seed_replicas();
         c
     }
 
@@ -676,13 +755,79 @@ mod tests {
     }
 
     #[test]
+    fn replication_spec_appends_replicas_dimension() {
+        let spec = SpaceSpec::with_topology(8).with_replication(4);
+        assert_eq!(spec.dims(), DIMS + 2);
+        assert!(spec.has_topology() && spec.has_replication());
+        assert_eq!(spec.max_replicas(), 4);
+        assert_eq!(spec.dim_names()[DIMS + 1], REPLICAS_DIM_NAME);
+        let last = spec.dimensions()[DIMS + 1];
+        assert_eq!(last.kind, DimensionKind::Topology);
+        assert!(!last.is_frozen());
+        assert!(!last.range.log, "replication tunes on a linear scale");
+        // Every index type gains the replicas dim as a shared free dim.
+        for t in IndexType::ALL {
+            let free = spec.free_dims(t);
+            assert_eq!(free.last(), Some(&(DIMS + 1)), "{t}");
+            assert_eq!(free.len(), SpaceSpec::with_topology(8).free_dims(t).len() + 1, "{t}");
+        }
+        // Decode covers every replication factor.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..=100 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS + 1] = i as f64 / 100.0;
+            let c = spec.decode(&u).unwrap();
+            let r = c.replicas.expect("replication spec always decodes a factor");
+            assert!((1..=4).contains(&r));
+            seen.insert(r);
+            let back = spec.decode(&spec.encode(&c)).unwrap();
+            assert_eq!(back.replicas, Some(r));
+        }
+        assert_eq!(seen.len(), 4, "all factors reachable: {seen:?}");
+    }
+
+    #[test]
+    fn frozen_replication_dimension_never_free() {
+        let spec = SpaceSpec::with_topology(4).with_replication(1);
+        assert_eq!(spec.dims(), DIMS + 2);
+        assert!(spec.dimensions()[DIMS + 1].is_frozen());
+        for t in IndexType::ALL {
+            assert_eq!(spec.free_dims(t), SpaceSpec::with_topology(4).free_dims(t), "{t}");
+        }
+        // The frozen coordinate encodes to a constant 0.0, so GP inputs
+        // differ from the 17-dim spec only by an appended constant.
+        let u = spec.encode(&spec.seed_config(IndexType::Hnsw));
+        assert_eq!(u.len(), DIMS + 2);
+        assert_eq!(u[DIMS + 1].to_bits(), 0.0f64.to_bits());
+        assert_eq!(spec.decode(&u).unwrap().replicas, Some(1));
+    }
+
+    #[test]
+    fn pinned_replication_freezes_at_the_pinned_factor() {
+        let spec = SpaceSpec::with_topology(4).with_pinned_replication(3);
+        assert!(spec.dimensions()[DIMS + 1].is_frozen());
+        assert_eq!(spec.max_replicas(), 3);
+        // Seed configs and every decoded point carry exactly the pin.
+        assert_eq!(spec.seed_config(IndexType::Hnsw).replicas, Some(3));
+        for i in 0..=10 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS + 1] = i as f64 / 10.0;
+            assert_eq!(spec.decode(&u).unwrap().replicas, Some(3));
+        }
+    }
+
+    #[test]
     fn seed_configs_carry_topology_only_when_tuned() {
         assert_eq!(SpaceSpec::legacy().seed_config(IndexType::Hnsw).shards, None);
         assert_eq!(SpaceSpec::legacy().seed_default().shards, None);
         let topo = SpaceSpec::with_topology(4);
         assert_eq!(topo.seed_config(IndexType::Hnsw).shards, Some(1));
+        assert_eq!(topo.seed_config(IndexType::Hnsw).replicas, None);
         assert_eq!(topo.seed_default().shards, Some(1));
         assert_eq!(topo.seed_default().index_type, IndexType::AutoIndex);
+        let replicated = SpaceSpec::with_topology(4).with_replication(4);
+        assert_eq!(replicated.seed_default().shards, Some(1));
+        assert_eq!(replicated.seed_default().replicas, Some(1));
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Sharded multi-node serving: a collection partitioned across simulated
-//! query nodes behind a scatter-gather proxy.
+//! Sharded, replicated multi-node serving: a collection partitioned across
+//! simulated query nodes behind a scatter-gather proxy, with optional
+//! replica placement and query routing.
 //!
 //! This is the simulator's equivalent of the proxy / query-node
 //! architecture every production VDMS uses (Milvus, and the scatter-gather
@@ -21,13 +22,33 @@
 //!   (streaming) tail and holds the insert buffer, exactly as Milvus'
 //!   delegator serves streaming segments alongside sealed ones.
 //!
-//! Search *results* do not depend on the sharding: merging happens in
-//! global segment order regardless of placement. What sharding changes is
-//! the **performance model** — per-shard search costs feed
-//! [`CostModel::cluster_perf`] (straggler latency + proxy merge overhead),
-//! per-node builds and loads proceed in parallel (wall time is the slowest
-//! node's), and every node pays its own fixed process overhead. With one
-//! shard all of it reduces bit-exactly to the single-node collection.
+//! **Replication** ([`ClusterSpec::replicas`]) adds the read-scaling axis
+//! real VDMSs use: the cluster becomes `r` *replica groups* of
+//! [`ClusterSpec::shards`] nodes each, every sealed segment is placed on
+//! `r` distinct nodes (one per group, same deterministic spread within
+//! each group), and a [`RoutingPolicy`] picks exactly one group per query.
+//! Each group's local node 0 is that group's shard delegator — replicas
+//! subscribe to the WAL independently, so every group serves the growing
+//! tail and pays the insert buffer, exactly like Milvus in-memory
+//! replicas. Memory is accounted **per copy**: `r` groups cost `r ×` the
+//! group footprint, and the per-node budget shrinks accordingly
+//! ([`ClusterSpec::replicated`] splits the testbed `shards · replicas`
+//! ways). Placement fails ([`VdmsError::ShardOutOfMemory`]) when no `r`
+//! distinct nodes can host a segment — i.e. when the common group
+//! placement finds no node with headroom.
+//!
+//! Search *results* do not depend on sharding, replication or routing:
+//! every replica group hosts identical segment data and merging happens in
+//! global segment order regardless of placement, so any routed group
+//! returns bit-identical neighbors. What the deployment shape changes is
+//! the **performance model** — per-shard search costs of the *routed*
+//! group feed [`CostModel::replicated_cluster_perf`] (straggler latency
+//! over the routed nodes + proxy merge + slowest-replica consistency
+//! staleness, with fleet-level read-slot scaling), per-node builds and
+//! loads proceed in parallel (wall time is the slowest node's), and every
+//! node of every group pays its own fixed process overhead. With one shard
+//! and one replica all of it reduces bit-exactly to the single-node
+//! collection.
 
 use crate::collection::{Collection, MEMORY_BUDGET_GIB};
 use crate::config::VdmsConfig;
@@ -40,68 +61,163 @@ use rayon::prelude::*;
 use vecdata::ground_truth::TopK;
 use vecdata::{Dataset, Neighbor};
 
-/// Shape of a simulated cluster: how many query nodes, and how much memory
-/// each may use.
+/// How the proxy picks the replica group that serves a query. Load-aware
+/// routing is where replication pays off under serving: random routing
+/// spreads load in expectation only, join-shortest-queue spreads it by
+/// construction. With one replica every policy routes to the only group,
+/// so the choice is a no-op for unreplicated clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// A seeded uniform draw per query — stateless, but blind to load.
+    Random { seed: u64 },
+    /// Join the replica group with the fewest outstanding requests (ties
+    /// broken by lowest group index). In the closed **batch replay** every
+    /// group drains at the same rate, so JSQ degenerates to deterministic
+    /// round-robin over the query index; under the *serving* simulator it
+    /// inspects the real per-group queue depths at arrival time.
+    #[default]
+    JoinShortestQueue,
+}
+
+impl RoutingPolicy {
+    /// The replica group serving query `query_index` in the closed batch
+    /// replay — a pure function of the index (via the workspace's shared
+    /// [`vecdata::rng::derive`] mixer), so parallel replays stay
+    /// bit-identical on any thread count. Always 0 for one replica.
+    pub fn route_batch(&self, query_index: u64, replicas: usize) -> usize {
+        let r = replicas.max(1);
+        match self {
+            RoutingPolicy::Random { seed } => {
+                (vecdata::rng::derive(*seed, query_index) % r as u64) as usize
+            }
+            RoutingPolicy::JoinShortestQueue => (query_index % r as u64) as usize,
+        }
+    }
+}
+
+/// Shape of a simulated cluster: how many query nodes per replica group,
+/// how many replica groups, how much memory each node may use, and how
+/// queries are routed across the groups.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterSpec {
-    /// Number of query nodes (≥ 1).
+    /// Number of query nodes per replica group (≥ 1).
     pub shards: usize,
+    /// Number of replica groups (≥ 1): every sealed segment is hosted on
+    /// this many distinct nodes, one per group.
+    pub replicas: usize,
     /// Memory budget per query node, GiB.
     pub shard_budget_gib: f64,
+    /// How queries choose a replica group (cost attribution in the batch
+    /// replay; actual queue selection under the serving simulator).
+    pub routing: RoutingPolicy,
 }
 
 impl ClusterSpec {
-    /// A cluster of `shards` nodes splitting the testbed budget evenly:
-    /// aggregate capacity stays at [`MEMORY_BUDGET_GIB`], so one node of a
-    /// 1-shard cluster is exactly the paper's single-node testbed.
+    /// An unreplicated cluster of `shards` nodes splitting the testbed
+    /// budget evenly: aggregate capacity stays at [`MEMORY_BUDGET_GIB`],
+    /// so one node of a 1-shard cluster is exactly the paper's single-node
+    /// testbed.
     pub fn new(shards: usize) -> ClusterSpec {
         let shards = shards.max(1);
-        ClusterSpec { shards, shard_budget_gib: MEMORY_BUDGET_GIB / shards as f64 }
+        ClusterSpec {
+            shards,
+            replicas: 1,
+            shard_budget_gib: MEMORY_BUDGET_GIB / shards as f64,
+            routing: RoutingPolicy::default(),
+        }
     }
 
-    /// A cluster with an explicit per-node budget (for tight-memory
-    /// experiments where the even split would never bind).
+    /// A replicated cluster of `replicas` groups × `shards` nodes splitting
+    /// the testbed budget across **all** `shards · replicas` nodes — so
+    /// replication honestly eats capacity: every copy of the collection
+    /// must fit into `1/replicas` of the testbed. With `replicas == 1`
+    /// this is exactly [`ClusterSpec::new`].
+    pub fn replicated(shards: usize, replicas: usize) -> ClusterSpec {
+        let shards = shards.max(1);
+        let replicas = replicas.max(1);
+        ClusterSpec {
+            shards,
+            replicas,
+            shard_budget_gib: MEMORY_BUDGET_GIB / (shards * replicas) as f64,
+            routing: RoutingPolicy::default(),
+        }
+    }
+
+    /// An unreplicated cluster with an explicit per-node budget (for
+    /// tight-memory experiments where the even split would never bind).
     pub fn with_budget(shards: usize, shard_budget_gib: f64) -> ClusterSpec {
-        ClusterSpec { shards: shards.max(1), shard_budget_gib }
+        ClusterSpec {
+            shards: shards.max(1),
+            replicas: 1,
+            shard_budget_gib,
+            routing: RoutingPolicy::default(),
+        }
     }
 
-    /// Total memory capacity across all nodes.
-    pub fn aggregate_budget_gib(&self) -> f64 {
+    /// This spec with a different routing policy.
+    pub fn with_routing(self, routing: RoutingPolicy) -> ClusterSpec {
+        ClusterSpec { routing, ..self }
+    }
+
+    /// Total query nodes across all replica groups.
+    pub fn nodes(&self) -> usize {
+        self.shards * self.replicas
+    }
+
+    /// Memory capacity of one replica group — what a single copy of the
+    /// collection must fit into.
+    pub fn group_budget_gib(&self) -> f64 {
         self.shards as f64 * self.shard_budget_gib
     }
 
+    /// Total memory capacity across all nodes of all groups.
+    pub fn aggregate_budget_gib(&self) -> f64 {
+        self.nodes() as f64 * self.shard_budget_gib
+    }
+
     /// Clamp a (possibly directly constructed) spec into validity: at
-    /// least one shard. [`ShardedCollection::load`] applies this, and
-    /// backends that surface the spec in their metadata should too, so
-    /// they report the shape the cluster layer actually serves.
+    /// least one shard and one replica. [`ShardedCollection::load`]
+    /// applies this, and backends that surface the spec in their metadata
+    /// should too, so they report the shape the cluster layer actually
+    /// serves.
     pub fn normalized(self) -> ClusterSpec {
-        ClusterSpec { shards: self.shards.max(1), ..self }
+        ClusterSpec { shards: self.shards.max(1), replicas: self.replicas.max(1), ..self }
     }
 }
 
-/// A collection partitioned across simulated query nodes.
+/// A collection partitioned across simulated query nodes, optionally
+/// replicated across `spec.replicas` identical groups of them.
+///
+/// Node `n` of the cluster is node `n % shards` of replica group
+/// `n / shards`; each group's local node 0 is that group's shard delegator
+/// (growing tail + insert buffer).
 #[derive(Debug)]
 pub struct ShardedCollection<'a> {
     collection: Collection<'a>,
     spec: ClusterSpec,
-    /// `assignment[i]` = shard hosting sealed segment `i`.
+    /// `assignment[i]` = *local* shard hosting sealed segment `i` within
+    /// every replica group (all groups share the placement).
     assignment: Vec<usize>,
-    /// Segment indices per shard, in placement order.
+    /// Segment indices per local shard, in placement order.
     shard_segments: Vec<Vec<usize>>,
-    /// Memory accounting per query node.
+    /// Memory accounting per query node, all `spec.nodes()` of them in
+    /// group-major order.
     shard_memory: Vec<MemoryUsage>,
 }
 
 impl<'a> ShardedCollection<'a> {
     /// Ingest the dataset under `config` and place the sealed segments
-    /// across `spec.shards` query nodes.
+    /// across `spec.shards` query nodes — `spec.replicas` times, one copy
+    /// per replica group.
     ///
-    /// Fails like [`Collection::load`] (bad index params, aggregate OOM —
-    /// checked against the cluster's *aggregate* capacity, so a cluster
-    /// provisioned beyond the single-node testbed can use it) plus
+    /// Fails like [`Collection::load`] (bad index params, OOM — one copy
+    /// of the collection is checked against a *group's* capacity
+    /// [`ClusterSpec::group_budget_gib`], so a cluster provisioned beyond
+    /// the single-node testbed can use it) plus
     /// [`VdmsError::ShardOutOfMemory`] when no node can host a segment —
     /// or the delegator's fixed streaming state — within the per-shard
-    /// budget.
+    /// budget. Because every group shares the placement, a group placement
+    /// failure is exactly "no `replicas` distinct nodes fit this segment".
     pub fn load(
         dataset: &'a Dataset,
         config: &VdmsConfig,
@@ -110,8 +226,14 @@ impl<'a> ShardedCollection<'a> {
     ) -> Result<ShardedCollection<'a>, VdmsError> {
         let spec = spec.normalized();
         let collection =
-            Collection::load_with_budget(dataset, config, seed, spec.aggregate_budget_gib())?;
-        let (assignment, shard_segments, shard_memory) = place(&collection, &spec)?;
+            Collection::load_with_budget(dataset, config, seed, spec.group_budget_gib())?;
+        let (assignment, shard_segments, group_memory) = place(&collection, &spec)?;
+        // Every replica group hosts the same placement, so the per-node
+        // accounting is the group's, repeated per copy.
+        let mut shard_memory = Vec::with_capacity(spec.nodes());
+        for _ in 0..spec.replicas {
+            shard_memory.extend(group_memory.iter().copied());
+        }
         Ok(ShardedCollection { collection, spec, assignment, shard_segments, shard_memory })
     }
 
@@ -120,17 +242,35 @@ impl<'a> ShardedCollection<'a> {
         &self.spec
     }
 
-    /// Number of query nodes.
+    /// Number of query nodes per replica group.
     pub fn shards(&self) -> usize {
         self.spec.shards
     }
 
-    /// Shard hosting each sealed segment, in segment order.
+    /// Number of replica groups.
+    pub fn replicas(&self) -> usize {
+        self.spec.replicas
+    }
+
+    /// Total query nodes across all groups.
+    pub fn nodes(&self) -> usize {
+        self.spec.nodes()
+    }
+
+    /// *Local* shard hosting each sealed segment, in segment order (the
+    /// same within every replica group).
     pub fn assignment(&self) -> &[usize] {
         &self.assignment
     }
 
-    /// Per-node memory accounting.
+    /// The distinct cluster nodes hosting copies of sealed segment `i` —
+    /// one per replica group, `spec.replicas` in total.
+    pub fn replica_nodes(&self, segment: usize) -> Vec<usize> {
+        (0..self.spec.replicas).map(|g| g * self.spec.shards + self.assignment[segment]).collect()
+    }
+
+    /// Per-node memory accounting, for all [`ShardedCollection::nodes`]
+    /// nodes in group-major order.
     pub fn shard_memory(&self) -> &[MemoryUsage] {
         &self.shard_memory
     }
@@ -141,25 +281,29 @@ impl<'a> ShardedCollection<'a> {
     }
 
     /// Aggregate cluster memory, GiB — the QP$ denominator. More nodes
-    /// mean more fixed process overhead, so sharding is not free.
+    /// mean more fixed process overhead, and more replicas mean more
+    /// copies, so neither sharding nor replication is free.
     pub fn total_memory_gib(&self) -> f64 {
         let bytes: u64 = self.shard_memory.iter().map(MemoryUsage::total_bytes).sum();
         bytes as f64 / (1u64 << 30) as f64
     }
 
-    /// Proxy-side scatter-gather search: probe every node's segments,
-    /// merge partials in **global segment order** (then the delegator's
-    /// growing scan), charging each node's work to `shard_costs`.
+    /// Proxy-side scatter-gather search within one replica group: probe
+    /// every local node's segments, merge partials in **global segment
+    /// order** (then the group delegator's growing scan), charging each
+    /// local node's work to `shard_costs` (one slot per local shard).
     ///
-    /// Results are bit-identical to [`Collection::search`] for any shard
-    /// count and any placement; only the cost attribution differs.
+    /// Every replica group hosts identical data, so results are
+    /// bit-identical to [`Collection::search`] for any shard count, any
+    /// replication factor, any routed group and any placement; only the
+    /// cost attribution differs.
     pub fn search(
         &self,
         query: &[f32],
         top_k: usize,
         shard_costs: &mut [SearchCost],
     ) -> Vec<Neighbor> {
-        assert_eq!(shard_costs.len(), self.spec.shards, "one cost slot per shard");
+        assert_eq!(shard_costs.len(), self.spec.shards, "one cost slot per local shard");
         let sp = self.collection.search_params(top_k);
         let per_segment: Vec<(Vec<Neighbor>, SearchCost)> = (0..self.assignment.len())
             .into_par_iter()
@@ -173,40 +317,51 @@ impl<'a> ShardedCollection<'a> {
             }
             shard_costs[self.assignment[si]].add(&seg_cost);
         }
-        // Streaming data is served by the shard delegator (node 0).
+        // Streaming data is served by the group's shard delegator (its
+        // local node 0).
         self.collection.scan_growing(query, &mut merged, &mut shard_costs[0]);
         merged.into_sorted()
     }
 
-    /// Run every query once; returns accumulated per-shard costs plus the
-    /// per-query result id lists. Queries execute in parallel; costs and
-    /// results are folded in query order, so the output is identical for
-    /// any thread count.
+    /// Run every query once, routing each to a replica group per
+    /// `spec.routing`; returns accumulated per-**node** costs (all
+    /// [`ShardedCollection::nodes`] of them, group-major) plus the
+    /// per-query result id lists. Queries execute in parallel; the route
+    /// is a pure function of the query index, and costs and results are
+    /// folded in query order, so the output is identical for any thread
+    /// count. With one replica the node costs are exactly the per-shard
+    /// costs of the unreplicated cluster.
     pub fn run_queries(&self, top_k: usize) -> (Vec<SearchCost>, Vec<Vec<u32>>) {
         let shards = self.spec.shards;
+        let replicas = self.spec.replicas;
+        let routing = self.spec.routing;
         let dataset = self.collection.dataset;
-        let per_query: Vec<(Vec<SearchCost>, Vec<u32>)> = (0..dataset.n_queries())
+        let per_query: Vec<(usize, Vec<SearchCost>, Vec<u32>)> = (0..dataset.n_queries())
             .into_par_iter()
             .map(|qi| {
+                let group = routing.route_batch(qi as u64, replicas);
                 let mut costs = vec![SearchCost::default(); shards];
                 let res = self.search(dataset.query(qi), top_k, &mut costs);
-                (costs, res.into_iter().map(|n| n.id).collect())
+                (group, costs, res.into_iter().map(|n| n.id).collect())
             })
             .collect();
-        let mut totals = vec![SearchCost::default(); shards];
+        let mut totals = vec![SearchCost::default(); self.spec.nodes()];
         let mut results = Vec::with_capacity(per_query.len());
-        for (costs, res) in per_query {
-            for (t, c) in totals.iter_mut().zip(&costs) {
-                t.add(c);
+        for (group, costs, res) in per_query {
+            for (j, c) in costs.iter().enumerate() {
+                totals[group * shards + j].add(c);
             }
             results.push(res);
         }
         (totals, results)
     }
 
-    /// Simulated seconds to build and load the cluster: nodes work in
-    /// parallel, so wall time is the slowest node's build + load (the
-    /// delegator also ingests the growing tail).
+    /// Simulated seconds to build and load the cluster: all nodes of all
+    /// replica groups work in parallel, so wall time is the slowest
+    /// node's build + load (each group's delegator also ingests the
+    /// growing tail). Replica groups host identical placements, so the
+    /// slowest node of one group is the slowest of the fleet — replication
+    /// costs memory, not build wall time.
     pub fn build_and_load_secs(&self, model: &CostModel) -> f64 {
         let sys = &self.collection.config().system;
         let layout = self.collection.layout();
@@ -443,14 +598,162 @@ mod tests {
 
     #[test]
     fn directly_constructed_zero_shard_spec_does_not_panic() {
-        // ClusterSpec has public fields; a hand-built `shards: 0` must be
-        // served as a one-node cluster, not a modulo-by-zero panic.
+        // ClusterSpec has public fields; a hand-built `shards: 0` (or
+        // `replicas: 0`) must be served as a one-node cluster, not a
+        // modulo-by-zero panic.
         let (ds, cfg) = multi_segment_setup();
-        let spec = ClusterSpec { shards: 0, shard_budget_gib: MEMORY_BUDGET_GIB };
+        let spec = ClusterSpec {
+            shards: 0,
+            replicas: 0,
+            shard_budget_gib: MEMORY_BUDGET_GIB,
+            routing: RoutingPolicy::default(),
+        };
         let sharded = ShardedCollection::load(&ds, &cfg, 1, spec).unwrap();
         assert_eq!(sharded.shards(), 1);
+        assert_eq!(sharded.replicas(), 1);
         let (costs, _) = sharded.run_queries(10);
         assert_eq!(costs.len(), 1);
+    }
+
+    #[test]
+    fn one_replica_cluster_is_bitwise_the_unreplicated_one() {
+        let (ds, cfg) = multi_segment_setup();
+        for shards in [1usize, 2, 3] {
+            let plain = ShardedCollection::load(&ds, &cfg, 5, ClusterSpec::new(shards)).unwrap();
+            let replicated =
+                ShardedCollection::load(&ds, &cfg, 5, ClusterSpec::replicated(shards, 1)).unwrap();
+            assert_eq!(replicated.nodes(), shards);
+            assert_eq!(replicated.assignment(), plain.assignment());
+            assert_eq!(replicated.shard_memory(), plain.shard_memory());
+            assert_eq!(replicated.total_memory_gib().to_bits(), plain.total_memory_gib().to_bits());
+            let (rc, rr) = replicated.run_queries(10);
+            let (pc, pr) = plain.run_queries(10);
+            assert_eq!(rr, pr);
+            assert_eq!(rc, pc);
+        }
+    }
+
+    #[test]
+    fn replicas_place_each_segment_on_distinct_nodes() {
+        let (ds, cfg) = multi_segment_setup();
+        let spec =
+            ClusterSpec { shard_budget_gib: MEMORY_BUDGET_GIB, ..ClusterSpec::replicated(2, 3) };
+        let cluster = ShardedCollection::load(&ds, &cfg, 1, spec).unwrap();
+        assert_eq!(cluster.nodes(), 6);
+        for si in 0..cluster.assignment().len() {
+            let nodes = cluster.replica_nodes(si);
+            assert_eq!(nodes.len(), 3, "one copy per replica group");
+            let distinct: std::collections::BTreeSet<usize> = nodes.iter().copied().collect();
+            assert_eq!(distinct.len(), 3, "copies land on distinct nodes: {nodes:?}");
+            for &n in &nodes {
+                assert_eq!(n % 2, cluster.assignment()[si], "same local shard in every group");
+            }
+        }
+        // Every group's local node 0 is a delegator carrying streaming
+        // state; every other node carries none.
+        for (n, m) in cluster.shard_memory().iter().enumerate() {
+            if n % 2 == 0 {
+                assert!(m.insert_buffer_bytes > 0, "node {n} is a group delegator");
+            } else {
+                assert_eq!(m.insert_buffer_bytes, 0);
+                assert_eq!(m.growing_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_memory_is_accounted_per_copy() {
+        let (ds, cfg) = multi_segment_setup();
+        let one = ShardedCollection::load(&ds, &cfg, 1, ClusterSpec::new(2)).unwrap();
+        let spec =
+            ClusterSpec { shard_budget_gib: MEMORY_BUDGET_GIB, ..ClusterSpec::replicated(2, 3) };
+        let three = ShardedCollection::load(&ds, &cfg, 1, spec).unwrap();
+        assert_eq!(three.shard_memory().len(), 6);
+        assert!(
+            (three.total_memory_gib() - 3.0 * one.total_memory_gib()).abs() < 1e-9,
+            "three identical copies cost exactly three group footprints"
+        );
+    }
+
+    #[test]
+    fn replicated_budget_split_fails_oversized_copies() {
+        let (ds, cfg) = multi_segment_setup();
+        let single = Collection::load(&ds, &cfg, 1).unwrap();
+        let need = single.memory.total_gib();
+        // Enough replicas that one copy no longer fits its group's share
+        // of the testbed: placement must fail, not silently overcommit.
+        let replicas = (MEMORY_BUDGET_GIB / need).ceil() as usize + 1;
+        let spec = ClusterSpec::replicated(1, replicas);
+        assert!(spec.group_budget_gib() < need);
+        let err = ShardedCollection::load(&ds, &cfg, 1, spec);
+        assert!(
+            matches!(
+                err,
+                Err(VdmsError::OutOfMemory { .. }) | Err(VdmsError::ShardOutOfMemory { .. })
+            ),
+            "a copy that cannot fit its group budget must fail: {err:?}"
+        );
+    }
+
+    #[test]
+    fn both_routing_policies_return_identical_results() {
+        let (ds, cfg) = multi_segment_setup();
+        let base =
+            ClusterSpec { shard_budget_gib: MEMORY_BUDGET_GIB, ..ClusterSpec::replicated(2, 3) };
+        let jsq = ShardedCollection::load(&ds, &cfg, 7, base).unwrap();
+        let rand = ShardedCollection::load(
+            &ds,
+            &cfg,
+            7,
+            base.with_routing(RoutingPolicy::Random { seed: 99 }),
+        )
+        .unwrap();
+        let single = Collection::load(&ds, &cfg, 7).unwrap();
+        let (_, expect) = single.run_queries(10);
+        let (jsq_costs, jsq_res) = jsq.run_queries(10);
+        let (rand_costs, rand_res) = rand.run_queries(10);
+        assert_eq!(jsq_res, expect, "JSQ routing never changes results");
+        assert_eq!(rand_res, expect, "random routing never changes results");
+        // Work is conserved across the fleet under either policy...
+        let total = |costs: &[SearchCost]| {
+            let mut t = SearchCost::default();
+            for c in costs {
+                t.add(c);
+            }
+            t
+        };
+        let (st, _) = single.run_queries(10);
+        assert_eq!(total(&jsq_costs), st);
+        assert_eq!(total(&rand_costs), st);
+        // ...and both policies actually spread it across replica groups.
+        let groups_touched = |costs: &[SearchCost]| {
+            (0..3).filter(|g| (0..2).any(|j| !costs[g * 2 + j].is_zero())).count()
+        };
+        assert_eq!(groups_touched(&jsq_costs), 3, "JSQ round-robins the batch replay");
+        assert!(groups_touched(&rand_costs) >= 2, "random routing hits multiple groups");
+    }
+
+    #[test]
+    fn routing_policy_offline_routes_are_deterministic() {
+        let jsq = RoutingPolicy::JoinShortestQueue;
+        for qi in 0..12u64 {
+            assert_eq!(jsq.route_batch(qi, 3), (qi % 3) as usize);
+            assert_eq!(jsq.route_batch(qi, 1), 0);
+        }
+        let rand = RoutingPolicy::Random { seed: 5 };
+        let a: Vec<usize> = (0..64).map(|qi| rand.route_batch(qi, 4)).collect();
+        let b: Vec<usize> = (0..64).map(|qi| rand.route_batch(qi, 4)).collect();
+        assert_eq!(a, b, "seeded draws are pure functions of the index");
+        assert!(a.iter().all(|&g| g < 4));
+        let distinct: std::collections::BTreeSet<usize> = a.iter().copied().collect();
+        assert!(distinct.len() > 1, "64 draws over 4 groups must spread: {distinct:?}");
+        assert_ne!(
+            a,
+            (0..64)
+                .map(|qi| RoutingPolicy::Random { seed: 6 }.route_batch(qi, 4))
+                .collect::<Vec<_>>(),
+            "seed matters"
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@ use anns::params::{IndexParams, IndexType};
 
 /// Index type + index parameters + system parameters (16 tunables total,
 /// matching §V-A of the paper: 1 index type, 8 index params, 7 system
-/// params), plus an optional *serving-topology* request beyond the paper:
-/// how many query nodes should serve the collection.
+/// params), plus optional *serving-topology* requests beyond the paper:
+/// how many query nodes should serve the collection, and how many replicas
+/// of every sealed segment should be placed for read scaling.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VdmsConfig {
     pub index_type: IndexType,
@@ -17,6 +18,12 @@ pub struct VdmsConfig {
     /// experiment pinned); `Some(n)` is a topology-tuning candidate that
     /// only a backend advertising the topology dimension can realize.
     pub shards: Option<usize>,
+    /// Requested replication factor: how many distinct nodes host a copy
+    /// of every sealed segment. `None` means "the backend's fixed
+    /// replication" (one copy, like the paper's testbed); `Some(r)` is a
+    /// replication-tuning candidate that only a backend advertising the
+    /// replication dimension can realize.
+    pub replicas: Option<usize>,
 }
 
 impl VdmsConfig {
@@ -25,9 +32,12 @@ impl VdmsConfig {
     pub const BASE_TUNABLES: usize = 16;
 
     /// Encoded dimensionality this configuration spans: the 16 base
-    /// tunables, plus one when it carries a topology request.
+    /// tunables, plus one per deployment request it carries (topology,
+    /// replication).
     pub fn tunable_dims(&self) -> usize {
-        Self::BASE_TUNABLES + usize::from(self.shards.is_some())
+        Self::BASE_TUNABLES
+            + usize::from(self.shards.is_some())
+            + usize::from(self.replicas.is_some())
     }
 
     /// The Milvus default configuration (the paper's `Default` baseline
@@ -38,6 +48,7 @@ impl VdmsConfig {
             index: IndexParams::default(),
             system: SystemParams::default(),
             shards: None,
+            replicas: None,
         }
     }
 
@@ -52,6 +63,7 @@ impl VdmsConfig {
         self.index = self.index.sanitized(dim, top_k);
         self.system = self.system.sanitized();
         self.shards = self.shards.map(|s| s.max(1));
+        self.replicas = self.replicas.map(|r| r.max(1));
         self
     }
 
@@ -85,6 +97,9 @@ impl VdmsConfig {
         ));
         if let Some(s) = self.shards {
             parts.push(format!("shards={s}"));
+        }
+        if let Some(r) = self.replicas {
+            parts.push(format!("replicas={r}"));
         }
         parts.join(" ")
     }
@@ -124,6 +139,20 @@ mod tests {
         assert_eq!(base.tunable_dims(), VdmsConfig::BASE_TUNABLES);
         let topo = VdmsConfig { shards: Some(4), ..base };
         assert_eq!(topo.tunable_dims(), VdmsConfig::BASE_TUNABLES + 1);
+        let replicated = VdmsConfig { shards: Some(4), replicas: Some(2), ..base };
+        assert_eq!(replicated.tunable_dims(), VdmsConfig::BASE_TUNABLES + 2);
+    }
+
+    #[test]
+    fn sanitize_clamps_zero_replicas_and_summary_shows_them() {
+        let c = VdmsConfig { shards: Some(2), replicas: Some(0), ..VdmsConfig::default_config() }
+            .sanitized(48, 10);
+        assert_eq!(c.replicas, Some(1));
+        assert!(c.summary().ends_with("shards=2 replicas=1"), "{}", c.summary());
+        assert!(
+            !VdmsConfig::default_config().summary().contains("replicas"),
+            "no replication request, no replication in the summary"
+        );
     }
 
     #[test]

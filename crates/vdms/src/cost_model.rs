@@ -36,6 +36,10 @@ pub mod unit_costs {
 /// The 15-minute replay cap from §V-A, in simulated seconds.
 pub const REPLAY_TIME_CAP_SECS: f64 = 900.0;
 
+/// WAL fan-out staleness each *additional* replica adds (ms): see
+/// [`CostModel::replica_lag_ms`].
+pub const REPLICA_LAG_MS_PER_COPY: f64 = 15.0;
+
 /// Number of virtual search requests one workload replay issues. Chosen so
 /// simulated replay times per iteration land near the paper's Table VI
 /// averages (~150 s per iteration).
@@ -86,6 +90,16 @@ impl CostModel {
         50.0 + 0.2 * sys.insert_buf_size_mb
     }
 
+    /// Extra ingestion staleness (ms) of a replicated deployment: every
+    /// follower replica subscribes to the WAL independently and applies it
+    /// behind the leader, so the *slowest* replica's watermark — which is
+    /// what bounded-staleness reads must wait for when the router may pick
+    /// any replica — trails further the more copies exist. Exactly zero
+    /// for one replica, which keeps the unreplicated paths bit-identical.
+    pub fn replica_lag_ms(replicas: usize) -> f64 {
+        REPLICA_LAG_MS_PER_COPY * replicas.saturating_sub(1) as f64
+    }
+
     /// Interval (seconds) between tsafe watermark publications. Flushes are
     /// what advance the watermark, and bigger insert buffers fill — and
     /// therefore flush — less often. This quantization is invisible to the
@@ -105,7 +119,15 @@ impl CostModel {
     /// resolves the same mechanism per event via
     /// [`CostModel::consistency_wait_secs`].
     fn stall_secs(sys: &SystemParams) -> f64 {
-        let lag_ms = Self::ingest_lag_ms(sys);
+        Self::stall_secs_replicated(sys, 1)
+    }
+
+    /// [`CostModel::stall_secs`] of a replicated deployment: the effective
+    /// ingestion lag includes the slowest replica's WAL fan-out staleness
+    /// ([`CostModel::replica_lag_ms`]). At one replica the extra term is
+    /// exactly `0.0`, so this reduces bitwise to the unreplicated stall.
+    fn stall_secs_replicated(sys: &SystemParams, replicas: usize) -> f64 {
+        let lag_ms = Self::ingest_lag_ms(sys) + Self::replica_lag_ms(replicas);
         ((lag_ms - sys.graceful_time_ms).max(0.0)) / 1_000.0
     }
 
@@ -119,7 +141,20 @@ impl CostModel {
     /// `gracefulTime >= lag + flush_interval`; up to
     /// `lag - gracefulTime + flush_interval` otherwise.
     pub fn consistency_wait_secs(sys: &SystemParams, arrival_secs: f64) -> f64 {
-        let lag = Self::ingest_lag_ms(sys) / 1_000.0;
+        Self::consistency_wait_secs_replicated(sys, arrival_secs, 1)
+    }
+
+    /// [`CostModel::consistency_wait_secs`] of a replicated deployment:
+    /// the watermark a bounded-staleness read waits for is the *slowest*
+    /// replica's, which trails the leader's by
+    /// [`CostModel::replica_lag_ms`]. One replica adds exactly `0.0` ms,
+    /// reducing bitwise to the unreplicated wait.
+    pub fn consistency_wait_secs_replicated(
+        sys: &SystemParams,
+        arrival_secs: f64,
+        replicas: usize,
+    ) -> f64 {
+        let lag = (Self::ingest_lag_ms(sys) + Self::replica_lag_ms(replicas)) / 1_000.0;
         let graceful = sys.graceful_time_ms / 1_000.0;
         let needed_flush = arrival_secs - graceful + lag;
         if needed_flush <= 0.0 {
@@ -133,8 +168,19 @@ impl CostModel {
     /// Scheduling efficiency of read concurrency: capped by the workload's
     /// own concurrency, with a mild over-provisioning penalty.
     fn parallelism(&self, sys: &SystemParams) -> f64 {
-        let eff = (self.workload_concurrency.min(sys.max_read_concurrency)) as f64;
-        let over = (sys.max_read_concurrency as f64 / self.workload_concurrency as f64).max(1.0);
+        self.parallelism_replicated(sys, 1)
+    }
+
+    /// [`CostModel::parallelism`] of a replicated deployment: `r` replica
+    /// groups each run their own `maxReadConcurrency` read slots, so the
+    /// fleet offers `r ×` the slots — still capped by the workload's own
+    /// concurrency, and still paying the over-provisioning penalty on the
+    /// *total* slot count (a fleet of idle slots is pure scheduling
+    /// overhead). One replica reduces bitwise to the unreplicated law.
+    fn parallelism_replicated(&self, sys: &SystemParams, replicas: usize) -> f64 {
+        let slots = sys.max_read_concurrency * replicas.max(1);
+        let eff = (self.workload_concurrency.min(slots)) as f64;
+        let over = (slots as f64 / self.workload_concurrency as f64).max(1.0);
         eff / (1.0 + 0.04 * (over - 1.0))
     }
 
@@ -190,7 +236,26 @@ impl CostModel {
     /// stall here would double-charge it), inflated by the
     /// over-provisioning overhead.
     pub fn service_secs_from_qps(&self, qps: f64, sys: &SystemParams) -> f64 {
-        (self.latency_from_qps(qps, sys) - Self::stall_secs(sys)).max(1e-6)
+        self.service_secs_from_qps_replicated(qps, sys, 1)
+    }
+
+    /// [`CostModel::service_secs_from_qps`] for a replicated deployment:
+    /// the measured QPS of a replicated cluster already folds in the
+    /// fleet-level concurrency scaling
+    /// ([`CostModel::replicated_cluster_perf`]), so the inversion must use
+    /// the *replicated* throughput law — and subtract the *replicated*
+    /// mean-field stall, since the serving simulator re-applies consistency
+    /// per event with the replica lag included. One replica reduces
+    /// bitwise to the unreplicated form.
+    pub fn service_secs_from_qps_replicated(
+        &self,
+        qps: f64,
+        sys: &SystemParams,
+        replicas: usize,
+    ) -> f64 {
+        (self.parallelism_replicated(sys, replicas) / qps.max(1e-9)
+            - Self::stall_secs_replicated(sys, replicas))
+        .max(1e-6)
             * self.serving_overhead_factor(sys)
     }
 
@@ -227,6 +292,37 @@ impl CostModel {
         }
         let latency_secs = slowest.latency_secs + proxy;
         QueryPerf { latency_secs, qps: self.parallelism(sys) / latency_secs.max(1e-9) }
+    }
+
+    /// Per-query performance of a *replicated* sharded cluster: every query
+    /// is routed to exactly one replica group, whose `shards` nodes it
+    /// scatter-gathers — so per-query latency is still the straggler over
+    /// the **routed** nodes plus the proxy merge, now also paying the
+    /// slowest replica's consistency staleness
+    /// ([`CostModel::replica_lag_ms`]); throughput scales with the fleet's
+    /// total read slots (the replicated throughput law). With one
+    /// replica this reduces bit-for-bit to [`CostModel::cluster_perf`].
+    ///
+    /// `shard_costs` holds one mean per-query [`SearchCost`] per *local*
+    /// shard — identical across replica groups, since every group hosts the
+    /// same placement.
+    pub fn replicated_cluster_perf(
+        &self,
+        shard_costs: &[SearchCost],
+        sys: &SystemParams,
+        top_k: usize,
+        replicas: usize,
+    ) -> QueryPerf {
+        let base = self.cluster_perf(shard_costs, sys, top_k);
+        if replicas <= 1 {
+            return base;
+        }
+        let latency_secs =
+            base.latency_secs - Self::stall_secs(sys) + Self::stall_secs_replicated(sys, replicas);
+        QueryPerf {
+            latency_secs,
+            qps: self.parallelism_replicated(sys, replicas) / latency_secs.max(1e-9),
+        }
     }
 
     /// Simulated seconds to build all segment indexes.
@@ -415,6 +511,71 @@ mod tests {
             model.serving_overhead_factor(&SystemParams { max_read_concurrency: 64, ..base });
         assert_eq!(at, 1.0, "no penalty at or below the core count");
         assert!(over > 1.0);
+    }
+
+    #[test]
+    fn one_replica_perf_is_bitwise_the_unreplicated_cluster() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let costs = [flat_cost(), flat_cost()];
+        let a = model.cluster_perf(&costs, &sys, 10);
+        let b = model.replicated_cluster_perf(&costs, &sys, 10, 1);
+        assert_eq!(a.latency_secs.to_bits(), b.latency_secs.to_bits());
+        assert_eq!(a.qps.to_bits(), b.qps.to_bits());
+        assert_eq!(CostModel::replica_lag_ms(1), 0.0);
+        assert_eq!(
+            model.service_secs_from_qps(a.qps, &sys).to_bits(),
+            model.service_secs_from_qps_replicated(a.qps, &sys, 1).to_bits()
+        );
+        for t in [0.3, 1.7, 12.9] {
+            assert_eq!(
+                CostModel::consistency_wait_secs(&sys, t).to_bits(),
+                CostModel::consistency_wait_secs_replicated(&sys, t, 1).to_bits(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_scale_throughput_when_slots_are_scarce() {
+        // 2 read slots against 10 workload clients: the fleet is
+        // slot-starved, so doubling the replicas nearly doubles QPS.
+        let model = CostModel::default();
+        let sys = SystemParams { max_read_concurrency: 2, ..Default::default() };
+        let costs = [flat_cost()];
+        let one = model.replicated_cluster_perf(&costs, &sys, 10, 1);
+        let four = model.replicated_cluster_perf(&costs, &sys, 10, 4);
+        assert!(four.qps > one.qps * 2.0, "{} vs {}", four.qps, one.qps);
+        // Already at the workload's concurrency: extra replicas are pure
+        // scheduling overhead.
+        let wide = SystemParams { max_read_concurrency: 16, ..Default::default() };
+        let base = model.replicated_cluster_perf(&costs, &wide, 10, 1);
+        let over = model.replicated_cluster_perf(&costs, &wide, 10, 4);
+        assert!(over.qps < base.qps, "over-replication must not help: {}", over.qps);
+    }
+
+    #[test]
+    fn replica_staleness_shows_when_graceful_time_is_tight() {
+        // gracefulTime just covering the single-node lag: the follower
+        // replicas' extra WAL lag re-opens the stall window.
+        let model = CostModel::default();
+        let sys = SystemParams {
+            graceful_time_ms: CostModel::ingest_lag_ms(&SystemParams::default()) + 1.0,
+            ..Default::default()
+        };
+        let costs = [flat_cost()];
+        let one = model.replicated_cluster_perf(&costs, &sys, 10, 1);
+        let four = model.replicated_cluster_perf(&costs, &sys, 10, 4);
+        assert!(
+            four.latency_secs > one.latency_secs + 0.5 * 3.0 * REPLICA_LAG_MS_PER_COPY / 1_000.0,
+            "{} vs {}",
+            four.latency_secs,
+            one.latency_secs
+        );
+        // And the event-level wait sees it too.
+        let w1 = CostModel::consistency_wait_secs_replicated(&sys, 5.0, 1);
+        let w4 = CostModel::consistency_wait_secs_replicated(&sys, 5.0, 4);
+        assert!(w4 >= w1, "{w4} vs {w1}");
     }
 
     #[test]

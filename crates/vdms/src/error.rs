@@ -33,6 +33,12 @@ pub enum VdmsError {
     /// topology honest: the tuner never trains on a shape that was
     /// silently substituted by another.
     TopologyUnrealizable { requested_shards: usize, max_shards: usize },
+    /// The candidate requests more replicas per shard than the control
+    /// plane can deploy. Same contract as
+    /// [`VdmsError::TopologyUnrealizable`]: a typed refusal, never a
+    /// silent clamp, so the recorded replication factor is always the one
+    /// that actually served the workload.
+    ReplicationUnrealizable { requested_replicas: usize, max_replicas: usize },
     /// The configuration served the workload but violated the operator's
     /// serving-level objective: p99 latency above the SLO, or more than
     /// the tolerated fraction of requests shed from a full queue. Like a
@@ -70,6 +76,13 @@ impl std::fmt::Display for VdmsError {
                     f,
                     "topology unrealizable: candidate requests {requested_shards} query nodes \
                      but the backend deploys at most {max_shards}"
+                )
+            }
+            VdmsError::ReplicationUnrealizable { requested_replicas, max_replicas } => {
+                write!(
+                    f,
+                    "replication unrealizable: candidate requests {requested_replicas} replicas \
+                     but the backend deploys at most {max_replicas}"
                 )
             }
             VdmsError::SloViolation { p99_secs, slo_secs, shed } => {

@@ -27,7 +27,7 @@
 //! [`BackendInfo`] switches the evaluator's caching off.
 
 use crate::replay::{evaluate, evaluate_sharded, Outcome};
-use crate::serving::{simulate, ServingSpec};
+use crate::serving::{simulate_replicated, ServingSpec};
 use crate::Workload;
 use vdms::cluster::ClusterSpec;
 use vdms::{VdmsConfig, VdmsError};
@@ -46,6 +46,11 @@ pub struct BackendInfo {
     /// Query nodes serving the collection (1 for single-node backends; the
     /// ceiling for topology-tuning backends).
     pub shards: usize,
+    /// Replica groups of the backend's *fixed* deployment — what a
+    /// candidate carrying no replication request is served by. 1 for
+    /// single-copy backends and for topology backends (whose candidates
+    /// carry their own per-candidate request, which takes precedence).
+    pub replicas: usize,
     /// Whether `(config, seed)` fully determines the outcome. Enables the
     /// evaluator's result cache; a live-system backend reports `false`.
     pub deterministic: bool,
@@ -106,6 +111,7 @@ impl EvalBackend for SimBackend<'_> {
             dim: self.workload.dataset.dim(),
             top_k: self.workload.top_k,
             shards: 1,
+            replicas: 1,
             deterministic: true,
             space_dims: VdmsConfig::BASE_TUNABLES,
         }
@@ -152,11 +158,17 @@ impl<'a> ShardedSimBackend<'a> {
 
 impl EvalBackend for ShardedSimBackend<'_> {
     fn info(&self) -> BackendInfo {
+        let name = if self.spec.replicas > 1 {
+            format!("sharded-sim({}x{})", self.spec.shards, self.spec.replicas)
+        } else {
+            format!("sharded-sim({})", self.spec.shards)
+        };
         BackendInfo {
-            name: format!("sharded-sim({})", self.spec.shards),
+            name,
             dim: self.workload.dataset.dim(),
             top_k: self.workload.top_k,
             shards: self.spec.shards,
+            replicas: self.spec.replicas,
             deterministic: true,
             // The cluster shape is fixed per backend; candidates tune the
             // 16 base knobs only.
@@ -171,21 +183,48 @@ impl EvalBackend for ShardedSimBackend<'_> {
 
 /// The topology-tuning backend: the deployment shape is *part of the
 /// candidate*. Each configuration's requested shard count
-/// ([`VdmsConfig::shards`]) selects the cluster that serves it, with the
-/// single-node testbed budget split evenly across the requested nodes
-/// ([`ClusterSpec::new`]) — fanning out buys straggler-bounded latency at
-/// the price of per-node capacity and fixed overhead, so the tuner
-/// optimizes a real trade-off rather than a free knob.
+/// ([`VdmsConfig::shards`]) — and, when replication tuning is enabled, its
+/// requested replication factor ([`VdmsConfig::replicas`]) — selects the
+/// cluster that serves it, with the single-node testbed budget split
+/// evenly across **all** requested nodes ([`ClusterSpec::replicated`]:
+/// per-node budget = testbed / (shards · replicas)) — fanning out buys
+/// straggler-bounded latency, replicating buys read slots and routing
+/// freedom, and both pay in per-node capacity, fixed overhead and (for
+/// replicas) consistency staleness, so the tuner optimizes real
+/// trade-offs rather than free knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct TopologyBackend<'a> {
     workload: &'a Workload,
     max_shards: usize,
+    /// `None`: the 17-dim backend — candidates carry a shard request only.
+    /// `Some(max)`: the 18-dim backend — candidates must also carry a
+    /// replication request, realized up to `max` copies.
+    max_replicas: Option<usize>,
 }
 
 impl<'a> TopologyBackend<'a> {
-    /// A backend serving clusters of 1..=`max_shards` query nodes.
+    /// A backend serving unreplicated clusters of 1..=`max_shards` query
+    /// nodes (the 17-dimensional space of PR 3).
     pub fn new(workload: &'a Workload, max_shards: usize) -> TopologyBackend<'a> {
-        TopologyBackend { workload, max_shards: max_shards.max(1) }
+        TopologyBackend { workload, max_shards: max_shards.max(1), max_replicas: None }
+    }
+
+    /// A backend additionally serving 1..=`max_replicas` replicas of every
+    /// segment (the 18-dimensional space): candidates carry both a shard
+    /// and a replication request. `max_replicas == 1` still declares the
+    /// 18-dimensional space — that is what lets a frozen-at-1 replication
+    /// spec reproduce 17-dimensional tuning bit for bit against the same
+    /// control plane.
+    pub fn with_replication(
+        workload: &'a Workload,
+        max_shards: usize,
+        max_replicas: usize,
+    ) -> TopologyBackend<'a> {
+        TopologyBackend {
+            workload,
+            max_shards: max_shards.max(1),
+            max_replicas: Some(max_replicas.max(1)),
+        }
     }
 
     /// The workload this backend replays.
@@ -198,12 +237,18 @@ impl<'a> TopologyBackend<'a> {
         self.max_shards
     }
 
-    /// The cluster a candidate's topology request maps to, or a typed
+    /// Largest replication factor this backend will deploy (1 when
+    /// replication tuning is disabled).
+    pub fn max_replicas(&self) -> usize {
+        self.max_replicas.unwrap_or(1)
+    }
+
+    /// The cluster a candidate's deployment request maps to, or a typed
     /// refusal when the request exceeds what this control plane can
     /// deploy. Rejecting — instead of silently clamping — keeps the
-    /// recorded topology honest: the tuner and the evaluator's cache never
+    /// recorded shape honest: the tuner and the evaluator's cache never
     /// see a shape that was substituted by another. Missing requests
-    /// deploy the single-node testbed.
+    /// deploy the single-node, single-copy testbed.
     pub fn cluster_spec_for(&self, config: &VdmsConfig) -> Result<ClusterSpec, VdmsError> {
         let requested = config.shards.unwrap_or(1).max(1);
         if requested > self.max_shards {
@@ -212,20 +257,36 @@ impl<'a> TopologyBackend<'a> {
                 max_shards: self.max_shards,
             });
         }
-        Ok(ClusterSpec::new(requested))
+        let replicas = config.replicas.unwrap_or(1).max(1);
+        let ceiling = self.max_replicas();
+        if replicas > ceiling {
+            return Err(VdmsError::ReplicationUnrealizable {
+                requested_replicas: replicas,
+                max_replicas: ceiling,
+            });
+        }
+        Ok(ClusterSpec::replicated(requested, replicas))
     }
 }
 
 impl EvalBackend for TopologyBackend<'_> {
     fn info(&self) -> BackendInfo {
+        let name = match self.max_replicas {
+            Some(r) => format!("topology(1..={} x1..={r})", self.max_shards),
+            None => format!("topology(1..={})", self.max_shards),
+        };
         BackendInfo {
-            name: format!("topology(1..={})", self.max_shards),
+            name,
             dim: self.workload.dataset.dim(),
             top_k: self.workload.top_k,
             shards: self.max_shards,
+            // Candidates carry their own replication request; one without
+            // a request deploys a single copy.
+            replicas: 1,
             deterministic: true,
-            // 16 base knobs + the shard-count deployment knob.
-            space_dims: VdmsConfig::BASE_TUNABLES + 1,
+            // 16 base knobs + the shard-count deployment knob (+ the
+            // replication knob when enabled).
+            space_dims: VdmsConfig::BASE_TUNABLES + 1 + usize::from(self.max_replicas.is_some()),
         }
     }
 
@@ -315,10 +376,19 @@ impl<B: EvalBackend> EvalBackend for ServingBackend<'_, B> {
         if !out.is_ok() || self.spec.arrival_qps <= 0.0 {
             return out;
         }
-        let sys = config.sanitized(self.inner_info.dim, self.inner_info.top_k).system;
+        let cfg = config.sanitized(self.inner_info.dim, self.inner_info.top_k);
+        let sys = cfg.system;
+        // The replication the inner backend deployed for this candidate —
+        // the candidate's own request when it carries one (topology
+        // co-tuning), the inner backend's fixed deployment otherwise
+        // (e.g. a `ShardedSimBackend` pinned to a replicated spec). Each
+        // replica group gets its own queue and worker slots, and the
+        // router picks one per arrival.
+        let replicas = cfg.replicas.unwrap_or(self.inner_info.replicas);
         let model = &self.workload.cost_model;
-        let service = model.service_secs_from_qps(out.qps, &sys);
-        let trace = simulate(model, &sys, service, &self.spec, derive(seed, 0x5E2B));
+        let service = model.service_secs_from_qps_replicated(out.qps, &sys, replicas);
+        let trace =
+            simulate_replicated(model, &sys, service, &self.spec, derive(seed, 0x5E2B), replicas);
         let stats = trace.stats(&self.spec);
         if stats.violates_slo(&self.spec) {
             out.failure = Some(VdmsError::SloViolation {
@@ -326,6 +396,16 @@ impl<B: EvalBackend> EvalBackend for ServingBackend<'_, B> {
                 slo_secs: self.spec.slo_p99_secs.unwrap_or(f64::INFINITY),
                 shed: stats.shed,
             });
+            // An SLO violator's speed feedback is its measured *goodput*
+            // (completions under the timeout per second), not the offline
+            // QPS it failed to deliver under this load. The distinction
+            // only reaches a tuner while its history holds no success (the
+            // evaluator substitutes worst-in-history afterwards), but in
+            // that regime it is decisive: raw offline QPS rewards exactly
+            // the under-provisioned shapes that shed the most, steering
+            // the search *away* from deployments that could ever meet the
+            // SLO, while goodput rewards capacity actually delivered.
+            out.qps = stats.goodput_qps;
         }
         out.serving = Some(stats);
         out
@@ -444,6 +524,107 @@ mod tests {
     }
 
     #[test]
+    fn replication_backend_reports_the_18_dim_space() {
+        let w = make();
+        let info = TopologyBackend::with_replication(&w, 8, 4).info();
+        assert_eq!(info.space_dims, VdmsConfig::BASE_TUNABLES + 2);
+        assert_eq!(info.name, "topology(1..=8 x1..=4)");
+        // Even frozen-at-1 replication declares the 18-dim space: that is
+        // what lets a frozen spec reproduce 17-dim tuning against the
+        // same control plane.
+        let frozen = TopologyBackend::with_replication(&w, 8, 1).info();
+        assert_eq!(frozen.space_dims, VdmsConfig::BASE_TUNABLES + 2);
+        assert_eq!(TopologyBackend::new(&w, 8).info().space_dims, VdmsConfig::BASE_TUNABLES + 1);
+    }
+
+    #[test]
+    fn replication_backend_deploys_the_requested_copies() {
+        let w = make();
+        let b = TopologyBackend::with_replication(&w, 4, 4);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.system.segment_max_size_mb = 64.0;
+        cfg.system.segment_seal_proportion = 0.5;
+        cfg.shards = Some(2);
+        cfg.replicas = Some(1);
+        let one = b.evaluate(&cfg, 5);
+        cfg.replicas = Some(2);
+        let two = b.evaluate(&cfg, 5);
+        assert!(one.is_ok() && two.is_ok());
+        assert_eq!(one.recall.to_bits(), two.recall.to_bits(), "recall is replication-invariant");
+        assert!(two.memory_gib > one.memory_gib * 1.8, "copies are accounted per replica");
+        // Spec mapping: per-node budget = testbed / (shards · replicas).
+        let spec = b.cluster_spec_for(&cfg).unwrap();
+        assert_eq!(spec.nodes(), 4);
+        assert!((spec.shard_budget_gib - vdms::collection::MEMORY_BUDGET_GIB / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_backend_refuses_over_ceiling_requests() {
+        let w = make();
+        let b = TopologyBackend::with_replication(&w, 4, 2);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(2);
+        cfg.replicas = Some(8);
+        assert!(matches!(
+            b.cluster_spec_for(&cfg),
+            Err(VdmsError::ReplicationUnrealizable { requested_replicas: 8, max_replicas: 2 })
+        ));
+        let out = b.evaluate(&cfg, 5);
+        assert!(!out.is_ok());
+        assert_eq!(out.simulated_secs, 0.0, "refused before any work ran");
+        // The 17-dim backend refuses any replication request beyond one
+        // copy — it cannot realize the axis at all.
+        let narrow = TopologyBackend::new(&w, 4);
+        assert!(matches!(
+            narrow.cluster_spec_for(&cfg),
+            Err(VdmsError::ReplicationUnrealizable { max_replicas: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn serving_over_a_fixed_replicated_backend_simulates_every_group() {
+        // Regression: the serving phase used to derive the replica count
+        // from the candidate config only, so a fixed replicated inner
+        // backend (whose candidates carry no replication request) was
+        // simulated as a single group with a service time inverted from a
+        // fleet-scaled QPS — a deployment that was never measured.
+        use crate::serving::simulate_replicated;
+        use vecdata::rng::derive;
+        let w = make();
+        let spec = ServingSpec { arrival_qps: 120.0, requests: 300, ..Default::default() };
+        let cluster = ClusterSpec { shard_budget_gib: 125.0, ..ClusterSpec::replicated(1, 3) };
+        let inner = ShardedSimBackend::with_spec(&w, cluster);
+        assert_eq!(inner.info().replicas, 3);
+        let b = ServingBackend::new(&w, inner, spec);
+        let cfg = VdmsConfig::default_config();
+        assert_eq!(cfg.replicas, None, "fixed-backend candidates carry no request");
+        let out = b.evaluate(&cfg, 5);
+        let stats = out.serving.expect("serving phase ran");
+        // The trace must be the three-group simulation of the inner
+        // outcome, bit for bit.
+        let sys = cfg.sanitized(w.dataset.dim(), w.top_k).system;
+        let offline = inner.evaluate(&cfg, 5);
+        let service = w.cost_model.service_secs_from_qps_replicated(offline.qps, &sys, 3);
+        let expect = simulate_replicated(&w.cost_model, &sys, service, &spec, derive(5, 0x5E2B), 3)
+            .stats(&spec);
+        assert_eq!(stats, expect);
+    }
+
+    #[test]
+    fn serving_backend_exercises_the_requested_replicas() {
+        let w = make();
+        let spec = ServingSpec { arrival_qps: 80.0, requests: 300, ..Default::default() };
+        let b = ServingBackend::new(&w, TopologyBackend::with_replication(&w, 2, 4), spec);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(1);
+        cfg.replicas = Some(3);
+        let out = b.evaluate(&cfg, 5);
+        assert!(out.is_ok(), "{:?}", out.failure);
+        let stats = out.serving.expect("serving phase ran");
+        assert_eq!(stats.completed + stats.shed, 300);
+    }
+
+    #[test]
     fn more_shards_cost_memory_and_merge_overhead() {
         let w = make();
         // A layout with multiple sealed segments so sharding has work to
@@ -497,6 +678,25 @@ mod tests {
         assert!(!out.is_ok());
         assert!(matches!(out.failure, Some(VdmsError::SloViolation { .. })));
         assert!(out.serving.is_some(), "violators still report how far they missed");
+    }
+
+    #[test]
+    fn slo_violators_feed_back_goodput_not_offline_qps() {
+        let w = make();
+        let spec =
+            ServingSpec { arrival_qps: 50.0, requests: 200, ..Default::default() }.with_slo(1e-9);
+        let b = ServingBackend::over_sim(&w, spec);
+        let offline = SimBackend::new(&w).evaluate(&VdmsConfig::default_config(), 5);
+        let out = b.evaluate(&VdmsConfig::default_config(), 5);
+        assert!(!out.is_ok());
+        let stats = out.serving.expect("violators still carry stats");
+        assert_eq!(out.qps.to_bits(), stats.goodput_qps.to_bits());
+        assert_ne!(out.qps.to_bits(), offline.qps.to_bits());
+        // Non-violating evaluations keep the offline objectives, bitwise.
+        let ok = ServingBackend::over_sim(&w, spec.with_slo(f64::MAX))
+            .evaluate(&VdmsConfig::default_config(), 5);
+        assert!(ok.is_ok());
+        assert_eq!(ok.qps.to_bits(), offline.qps.to_bits());
     }
 
     #[test]

@@ -103,16 +103,20 @@ pub fn evaluate(workload: &Workload, config: &VdmsConfig, seed: u64) -> Outcome 
     )
 }
 
-/// Replay the workload under `config` on a sharded cluster.
+/// Replay the workload under `config` on a sharded (and possibly
+/// replicated) cluster.
 ///
 /// Same semantics as [`evaluate`], with the collection served by
-/// `spec.shards` query nodes: per-shard placement failures
-/// ([`VdmsError::ShardOutOfMemory`]) surface as failed outcomes exactly
-/// like single-node OOMs, the latency model pays the straggler shard plus
-/// the proxy merge ([`vdms::CostModel::cluster_perf`]), builds and loads
-/// proceed per node in parallel, and memory is the cluster aggregate.
-/// With `spec.shards == 1` (and the default budget) every field of the
-/// outcome is bit-identical to [`evaluate`].
+/// `spec.replicas` groups of `spec.shards` query nodes: per-shard
+/// placement failures ([`VdmsError::ShardOutOfMemory`]) surface as failed
+/// outcomes exactly like single-node OOMs, the latency model pays the
+/// straggler of the *routed* group plus the proxy merge and the
+/// slowest-replica consistency staleness
+/// ([`vdms::CostModel::replicated_cluster_perf`]), builds and loads
+/// proceed per node in parallel, and memory is the cluster aggregate —
+/// every copy accounted. With `spec.shards == 1`, one replica and the
+/// default budget, every field of the outcome is bit-identical to
+/// [`evaluate`].
 pub fn evaluate_sharded(
     workload: &Workload,
     config: &VdmsConfig,
@@ -125,11 +129,26 @@ pub fn evaluate_sharded(
         Err(e) => return load_failure_outcome(e),
     };
 
-    let (shard_totals, results) = cluster.run_queries(workload.top_k);
+    let (node_totals, results) = cluster.run_queries(workload.top_k);
     let nq = workload.dataset.n_queries().max(1) as u64;
+    // Fold per-node costs into per-*local-shard* totals: replica groups
+    // host identical placements, and every query charges exactly one
+    // group, so the fold conserves total work — the per-shard means are
+    // those of the unreplicated cluster, and replication's cost shows up
+    // in the perf law and the memory, not in the op counts.
+    let shards = cluster.shards();
+    let mut shard_totals = vec![anns::SearchCost::default(); shards];
+    for (n, c) in node_totals.iter().enumerate() {
+        shard_totals[n % shards].add(c);
+    }
     let shard_means: Vec<anns::SearchCost> =
         shard_totals.iter().map(|c| mean_cost(c, nq)).collect();
-    let perf = workload.cost_model.cluster_perf(&shard_means, &cfg.system, workload.top_k);
+    let perf = workload.cost_model.replicated_cluster_perf(
+        &shard_means,
+        &cfg.system,
+        workload.top_k,
+        cluster.replicas(),
+    );
     finish(
         workload,
         &cfg,

@@ -9,7 +9,8 @@
 //! * [`anns`] — the seven Milvus index types (FLAT, IVF_FLAT, IVF_SQ8,
 //!   IVF_PQ, HNSW, SCANN, AUTOINDEX),
 //! * [`vdms`] — the Milvus-like vector data management system simulator,
-//!   including the sharded multi-node serving layer (`vdms::cluster`),
+//!   including the sharded, replicated multi-node serving layer
+//!   (`vdms::cluster`: shard placement, replica groups, query routing),
 //! * [`workload`] — the vector-db-benchmark-style replay harness and the
 //!   evaluation-backend seam (`EvalBackend`: single-node `SimBackend`,
 //!   multi-node `ShardedSimBackend`, topology-tuning `TopologyBackend`,
@@ -46,7 +47,7 @@ pub use workload;
 pub mod prelude {
     pub use crate::core::{SpaceSpec, TunerOptions, TuningOutcome, VdTuner};
     pub use anns::params::IndexType;
-    pub use vdms::cluster::ClusterSpec;
+    pub use vdms::cluster::{ClusterSpec, RoutingPolicy};
     pub use vdms::config::VdmsConfig;
     pub use vecdata::{Dataset, DatasetKind, DatasetSpec};
     pub use workload::{

@@ -74,6 +74,43 @@ fn sharded_backend_run_is_thread_count_invariant() {
 }
 
 #[test]
+fn replicated_serving_run_is_thread_count_invariant() {
+    // The full 18-dim stack — replica placement, JSQ-routed serving,
+    // shed-charged percentiles — must still be a pure speedup: tuning
+    // histories (and the serving stats feeding SLO decisions) are
+    // bit-identical on 1 vs 4 rayon threads.
+    use vdtuner::core::SpaceSpec;
+    use vdtuner::workload::{ServingBackend, ServingSpec, TopologyBackend};
+    let w = tiny_workload();
+    let spec = ServingSpec { arrival_qps: 400.0, requests: 250, ..Default::default() };
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            VdTuner::with_space(
+                small_options(),
+                SpaceSpec::with_topology(2).with_replication(3),
+                42,
+            )
+            .run_batched_on(
+                ServingBackend::new(&w, TopologyBackend::with_replication(&w, 2, 3), spec),
+                10,
+                2,
+            )
+        })
+    };
+    let (a, b) = (run(1), run(4));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    for (oa, ob) in a.observations.iter().zip(&b.observations) {
+        match (oa.serving, ob.serving) {
+            (Some(sa), Some(sb)) => {
+                assert_eq!(sa.p99_latency_secs.to_bits(), sb.p99_latency_secs.to_bits());
+                assert_eq!(sa.shed, sb.shed);
+            }
+            (sa, sb) => assert_eq!(sa.is_some(), sb.is_some()),
+        }
+    }
+}
+
+#[test]
 fn sharded_backend_with_one_shard_matches_sim_backend_bitwise() {
     // Acceptance gate for the backend refactor: the cluster path at
     // shards = 1 is the single-node path, bit for bit, through the whole

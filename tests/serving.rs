@@ -14,7 +14,7 @@ use vdtuner::core::{TunerOptions, VdTuner};
 use vdtuner::prelude::*;
 use vdtuner::vdms::cost_model::CostModel;
 use vdtuner::vdms::system_params::SystemParams;
-use vdtuner::workload::serving::simulate;
+use vdtuner::workload::serving::{simulate, simulate_replicated};
 use vdtuner::workload::{Evaluator, ServingBackend, ServingSpec, SimBackend};
 
 fn tiny_workload() -> Workload {
@@ -30,7 +30,8 @@ proptest! {
 
     /// Same seed ⇒ bit-identical event trace no matter how many worker
     /// threads execute the simulation: every draw is a pure function of
-    /// the query index and the event loop is serial.
+    /// the query index and the event loop (including JSQ replica routing,
+    /// which reads per-group queue depths serially) is serial.
     #[test]
     fn serving_trace_is_thread_count_invariant(
         rate in 50.0f64..2_000.0,
@@ -39,6 +40,8 @@ proptest! {
         buf in 16.0f64..2_048.0,
         conc in 1usize..64,
         service_ms in 0.5f64..20.0,
+        replicas in 1usize..=4,
+        random_routing in 0u8..2,
         seed in 0u64..u64::MAX,
     ) {
         let model = CostModel::default();
@@ -48,16 +51,35 @@ proptest! {
             max_read_concurrency: conc,
             ..Default::default()
         };
-        let spec = ServingSpec { arrival_qps: rate, burstiness: burst, requests: 300, ..Default::default() };
+        let routing = if random_routing == 1 {
+            RoutingPolicy::Random { seed: seed ^ 0xABCD }
+        } else {
+            RoutingPolicy::JoinShortestQueue
+        };
+        let spec = ServingSpec {
+            arrival_qps: rate,
+            burstiness: burst,
+            requests: 300,
+            routing,
+            ..Default::default()
+        };
         let service = service_ms / 1_000.0;
-        let serial = with_threads(1, || simulate(&model, &sys, service, &spec, seed));
-        let parallel = with_threads(4, || simulate(&model, &sys, service, &spec, seed));
+        let serial =
+            with_threads(1, || simulate_replicated(&model, &sys, service, &spec, seed, replicas));
+        let parallel =
+            with_threads(4, || simulate_replicated(&model, &sys, service, &spec, seed, replicas));
         prop_assert_eq!(&serial, &parallel);
-        // Bit-level, not just PartialEq: fingerprint the latency trace.
-        let bits = |t: &vdtuner::workload::ServingTrace| -> Vec<u64> {
-            t.events.iter().map(|e| e.latency_secs().to_bits()).collect()
+        // Bit-level, not just PartialEq: fingerprint the latency trace and
+        // the routing decisions.
+        let bits = |t: &vdtuner::workload::ServingTrace| -> Vec<(u64, usize)> {
+            t.events.iter().map(|e| (e.latency_secs().to_bits(), e.replica)).collect()
         };
         prop_assert_eq!(bits(&serial), bits(&parallel));
+        // And the unreplicated entry point is the one-replica simulation.
+        if replicas == 1 {
+            let plain = with_threads(4, || simulate(&model, &sys, service, &spec, seed));
+            prop_assert_eq!(&serial, &plain);
+        }
     }
 
     /// The tuner-facing objectives of a served evaluation are the wrapped

@@ -31,6 +31,7 @@ fn assert_projection_stable(a: &VdmsConfig, b: &VdmsConfig) {
     assert_eq!(a.index_type, b.index_type);
     assert_eq!(a.index, b.index);
     assert_eq!(a.shards, b.shards);
+    assert_eq!(a.replicas, b.replicas);
     let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
     assert!(close(a.system.segment_max_size_mb, b.system.segment_max_size_mb));
     assert!(close(a.system.segment_seal_proportion, b.system.segment_seal_proportion));
@@ -58,6 +59,11 @@ fn check_roundtrip(spec: &SpaceSpec, u: &[f64]) {
     } else {
         assert_eq!(c1.shards, None);
     }
+    if spec.has_replication() {
+        assert!(c1.replicas.is_some());
+    } else {
+        assert_eq!(c1.replicas, None);
+    }
 }
 
 proptest! {
@@ -66,8 +72,8 @@ proptest! {
     /// encode ∘ decode is idempotent (up to float ulps) and stays in the
     /// unit cube, for random points across all index types and both specs.
     #[test]
-    fn encode_decode_idempotent_in_both_specs(
-        u in prop::collection::vec(0.0f64..=1.0, 17),
+    fn encode_decode_idempotent_in_all_specs(
+        u in prop::collection::vec(0.0f64..=1.0, 18),
         type_ord in 0usize..7,
     ) {
         // Force every index type to be exercised, not just the rounded mix.
@@ -75,16 +81,18 @@ proptest! {
         u[0] = type_ord as f64 / 6.0;
         check_roundtrip(&SpaceSpec::legacy(), &u);
         check_roundtrip(&SpaceSpec::with_topology(8), &u);
+        check_roundtrip(&SpaceSpec::with_topology(8).with_replication(4), &u);
+        check_roundtrip(&SpaceSpec::with_topology(8).with_pinned_replication(3), &u);
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The two specs agree on every base dimension: the topology spec is a
-    /// pure extension, never a reinterpretation.
+    /// The specs agree on every shared dimension: each extension is pure,
+    /// never a reinterpretation.
     #[test]
-    fn topology_spec_extends_the_legacy_spec(u in prop::collection::vec(0.0f64..=1.0, 17)) {
+    fn extended_specs_extend_the_legacy_spec(u in prop::collection::vec(0.0f64..=1.0, 18)) {
         let wide = SpaceSpec::with_topology(8).decode(&u).unwrap();
         let narrow = SpaceSpec::legacy().decode(&u).unwrap();
         prop_assert_eq!(wide.index_type, narrow.index_type);
@@ -92,6 +100,12 @@ proptest! {
         prop_assert_eq!(wide.system, narrow.system);
         prop_assert_eq!(narrow.shards, None);
         prop_assert!(matches!(wide.shards, Some(1..=8)));
+        let widest = SpaceSpec::with_topology(8).with_replication(4).decode(&u).unwrap();
+        prop_assert_eq!(widest.index, wide.index);
+        prop_assert_eq!(widest.system, wide.system);
+        prop_assert_eq!(widest.shards, wide.shards);
+        prop_assert_eq!(wide.replicas, None);
+        prop_assert!(matches!(widest.replicas, Some(1..=4)));
     }
 }
 
@@ -109,6 +123,10 @@ proptest! {
         prop_assert_eq!(
             SpaceSpec::with_topology(4).decode(&u),
             Err(SpaceError::TooFewCoords { expected: 17, got: len })
+        );
+        prop_assert_eq!(
+            SpaceSpec::with_topology(4).with_replication(4).decode(&u),
+            Err(SpaceError::TooFewCoords { expected: 18, got: len })
         );
     }
 }
