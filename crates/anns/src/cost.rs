@@ -71,6 +71,73 @@ impl std::ops::Add for SearchCost {
     }
 }
 
+/// Per-unit scan costs in nanoseconds: what one [`SearchCost`] dimension
+/// unit (or PQ lookup) costs when the cost model converts counters into
+/// latency.
+///
+/// [`ScanUnitCosts::ANALYTIC`] holds the workspace's original hand-picked
+/// constants; [`ScanUnitCosts::from_kernels_json`] derives the constants
+/// from the measured kernel throughputs that the `repro kernels` experiment
+/// writes to `results/kernels.json`, so quantization trade-offs in the cost
+/// model reflect this machine instead of an analytic guess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanUnitCosts {
+    /// ns per full-precision (f32) scan dimension unit.
+    pub f32_dim_ns: f64,
+    /// ns per quantized (u8/SQ8) scan dimension unit.
+    pub u8_dim_ns: f64,
+    /// ns per PQ ADC table lookup.
+    pub pq_lookup_ns: f64,
+}
+
+impl ScanUnitCosts {
+    /// The documented analytic fallback (the pre-calibration constants of
+    /// the VDMS cost model). Used whenever no measurement file is available
+    /// so default-constructed cost models stay bit-identical across hosts.
+    pub const ANALYTIC: ScanUnitCosts =
+        ScanUnitCosts { f32_dim_ns: 60.0, u8_dim_ns: 20.0, pq_lookup_ns: 25.0 };
+
+    /// Parse the `calibration` object of a `results/kernels.json` document
+    /// (see the schema rustdoc on `bench::report::emit_json`). Hand-rolled
+    /// number extraction — this workspace has no JSON dependency — returning
+    /// `None` unless all three keys parse to finite positive numbers.
+    pub fn from_kernels_json(text: &str) -> Option<ScanUnitCosts> {
+        let cal = &text[text.find("\"calibration\"")?..];
+        let get = |key: &str| -> Option<f64> {
+            let at = cal.find(&format!("\"{key}\""))?;
+            let rest = &cal[at + key.len() + 2..];
+            let colon = rest.find(':')?;
+            let num: String = rest[colon + 1..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                .collect();
+            let v: f64 = num.parse().ok()?;
+            (v.is_finite() && v > 0.0).then_some(v)
+        };
+        Some(ScanUnitCosts {
+            f32_dim_ns: get("f32_dim_ns")?,
+            u8_dim_ns: get("u8_dim_ns")?,
+            pq_lookup_ns: get("pq_lookup_ns")?,
+        })
+    }
+
+    /// Load calibrated constants from a `kernels.json` file, falling back
+    /// to [`ScanUnitCosts::ANALYTIC`] when the file is missing or invalid.
+    pub fn load_or_analytic(path: &std::path::Path) -> ScanUnitCosts {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| ScanUnitCosts::from_kernels_json(&text))
+            .unwrap_or(ScanUnitCosts::ANALYTIC)
+    }
+}
+
+impl Default for ScanUnitCosts {
+    fn default() -> Self {
+        ScanUnitCosts::ANALYTIC
+    }
+}
+
 /// Work performed (and memory consumed) while building an index.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BuildStats {
@@ -118,5 +185,39 @@ mod tests {
     fn zero_detection() {
         assert!(SearchCost::default().is_zero());
         assert!(!SearchCost { heap_pushes: 1, ..Default::default() }.is_zero());
+    }
+
+    #[test]
+    fn scan_unit_costs_parse_from_kernels_json() {
+        let text = r#"{
+          "experiment": "kernels",
+          "calibration": {
+            "f32_dim_ns": 1.25,
+            "u8_dim_ns": 0.5,
+            "pq_lookup_ns": 2e0,
+            "source": "measured"
+          }
+        }"#;
+        let c = ScanUnitCosts::from_kernels_json(text).unwrap();
+        assert_eq!(c.f32_dim_ns, 1.25);
+        assert_eq!(c.u8_dim_ns, 0.5);
+        assert_eq!(c.pq_lookup_ns, 2.0);
+    }
+
+    #[test]
+    fn scan_unit_costs_reject_missing_or_nonpositive_keys() {
+        assert!(ScanUnitCosts::from_kernels_json("{}").is_none());
+        let missing = r#"{"calibration": {"f32_dim_ns": 1.0, "u8_dim_ns": 0.5}}"#;
+        assert!(ScanUnitCosts::from_kernels_json(missing).is_none());
+        let negative =
+            r#"{"calibration": {"f32_dim_ns": -1.0, "u8_dim_ns": 0.5, "pq_lookup_ns": 2.0}}"#;
+        assert!(ScanUnitCosts::from_kernels_json(negative).is_none());
+    }
+
+    #[test]
+    fn scan_unit_costs_fall_back_to_analytic() {
+        let c = ScanUnitCosts::load_or_analytic(std::path::Path::new("/nonexistent/kernels.json"));
+        assert_eq!(c, ScanUnitCosts::ANALYTIC);
+        assert_eq!(ScanUnitCosts::default(), ScanUnitCosts::ANALYTIC);
     }
 }

@@ -3,8 +3,8 @@
 use crate::cost::{BuildStats, SearchCost};
 use crate::index::VectorIndex;
 use crate::params::SearchParams;
-use vecdata::distance::l2_sq;
-use vecdata::ground_truth::TopK;
+use vecdata::ground_truth::{TopK, SCAN_BLOCK_ROWS};
+use vecdata::kernel;
 use vecdata::Neighbor;
 
 /// Brute-force index: stores the raw vectors and scans all of them.
@@ -24,12 +24,21 @@ impl FlatIndex {
 
 impl VectorIndex for FlatIndex {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
+        // Exhaustive block scan through the dispatched kernel: same
+        // distances and push order as the old per-row loop, so results are
+        // bit-identical; the bulk cost below equals the per-row charges.
         let mut top = TopK::new(sp.top_k);
-        for (i, v) in self.data.chunks_exact(self.dim).enumerate() {
-            cost.add_f32_distance(self.dim);
-            let d = l2_sq(query, v);
-            top.push(i as u32, d);
+        let kern = kernel::active();
+        let mut scores = Vec::with_capacity(SCAN_BLOCK_ROWS);
+        let mut base = 0usize;
+        for block in self.data.chunks(SCAN_BLOCK_ROWS * self.dim) {
+            kern.l2_sq_block(query, block, self.dim, &mut scores);
+            for (j, &d) in scores.iter().enumerate() {
+                top.push((base + j) as u32, d);
+            }
+            base += block.len() / self.dim;
         }
+        cost.f32_dims += (self.len() * self.dim) as u64;
         cost.heap_pushes += self.len() as u64;
         top.into_sorted()
     }

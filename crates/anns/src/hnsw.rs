@@ -74,6 +74,10 @@ impl HnswIndex {
         &self.data[id as usize * self.dim..(id as usize + 1) * self.dim]
     }
 
+    /// Graph traversal visits nodes in data-dependent order (random access),
+    /// so there is no contiguous block to hand to the kernel's batched API;
+    /// each per-pair distance still runs on the dispatched SIMD kernel via
+    /// `l2_sq`.
     #[inline]
     fn dist(&self, a: &[f32], id: u32, dims: &mut u64) -> f32 {
         *dims += self.dim as u64;

@@ -2,18 +2,23 @@
 
 use crate::cost::{BuildStats, SearchCost};
 use crate::index::{BuildError, VectorIndex};
-use crate::ivf::IvfLists;
+use crate::ivf::{GroupedLists, IvfLists};
+use crate::kmeans::KMeans;
 use crate::params::{IndexParams, SearchParams};
-use vecdata::distance::l2_sq;
 use vecdata::ground_truth::TopK;
+use vecdata::kernel;
 use vecdata::Neighbor;
 
-/// IVF with raw vectors in the posting lists.
+/// IVF with raw vectors stored contiguously per posting list, scanned
+/// through the dispatched kernel's block API.
 #[derive(Debug, Clone)]
 pub struct IvfFlatIndex {
     dim: usize,
-    ivf: IvfLists,
-    data: Vec<f32>,
+    quantizer: KMeans,
+    groups: GroupedLists,
+    /// Vectors gathered into list-grouped contiguous rows: row `j` holds
+    /// the vector of `groups.ids[j]`.
+    list_data: Vec<f32>,
 }
 
 impl IvfFlatIndex {
@@ -28,32 +33,41 @@ impl IvfFlatIndex {
             return Err(BuildError::InvalidParam("nlist"));
         }
         let ivf = IvfLists::build(vectors, dim, params.nlist, seed, stats);
-        Ok(IvfFlatIndex { dim, ivf, data: vectors.to_vec() })
+        let groups = GroupedLists::from_lists(&ivf.lists);
+        let list_data = groups.gather_f32(vectors, dim);
+        Ok(IvfFlatIndex { dim, quantizer: ivf.quantizer, groups, list_data })
     }
 }
 
 impl VectorIndex for IvfFlatIndex {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
-        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let probes = self.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
         let mut top = TopK::new(sp.top_k);
+        let kern = kernel::active();
+        let mut scores = Vec::new();
         for c in probes {
             cost.lists_probed += 1;
-            for &id in &self.ivf.lists[c] {
-                let v = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
-                cost.add_f32_distance(self.dim);
-                cost.heap_pushes += 1;
-                top.push(id, l2_sq(query, v));
+            let r = self.groups.range(c);
+            let ids = &self.groups.ids[r.clone()];
+            let block = &self.list_data[r.start * self.dim..r.end * self.dim];
+            kern.l2_sq_block(query, block, self.dim, &mut scores);
+            cost.f32_dims += (ids.len() * self.dim) as u64;
+            cost.heap_pushes += ids.len() as u64;
+            for (j, &d) in scores.iter().enumerate() {
+                top.push(ids[j], d);
             }
         }
         top.into_sorted()
     }
 
     fn memory_bytes(&self) -> u64 {
-        self.ivf.memory_bytes() + (self.data.len() * 4) as u64
+        self.groups.memory_bytes()
+            + (self.quantizer.centroids.len() * 4) as u64
+            + (self.list_data.len() * 4) as u64
     }
 
     fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.list_data.len() / self.dim
     }
 }
 

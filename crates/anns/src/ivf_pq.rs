@@ -3,10 +3,11 @@
 
 use crate::cost::{BuildStats, SearchCost};
 use crate::index::{BuildError, VectorIndex};
-use crate::ivf::IvfLists;
-use crate::kmeans::KMeans;
+use crate::ivf::{GroupedLists, IvfLists};
+use crate::kmeans::{argmin, KMeans};
 use crate::params::{IndexParams, SearchParams};
 use vecdata::ground_truth::TopK;
+use vecdata::kernel;
 use vecdata::Neighbor;
 
 /// A trained product quantizer: `m` subspaces × `2^nbits` centroids each.
@@ -56,35 +57,31 @@ impl ProductQuantizer {
     }
 
     /// Encode a vector into `m` code bytes (one codebook index per subspace).
+    ///
+    /// Each codebook is a contiguous `ksub x dsub` block, so the argmin is
+    /// block-scored through the dispatched kernel; the strict-< tie rule
+    /// keeps codes identical to the old per-centroid loop.
     pub fn encode(&self, v: &[f32], out: &mut [u8]) {
+        let kern = kernel::active();
+        let mut scores = Vec::with_capacity(self.ksub);
         for s in 0..self.m {
             let sub = &v[s * self.dsub..(s + 1) * self.dsub];
-            let cb = &self.codebooks[s];
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for c in 0..self.ksub {
-                let cen = &cb[c * self.dsub..(c + 1) * self.dsub];
-                let d = vecdata::distance::l2_sq(sub, cen);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            out[s] = best as u8;
+            kern.l2_sq_block(sub, &self.codebooks[s], self.dsub, &mut scores);
+            out[s] = argmin(&scores) as u8;
         }
     }
 
-    /// Build the per-query ADC table: `m * ksub` partial squared distances.
+    /// Build the per-query ADC table: `m * ksub` partial squared distances,
+    /// one kernel block call per subspace codebook.
     pub fn adc_table(&self, query: &[f32], cost: &mut SearchCost) -> Vec<f32> {
+        let kern = kernel::active();
         let mut table = vec![0.0f32; self.m * self.ksub];
+        let mut scores = Vec::with_capacity(self.ksub);
         for s in 0..self.m {
             let sub = &query[s * self.dsub..(s + 1) * self.dsub];
-            let cb = &self.codebooks[s];
-            for c in 0..self.ksub {
-                let cen = &cb[c * self.dsub..(c + 1) * self.dsub];
-                table[s * self.ksub + c] = vecdata::distance::l2_sq(sub, cen);
-                cost.add_f32_distance(self.dsub);
-            }
+            kern.l2_sq_block(sub, &self.codebooks[s], self.dsub, &mut scores);
+            table[s * self.ksub..s * self.ksub + self.ksub].copy_from_slice(&scores);
+            cost.f32_dims += (self.ksub * self.dsub) as u64;
         }
         table
     }
@@ -105,12 +102,15 @@ impl ProductQuantizer {
     }
 }
 
-/// IVF over PQ codes.
+/// IVF over PQ codes, stored contiguously per posting list.
 #[derive(Debug, Clone)]
 pub struct IvfPqIndex {
-    ivf: IvfLists,
+    quantizer: KMeans,
+    groups: GroupedLists,
     pq: ProductQuantizer,
-    codes: Vec<u8>, // n * m
+    /// Codes gathered into list-grouped contiguous `m`-byte rows: row `j`
+    /// holds the code of `groups.ids[j]`.
+    list_codes: Vec<u8>,
     n: usize,
 }
 
@@ -134,30 +134,37 @@ impl IvfPqIndex {
             pq.encode(&vectors[i * dim..(i + 1) * dim], &mut codes[i * pq.m..(i + 1) * pq.m]);
         }
         stats.train_dims += (n * pq.m * pq.ksub * pq.dsub) as u64; // encode pass
-        let _ = dim;
-        Ok(IvfPqIndex { ivf, pq, codes, n })
+        let groups = GroupedLists::from_lists(&ivf.lists);
+        let list_codes = groups.gather_u8(&codes, pq.m);
+        Ok(IvfPqIndex { quantizer: ivf.quantizer, groups, pq, list_codes, n })
     }
 }
 
 impl VectorIndex for IvfPqIndex {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
-        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let probes = self.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
         let table = self.pq.adc_table(query, cost);
         let mut top = TopK::new(sp.top_k);
+        let m = self.pq.m;
         for c in probes {
             cost.lists_probed += 1;
-            for &id in &self.ivf.lists[c] {
-                let code = &self.codes[id as usize * self.pq.m..(id as usize + 1) * self.pq.m];
-                cost.pq_lookups += self.pq.m as u64;
-                cost.heap_pushes += 1;
-                top.push(id, self.pq.adc_distance(&table, code));
+            let r = self.groups.range(c);
+            let ids = &self.groups.ids[r.clone()];
+            let codes = &self.list_codes[r.start * m..r.end * m];
+            cost.pq_lookups += (ids.len() * m) as u64;
+            cost.heap_pushes += ids.len() as u64;
+            for (j, code) in codes.chunks_exact(m).enumerate() {
+                top.push(ids[j], self.pq.adc_distance(&table, code));
             }
         }
         top.into_sorted()
     }
 
     fn memory_bytes(&self) -> u64 {
-        self.ivf.memory_bytes() + self.codes.len() as u64 + self.pq.memory_bytes()
+        self.groups.memory_bytes()
+            + (self.quantizer.centroids.len() * 4) as u64
+            + self.list_codes.len() as u64
+            + self.pq.memory_bytes()
     }
 
     fn len(&self) -> usize {

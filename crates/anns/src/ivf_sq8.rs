@@ -7,9 +7,11 @@
 
 use crate::cost::{BuildStats, SearchCost};
 use crate::index::{BuildError, VectorIndex};
-use crate::ivf::IvfLists;
+use crate::ivf::{GroupedLists, IvfLists};
+use crate::kmeans::KMeans;
 use crate::params::{IndexParams, SearchParams};
 use vecdata::ground_truth::TopK;
+use vecdata::kernel;
 use vecdata::Neighbor;
 
 /// Per-dimension linear quantizer to `u8`.
@@ -45,26 +47,26 @@ impl ScalarQuantizer {
     }
 
     /// Squared L2 distance between a raw query and a quantized code,
-    /// evaluated by dequantizing on the fly (asymmetric distance).
+    /// evaluated by dequantizing on the fly (asymmetric distance). Routed
+    /// through the dispatched SIMD kernel; bit-identical to the original
+    /// sequential dequantize-and-accumulate loop.
     #[inline]
     pub fn asymmetric_l2(&self, query: &[f32], code: &[u8]) -> f32 {
-        let mut acc = 0.0f32;
-        for d in 0..query.len() {
-            let x = self.mins[d] + code[d] as f32 * self.scales[d];
-            let diff = query[d] - x;
-            acc += diff * diff;
-        }
-        acc
+        kernel::active().sq8_l2(query, code, &self.mins, &self.scales)
     }
 }
 
-/// IVF over SQ8 codes.
+/// IVF over SQ8 codes, stored contiguously per posting list so probed lists
+/// scan quantized codes through the kernel's asymmetric block API.
 #[derive(Debug, Clone)]
 pub struct IvfSq8Index {
     dim: usize,
-    ivf: IvfLists,
+    quantizer: KMeans,
+    groups: GroupedLists,
     sq: ScalarQuantizer,
-    codes: Vec<u8>, // n * dim
+    /// Codes gathered into list-grouped contiguous rows: row `j` holds the
+    /// code of `groups.ids[j]`.
+    list_codes: Vec<u8>,
 }
 
 impl IvfSq8Index {
@@ -86,32 +88,42 @@ impl IvfSq8Index {
             sq.encode(&vectors[i * dim..(i + 1) * dim], &mut codes[i * dim..(i + 1) * dim]);
         }
         stats.train_dims += vectors.len() as u64; // encode pass
-        Ok(IvfSq8Index { dim, ivf, sq, codes })
+        let groups = GroupedLists::from_lists(&ivf.lists);
+        let list_codes = groups.gather_u8(&codes, dim);
+        Ok(IvfSq8Index { dim, quantizer: ivf.quantizer, groups, sq, list_codes })
     }
 }
 
 impl VectorIndex for IvfSq8Index {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
-        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let probes = self.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
         let mut top = TopK::new(sp.top_k);
+        let kern = kernel::active();
+        let mut scores = Vec::new();
         for c in probes {
             cost.lists_probed += 1;
-            for &id in &self.ivf.lists[c] {
-                let code = &self.codes[id as usize * self.dim..(id as usize + 1) * self.dim];
-                cost.add_u8_distance(self.dim);
-                cost.heap_pushes += 1;
-                top.push(id, self.sq.asymmetric_l2(query, code));
+            let r = self.groups.range(c);
+            let ids = &self.groups.ids[r.clone()];
+            let codes = &self.list_codes[r.start * self.dim..r.end * self.dim];
+            kern.sq8_l2_block(query, codes, &self.sq.mins, &self.sq.scales, self.dim, &mut scores);
+            cost.u8_dims += (ids.len() * self.dim) as u64;
+            cost.heap_pushes += ids.len() as u64;
+            for (j, &d) in scores.iter().enumerate() {
+                top.push(ids[j], d);
             }
         }
         top.into_sorted()
     }
 
     fn memory_bytes(&self) -> u64 {
-        self.ivf.memory_bytes() + self.codes.len() as u64 + (self.sq.mins.len() * 8) as u64
+        self.groups.memory_bytes()
+            + (self.quantizer.centroids.len() * 4) as u64
+            + self.list_codes.len() as u64
+            + (self.sq.mins.len() * 8) as u64
     }
 
     fn len(&self) -> usize {
-        self.codes.len() / self.dim
+        self.list_codes.len() / self.dim
     }
 }
 
@@ -146,6 +158,22 @@ mod tests {
             let approx = sq.asymmetric_l2(&q, &code);
             assert!((exact - approx).abs() < 0.05, "exact {exact} approx {approx}");
         }
+    }
+
+    #[test]
+    fn asymmetric_distance_matches_legacy_sequential_loop_bitwise() {
+        let data: Vec<f32> = (0..123).map(|i| (i as f32 * 0.77).sin() * 2.0).collect();
+        let q: Vec<f32> = (0..41).map(|i| (i as f32 * 0.31).cos()).collect();
+        let sq = ScalarQuantizer::train(&data[..82], 41);
+        let mut code = vec![0u8; 41];
+        sq.encode(&data[82..], &mut code);
+        let mut legacy = 0.0f32;
+        for d in 0..q.len() {
+            let x = sq.mins[d] + code[d] as f32 * sq.scales[d];
+            let diff = q[d] - x;
+            legacy += diff * diff;
+        }
+        assert_eq!(sq.asymmetric_l2(&q, &code).to_bits(), legacy.to_bits());
     }
 
     #[test]

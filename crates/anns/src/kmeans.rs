@@ -7,6 +7,7 @@
 use crate::cost::BuildStats;
 use rand::Rng;
 use vecdata::distance::l2_sq;
+use vecdata::kernel;
 use vecdata::rng::rng;
 
 /// Result of k-means training: `k` centroids in a flat row-major buffer.
@@ -91,23 +92,20 @@ impl KMeans {
             stats.train_dims += (s * dim) as u64;
         }
 
-        // Lloyd iterations on the sample.
+        // Lloyd iterations on the sample. Assignment scores each point
+        // against the contiguous centroid block through the dispatched
+        // kernel; the strict-< argmin over identical distances keeps
+        // assignments bit-identical to the old per-centroid loop.
         let mut assign = vec![0usize; s];
         let mut counts = vec![0usize; k];
         let mut sums = vec![0.0f32; k * dim];
+        let kern = kernel::active();
+        let mut scores = Vec::with_capacity(k);
         for _ in 0..LLOYD_ITERS {
             for (j, &i) in sample.iter().enumerate() {
                 let v = &data[i * dim..(i + 1) * dim];
-                let mut best = 0usize;
-                let mut best_d = f32::INFINITY;
-                for c in 0..k {
-                    let d = l2_sq(v, &centroids[c * dim..(c + 1) * dim]);
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
-                    }
-                }
-                assign[j] = best;
+                kern.l2_sq_block(v, &centroids, dim, &mut scores);
+                assign[j] = argmin(&scores);
             }
             stats.train_dims += (s * k * dim) as u64;
             counts.iter_mut().for_each(|c| *c = 0);
@@ -147,26 +145,21 @@ impl KMeans {
         &self.centroids[c * self.dim..(c + 1) * self.dim]
     }
 
-    /// Index of the nearest centroid to `v`.
+    /// Index of the nearest centroid to `v` (block-scored through the
+    /// dispatched kernel; 0 when `k == 0`, like the old loop).
     #[inline]
     pub fn nearest(&self, v: &[f32]) -> usize {
-        let mut best = 0usize;
-        let mut best_d = f32::INFINITY;
-        for c in 0..self.k {
-            let d = l2_sq(v, self.centroid(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        best
+        let mut scores = Vec::with_capacity(self.k);
+        kernel::active().l2_sq_block(v, &self.centroids, self.dim, &mut scores);
+        argmin(&scores)
     }
 
     /// Indices of the `p` nearest centroids (sorted by ascending distance),
     /// recording the scan cost.
     pub fn nearest_n(&self, v: &[f32], p: usize, cost_dims: &mut u64) -> Vec<usize> {
-        let mut ds: Vec<(f32, usize)> =
-            (0..self.k).map(|c| (l2_sq(v, self.centroid(c)), c)).collect();
+        let mut scores = Vec::with_capacity(self.k);
+        kernel::active().l2_sq_block(v, &self.centroids, self.dim, &mut scores);
+        let mut ds: Vec<(f32, usize)> = scores.into_iter().zip(0..self.k).collect();
         *cost_dims += (self.k * self.dim) as u64;
         let p = p.min(self.k);
         ds.select_nth_unstable_by(p.saturating_sub(1), |a, b| a.0.total_cmp(&b.0));
@@ -174,6 +167,21 @@ impl KMeans {
         top.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         top.into_iter().map(|(_, c)| c).collect()
     }
+}
+
+/// First index of the smallest score (strict `<`, so ties keep the earliest
+/// index — same as the argmin loops this replaced). Returns 0 when empty.
+#[inline]
+pub(crate) fn argmin(scores: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, &d) in scores.iter().enumerate() {
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

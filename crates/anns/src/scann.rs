@@ -10,21 +10,28 @@
 
 use crate::cost::{BuildStats, SearchCost};
 use crate::index::{BuildError, VectorIndex};
-use crate::ivf::IvfLists;
+use crate::ivf::{GroupedLists, IvfLists};
 use crate::ivf_pq::ProductQuantizer;
+use crate::kmeans::KMeans;
 use crate::params::{nearest_divisor, IndexParams, SearchParams};
 use vecdata::distance::l2_sq;
 use vecdata::ground_truth::TopK;
 use vecdata::Neighbor;
 
-/// SCANN-like two-stage index.
+/// SCANN-like two-stage index. Stage-1 PQ codes are stored contiguously per
+/// posting list; the re-ranking stage gathers full-precision rows by id
+/// (random access, so it stays per-pair through the kernel-routed `l2_sq`).
 #[derive(Debug, Clone)]
 pub struct ScannIndex {
     dim: usize,
-    ivf: IvfLists,
+    quantizer: KMeans,
+    groups: GroupedLists,
     pq: ProductQuantizer,
-    codes: Vec<u8>,
-    /// Full-precision vectors kept for the re-ranking stage.
+    /// Codes gathered into list-grouped contiguous rows (row `j` encodes
+    /// `groups.ids[j]`).
+    list_codes: Vec<u8>,
+    /// Full-precision vectors kept for the re-ranking stage, in original
+    /// id order (re-ranking indexes by candidate id, not list position).
     data: Vec<f32>,
 }
 
@@ -49,24 +56,36 @@ impl ScannIndex {
             pq.encode(&vectors[i * dim..(i + 1) * dim], &mut codes[i * pq.m..(i + 1) * pq.m]);
         }
         stats.train_dims += (n * pq.m * pq.ksub * pq.dsub) as u64;
-        Ok(ScannIndex { dim, ivf, pq, codes, data: vectors.to_vec() })
+        let groups = GroupedLists::from_lists(&ivf.lists);
+        let list_codes = groups.gather_u8(&codes, pq.m);
+        Ok(ScannIndex {
+            dim,
+            quantizer: ivf.quantizer,
+            groups,
+            pq,
+            list_codes,
+            data: vectors.to_vec(),
+        })
     }
 }
 
 impl VectorIndex for ScannIndex {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
-        let probes = self.ivf.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
+        let probes = self.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
         let table = self.pq.adc_table(query, cost);
         // First pass: collect reorder_k candidates by ADC distance.
         let reorder_k = sp.reorder_k.max(sp.top_k);
+        let m = self.pq.m;
         let mut stage1 = TopK::new(reorder_k);
         for c in probes {
             cost.lists_probed += 1;
-            for &id in &self.ivf.lists[c] {
-                let code = &self.codes[id as usize * self.pq.m..(id as usize + 1) * self.pq.m];
-                cost.pq_lookups += self.pq.m as u64;
-                cost.heap_pushes += 1;
-                stage1.push(id, self.pq.adc_distance(&table, code));
+            let r = self.groups.range(c);
+            let ids = &self.groups.ids[r.clone()];
+            let codes = &self.list_codes[r.start * m..r.end * m];
+            cost.pq_lookups += (ids.len() * m) as u64;
+            cost.heap_pushes += ids.len() as u64;
+            for (j, code) in codes.chunks_exact(m).enumerate() {
+                stage1.push(ids[j], self.pq.adc_distance(&table, code));
             }
         }
         // Second pass: exact re-ranking of the survivors.
@@ -80,8 +99,9 @@ impl VectorIndex for ScannIndex {
     }
 
     fn memory_bytes(&self) -> u64 {
-        self.ivf.memory_bytes()
-            + self.codes.len() as u64
+        self.groups.memory_bytes()
+            + (self.quantizer.centroids.len() * 4) as u64
+            + self.list_codes.len() as u64
             + self.pq.memory_bytes()
             + (self.data.len() * 4) as u64
     }

@@ -33,6 +33,63 @@ fn bench_distance(c: &mut Criterion) {
     });
 }
 
+/// Scalar vs dispatched kernel throughput: the per-op and block entry
+/// points plus the SQ8 asymmetric quantized scan (the `repro kernels`
+/// experiment measures the same paths and writes `results/kernels.json`).
+fn bench_kernels(c: &mut Criterion) {
+    use anns::ivf_sq8::ScalarQuantizer;
+    use vecdata::kernel;
+
+    let dim = 96usize;
+    let rows = 2000usize;
+    let ds =
+        DatasetSpec { n: rows, dim, n_queries: 10, seed: 1, kind: DatasetKind::Glove }.generate();
+    let q = ds.query(0).to_vec();
+    let sq = ScalarQuantizer::train(ds.raw(), dim);
+    let mut codes = vec![0u8; rows * dim];
+    for i in 0..rows {
+        sq.encode(ds.vector(i), &mut codes[i * dim..(i + 1) * dim]);
+    }
+
+    let mut g = c.benchmark_group("kernel_96d_x2000");
+    for (name, kern) in [("scalar", kernel::select(true)), ("dispatched", kernel::select(false))] {
+        g.bench_function(&format!("l2_pairwise/{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for v in ds.iter() {
+                    acc += kern.l2_sq(black_box(&q), v);
+                }
+                acc
+            })
+        });
+        g.bench_function(&format!("l2_block/{name}"), |b| {
+            let mut scores = Vec::with_capacity(rows);
+            b.iter(|| {
+                kern.l2_sq_block(black_box(&q), ds.raw(), dim, &mut scores);
+                scores[rows - 1]
+            })
+        });
+        g.bench_function(&format!("dot3_fused_angular/{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for v in ds.iter() {
+                    let [aa, bb, ab] = kern.dot3(black_box(&q), v);
+                    acc += aa + bb + ab;
+                }
+                acc
+            })
+        });
+        g.bench_function(&format!("sq8_scan/{name}"), |b| {
+            let mut scores = Vec::with_capacity(rows);
+            b.iter(|| {
+                kern.sq8_l2_block(black_box(&q), &codes, &sq.mins, &sq.scales, dim, &mut scores);
+                scores[rows - 1]
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_index_build(c: &mut Criterion) {
     let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
     let params = IndexParams::default().sanitized(ds.dim(), 10);
@@ -118,7 +175,7 @@ fn bench_tuner_propose(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_distance, bench_index_build, bench_index_search, bench_replay,
-              bench_gp, bench_acquisition, bench_tuner_propose
+    targets = bench_distance, bench_kernels, bench_index_build, bench_index_search,
+              bench_replay, bench_gp, bench_acquisition, bench_tuner_propose
 }
 criterion_main!(benches);

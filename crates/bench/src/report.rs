@@ -150,6 +150,34 @@ pub fn emit(name: &str, title: &str, table: &Table) {
 ///   (bool|null — `true` means the co-tuned winner's measured p99 at the
 ///   top rate beats every fixed arm's, arms with no deployable winner
 ///   counting as beaten).
+///
+/// ## `results/kernels.json` schema
+///
+/// Written by `repro kernels` and consumed both by the CI `repro-smoke`
+/// job and by `anns::cost::ScanUnitCosts::from_kernels_json` (which
+/// `vdms::CostModel::calibrated` uses to replace the analytic scan
+/// constants with this machine's measured values). Top-level keys (all
+/// required):
+///
+/// * `experiment` (str, `"kernels"`), `seed` (int);
+/// * `dispatched_kernel` (str) — the kernel runtime dispatch selected on
+///   this host (`"scalar"`, `"avx2"`, or `"avx512"`); `forced_scalar`
+///   (bool) — whether `VDTUNER_FORCE_SCALAR` pinned dispatch to scalar;
+/// * `f32` (array of obj, one per metric × dim point) — each: `metric`
+///   (str, `"l2"` | `"dot"` | `"angular"`), `dim` (int), `scalar_mdps` /
+///   `dispatched_mdps` (num, millions of dimension units per second),
+///   `speedup` (num, dispatched / scalar);
+/// * `sq8` (obj) — the quantized-scan comparison on the GloVe replay:
+///   `dataset` (str), `f32_scan_mdps` / `sq8_scan_mdps` (num, full-scan
+///   throughput through the dispatched kernel), `speedup` (num, sq8 /
+///   f32), `recall_sq8` (num, top-10 recall of the quantized scan against
+///   exact ground truth), `recall_delta` (num, `1 - recall_sq8`);
+/// * `calibration` (obj) — ns per [`anns::cost::SearchCost`] unit derived
+///   from the measurements: `f32_dim_ns`, `u8_dim_ns`, `pq_lookup_ns`
+///   (num, all finite and positive — the parser in
+///   `ScanUnitCosts::from_kernels_json` rejects the document otherwise
+///   and the cost model falls back to its analytic constants), `source`
+///   (str, `"measured"`).
 pub fn emit_json(name: &str, json: &JsonValue) {
     let path = results_dir().join(format!("{name}.json"));
     if let Err(e) = json.validate() {

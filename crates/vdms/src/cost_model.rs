@@ -7,11 +7,13 @@
 //! see DESIGN.md.
 
 use crate::system_params::SystemParams;
-use anns::cost::SearchCost;
+use anns::cost::{ScanUnitCosts, SearchCost};
 
 /// Per-operation latency constants, in nanoseconds.
 pub mod unit_costs {
-    /// One f32 multiply-add dimension of distance work.
+    /// One f32 multiply-add dimension of distance work (analytic default;
+    /// [`super::CostModel::calibrated`] replaces the scan constants with
+    /// values measured by the `repro kernels` experiment).
     pub const F32_DIM_NS: f64 = 60.0;
     /// One u8 (scalar-quantized) dimension.
     pub const U8_DIM_NS: f64 = 20.0;
@@ -65,11 +67,16 @@ pub struct CostModel {
     /// serving-side analogue of the offline throughput law's
     /// over-provisioning penalty.
     pub query_node_cores: usize,
+    /// Per-unit scan costs. Defaults to [`ScanUnitCosts::ANALYTIC`] (the
+    /// historical constants, keeping default-constructed models
+    /// bit-identical across hosts); [`CostModel::calibrated`] swaps in the
+    /// measured values from `results/kernels.json` when present.
+    pub scan: ScanUnitCosts,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { workload_concurrency: 10, query_node_cores: 16 }
+        CostModel { workload_concurrency: 10, query_node_cores: 16, scan: ScanUnitCosts::ANALYTIC }
     }
 }
 
@@ -184,16 +191,26 @@ impl CostModel {
         eff / (1.0 + 0.04 * (over - 1.0))
     }
 
+    /// A cost model whose scan constants come from the measured kernel
+    /// throughputs in `results/kernels.json` (written by `repro kernels`),
+    /// falling back to the analytic constants when no measurement exists.
+    pub fn calibrated() -> CostModel {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results")
+            .join("kernels.json");
+        CostModel { scan: ScanUnitCosts::load_or_analytic(&path), ..Default::default() }
+    }
+
     /// Convert one query's accumulated counts into latency and QPS.
     pub fn query_perf(&self, cost: &SearchCost, sys: &SystemParams) -> QueryPerf {
         use unit_costs::*;
         let chunk = Self::chunk_factor(sys.chunk_rows);
-        let scan_ns = cost.f32_dims as f64 * F32_DIM_NS
-            + cost.u8_dims as f64 * U8_DIM_NS
-            + cost.pq_lookups as f64 * PQ_LOOKUP_NS;
+        let scan_ns = cost.f32_dims as f64 * self.scan.f32_dim_ns
+            + cost.u8_dims as f64 * self.scan.u8_dim_ns
+            + cost.pq_lookups as f64 * self.scan.pq_lookup_ns;
         // Graph-traversal distances pay a small random-access premium but
         // are immune to the chunking factor.
-        let graph_ns = cost.graph_dims as f64 * F32_DIM_NS * 1.1;
+        let graph_ns = cost.graph_dims as f64 * self.scan.f32_dim_ns * 1.1;
         let fixed_ns = cost.graph_hops as f64 * GRAPH_HOP_NS
             + cost.heap_pushes as f64 * HEAP_PUSH_NS
             + cost.lists_probed as f64 * LIST_PROBE_NS
@@ -357,6 +374,35 @@ mod tests {
         let perf = model.query_perf(&flat_cost(), &SystemParams::default());
         // The paper's Figure 2 shows FLAT in the low hundreds of QPS.
         assert!(perf.qps > 100.0 && perf.qps < 1500.0, "FLAT qps {}", perf.qps);
+    }
+
+    #[test]
+    fn default_model_uses_analytic_scan_constants() {
+        // The scan field must default to the historical constants so every
+        // existing default-constructed model stays bit-identical.
+        let model = CostModel::default();
+        assert_eq!(model.scan, ScanUnitCosts::ANALYTIC);
+        assert_eq!(model.scan.f32_dim_ns, unit_costs::F32_DIM_NS);
+        assert_eq!(model.scan.u8_dim_ns, unit_costs::U8_DIM_NS);
+        assert_eq!(model.scan.pq_lookup_ns, unit_costs::PQ_LOOKUP_NS);
+    }
+
+    #[test]
+    fn calibrated_scan_constants_change_query_perf() {
+        let sys = SystemParams::default();
+        let base = CostModel::default();
+        let fast = CostModel {
+            scan: ScanUnitCosts { f32_dim_ns: 1.0, u8_dim_ns: 0.3, pq_lookup_ns: 0.5 },
+            ..Default::default()
+        };
+        let b = base.query_perf(&flat_cost(), &sys);
+        let f = fast.query_perf(&flat_cost(), &sys);
+        assert!(f.qps > b.qps, "measured (faster) constants must raise modelled qps");
+        // calibrated() must always produce a usable model, whether or not a
+        // kernels.json exists in this checkout.
+        let cal = CostModel::calibrated();
+        assert!(cal.scan.f32_dim_ns > 0.0 && cal.scan.f32_dim_ns.is_finite());
+        assert!(cal.scan.u8_dim_ns > 0.0 && cal.scan.pq_lookup_ns > 0.0);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! Sizes are scaled down by default so that full tuning runs complete in
 //! seconds; `DatasetSpec::paper_full` restores paper-scale dimensions.
 
-use crate::distance::{normalize_in_place, Metric};
+use crate::distance::{norm, normalize_in_place, Metric};
 use crate::rng::{derive, fill_gaussian, rng};
 use rand::Rng;
 
@@ -135,6 +135,10 @@ pub struct Dataset {
     pub metric: Metric,
     data: Vec<f32>,
     queries: Vec<f32>,
+    /// Per-vector Euclidean norms, precomputed at ingest for metrics that
+    /// need them at query time ([`Metric::Angular`], [`Metric::InnerProduct`]);
+    /// empty for [`Metric::L2`].
+    norms: Vec<f32>,
 }
 
 impl Dataset {
@@ -154,7 +158,13 @@ impl Dataset {
                 normalize_in_place(row);
             }
         }
-        Dataset { spec, metric, data, queries }
+        let norms = match metric {
+            Metric::Angular | Metric::InnerProduct => {
+                data.chunks_exact(spec.dim.max(1)).map(norm).collect()
+            }
+            Metric::L2 => Vec::new(),
+        };
+        Dataset { spec, metric, data, queries, norms }
     }
 
     /// Number of base vectors.
@@ -197,6 +207,23 @@ impl Dataset {
     /// Iterate over base vectors.
     pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
         self.data.chunks_exact(self.spec.dim)
+    }
+
+    /// Norm of the `i`-th base vector: precomputed at ingest for
+    /// norm-consuming metrics, computed on the fly otherwise. Bit-identical
+    /// to `norm(self.vector(i))` either way.
+    #[inline]
+    pub fn stored_norm(&self, i: usize) -> f32 {
+        if self.norms.is_empty() {
+            norm(self.vector(i))
+        } else {
+            self.norms[i]
+        }
+    }
+
+    /// All precomputed base-vector norms (empty for [`Metric::L2`]).
+    pub fn stored_norms(&self) -> &[f32] {
+        &self.norms
     }
 }
 
@@ -409,6 +436,15 @@ mod tests {
             mean_abs_offdiag_corr(&kw) < mean_abs_offdiag_corr(&glove),
             "keyword-match should have lower inter-dimension correlation"
         );
+    }
+
+    #[test]
+    fn stored_norms_match_recomputation_bitwise() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        assert_eq!(ds.stored_norms().len(), ds.len());
+        for i in 0..ds.len() {
+            assert_eq!(ds.stored_norm(i).to_bits(), norm(ds.vector(i)).to_bits());
+        }
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! similar* for [`Metric::L2`] and [`Metric::Angular`], while inner product
 //! is negated so that every metric can be handled as a minimization problem
 //! by the index implementations.
+//!
+//! These free functions are thin wrappers over the process-wide dispatched
+//! [`crate::kernel`] (scalar / AVX2 / optional AVX-512), all of which are
+//! bit-identical to the original scalar loops. Mismatched slice lengths are
+//! a hard assert in release builds too — the old behavior of silently
+//! truncating to the shorter slice masked dimension bugs.
+
+use crate::kernel;
 
 /// Similarity metric attached to a dataset/collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,7 +28,6 @@ impl Metric {
     /// Distance between two vectors under this metric. Lower is more similar.
     #[inline]
     pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
         match self {
             Metric::L2 => l2_sq(a, b),
             Metric::InnerProduct => -dot(a, b),
@@ -38,49 +45,16 @@ impl Metric {
     }
 }
 
-/// Dot product of two equally sized slices.
-///
-/// Written as a chunked loop so LLVM reliably vectorizes it; this is the
-/// single hottest function in the workspace.
+/// Dot product of two equally sized slices (hard-asserts equal lengths).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f32; 8];
-    let chunks = n / 8;
-    for i in 0..chunks {
-        let off = i * 8;
-        for lane in 0..8 {
-            acc[lane] += a[off + lane] * b[off + lane];
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in chunks * 8..n {
-        sum += a[i] * b[i];
-    }
-    sum
+    kernel::active().dot(a, b)
 }
 
-/// Squared L2 distance.
+/// Squared L2 distance (hard-asserts equal lengths).
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f32; 8];
-    let chunks = n / 8;
-    for i in 0..chunks {
-        let off = i * 8;
-        for lane in 0..8 {
-            let d = a[off + lane] - b[off + lane];
-            acc[lane] += d * d;
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in chunks * 8..n {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    kernel::active().l2_sq(a, b)
 }
 
 /// Euclidean norm.
@@ -90,10 +64,26 @@ pub fn norm(a: &[f32]) -> f32 {
 }
 
 /// Angular (cosine) distance: `1 - cos(a, b)`, in `[0, 2]`.
+///
+/// Computed in a single fused pass over both slices ([`crate::kernel::Kernel::dot3`]);
+/// each of the three sums is bit-identical to the separate `dot`/`norm`
+/// calls the old three-pass implementation made.
 #[inline]
 pub fn angular(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm(a);
-    let nb = norm(b);
+    let [aa, bb, ab] = kernel::active().dot3(a, b);
+    let na = aa.sqrt();
+    let nb = bb.sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - ab / (na * nb)
+}
+
+/// Angular distance when both norms are already known (e.g. stored at
+/// ingest): one `dot` pass instead of three. Bit-identical to [`angular`]
+/// whenever `na`/`nb` were produced by [`norm`] on the same slices.
+#[inline]
+pub fn angular_with_norms(a: &[f32], b: &[f32], na: f32, nb: f32) -> f32 {
     if na == 0.0 || nb == 0.0 {
         return 1.0;
     }
@@ -153,6 +143,15 @@ mod tests {
     }
 
     #[test]
+    fn angular_with_norms_matches_fused_angular() {
+        let a: Vec<f32> = (0..53).map(|i| (i as f32 * 0.31).cos()).collect();
+        let b: Vec<f32> = (0..53).map(|i| (i as f32 * 0.17).sin() - 0.2).collect();
+        let with = angular_with_norms(&a, &b, norm(&a), norm(&b));
+        assert_eq!(with.to_bits(), angular(&a, &b).to_bits());
+        assert_eq!(angular_with_norms(&a, &b, 0.0, norm(&b)), 1.0);
+    }
+
+    #[test]
     fn inner_product_metric_is_negated() {
         let a = [1.0f32, 2.0];
         let b = [3.0f32, 4.0];
@@ -180,5 +179,17 @@ mod tests {
         let b = [1.0f32, 0.0];
         assert!((Metric::L2.distance(&a, &b) - 2.0).abs() < 1e-6);
         assert!((Metric::Angular.distance(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_hard_assert_in_dot() {
+        dot(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_hard_assert_in_l2() {
+        l2_sq(&[1.0], &[1.0, 2.0]);
     }
 }

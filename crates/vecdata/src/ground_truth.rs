@@ -6,6 +6,8 @@
 //! tuner evaluations.
 
 use crate::dataset::Dataset;
+use crate::distance::{norm, Metric};
+use crate::kernel;
 use std::cmp::Ordering;
 
 /// One exact nearest neighbor: id plus distance under the dataset metric.
@@ -101,13 +103,58 @@ impl TopK {
 }
 
 /// Exact top-k neighbors of `query` among all base vectors.
+///
+/// Scans the contiguous row-major base data through the dispatched kernel's
+/// block API in chunks of [`SCAN_BLOCK_ROWS`] rows; for norm-consuming
+/// metrics the stored per-vector norms are reused and the query norm is
+/// computed once. Distances (and therefore results) are bit-identical to
+/// the per-vector `metric.distance(query, v)` loop this replaces.
 pub fn exact_top_k(dataset: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
     let mut top = TopK::new(k);
-    for (i, v) in dataset.iter().enumerate() {
-        top.push(i as u32, dataset.metric.distance(query, v));
+    let dim = dataset.dim();
+    if dataset.is_empty() {
+        return top.into_sorted();
+    }
+    let kern = kernel::active();
+    let raw = dataset.raw();
+    let mut scores = Vec::with_capacity(SCAN_BLOCK_ROWS);
+    let nq = match dataset.metric {
+        Metric::Angular => norm(query),
+        _ => 0.0,
+    };
+    let mut base = 0usize;
+    for block in raw.chunks(SCAN_BLOCK_ROWS * dim) {
+        match dataset.metric {
+            Metric::L2 => {
+                kern.l2_sq_block(query, block, dim, &mut scores);
+                for (j, &d) in scores.iter().enumerate() {
+                    top.push((base + j) as u32, d);
+                }
+            }
+            Metric::InnerProduct => {
+                kern.dot_block(query, block, dim, &mut scores);
+                for (j, &d) in scores.iter().enumerate() {
+                    top.push((base + j) as u32, -d);
+                }
+            }
+            Metric::Angular => {
+                kern.dot_block(query, block, dim, &mut scores);
+                for (j, &d) in scores.iter().enumerate() {
+                    let nv = dataset.stored_norm(base + j);
+                    let dist = if nq == 0.0 || nv == 0.0 { 1.0 } else { 1.0 - d / (nq * nv) };
+                    top.push((base + j) as u32, dist);
+                }
+            }
+        }
+        base += block.len() / dim;
     }
     top.into_sorted()
 }
+
+/// Rows scored per kernel block call in [`exact_top_k`]: bounds the
+/// temporary score buffer while keeping each call large enough to amortize
+/// dispatch.
+pub const SCAN_BLOCK_ROWS: usize = 1024;
 
 /// Exact top-k neighbor ids for every query in the dataset.
 ///
@@ -200,6 +247,30 @@ mod tests {
         assert_eq!(recall(&[4, 5, 6], &[1, 2, 3]), 0.0);
         assert!((recall(&[1, 9], &[1, 2]) - 0.5).abs() < 1e-12);
         assert_eq!(recall(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn block_scan_matches_per_vector_loop_bitwise() {
+        // The block-scored scan must reproduce the legacy per-vector
+        // `metric.distance` loop exactly, for every metric.
+        let mut ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        for metric in [Metric::Angular, Metric::L2, Metric::InnerProduct] {
+            ds.metric = metric;
+            for qi in 0..3 {
+                let q = ds.query(qi);
+                let fast = exact_top_k(&ds, q, 7);
+                let mut slow = TopK::new(7);
+                for (i, v) in ds.iter().enumerate() {
+                    slow.push(i as u32, ds.metric.distance(q, v));
+                }
+                let slow = slow.into_sorted();
+                assert_eq!(fast.len(), slow.len());
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert_eq!(a.id, b.id, "{metric:?}");
+                    assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{metric:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //!
 //! This crate provides everything "below" the ANNS indexes:
 //!
+//! * [`kernel`] — runtime-dispatched SIMD distance kernels (scalar / AVX2 /
+//!   optional AVX-512) that are bit-identical to the scalar reference,
 //! * [`distance`] — distance metrics (L2, inner product, angular/cosine)
-//!   with the flat-slice layout used across the workspace,
+//!   with the flat-slice layout used across the workspace, routed through
+//!   the active kernel,
 //! * [`dataset`] — deterministic synthetic dataset generators that mimic the
 //!   statistical signatures of the datasets evaluated in the VDTuner paper
 //!   (GloVe, Keyword-match, Geo-radius, ArXiv-titles, deep-image),
@@ -18,6 +21,7 @@
 pub mod dataset;
 pub mod distance;
 pub mod ground_truth;
+pub mod kernel;
 pub mod rng;
 
 pub use dataset::{Dataset, DatasetKind, DatasetSpec};
