@@ -97,15 +97,13 @@ impl ScanUnitCosts {
     pub const ANALYTIC: ScanUnitCosts =
         ScanUnitCosts { f32_dim_ns: 60.0, u8_dim_ns: 20.0, pq_lookup_ns: 25.0 };
 
-    /// Parse the `calibration` object of a `results/kernels.json` document
-    /// (see the schema rustdoc on `bench::report::emit_json`). Hand-rolled
+    /// Parse the three unit-cost keys from a JSON object slice. Hand-rolled
     /// number extraction — this workspace has no JSON dependency — returning
     /// `None` unless all three keys parse to finite positive numbers.
-    pub fn from_kernels_json(text: &str) -> Option<ScanUnitCosts> {
-        let cal = &text[text.find("\"calibration\"")?..];
+    fn parse_unit_costs(obj: &str) -> Option<ScanUnitCosts> {
         let get = |key: &str| -> Option<f64> {
-            let at = cal.find(&format!("\"{key}\""))?;
-            let rest = &cal[at + key.len() + 2..];
+            let at = obj.find(&format!("\"{key}\""))?;
+            let rest = &obj[at + key.len() + 2..];
             let colon = rest.find(':')?;
             let num: String = rest[colon + 1..]
                 .trim_start()
@@ -122,12 +120,38 @@ impl ScanUnitCosts {
         })
     }
 
+    /// Parse the legacy top-level `calibration` object of a
+    /// `results/kernels.json` document (see the schema rustdoc on
+    /// `bench::report::emit_json`). This block always holds the *exact*
+    /// tier's constants.
+    pub fn from_kernels_json(text: &str) -> Option<ScanUnitCosts> {
+        ScanUnitCosts::parse_unit_costs(&text[text.find("\"calibration\"")?..])
+    }
+
+    /// Parse one entry of the per-tier `tiers` object (`"exact"` or
+    /// `"fast"`) of a `results/kernels.json` document.
+    pub fn from_kernels_json_tier(text: &str, tier: &str) -> Option<ScanUnitCosts> {
+        let tiers = &text[text.find("\"tiers\"")?..];
+        ScanUnitCosts::parse_unit_costs(&tiers[tiers.find(&format!("\"{tier}\""))?..])
+    }
+
     /// Load calibrated constants from a `kernels.json` file, falling back
     /// to [`ScanUnitCosts::ANALYTIC`] when the file is missing or invalid.
     pub fn load_or_analytic(path: &std::path::Path) -> ScanUnitCosts {
+        ScanUnitCosts::load_tier_or_analytic(path, "exact")
+    }
+
+    /// Load one tier's calibrated constants from a `kernels.json` file.
+    /// Falls back to the legacy top-level `calibration` block (exact-tier
+    /// measurements from files predating the tiered schema), then to
+    /// [`ScanUnitCosts::ANALYTIC`].
+    pub fn load_tier_or_analytic(path: &std::path::Path, tier: &str) -> ScanUnitCosts {
         std::fs::read_to_string(path)
             .ok()
-            .and_then(|text| ScanUnitCosts::from_kernels_json(&text))
+            .and_then(|text| {
+                ScanUnitCosts::from_kernels_json_tier(&text, tier)
+                    .or_else(|| ScanUnitCosts::from_kernels_json(&text))
+            })
             .unwrap_or(ScanUnitCosts::ANALYTIC)
     }
 }
@@ -212,6 +236,44 @@ mod tests {
         let negative =
             r#"{"calibration": {"f32_dim_ns": -1.0, "u8_dim_ns": 0.5, "pq_lookup_ns": 2.0}}"#;
         assert!(ScanUnitCosts::from_kernels_json(negative).is_none());
+    }
+
+    #[test]
+    fn scan_unit_costs_parse_per_tier() {
+        let text = r#"{
+          "experiment": "kernels",
+          "calibration": {
+            "f32_dim_ns": 1.25, "u8_dim_ns": 0.5, "pq_lookup_ns": 2.0
+          },
+          "tiers": {
+            "exact": { "f32_dim_ns": 1.25, "u8_dim_ns": 0.5, "pq_lookup_ns": 2.0 },
+            "fast": { "f32_dim_ns": 0.25, "u8_dim_ns": 0.125, "pq_lookup_ns": 0.0625 }
+          }
+        }"#;
+        let exact = ScanUnitCosts::from_kernels_json_tier(text, "exact").unwrap();
+        assert_eq!(exact.f32_dim_ns, 1.25);
+        assert_eq!(exact.pq_lookup_ns, 2.0);
+        let fast = ScanUnitCosts::from_kernels_json_tier(text, "fast").unwrap();
+        assert_eq!(fast.f32_dim_ns, 0.25);
+        assert_eq!(fast.u8_dim_ns, 0.125);
+        assert_eq!(fast.pq_lookup_ns, 0.0625);
+        // Legacy parser still sees the top-level block.
+        assert_eq!(ScanUnitCosts::from_kernels_json(text).unwrap(), exact);
+    }
+
+    #[test]
+    fn tier_load_falls_back_to_legacy_calibration_block() {
+        // Files predating the tiered schema have only `calibration`; both
+        // tiers then resolve to it rather than the analytic constants.
+        let text = r#"{"calibration": {"f32_dim_ns": 1.0, "u8_dim_ns": 2.0, "pq_lookup_ns": 3.0}}"#;
+        assert!(ScanUnitCosts::from_kernels_json_tier(text, "fast").is_none());
+        let dir = std::env::temp_dir().join("vdtuner_cost_tier_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kernels.json");
+        std::fs::write(&path, text).unwrap();
+        let fast = ScanUnitCosts::load_tier_or_analytic(&path, "fast");
+        assert_eq!(fast.u8_dim_ns, 2.0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

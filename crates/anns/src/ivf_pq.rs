@@ -72,18 +72,35 @@ impl ProductQuantizer {
     }
 
     /// Build the per-query ADC table: `m * ksub` partial squared distances,
-    /// one kernel block call per subspace codebook.
+    /// one kernel block call per subspace codebook. Allocating convenience
+    /// wrapper over [`ProductQuantizer::adc_table_into`].
     pub fn adc_table(&self, query: &[f32], cost: &mut SearchCost) -> Vec<f32> {
+        let mut table = Vec::new();
+        let mut scores = Vec::new();
+        self.adc_table_into(query, &mut table, &mut scores, cost);
+        table
+    }
+
+    /// Build the ADC table into caller-owned buffers (`scores` is kernel
+    /// scratch). With warm buffers this does zero allocations, so batched
+    /// search pays no per-query allocation in the table step. The filled
+    /// `table` is identical to what [`ProductQuantizer::adc_table`] returns.
+    pub fn adc_table_into(
+        &self,
+        query: &[f32],
+        table: &mut Vec<f32>,
+        scores: &mut Vec<f32>,
+        cost: &mut SearchCost,
+    ) {
         let kern = kernel::active();
-        let mut table = vec![0.0f32; self.m * self.ksub];
-        let mut scores = Vec::with_capacity(self.ksub);
+        table.clear();
+        table.resize(self.m * self.ksub, 0.0);
         for s in 0..self.m {
             let sub = &query[s * self.dsub..(s + 1) * self.dsub];
-            kern.l2_sq_block(sub, &self.codebooks[s], self.dsub, &mut scores);
-            table[s * self.ksub..s * self.ksub + self.ksub].copy_from_slice(&scores);
+            kern.l2_sq_block(sub, &self.codebooks[s], self.dsub, scores);
+            table[s * self.ksub..s * self.ksub + self.ksub].copy_from_slice(scores);
             cost.f32_dims += (self.ksub * self.dsub) as u64;
         }
-        table
     }
 
     /// Approximate squared distance of a code via the ADC table.
@@ -102,6 +119,56 @@ impl ProductQuantizer {
     }
 }
 
+/// Quantize a 4-bit ADC table (`m × 16` f32 entries) into the `u8` LUT
+/// layout the fast tier's `adc4_lut16_block` kernel consumes. Entries are
+/// offset by their subspace minimum and scaled by one shared step, so a
+/// scored sum reconstructs as `bias + delta · sum`. Returns `(bias, delta)`;
+/// `luts` is resized to `m * 16`.
+pub fn quantize_adc4_table(table: &[f32], m: usize, luts: &mut Vec<u8>) -> (f32, f32) {
+    assert_eq!(table.len(), m * 16, "quantize_adc4_table: table is not m x 16");
+    luts.clear();
+    luts.resize(m * 16, 0);
+    let mut bias = 0.0f32;
+    let mut span_max = 0.0f32;
+    for s in 0..m {
+        let row = &table[s * 16..s * 16 + 16];
+        let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        bias += lo;
+        span_max = span_max.max(hi - lo);
+    }
+    let delta = (span_max / 255.0).max(1e-20);
+    for s in 0..m {
+        let row = &table[s * 16..s * 16 + 16];
+        let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
+        for c in 0..16 {
+            luts[s * 16 + c] = (((row[c] - lo) / delta).round()).clamp(0.0, 255.0) as u8;
+        }
+    }
+    (bias, delta)
+}
+
+/// Reusable per-thread scratch for PQ search: the ADC table, kernel score
+/// buffers, and the fast tier's quantized LUT / integer-sum buffers. Batched
+/// search does zero per-query allocations once these are warm.
+#[derive(Debug, Default)]
+pub struct PqScratch {
+    pub table: Vec<f32>,
+    pub scores: Vec<f32>,
+    pub luts: Vec<u8>,
+    pub sums: Vec<u32>,
+}
+
+thread_local! {
+    static PQ_SCRATCH: std::cell::RefCell<PqScratch> =
+        std::cell::RefCell::new(PqScratch::default());
+}
+
+/// Run `f` with this thread's warm [`PqScratch`].
+pub(crate) fn with_pq_scratch<R>(f: impl FnOnce(&mut PqScratch) -> R) -> R {
+    PQ_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// IVF over PQ codes, stored contiguously per posting list.
 #[derive(Debug, Clone)]
 pub struct IvfPqIndex {
@@ -112,6 +179,12 @@ pub struct IvfPqIndex {
     /// holds the code of `groups.ids[j]`.
     list_codes: Vec<u8>,
     n: usize,
+    /// Fast tier ([`kernel::KernelPolicy::Fast`]): score probed lists with
+    /// the SIMD ADC kernels instead of the scalar per-byte loop.
+    fast: bool,
+    /// Per-list 4-bit codes in the fast tier's packed batch-of-32 layout
+    /// (built only when `fast` and `ksub == 16`).
+    packed4: Option<Vec<Vec<u8>>>,
 }
 
 impl IvfPqIndex {
@@ -136,35 +209,93 @@ impl IvfPqIndex {
         stats.train_dims += (n * pq.m * pq.ksub * pq.dsub) as u64; // encode pass
         let groups = GroupedLists::from_lists(&ivf.lists);
         let list_codes = groups.gather_u8(&codes, pq.m);
-        Ok(IvfPqIndex { quantizer: ivf.quantizer, groups, pq, list_codes, n })
+        let mut idx = IvfPqIndex {
+            quantizer: ivf.quantizer,
+            groups,
+            pq,
+            list_codes,
+            n,
+            fast: false,
+            packed4: None,
+        };
+        if kernel::active_policy() == kernel::KernelPolicy::Fast {
+            idx.set_fast_tier(true);
+        }
+        Ok(idx)
+    }
+
+    /// Toggle the fast-tier scoring path (on by default when the process
+    /// policy is `VDTUNER_KERNEL=fast`; exposed so tests and benches can
+    /// exercise both tiers in one process). Turning it on packs 4-bit codes
+    /// into the SIMD LUT layout; turning it off drops them.
+    pub fn set_fast_tier(&mut self, on: bool) {
+        self.fast = on;
+        if on && self.pq.ksub == 16 && self.packed4.is_none() {
+            let m = self.pq.m;
+            let packed = (0..self.groups.n_lists())
+                .map(|c| {
+                    let r = self.groups.range(c);
+                    kernel::pack_codes4(&self.list_codes[r.start * m..r.end * m], m)
+                })
+                .collect();
+            self.packed4 = Some(packed);
+        }
+        if !on {
+            self.packed4 = None;
+        }
     }
 }
 
 impl VectorIndex for IvfPqIndex {
     fn search(&self, query: &[f32], sp: &SearchParams, cost: &mut SearchCost) -> Vec<Neighbor> {
         let probes = self.quantizer.nearest_n(query, sp.nprobe, &mut cost.f32_dims);
-        let table = self.pq.adc_table(query, cost);
         let mut top = TopK::new(sp.top_k);
         let m = self.pq.m;
-        for c in probes {
-            cost.lists_probed += 1;
-            let r = self.groups.range(c);
-            let ids = &self.groups.ids[r.clone()];
-            let codes = &self.list_codes[r.start * m..r.end * m];
-            cost.pq_lookups += (ids.len() * m) as u64;
-            cost.heap_pushes += ids.len() as u64;
-            for (j, code) in codes.chunks_exact(m).enumerate() {
-                top.push(ids[j], self.pq.adc_distance(&table, code));
+        with_pq_scratch(|scratch| {
+            self.pq.adc_table_into(query, &mut scratch.table, &mut scratch.scores, cost);
+            // Fast tier with 4-bit codes: one shared quantized LUT per query.
+            let lut4 = if self.fast && self.pq.ksub == 16 && self.packed4.is_some() {
+                Some(quantize_adc4_table(&scratch.table, m, &mut scratch.luts))
+            } else {
+                None
+            };
+            let kern = if self.fast { kernel::fast() } else { kernel::active() };
+            for c in probes {
+                cost.lists_probed += 1;
+                let r = self.groups.range(c);
+                let ids = &self.groups.ids[r.clone()];
+                let codes = &self.list_codes[r.start * m..r.end * m];
+                cost.pq_lookups += (ids.len() * m) as u64;
+                cost.heap_pushes += ids.len() as u64;
+                if let Some((bias, delta)) = lut4 {
+                    let packed = &self.packed4.as_ref().unwrap()[c];
+                    kern.adc4_lut16_block(&scratch.luts, packed, m, ids.len(), &mut scratch.sums);
+                    for (j, &s) in scratch.sums.iter().enumerate() {
+                        top.push(ids[j], bias + delta * s as f32);
+                    }
+                } else if self.fast {
+                    kern.adc_block(&scratch.table, self.pq.ksub, codes, m, &mut scratch.scores);
+                    for (j, &d) in scratch.scores.iter().enumerate() {
+                        top.push(ids[j], d);
+                    }
+                } else {
+                    for (j, code) in codes.chunks_exact(m).enumerate() {
+                        top.push(ids[j], self.pq.adc_distance(&scratch.table, code));
+                    }
+                }
             }
-        }
+        });
         top.into_sorted()
     }
 
     fn memory_bytes(&self) -> u64 {
+        let packed: u64 =
+            self.packed4.as_ref().map(|p| p.iter().map(|l| l.len() as u64).sum()).unwrap_or(0);
         self.groups.memory_bytes()
             + (self.quantizer.centroids.len() * 4) as u64
             + self.list_codes.len() as u64
             + self.pq.memory_bytes()
+            + packed
     }
 
     fn len(&self) -> usize {
@@ -235,6 +366,75 @@ mod tests {
         let recall = acc / ds.n_queries() as f64;
         // PQ is lossy; exhaustive probing should still recover most neighbors.
         assert!(recall > 0.5, "IVF_PQ recall {recall}");
+    }
+
+    #[test]
+    fn adc_table_into_matches_allocating_path_bitwise() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let mut stats = BuildStats::default();
+        let pq = ProductQuantizer::train(ds.raw(), ds.dim(), 8, 6, 3, &mut stats).unwrap();
+        // Warm, dirty scratch from a previous "query": must be fully
+        // overwritten, never appended to.
+        let mut table = vec![99.0f32; 7];
+        let mut scores = vec![42.0f32; 3];
+        for qi in 0..ds.n_queries() {
+            let mut c1 = SearchCost::default();
+            let mut c2 = SearchCost::default();
+            let want = pq.adc_table(ds.query(qi), &mut c1);
+            pq.adc_table_into(ds.query(qi), &mut table, &mut scores, &mut c2);
+            assert_eq!(table.len(), want.len());
+            for (a, b) in table.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(c1.f32_dims, c2.f32_dims);
+        }
+    }
+
+    #[test]
+    fn quantized_adc4_lut_reconstructs_table_sums() {
+        let m = 6usize;
+        let table: Vec<f32> = (0..m * 16).map(|i| ((i as f32) * 0.91).sin().abs() * 2.0).collect();
+        let mut luts = Vec::new();
+        let (bias, delta) = quantize_adc4_table(&table, m, &mut luts);
+        // Any code row's quantized sum must land within m quantization steps
+        // of the exact table sum.
+        for trial in 0..32u32 {
+            let code: Vec<u8> = (0..m).map(|s| ((trial as usize * 5 + s * 3) % 16) as u8).collect();
+            let exact: f32 = (0..m).map(|s| table[s * 16 + code[s] as usize]).sum();
+            let sum: u32 = (0..m).map(|s| luts[s * 16 + code[s] as usize] as u32).sum();
+            let approx = bias + delta * sum as f32;
+            assert!(
+                (approx - exact).abs() <= delta * m as f32 + 1e-5,
+                "exact {exact} approx {approx} delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_tier_search_matches_exact_ids_closely() {
+        let ds = DatasetSpec::tiny(DatasetKind::Glove).generate();
+        let params =
+            IndexParams { nlist: 8, m: 8, nbits: 4, ..Default::default() }.sanitized(ds.dim(), 10);
+        let mut stats = BuildStats::default();
+        let mut idx = IvfPqIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+        let sp = SearchParams { nprobe: 8, ef: 0, reorder_k: 0, top_k: 10 };
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for qi in 0..ds.n_queries() {
+            let mut cost = SearchCost::default();
+            idx.set_fast_tier(false);
+            let exact: Vec<u32> =
+                idx.search(ds.query(qi), &sp, &mut cost).iter().map(|n| n.id).collect();
+            idx.set_fast_tier(true);
+            assert!(idx.packed4.is_some(), "4-bit codes must pack for the fast tier");
+            let fast: Vec<u32> =
+                idx.search(ds.query(qi), &sp, &mut cost).iter().map(|n| n.id).collect();
+            total += exact.len();
+            overlap += fast.iter().filter(|id| exact.contains(id)).count();
+        }
+        // The quantized LUT only perturbs distances by ≤ m quantization
+        // steps; top-10 membership stays essentially intact.
+        assert!(overlap as f64 >= 0.9 * total as f64, "fast/exact top-k overlap {overlap}/{total}");
     }
 
     #[test]

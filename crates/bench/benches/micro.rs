@@ -34,9 +34,12 @@ fn bench_distance(c: &mut Criterion) {
 }
 
 /// Scalar vs dispatched kernel throughput: the per-op and block entry
-/// points plus the SQ8 asymmetric quantized scan (the `repro kernels`
+/// points, the SQ8 asymmetric quantized scan, the PQ ADC scoring paths
+/// (scalar lookup loop, fast-tier 8-bit gather, fast-tier 4-bit shuffle
+/// LUT), and the fast-tier symmetric int8 scan (the `repro kernels`
 /// experiment measures the same paths and writes `results/kernels.json`).
 fn bench_kernels(c: &mut Criterion) {
+    use anns::ivf_pq::{quantize_adc4_table, ProductQuantizer};
     use anns::ivf_sq8::ScalarQuantizer;
     use vecdata::kernel;
 
@@ -87,6 +90,81 @@ fn bench_kernels(c: &mut Criterion) {
             })
         });
     }
+
+    // Fast-tier cases: the PQ ADC scoring paths and the symmetric int8
+    // scan, each against its scalar reference loop.
+    let fast = kernel::fast();
+    let mut stats = anns::cost::BuildStats::default();
+    let mut cost = SearchCost::default();
+
+    // 8-bit PQ (m = 12 over 96 dims, ksub = 256): scalar table-lookup loop
+    // vs the fast tier's gathered block scorer.
+    let pq = ProductQuantizer::train(ds.raw(), dim, 12, 8, 0xADC, &mut stats).unwrap();
+    let mut pq_codes = vec![0u8; rows * pq.m];
+    for i in 0..rows {
+        pq.encode(ds.vector(i), &mut pq_codes[i * pq.m..(i + 1) * pq.m]);
+    }
+    let table = pq.adc_table(&q, &mut cost);
+    g.bench_function("pq_adc8/scalar_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for code in pq_codes.chunks_exact(pq.m) {
+                acc += pq.adc_distance(black_box(&table), code);
+            }
+            acc
+        })
+    });
+    g.bench_function("pq_adc8/fast_gather", |b| {
+        let mut scores = Vec::with_capacity(rows);
+        b.iter(|| {
+            fast.adc_block(black_box(&table), pq.ksub, &pq_codes, pq.m, &mut scores);
+            scores[rows - 1]
+        })
+    });
+
+    // 4-bit PQ (SCANN stage-1 shape): scalar loop vs the vpshufb 16-entry
+    // LUT block scorer over nibble-packed codes.
+    let pq4 = ProductQuantizer::train(ds.raw(), dim, 12, 4, 0xADC4, &mut stats).unwrap();
+    let mut pq4_codes = vec![0u8; rows * pq4.m];
+    for i in 0..rows {
+        pq4.encode(ds.vector(i), &mut pq4_codes[i * pq4.m..(i + 1) * pq4.m]);
+    }
+    let table4 = pq4.adc_table(&q, &mut cost);
+    g.bench_function("pq_adc4/scalar_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for code in pq4_codes.chunks_exact(pq4.m) {
+                acc += pq4.adc_distance(black_box(&table4), code);
+            }
+            acc
+        })
+    });
+    let packed4 = kernel::pack_codes4(&pq4_codes, pq4.m);
+    let mut luts = Vec::new();
+    quantize_adc4_table(&table4, pq4.m, &mut luts);
+    g.bench_function("pq_adc4/fast_lut16", |b| {
+        let mut sums = Vec::with_capacity(rows);
+        b.iter(|| {
+            fast.adc4_lut16_block(black_box(&luts), &packed4, pq4.m, rows, &mut sums);
+            sums[rows - 1]
+        })
+    });
+
+    // Symmetric int8 scan (query and codes both quantized on the shared
+    // step) vs the asymmetric scan already benched above.
+    let mut sym_codes = vec![0u8; rows * dim];
+    for i in 0..rows {
+        sq.encode_sym(ds.vector(i), &mut sym_codes[i * dim..(i + 1) * dim]);
+    }
+    let mut qcode = vec![0u8; dim];
+    sq.encode_sym(&q, &mut qcode);
+    g.bench_function("sq8_sym_scan/fast", |b| {
+        let mut sums = Vec::with_capacity(rows);
+        b.iter(|| {
+            fast.sq8_sym_l2_block(black_box(&qcode), &sym_codes, dim, &mut sums);
+            sums[rows - 1]
+        })
+    });
     g.finish();
 }
 

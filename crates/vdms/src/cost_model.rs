@@ -194,11 +194,19 @@ impl CostModel {
     /// A cost model whose scan constants come from the measured kernel
     /// throughputs in `results/kernels.json` (written by `repro kernels`),
     /// falling back to the analytic constants when no measurement exists.
+    /// The calibration tier follows the process kernel policy: under
+    /// `VDTUNER_KERNEL=fast` the model prices scans with the fast-tier
+    /// measurements, so the tuner's latency surface matches the kernels the
+    /// indexes actually run.
     pub fn calibrated() -> CostModel {
+        let tier = match vecdata::kernel::active_policy() {
+            vecdata::kernel::KernelPolicy::Exact => "exact",
+            vecdata::kernel::KernelPolicy::Fast => "fast",
+        };
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../../results")
             .join("kernels.json");
-        CostModel { scan: ScanUnitCosts::load_or_analytic(&path), ..Default::default() }
+        CostModel { scan: ScanUnitCosts::load_tier_or_analytic(&path, tier), ..Default::default() }
     }
 
     /// Convert one query's accumulated counts into latency and QPS.

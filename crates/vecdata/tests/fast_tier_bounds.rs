@@ -1,0 +1,172 @@
+//! Property tests for the fast kernel tier's correctness contract: the
+//! relaxed-order FMA kernels stay within an accumulation-error bound of the
+//! exact tier across dims 1..=200, unaligned slice offsets, and adversarial
+//! magnitude spreads; the integer kernels (4-bit ADC LUT scoring, symmetric
+//! SQ8) are *exactly* equal to their scalar references on every kernel; and
+//! block forms are bitwise self-consistent within each fast kernel.
+//!
+//! The exact tier's bit-identity contract is covered separately in
+//! `kernel_bitwise.rs` — nothing here relaxes it.
+
+use proptest::prelude::*;
+use vecdata::kernel::{self, Kernel, KernelPolicy, SCALAR};
+
+/// Every kernel honoring the fast-tier contract on this host: the scalar
+/// reference (the fast tier's portable fallback), whatever the fast-tier
+/// dispatch picks, and the fast AVX2 kernel directly when present (so its
+/// paths are exercised even if dispatch selected a wider kernel).
+fn fast_kernels() -> Vec<(&'static str, &'static dyn Kernel)> {
+    let mut v: Vec<(&'static str, &'static dyn Kernel)> = vec![("scalar", &SCALAR)];
+    let f = kernel::select_policy(false, KernelPolicy::Fast);
+    if f.name() != "scalar" {
+        v.push(("fast-dispatched", f));
+    }
+    #[cfg(target_arch = "x86_64")]
+    if let Some(k) = kernel::FastAvx2Kernel::new() {
+        v.push(("avx2-fast", Box::leak(Box::new(k))));
+    }
+    v
+}
+
+/// Relative error allowance for a `dim`-term relaxed-order float reduction:
+/// each reordered term carries at most a few ulps, and errors compound at
+/// worst linearly in the accumulation depth.
+fn rel_eps(dim: usize) -> f32 {
+    8.0 * (dim as f32 + 8.0) * f32::EPSILON
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `dot`: |fast − exact| ≤ rel_eps · Σ|a_i·b_i|. The error scale is the
+    /// sum of term *magnitudes*, not |exact| — cancellation can make the
+    /// exact dot arbitrarily small while individual rounding errors are
+    /// proportional to the terms that cancelled.
+    #[test]
+    fn fast_dot_error_bounded(dim in 1usize..=200, off in 0usize..8, mag in -3i32..=4,
+                              data in prop::collection::vec(-8.0f32..8.0, 416)) {
+        let scale_factor = 10.0f32.powi(mag);
+        let a: Vec<f32> = data[off..off + dim].iter().map(|x| x * scale_factor).collect();
+        let b: Vec<f32> = data[208 + off..208 + off + dim].to_vec();
+        let exact = SCALAR.dot(&a, &b);
+        let term_mag: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        for (name, kern) in fast_kernels() {
+            let got = kern.dot(&a, &b);
+            prop_assert!((got - exact).abs() <= rel_eps(dim) * term_mag + f32::MIN_POSITIVE,
+                         "dot {name}: {got} vs {exact} (scale {term_mag})");
+        }
+    }
+
+    /// `l2_sq` and the `dot3` components: all-positive-term sums, so a pure
+    /// relative bound against the exact value holds.
+    #[test]
+    fn fast_l2_and_dot3_error_bounded(dim in 1usize..=200, off in 0usize..8, mag in -3i32..=4,
+                                      data in prop::collection::vec(-8.0f32..8.0, 416)) {
+        let scale_factor = 10.0f32.powi(mag);
+        let a: Vec<f32> = data[off..off + dim].iter().map(|x| x * scale_factor).collect();
+        let b: Vec<f32> = data[208 + off..208 + off + dim].iter().map(|x| x * scale_factor).collect();
+        let eps = rel_eps(dim);
+        let l2 = SCALAR.l2_sq(&a, &b);
+        let [aa, bb, _] = SCALAR.dot3(&a, &b);
+        for (name, kern) in fast_kernels() {
+            let got = kern.l2_sq(&a, &b);
+            prop_assert!((got - l2).abs() <= eps * l2 + f32::MIN_POSITIVE,
+                         "l2 {name}: {got} vs {l2}");
+            let [faa, fbb, _] = kern.dot3(&a, &b);
+            prop_assert!((faa - aa).abs() <= eps * aa + f32::MIN_POSITIVE, "dot3.aa {name}");
+            prop_assert!((fbb - bb).abs() <= eps * bb + f32::MIN_POSITIVE, "dot3.bb {name}");
+            // The invariant `distance::angular_with_norms` relies on: the
+            // fused components equal the kernel's own dot, bitwise.
+            prop_assert!(faa.to_bits() == kern.dot(&a, &a).to_bits(), "dot3.aa!=dot {name}");
+            prop_assert!(fbb.to_bits() == kern.dot(&b, &b).to_bits(), "dot3.bb!=dot {name}");
+        }
+    }
+
+    /// Asymmetric SQ8: relative bound, and the block form is bitwise equal
+    /// to the same kernel's per-row form (per-kernel determinism).
+    #[test]
+    fn fast_sq8_error_bounded_and_blocks_self_consistent(
+            dim in 1usize..=200, rows in 1usize..5,
+            data in prop::collection::vec(-8.0f32..8.0, 1200)) {
+        let raw = &data[..rows * dim];
+        let query = &data[1000 - dim..1000];
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for v in raw.chunks_exact(dim) {
+            for d in 0..dim {
+                mins[d] = mins[d].min(v[d]);
+                maxs[d] = maxs[d].max(v[d]);
+            }
+        }
+        let scales: Vec<f32> =
+            mins.iter().zip(&maxs).map(|(lo, hi)| ((hi - lo) / 255.0).max(1e-12)).collect();
+        let mut codes = vec![0u8; rows * dim];
+        for (i, v) in raw.chunks_exact(dim).enumerate() {
+            for d in 0..dim {
+                let q = ((v[d] - mins[d]) / scales[d]).round();
+                codes[i * dim + d] = q.clamp(0.0, 255.0) as u8;
+            }
+        }
+        let eps = rel_eps(dim);
+        let mut scores = Vec::new();
+        for (name, kern) in fast_kernels() {
+            kern.sq8_l2_block(query, &codes, &mins, &scales, dim, &mut scores);
+            prop_assert_eq!(scores.len(), rows);
+            for (i, code) in codes.chunks_exact(dim).enumerate() {
+                let exact = SCALAR.sq8_l2(query, code, &mins, &scales);
+                let got = kern.sq8_l2(query, code, &mins, &scales);
+                prop_assert!((got - exact).abs() <= eps * exact + f32::MIN_POSITIVE,
+                             "sq8 row {i} {name}: {got} vs {exact}");
+                prop_assert!(scores[i].to_bits() == got.to_bits(),
+                             "sq8 block/per-row mismatch row {i} {name}");
+            }
+        }
+    }
+
+    /// 4-bit ADC LUT scoring is *integer-exact*: every kernel returns the
+    /// same `u32` sums as direct per-code lookups into the unpacked table.
+    #[test]
+    fn adc4_lut16_integer_exact(m in 1usize..=16, n in 0usize..=70,
+                                raw in prop::collection::vec(0u8..255, 16 * 70 + 16 * 16)) {
+        let codes: Vec<u8> = raw[..n * m].iter().map(|&c| c % 16).collect();
+        let luts = &raw[16 * 70..16 * 70 + m * 16];
+        let packed = kernel::pack_codes4(&codes, m);
+        let want: Vec<u32> = codes
+            .chunks_exact(m)
+            .map(|row| {
+                row.iter().enumerate().map(|(s, &c)| luts[s * 16 + c as usize] as u32).sum()
+            })
+            .collect();
+        let mut got = Vec::new();
+        for (name, kern) in fast_kernels() {
+            kern.adc4_lut16_block(luts, &packed, m, n, &mut got);
+            prop_assert!(got == want, "adc4 {name}: {got:?} vs {want:?}");
+        }
+    }
+
+    /// The symmetric SQ8 scan is *integer-exact*: every kernel returns the
+    /// same `u32` squared-delta sums as the sequential reference.
+    #[test]
+    fn sq8_sym_integer_exact(dim in 1usize..=200, rows in 0usize..5,
+                             raw in prop::collection::vec(0u8..=255u8, 1200)) {
+        let qcode = &raw[1000 - dim..1000];
+        let codes = &raw[..rows * dim];
+        let want: Vec<u32> = codes
+            .chunks_exact(dim)
+            .map(|row| {
+                row.iter()
+                    .zip(qcode)
+                    .map(|(&c, &q)| {
+                        let d = q as i32 - c as i32;
+                        (d * d) as u32
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut got = Vec::new();
+        for (name, kern) in fast_kernels() {
+            kern.sq8_sym_l2_block(qcode, codes, dim, &mut got);
+            prop_assert!(got == want, "sq8_sym {name}: {got:?} vs {want:?}");
+        }
+    }
+}
