@@ -146,13 +146,18 @@ impl ScanUnitCosts {
     /// measurements from files predating the tiered schema), then to
     /// [`ScanUnitCosts::ANALYTIC`].
     pub fn load_tier_or_analytic(path: &std::path::Path, tier: &str) -> ScanUnitCosts {
-        std::fs::read_to_string(path)
-            .ok()
-            .and_then(|text| {
-                ScanUnitCosts::from_kernels_json_tier(&text, tier)
-                    .or_else(|| ScanUnitCosts::from_kernels_json(&text))
-            })
-            .unwrap_or(ScanUnitCosts::ANALYTIC)
+        ScanUnitCosts::load_tier(path, tier).unwrap_or(ScanUnitCosts::ANALYTIC)
+    }
+
+    /// Like [`ScanUnitCosts::load_tier_or_analytic`], but `None` when no
+    /// measurement exists — callers that must *report* whether they run
+    /// calibrated (rather than silently substituting the analytic
+    /// constants) branch on this instead.
+    pub fn load_tier(path: &std::path::Path, tier: &str) -> Option<ScanUnitCosts> {
+        std::fs::read_to_string(path).ok().and_then(|text| {
+            ScanUnitCosts::from_kernels_json_tier(&text, tier)
+                .or_else(|| ScanUnitCosts::from_kernels_json(&text))
+        })
     }
 }
 
@@ -281,5 +286,9 @@ mod tests {
         let c = ScanUnitCosts::load_or_analytic(std::path::Path::new("/nonexistent/kernels.json"));
         assert_eq!(c, ScanUnitCosts::ANALYTIC);
         assert_eq!(ScanUnitCosts::default(), ScanUnitCosts::ANALYTIC);
+        // The source-reporting variant distinguishes the fallback instead
+        // of silently substituting it.
+        assert!(ScanUnitCosts::load_tier(std::path::Path::new("/nonexistent/k.json"), "exact")
+            .is_none());
     }
 }

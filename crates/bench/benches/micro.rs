@@ -121,6 +121,18 @@ fn bench_kernels(c: &mut Criterion) {
             scores[rows - 1]
         })
     });
+    // The same 256-entry table, u16-quantized into two byte planes and
+    // scored with paired vpshufb passes instead of gathers.
+    let packed8 = kernel::pack_codes8(&pq_codes, pq.m);
+    let mut luts8 = Vec::new();
+    anns::ivf_pq::quantize_adc8_table(&table, pq.m, &mut luts8);
+    g.bench_function("pq_adc8/fast_lut256", |b| {
+        let mut sums = Vec::with_capacity(rows);
+        b.iter(|| {
+            fast.adc8_lut256_block(black_box(&luts8), &packed8, pq.m, rows, &mut sums);
+            sums[rows - 1]
+        })
+    });
 
     // 4-bit PQ (SCANN stage-1 shape): scalar loop vs the vpshufb 16-entry
     // LUT block scorer over nibble-packed codes.
@@ -204,6 +216,29 @@ fn bench_replay(c: &mut Criterion) {
     });
 }
 
+/// The pinned shard-reactor replay path
+/// (`vdms::CostModel::pinned_cluster_perf`): one replicated cluster
+/// evaluated under each pinning policy. `shared` is the legacy slot-pool
+/// law the reactor paths must reproduce bitwise — its row is the baseline
+/// the per-reactor placement/penalty accounting is measured against.
+fn bench_pinned_replay(c: &mut Criterion) {
+    use vdms::PinningPolicy;
+    use workload::{EvalBackend, TopologyBackend};
+    let w = Workload::prepare(DatasetSpec::tiny(DatasetKind::Glove), 10);
+    let backend = TopologyBackend::with_pinning(&w, 2, 2);
+    let mut g = c.benchmark_group("pinned_replay_600x16");
+    for policy in PinningPolicy::ALL {
+        let cfg = VdmsConfig {
+            shards: Some(2),
+            replicas: Some(2),
+            pinning: Some(policy),
+            ..VdmsConfig::default_config()
+        };
+        g.bench_function(policy.name(), |b| b.iter(|| backend.evaluate(black_box(&cfg), 1)));
+    }
+    g.finish();
+}
+
 fn training_data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x = latin_hypercube(n, d, 7);
     let y: Vec<f64> = x.iter().map(|p| (p[0] * 4.0).sin() + p[1] * 2.0).collect();
@@ -254,6 +289,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_distance, bench_kernels, bench_index_build, bench_index_search,
-              bench_replay, bench_gp, bench_acquisition, bench_tuner_propose
+              bench_replay, bench_pinned_replay, bench_gp, bench_acquisition, bench_tuner_propose
 }
 criterion_main!(benches);

@@ -9,10 +9,10 @@
 //!
 //! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 table5 table6 scale sharding topology serving replication
-//! kernels. Output goes to stdout and to `results/*.csv` (plus
+//! reactors kernels. Output goes to stdout and to `results/*.csv` (plus
 //! `results/topology.json`, `results/serving.json`,
-//! `results/replication.json` and `results/kernels.json`
-//! machine-readable summaries).
+//! `results/replication.json`, `results/reactors.json` and
+//! `results/kernels.json` machine-readable summaries).
 
 use bench::{experiments, Profile};
 
@@ -72,6 +72,7 @@ fn main() {
         "topology",
         "serving",
         "replication",
+        "reactors",
         "kernels",
     ];
     let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
@@ -108,6 +109,7 @@ fn main() {
             "topology" => experiments::topology(&profile),
             "serving" => experiments::serving(&profile),
             "replication" => experiments::replication(&profile),
+            "reactors" => experiments::reactors(&profile),
             "kernels" => experiments::kernels(&profile),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -125,7 +127,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
-         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving replication kernels all"
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving replication reactors kernels all"
     );
     std::process::exit(2);
 }

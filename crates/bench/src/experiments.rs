@@ -5,6 +5,7 @@
 //! model; the claims under reproduction are the *shapes* — who wins, by
 //! roughly what factor, where crossovers fall (see EXPERIMENTS.md).
 
+use crate::affinity;
 use crate::report::{emit, emit_json, f1, f2, f3, pct, JsonValue, Table};
 use crate::{
     recall_floor, run_method, run_method_on, run_parallel, run_vdtuner_variant,
@@ -14,7 +15,7 @@ use anns::params::IndexType;
 use vdms::cluster::ClusterSpec;
 use vdms::memory::MemoryUsage;
 use vdms::system_params::SystemParams;
-use vdms::{SegmentLayout, VdmsConfig};
+use vdms::{CostModel, PinningPolicy, SegmentLayout, VdmsConfig};
 use vdtuner_core::shap::shapley_attribution;
 use vdtuner_core::space::DIM_NAMES;
 use vdtuner_core::{BudgetAllocation, SpaceSpec, SurrogateKind, TunerMode, TuningOutcome, VdTuner};
@@ -1526,6 +1527,481 @@ pub fn replication(profile: &Profile) {
     );
 }
 
+/// Bit-level fingerprint for the frozen-at-Shared pinning check: the base
+/// configuration + topology/replication requests (the pinning request is
+/// what differs by construction) and the exact feedback.
+fn pinning_fingerprint(out: &TuningOutcome) -> Vec<(String, u64, u64, u64, bool)> {
+    out.observations
+        .iter()
+        .map(|o| {
+            let base = VdmsConfig { pinning: None, ..o.config };
+            (base.summary(), o.qps.to_bits(), o.recall.to_bits(), o.memory_gib.to_bits(), o.failed)
+        })
+        .collect()
+}
+
+/// Shard reactors + NUMA/affinity-aware pinning (beyond the paper):
+/// 19-dimensional co-tuning of the reactor pinning policy under a serving
+/// SLO, against four fixed-policy arms — every arm the same tuner, budget,
+/// seed and control plane ([`TopologyBackend::with_pinning`]), differing
+/// only in whether the `pinning` dimension is free or pinned.
+///
+/// Two-phase: the host's NUMA/SMT penalty surface is first *measured* by a
+/// real pinned multi-threaded replay (`bench::affinity` — raw
+/// `sched_setaffinity`, sysfs topology discovery, SMT co-run and ping-pong
+/// pair probes) and written to `results/reactors.json`; the tuning phase
+/// then prices reactors with [`CostModel::calibrated`], which reads that
+/// surface back. Penalty classes the host cannot measure (a 1-CPU
+/// container has no pairs) keep the analytic constants, recorded per entry
+/// in `penalty_sources` — the file never claims a fallback was measured.
+/// Also verifies in-run that freezing the 19th dimension at
+/// [`PinningPolicy::Shared`] reproduces the 18-dim replication tuning
+/// history bit for bit. Written to `results/reactors.json` (schema:
+/// `bench::report::emit_json` rustdoc) + CSVs, and smoked by the CI
+/// `repro-smoke` job.
+pub fn reactors(profile: &Profile) {
+    let floor = 0.9;
+    let max_shards = 4usize;
+    let max_replicas = 2usize;
+
+    // --- Phase 1: pinned host calibration ---------------------------------
+    let cal = affinity::calibrate();
+    let (topology, penalties, sources, logical_cpus, pinning_works, solo_mdps) = match &cal {
+        Some(c) => {
+            (c.topology, c.penalties, c.sources, c.logical_cpus, c.pinning_works, c.solo_scan_mdps)
+        }
+        None => (
+            vdms::HostTopology::SINGLE_CORE,
+            vdms::PenaltyMatrix::ANALYTIC,
+            [affinity::EntrySource::Analytic; 3],
+            1,
+            false,
+            0.0,
+        ),
+    };
+    let measured_entries =
+        sources.iter().filter(|s| **s == affinity::EntrySource::Measured).count();
+    let calibration_source = match measured_entries {
+        3 => "measured",
+        0 => "analytic",
+        _ => "partial",
+    };
+    let mut ct = Table::new(vec!["quantity", "value", "source"]);
+    ct.row(vec![
+        "host topology (sockets x cores x smt)".into(),
+        format!("{} x {} x {}", topology.sockets, topology.cores_per_socket, topology.smt),
+        if cal.is_some() { "sysfs".into() } else { "fallback".into() },
+    ]);
+    ct.row(vec!["logical CPUs".into(), logical_cpus.to_string(), "sysfs".into()]);
+    ct.row(vec![
+        "sched_setaffinity round-trips".into(),
+        pinning_works.to_string(),
+        "syscall".into(),
+    ]);
+    ct.row(vec![
+        "solo pinned scan (Mdim/s)".into(),
+        if solo_mdps > 0.0 { f1(solo_mdps) } else { "-".into() },
+        if solo_mdps > 0.0 { "measured".into() } else { "-".into() },
+    ]);
+    for (name, v, s) in [
+        ("penalty: same-core SMT scan", penalties.same_core_smt, sources[0]),
+        ("penalty: same-socket handoff", penalties.same_socket, sources[1]),
+        ("penalty: cross-socket handoff", penalties.cross_socket, sources[2]),
+    ] {
+        ct.row(vec![name.into(), f3(v), s.name().into()]);
+    }
+    emit("reactors_calibration", "Pinned-replay calibration of the reactor penalty surface", &ct);
+
+    // The calibration fragment is written *before* tuning so the
+    // calibrated cost model below prices reactors with this host's
+    // surface; the full document (same penalties) replaces it at the end.
+    let topology_json = || {
+        JsonValue::obj(vec![
+            ("sockets", JsonValue::Int(topology.sockets as i64)),
+            ("cores_per_socket", JsonValue::Int(topology.cores_per_socket as i64)),
+            ("smt", JsonValue::Int(topology.smt as i64)),
+        ])
+    };
+    let penalties_json = || {
+        JsonValue::obj(vec![
+            ("same_core_smt", JsonValue::Num(penalties.same_core_smt)),
+            ("same_socket", JsonValue::Num(penalties.same_socket)),
+            ("cross_socket", JsonValue::Num(penalties.cross_socket)),
+        ])
+    };
+    let sources_json = || {
+        JsonValue::obj(vec![
+            ("same_core_smt", JsonValue::Str(sources[0].name().into())),
+            ("same_socket", JsonValue::Str(sources[1].name().into())),
+            ("cross_socket", JsonValue::Str(sources[2].name().into())),
+        ])
+    };
+    let host_json = || {
+        JsonValue::obj(vec![
+            ("logical_cpus", JsonValue::Int(logical_cpus as i64)),
+            ("pinning_works", JsonValue::Bool(pinning_works)),
+            ("solo_scan_mdps", JsonValue::opt_finite((solo_mdps > 0.0).then_some(solo_mdps))),
+        ])
+    };
+    let calibration_pairs = || {
+        vec![
+            ("experiment".to_string(), JsonValue::Str("reactors".into())),
+            ("calibration_source".into(), JsonValue::Str(calibration_source.into())),
+            ("topology".into(), topology_json()),
+            ("penalties".into(), penalties_json()),
+            ("penalty_sources".into(), sources_json()),
+            ("host".into(), host_json()),
+        ]
+    };
+    emit_json("reactors", &JsonValue::obj(calibration_pairs()));
+
+    // --- Phase 2: co-tune the pinning policy with the calibrated model ----
+    let mut w = workload_for(DatasetKind::Glove);
+    w.cost_model = CostModel::calibrated();
+
+    // Same ladder construction as the replication experiment, but with the
+    // replication escape valve capped at 2 copies: at ~12× the default
+    // config's offline QPS the cluster runs hot enough that reactor
+    // placement — how many queues a node runs and which penalty every scan
+    // and handoff pays — decides whether the tail meets the SLO.
+    let anchor = evaluate(&w, &VdmsConfig::default_config(), profile.seed).qps;
+    let rates: Vec<f64> = [3.0, 6.0, 12.0].iter().map(|m| m * anchor).collect();
+    let top_rate = rates[rates.len() - 1];
+    let base_spec = ServingSpec { queue_capacity: 32, ..ServingSpec::default() };
+    let tune_spec = base_spec.at_rate(top_rate).with_slo(SERVING_SLO_P99_SECS);
+
+    let backend = || {
+        ServingBackend::new(
+            &w,
+            TopologyBackend::with_pinning(&w, max_shards, max_replicas),
+            tune_spec,
+        )
+    };
+    let run_arm = |spec: SpaceSpec| {
+        VdTuner::with_space(vdtuner_paper_options(profile.iters), spec, profile.seed)
+            .run_on(backend(), profile.iters)
+    };
+    let space = || SpaceSpec::with_topology(max_shards).with_replication(max_replicas);
+
+    // All six runs in parallel: the four fixed-policy arms, the 19-dim
+    // co-tuned arm, and the 18-dim reference the frozen arm must
+    // reproduce bitwise.
+    enum Arm {
+        Fixed(PinningPolicy),
+        CoTuned,
+        Reference18,
+    }
+    let arms: Vec<Arm> = PinningPolicy::ALL
+        .iter()
+        .map(|&p| Arm::Fixed(p))
+        .chain([Arm::CoTuned, Arm::Reference18])
+        .collect();
+    let runs = run_parallel(arms, |arm| match arm {
+        Arm::Fixed(p) => run_arm(space().with_pinned_pinning(*p)),
+        Arm::CoTuned => run_arm(space().with_pinning()),
+        Arm::Reference18 => {
+            VdTuner::with_space(vdtuner_paper_options(profile.iters), space(), profile.seed).run_on(
+                ServingBackend::new(
+                    &w,
+                    TopologyBackend::with_replication(&w, max_shards, max_replicas),
+                    tune_spec,
+                ),
+                profile.iters,
+            )
+        }
+    });
+    let fixed = &runs[..PinningPolicy::ALL.len()];
+    let co = &runs[PinningPolicy::ALL.len()];
+    let reference18 = &runs[PinningPolicy::ALL.len() + 1];
+
+    // Frozen-at-Shared contract, checked in-run: the fixed-shared arm *is*
+    // the 19-dim spec with `pinning` frozen at the legacy slot pool, and
+    // must reproduce the 18-dim replication history bit for bit.
+    let frozen_matches_18dim = pinning_fingerprint(&fixed[0]) == pinning_fingerprint(reference18);
+
+    // Measure every arm's deployable winner (best QPS@floor under the
+    // SLO) across the ladder, without an SLO — the raw tails.
+    let measure_backend = |rate: f64| {
+        ServingBackend::new(
+            &w,
+            TopologyBackend::with_pinning(&w, max_shards, max_replicas),
+            base_spec.at_rate(rate),
+        )
+    };
+    let arm_names: Vec<String> = PinningPolicy::ALL
+        .iter()
+        .map(|p| format!("fixed {} (pinned 19-dim)", p.name()))
+        .chain(std::iter::once("co-tuned policy (19-dim)".to_string()))
+        .collect();
+    let arm_runs: Vec<&TuningOutcome> = fixed.iter().chain(std::iter::once(co)).collect();
+    let winners: Vec<Option<VdmsConfig>> =
+        arm_runs.iter().map(|out| best_config(out, floor)).collect();
+    let measured: Vec<Vec<Option<ServingStats>>> = winners
+        .iter()
+        .map(|cfg| {
+            rates
+                .iter()
+                .map(|&rate| {
+                    cfg.as_ref()
+                        .and_then(|c| measure_backend(rate).evaluate(c, profile.seed).serving)
+                })
+                .collect()
+        })
+        .collect();
+
+    let ms = |v: f64| if v.is_finite() { f1(v * 1_000.0) } else { "-".into() };
+    let mut t = Table::new(vec![
+        "arm",
+        "best QPS @0.9 (SLO'd)",
+        "lowest p99 @0.9 (ms)",
+        "SLO rejections",
+        "winner",
+    ]);
+    for (name, out) in arm_names.iter().zip(&arm_runs) {
+        let cfg = best_config(out, floor);
+        t.row(vec![
+            name.clone(),
+            out.best_qps_with_recall(floor).map_or("-".into(), f1),
+            out.best_p99_with_recall(floor).map_or("-".into(), ms),
+            format!("{}/{}", out.slo_rejections(), out.observations.len()),
+            cfg.map_or("-".into(), |c| c.summary()),
+        ]);
+    }
+    emit(
+        "reactors",
+        &format!(
+            "Reactor pinning co-tuning: policy as the 19th dimension, {} evals/run \
+             (GloVe, penalties {}, SLO p99 <= {:.0} ms at {:.0} req/s)",
+            profile.iters,
+            calibration_source,
+            SERVING_SLO_P99_SECS * 1_000.0,
+            top_rate
+        ),
+        &t,
+    );
+
+    let mut lt = Table::new(vec![
+        "arrival rate (req/s)",
+        "arm",
+        "p50 (ms)",
+        "p99 (ms)",
+        "goodput",
+        "shed",
+        "timeouts",
+    ]);
+    for (ri, &rate) in rates.iter().enumerate() {
+        for (ai, name) in arm_names.iter().enumerate() {
+            match &measured[ai][ri] {
+                Some(s) => lt.row(vec![
+                    f1(rate),
+                    name.clone(),
+                    ms(s.p50_latency_secs),
+                    ms(s.p99_latency_secs),
+                    f1(s.goodput_qps),
+                    s.shed.to_string(),
+                    s.timeouts.to_string(),
+                ]),
+                None => lt.row(vec![
+                    f1(rate),
+                    name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            };
+        }
+    }
+    emit("reactors_ladder", "Pinning arms measured across the arrival ladder", &lt);
+
+    // Where did the co-tuner spend its budget across policies?
+    let mut hist = [0usize; 4];
+    for o in &co.observations {
+        hist[o.config.pinning.unwrap_or_default().ordinal()] += 1;
+    }
+    let mut ht = Table::new(vec!["policy", "evals", "best QPS @0.9 at this policy"]);
+    for p in PinningPolicy::ALL {
+        let best_at = co
+            .observations
+            .iter()
+            .filter(|o| !o.failed && o.recall >= floor && o.config.pinning == Some(p))
+            .map(|o| o.qps)
+            .fold(None::<f64>, |acc, q| Some(acc.map_or(q, |a| a.max(q))));
+        ht.row(vec![
+            p.name().to_string(),
+            hist[p.ordinal()].to_string(),
+            best_at.map_or("-".into(), f1),
+        ]);
+    }
+    emit("reactors_budget", "Pinning co-tuning: evaluation budget per policy", &ht);
+
+    // Verdict against the *best* fixed arm, on either axis the issue cares
+    // about: tuned QPS@0.9 under the SLO, or measured p99 at the top rate.
+    let p99_at_top = |ai: usize| -> Option<f64> {
+        measured[ai].last().and_then(|s| s.as_ref()).map(|s| s.p99_latency_secs)
+    };
+    let co_p99 = p99_at_top(PinningPolicy::ALL.len());
+    let fixed_p99: Vec<Option<f64>> = (0..PinningPolicy::ALL.len()).map(p99_at_top).collect();
+    let best_fixed_p99 = fixed_p99
+        .iter()
+        .flatten()
+        .copied()
+        .fold(None::<f64>, |acc, p| Some(acc.map_or(p, |a| a.min(p))));
+    let co_qps = co.best_qps_with_recall(floor);
+    let best_fixed_qps = fixed
+        .iter()
+        .filter_map(|out| out.best_qps_with_recall(floor))
+        .fold(None::<f64>, |acc, q| Some(acc.map_or(q, |a| a.max(q))));
+    let beats_qps = match (co_qps, best_fixed_qps) {
+        (Some(c), Some(f)) => Some(c > f),
+        (Some(_), None) => Some(true),
+        _ => None,
+    };
+    let beats_p99 = match (co_p99, best_fixed_p99) {
+        (Some(c), Some(f)) => Some(c < f),
+        (Some(_), None) => Some(true),
+        _ => None,
+    };
+    let mut s = Table::new(vec!["metric", "value"]);
+    for (ai, p) in PinningPolicy::ALL.iter().enumerate() {
+        s.row(vec![
+            format!("p99 @ top rate: fixed {}", p.name()),
+            fixed_p99[ai].map_or("-".into(), ms),
+        ]);
+    }
+    s.row(vec!["p99 @ top rate: co-tuned".into(), co_p99.map_or("-".into(), ms)]);
+    s.row(vec!["best fixed QPS @0.9".into(), best_fixed_qps.map_or("-".into(), f1)]);
+    s.row(vec!["co-tuned QPS @0.9".into(), co_qps.map_or("-".into(), f1)]);
+    s.row(vec!["frozen-at-shared ≡ 18-dim (bitwise)".into(), frozen_matches_18dim.to_string()]);
+    let verdict = match (beats_qps, beats_p99) {
+        (Some(true), _) | (_, Some(true)) => {
+            let chosen = best_config(co, floor)
+                .map(|cfg| format!("pinning={}", cfg.pinning.unwrap_or_default().name()))
+                .unwrap_or_default();
+            let axis = if beats_qps == Some(true) { "QPS@0.9" } else { "p99 at the top rate" };
+            format!("co-tuned ({chosen}) beats the best fixed arm on {axis}")
+        }
+        (Some(false), Some(false)) => {
+            "co-tuning does not beat the best fixed arm — reported as-is".into()
+        }
+        _ => "the co-tuned arm found no SLO-feasible config — reported as-is".into(),
+    };
+    s.row(vec!["verdict".into(), verdict]);
+    emit("reactors_verdict", "Pinning co-tuning vs fixed-policy arms (same budget)", &s);
+
+    let arm_pairs = |out: &TuningOutcome,
+                     stats: &[Option<ServingStats>]|
+     -> Vec<(String, JsonValue)> {
+        vec![
+            ("best_qps".into(), JsonValue::opt_num(out.best_qps_with_recall(floor))),
+            (
+                "best_p99_ms".into(),
+                JsonValue::opt_finite(out.best_p99_with_recall(floor).map(|p| p * 1_000.0)),
+            ),
+            (
+                "best_config".into(),
+                best_config(out, floor).map_or(JsonValue::Null, |c| JsonValue::Str(c.summary())),
+            ),
+            ("slo_rejections".into(), JsonValue::Int(out.slo_rejections() as i64)),
+            (
+                "failed".into(),
+                JsonValue::Int(out.observations.iter().filter(|o| o.failed).count() as i64),
+            ),
+            (
+                "measured".into(),
+                JsonValue::Arr(
+                    rates
+                        .iter()
+                        .zip(stats)
+                        .map(|(&rate, s)| {
+                            let s = *s;
+                            JsonValue::obj(vec![
+                                ("rate", JsonValue::Num(rate)),
+                                (
+                                    "p99_ms",
+                                    JsonValue::opt_finite(s.map(|s| s.p99_latency_secs * 1_000.0)),
+                                ),
+                                ("goodput_qps", JsonValue::opt_finite(s.map(|s| s.goodput_qps))),
+                                (
+                                    "shed",
+                                    s.map_or(JsonValue::Null, |s| JsonValue::Int(s.shed as i64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]
+    };
+    let mut doc = calibration_pairs();
+    doc.extend([
+        // What the tuning phase actually priced with: `Measured` here
+        // means [`CostModel::calibrated`] read back the penalty surface
+        // this experiment's phase 1 wrote (per-entry provenance above).
+        (
+            "tuning_penalty_source".to_string(),
+            JsonValue::Str(w.cost_model.penalty_source.name().into()),
+        ),
+        ("dataset".into(), JsonValue::Str("GloVe".into())),
+        ("iters_per_run".into(), JsonValue::Int(profile.iters as i64)),
+        ("seed".into(), JsonValue::Int(profile.seed as i64)),
+        ("recall_floor".into(), JsonValue::Num(floor)),
+        ("slo_p99_ms".into(), JsonValue::Num(SERVING_SLO_P99_SECS * 1_000.0)),
+        ("max_shards".into(), JsonValue::Int(max_shards as i64)),
+        ("max_replicas".into(), JsonValue::Int(max_replicas as i64)),
+        ("rates".into(), JsonValue::Arr(rates.iter().map(|&r| JsonValue::Num(r)).collect())),
+        (
+            "fixed".into(),
+            JsonValue::Arr(
+                PinningPolicy::ALL
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, p)| {
+                        let mut pairs =
+                            vec![("policy".to_string(), JsonValue::Str(p.name().into()))];
+                        pairs.extend(arm_pairs(&fixed[ai], &measured[ai]));
+                        JsonValue::obj(pairs)
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cotuned".into(),
+            JsonValue::obj({
+                let mut pairs = arm_pairs(co, &measured[PinningPolicy::ALL.len()]);
+                pairs.push((
+                    "policy_histogram".into(),
+                    JsonValue::Arr(hist.iter().map(|&n| JsonValue::Int(n as i64)).collect()),
+                ));
+                pairs
+            }),
+        ),
+        ("frozen_matches_18dim".into(), JsonValue::Bool(frozen_matches_18dim)),
+        (
+            "comparison".into(),
+            JsonValue::obj(vec![
+                (
+                    "best_fixed_p99_ms_at_top",
+                    JsonValue::opt_finite(best_fixed_p99.map(|p| p * 1_000.0)),
+                ),
+                ("cotuned_p99_ms_at_top", JsonValue::opt_finite(co_p99.map(|p| p * 1_000.0))),
+                ("best_fixed_qps", JsonValue::opt_finite(best_fixed_qps)),
+                ("cotuned_qps", JsonValue::opt_finite(co_qps)),
+                (
+                    "cotuned_beats_best_fixed_qps",
+                    beats_qps.map_or(JsonValue::Null, JsonValue::Bool),
+                ),
+                (
+                    "cotuned_beats_best_fixed_p99",
+                    beats_p99.map_or(JsonValue::Null, JsonValue::Bool),
+                ),
+            ]),
+        ),
+    ]);
+    emit_json("reactors", &JsonValue::obj(doc));
+}
+
 /// §V-E scalability: deep-image (10× GloVe) — VDTuner vs qEHVI.
 pub fn scale(profile: &Profile) {
     let w = workload_for(DatasetKind::DeepImage);
@@ -1819,7 +2295,17 @@ pub fn kernels(profile: &Profile) {
         fast.adc4_lut16_block(&luts, &packed4, pq4.m, n, &mut sums);
         sums[n - 1] as f32
     });
+    // 8-bit ADC, gather-free: the two-level u16-quantized vpshufb scorer on
+    // the same 8-bit codes/table the gather path scored.
+    let packed8 = kernel::pack_codes8(&pq_codes, pq.m);
+    let mut luts8 = Vec::new();
+    anns::ivf_pq::quantize_adc8_table(&table, pq.m, &mut luts8);
+    let adc8_lut_mlps = measure_mdps(n * pq.m, reps, || {
+        fast.adc8_lut256_block(&luts8, &packed8, pq.m, n, &mut sums);
+        sums[n - 1] as f32
+    });
     let adc8_gather_speedup = adc8_gather_mlps / adc8_scalar_mlps.max(1e-9);
+    let adc8_lut_speedup = adc8_lut_mlps / adc8_scalar_mlps.max(1e-9);
     let adc4_lut_speedup = adc4_lut_mlps / adc4_scalar_mlps.max(1e-9);
     t.row(vec![
         "adc8 gather".to_string(),
@@ -1827,6 +2313,13 @@ pub fn kernels(profile: &Profile) {
         f1(adc8_scalar_mlps),
         f1(adc8_gather_mlps),
         format!("{adc8_gather_speedup:.2}x vs scalar loop"),
+    ]);
+    t.row(vec![
+        "adc8 lut256".to_string(),
+        pq.m.to_string(),
+        f1(adc8_scalar_mlps),
+        f1(adc8_lut_mlps),
+        format!("{adc8_lut_speedup:.2}x vs scalar loop"),
     ]);
     t.row(vec![
         "adc4 lut16".to_string(),
@@ -1869,11 +2362,12 @@ pub fn kernels(profile: &Profile) {
         vdms::cost_model::unit_costs::PQ_LOOKUP_NS,
     );
     println!(
-        "  fast kernel: {}; sq8 sym {:.2}x vs fast f32 (target >= 1.5); adc4 lut {:.2}x, adc8 gather {:.2}x vs scalar loop (target >= 3)",
+        "  fast kernel: {}; sq8 sym {:.2}x vs fast f32 (target >= 1.5); adc4 lut {:.2}x, adc8 gather {:.2}x, adc8 lut {:.2}x vs scalar loop (target >= 3)",
         fast.name(),
         sq8_fast_speedup,
         adc4_lut_speedup,
         adc8_gather_speedup,
+        adc8_lut_speedup,
     );
 
     let tier_obj = |f32_ns: f64, u8_ns: f64, pq_ns: f64| {
@@ -1917,6 +2411,8 @@ pub fn kernels(profile: &Profile) {
                     ("adc8_scalar_mlps", JsonValue::Num(adc8_scalar_mlps)),
                     ("adc8_gather_mlps", JsonValue::Num(adc8_gather_mlps)),
                     ("adc8_gather_speedup", JsonValue::Num(adc8_gather_speedup)),
+                    ("adc8_lut_mlps", JsonValue::Num(adc8_lut_mlps)),
+                    ("adc8_lut_speedup", JsonValue::Num(adc8_lut_speedup)),
                     ("adc4_scalar_mlps", JsonValue::Num(adc4_scalar_mlps)),
                     ("adc4_lut_mlps", JsonValue::Num(adc4_lut_mlps)),
                     ("adc4_lut_speedup", JsonValue::Num(adc4_lut_speedup)),

@@ -2,6 +2,7 @@
 //! evaluation (§V). See `src/bin/repro.rs` for the CLI and EXPERIMENTS.md
 //! for the paper-vs-measured record.
 
+pub mod affinity;
 pub mod experiments;
 pub mod report;
 

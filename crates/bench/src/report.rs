@@ -151,6 +151,55 @@ pub fn emit(name: &str, title: &str, table: &Table) {
 ///   top rate beats every fixed arm's, arms with no deployable winner
 ///   counting as beaten).
 ///
+/// ## `results/reactors.json` schema
+///
+/// Written by `repro reactors` (twice: the calibration fragment before
+/// the tuning phase so `vdms::CostModel::calibrated` can read it back,
+/// then the full document) and consumed by the CI `repro-smoke` job and
+/// by `vdms::PenaltyMatrix::from_reactors_json`. Top-level keys (all
+/// required):
+///
+/// * `experiment` (str, `"reactors"`);
+/// * `calibration_source` (str) — `"measured"` when every penalty entry
+///   was measured by a pinned pair on this host, `"partial"` when some
+///   entries fell back, `"analytic"` when none was measurable (e.g. a
+///   1-CPU container has no pairs at all);
+/// * `topology` (obj) — the discovered host shape: `sockets`,
+///   `cores_per_socket`, `smt` (int, all ≥ 1);
+/// * `penalties` (obj) — the surface the cost model charges:
+///   `same_core_smt` (num, co-running scan slowdown on SMT siblings),
+///   `same_socket` / `cross_socket` (num, handoff latency ratios vs the
+///   fastest measured pair); all finite and ≥ 1.0 — the parser in
+///   `PenaltyMatrix::from_reactors_json` rejects the document otherwise
+///   and the cost model falls back to its analytic constants;
+/// * `penalty_sources` (obj) — per-entry provenance, same keys as
+///   `penalties`, each `"measured"` or `"analytic"` — an unmeasurable
+///   entry keeps the analytic constant and says so;
+/// * `host` (obj) — `logical_cpus` (int), `pinning_works` (bool, whether
+///   `sched_setaffinity` round-tripped), `solo_scan_mdps` (num|null,
+///   pinned solo scan throughput);
+/// * `tuning_penalty_source` (str) — what the tuning phase's calibrated
+///   cost model actually loaded (`"measured"` once phase 1's fragment is
+///   on disk);
+/// * `dataset` (str), `seed` (int), `iters_per_run` (int),
+///   `recall_floor` (num), `slo_p99_ms` (num), `max_shards` /
+///   `max_replicas` (int), `rates` (array of num) — as in
+///   `replication.json`;
+/// * `fixed` (array of obj, one per pinned-policy arm, ordinal order) —
+///   each: `policy` (str, `"shared"` | `"compact"` | `"scatter"` |
+///   `"smt-avoid"`), then the same per-arm keys as `replication.json`'s
+///   `fixed` entries (`best_qps`, `best_p99_ms`, `best_config`,
+///   `slo_rejections`, `failed`, `measured`);
+/// * `cotuned` (obj) — the 19-dim arm, same keys plus `policy_histogram`
+///   (array of 4 int, evals spent per policy in ordinal order);
+/// * `frozen_matches_18dim` (bool) — whether the pinned-at-`shared` arm
+///   reproduced the 18-dim replication tuning history bit for bit (the
+///   frozen-dimension contract, checked in-run);
+/// * `comparison` (obj): `best_fixed_p99_ms_at_top` /
+///   `cotuned_p99_ms_at_top` / `best_fixed_qps` / `cotuned_qps`
+///   (num|null), `cotuned_beats_best_fixed_qps` /
+///   `cotuned_beats_best_fixed_p99` (bool|null).
+///
 /// ## `results/kernels.json` schema
 ///
 /// Written by `repro kernels` and consumed both by the CI `repro-smoke`
@@ -182,7 +231,9 @@ pub fn emit(name: &str, title: &str, table: &Table) {
 ///   `recall_delta_sym` (num, top-10 recall of the shared-scale
 ///   symmetric scan and its delta vs exact), `adc8_scalar_mlps` /
 ///   `adc8_gather_mlps` / `adc8_gather_speedup` (num, 8-bit PQ ADC
-///   scoring: scalar lookup loop vs AVX2 gather), `adc4_scalar_mlps` /
+///   scoring: scalar lookup loop vs AVX2 gather), `adc8_lut_mlps` /
+///   `adc8_lut_speedup` (num, the u16-quantized two-level vpshufb scorer
+///   for 256-entry tables vs the same scalar loop), `adc4_scalar_mlps` /
 ///   `adc4_lut_mlps` / `adc4_lut_speedup` (num, 4-bit PQ ADC: scalar
 ///   loop vs the vpshufb 16-entry-LUT block scorer — the ≥3x target);
 /// * `calibration` (obj) — ns per [`anns::cost::SearchCost`] unit derived

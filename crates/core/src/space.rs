@@ -23,7 +23,13 @@
 //! * [`SpaceSpec::with_replication`] — a further (linear) `replicas`
 //!   dimension (1..=`max_replicas` copies of every sealed segment), the
 //!   18th dimension when stacked on the topology spec, with the same
-//!   frozen-at-one bit-identity contract.
+//!   frozen-at-one bit-identity contract;
+//! * [`SpaceSpec::with_pinning`] — a further (linear, categorical)
+//!   `pinning` dimension over the reactor pinning policies, the 19th
+//!   dimension when stacked on the replicated spec. Frozen at the seed
+//!   policy ([`vdms::PinningPolicy::Shared`], via
+//!   [`SpaceSpec::with_pinned_pinning`]) it reproduces the unextended
+//!   spec's tuning bit for bit.
 //!
 //! The shared parameters exist **once** — that is the holistic-model
 //! property that lets knowledge about e.g. `gracefulTime` transfer across
@@ -34,7 +40,7 @@
 use anns::params::{ranges, IndexType, ParamRange};
 use std::sync::OnceLock;
 use vdms::system_params::ranges as sys_ranges;
-use vdms::VdmsConfig;
+use vdms::{PinningPolicy, VdmsConfig};
 
 /// Dimensionality of the paper's space: 1 (index type) + 8 (index) + 7
 /// (system). Kept for the fixed-space call sites; spec-aware code asks
@@ -71,6 +77,10 @@ pub const SHARD_COUNT_DIM_NAME: &str = "shard_count";
 /// Name of the optional replication dimension appended by
 /// [`SpaceSpec::with_replication`].
 pub const REPLICAS_DIM_NAME: &str = "replicas";
+
+/// Name of the optional reactor-pinning dimension appended by
+/// [`SpaceSpec::with_pinning`].
+pub const PINNING_DIM_NAME: &str = "pinning";
 
 /// A point handed to the space that it cannot decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +144,7 @@ enum FieldRef {
     BuildParallelism,
     ShardCount,
     Replicas,
+    Pinning,
 }
 
 /// One tunable dimension: its display name, the role it plays, and the
@@ -189,6 +200,9 @@ impl Dimension {
             FieldRef::BuildParallelism => self.range.normalize(c.system.build_parallelism as f64),
             FieldRef::ShardCount => self.range.normalize(c.shards.unwrap_or(1) as f64),
             FieldRef::Replicas => self.range.normalize(c.replicas.unwrap_or(1) as f64),
+            FieldRef::Pinning => {
+                self.range.normalize(c.pinning.unwrap_or(PinningPolicy::Shared).ordinal() as f64)
+            }
         }
     }
 
@@ -226,6 +240,7 @@ impl Dimension {
             FieldRef::BuildParallelism => c.system.build_parallelism = int_clamped(&self.range),
             FieldRef::ShardCount => c.shards = Some(int(&self.range).max(1)),
             FieldRef::Replicas => c.replicas = Some(int(&self.range).max(1)),
+            FieldRef::Pinning => c.pinning = Some(PinningPolicy::from_ordinal(int(&self.range))),
         }
     }
 }
@@ -368,6 +383,43 @@ impl SpaceSpec {
         self
     }
 
+    /// This spec extended with a `pinning` topology dimension spanning all
+    /// [`PinningPolicy`] ordinals — the 19th dimension when applied to the
+    /// replicated topology spec. The range is *linear* over the four
+    /// ordinals (shared, compact, scatter, smt-avoid): policies are
+    /// categorical, so each needs equal candidate mass and decode rounds
+    /// to the nearest ordinal. The seed carries the lowest ordinal
+    /// ([`PinningPolicy::Shared`]), which evaluates bit-identically to "no
+    /// pinning request" — so tuning histories with the dimension frozen at
+    /// the seed reproduce the unextended spec's histories bit for bit.
+    pub fn with_pinning(mut self) -> SpaceSpec {
+        let range = ParamRange::new(0.0, (PinningPolicy::ALL.len() - 1) as f64, false);
+        self.dims.push(Dimension::new(
+            PINNING_DIM_NAME,
+            DimensionKind::Topology,
+            range,
+            FieldRef::Pinning,
+        ));
+        self
+    }
+
+    /// This spec extended with a `pinning` dimension *pinned* at exactly
+    /// `policy`: the coordinate is encoded (so histories keep the extended
+    /// width and candidates always decode a pinning request) but frozen,
+    /// so the acquisition never varies it. The fixed-policy arms of the
+    /// reactors experiment are built this way, keeping every arm in the
+    /// same space against the same backend.
+    pub fn with_pinned_pinning(mut self, policy: PinningPolicy) -> SpaceSpec {
+        let o = policy.ordinal() as f64;
+        self.dims.push(Dimension::new(
+            PINNING_DIM_NAME,
+            DimensionKind::Topology,
+            ParamRange::new(o, o, false),
+            FieldRef::Pinning,
+        ));
+        self
+    }
+
     /// Number of encoded dimensions.
     pub fn dims(&self) -> usize {
         self.dims.len()
@@ -413,6 +465,23 @@ impl SpaceSpec {
             .map_or(1, |d| d.range.hi.round() as usize)
     }
 
+    /// Whether this spec carries a (non-frozen or frozen) pinning
+    /// dimension.
+    pub fn has_pinning(&self) -> bool {
+        self.dims.iter().any(|d| d.field == FieldRef::Pinning)
+    }
+
+    /// The pinning request seed configurations carry: the lowest-ordinal
+    /// policy the pinning dimension can express — [`PinningPolicy::Shared`]
+    /// for [`SpaceSpec::with_pinning`], the pinned policy for
+    /// [`SpaceSpec::with_pinned_pinning`], `None` without the dimension.
+    fn seed_pinning(&self) -> Option<PinningPolicy> {
+        self.dims
+            .iter()
+            .find(|d| d.field == FieldRef::Pinning)
+            .map(|d| PinningPolicy::from_ordinal(d.range.lo.round() as usize))
+    }
+
     /// The replication request seed configurations carry: the smallest
     /// factor the replication dimension can express — 1 for
     /// [`SpaceSpec::with_replication`], the pinned value for
@@ -436,6 +505,7 @@ impl SpaceSpec {
             c.shards = Some(1);
         }
         c.replicas = self.seed_replicas();
+        c.pinning = self.seed_pinning();
         c
     }
 
@@ -446,6 +516,7 @@ impl SpaceSpec {
             c.shards = Some(1);
         }
         c.replicas = self.seed_replicas();
+        c.pinning = self.seed_pinning();
         c
     }
 
@@ -817,6 +888,75 @@ mod tests {
     }
 
     #[test]
+    fn pinning_spec_appends_pinning_dimension() {
+        let spec = SpaceSpec::with_topology(8).with_replication(4).with_pinning();
+        assert_eq!(spec.dims(), DIMS + 3);
+        assert!(spec.has_topology() && spec.has_replication() && spec.has_pinning());
+        assert_eq!(spec.dim_names()[DIMS + 2], PINNING_DIM_NAME);
+        let last = spec.dimensions()[DIMS + 2];
+        assert_eq!(last.kind, DimensionKind::Topology);
+        assert!(!last.is_frozen());
+        assert!(!last.range.log, "pinning ordinals tune on a linear scale");
+        // Every index type gains the pinning dim as a shared free dim.
+        for t in IndexType::ALL {
+            let free = spec.free_dims(t);
+            assert_eq!(free.last(), Some(&(DIMS + 2)), "{t}");
+            assert_eq!(
+                free.len(),
+                SpaceSpec::with_topology(8).with_replication(4).free_dims(t).len() + 1,
+                "{t}"
+            );
+        }
+        // Decode covers every policy.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..=100 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS + 2] = i as f64 / 100.0;
+            let c = spec.decode(&u).unwrap();
+            let p = c.pinning.expect("pinning spec always decodes a policy");
+            seen.insert(p.ordinal());
+            let back = spec.decode(&spec.encode(&c)).unwrap();
+            assert_eq!(back.pinning, Some(p));
+        }
+        assert_eq!(seen.len(), PinningPolicy::ALL.len(), "all policies reachable: {seen:?}");
+    }
+
+    #[test]
+    fn frozen_pinning_dimension_never_free() {
+        let spec = SpaceSpec::with_topology(4)
+            .with_replication(4)
+            .with_pinned_pinning(PinningPolicy::Shared);
+        assert_eq!(spec.dims(), DIMS + 3);
+        assert!(spec.dimensions()[DIMS + 2].is_frozen());
+        for t in IndexType::ALL {
+            assert_eq!(
+                spec.free_dims(t),
+                SpaceSpec::with_topology(4).with_replication(4).free_dims(t),
+                "{t}"
+            );
+        }
+        // The frozen coordinate encodes to a constant 0.0, so GP inputs
+        // differ from the 18-dim spec only by an appended constant.
+        let u = spec.encode(&spec.seed_config(IndexType::Hnsw));
+        assert_eq!(u.len(), DIMS + 3);
+        assert_eq!(u[DIMS + 2].to_bits(), 0.0f64.to_bits());
+        assert_eq!(spec.decode(&u).unwrap().pinning, Some(PinningPolicy::Shared));
+    }
+
+    #[test]
+    fn pinned_pinning_freezes_at_the_policy() {
+        let spec = SpaceSpec::with_topology(4).with_pinned_pinning(PinningPolicy::Scatter);
+        assert!(spec.dimensions()[DIMS + 1].is_frozen());
+        // Seed configs and every decoded point carry exactly the pin.
+        assert_eq!(spec.seed_config(IndexType::Hnsw).pinning, Some(PinningPolicy::Scatter));
+        for i in 0..=10 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS + 1] = i as f64 / 10.0;
+            assert_eq!(spec.decode(&u).unwrap().pinning, Some(PinningPolicy::Scatter));
+        }
+    }
+
+    #[test]
     fn seed_configs_carry_topology_only_when_tuned() {
         assert_eq!(SpaceSpec::legacy().seed_config(IndexType::Hnsw).shards, None);
         assert_eq!(SpaceSpec::legacy().seed_default().shards, None);
@@ -828,6 +968,9 @@ mod tests {
         let replicated = SpaceSpec::with_topology(4).with_replication(4);
         assert_eq!(replicated.seed_default().shards, Some(1));
         assert_eq!(replicated.seed_default().replicas, Some(1));
+        assert_eq!(replicated.seed_default().pinning, None);
+        let pinned = SpaceSpec::with_topology(4).with_replication(4).with_pinning();
+        assert_eq!(pinned.seed_default().pinning, Some(PinningPolicy::Shared));
     }
 
     #[test]

@@ -275,6 +275,21 @@ impl<'a> ShardedCollection<'a> {
         &self.shard_memory
     }
 
+    /// Segments each *local* shard scans per query: its sealed placement,
+    /// plus the growing tail on the delegator (shard 0) when streaming
+    /// data exists. This is the unit of intra-query parallelism the
+    /// shard's reactors divide between themselves
+    /// ([`reactor_placement`]) — the input the pinned cost model's
+    /// straggler share is computed from.
+    pub fn shard_segment_counts(&self) -> Vec<usize> {
+        (0..self.spec.shards)
+            .map(|s| {
+                self.shard_segments[s].len()
+                    + usize::from(s == 0 && self.collection.layout().growing_rows() > 0)
+            })
+            .collect()
+    }
+
     /// The underlying (single-node-equivalent) collection.
     pub fn collection(&self) -> &Collection<'a> {
         &self.collection
@@ -383,6 +398,18 @@ impl<'a> ShardedCollection<'a> {
             })
             .fold(0.0, f64::max)
     }
+}
+
+/// Deterministic segment → reactor ownership within one query node:
+/// round-robin over the node's reactors, a pure function of
+/// `(num_segments, reactors)`. This is the single source of truth for
+/// which reactor scans which segment — the cost model's straggler-share
+/// computation and the serving simulator's per-reactor queues both derive
+/// from it, so they can never disagree. Independent of thread count by
+/// construction (no state, no iteration order).
+pub fn reactor_placement(num_segments: usize, reactors: usize) -> Vec<usize> {
+    let reactors = reactors.max(1);
+    (0..num_segments).map(|i| i % reactors).collect()
 }
 
 /// Memory footprint of shard `s` hosting the given segments.
@@ -754,6 +781,36 @@ mod tests {
                 .collect::<Vec<_>>(),
             "seed matters"
         );
+    }
+
+    #[test]
+    fn reactor_placement_is_pure_round_robin() {
+        assert_eq!(reactor_placement(5, 2), vec![0, 1, 0, 1, 0]);
+        assert_eq!(reactor_placement(3, 8), vec![0, 1, 2]);
+        assert_eq!(reactor_placement(0, 4), Vec::<usize>::new());
+        assert_eq!(reactor_placement(3, 0), vec![0, 0, 0], "zero reactors clamps to one");
+        // Balanced: ownership counts differ by at most one.
+        for (n, r) in [(17, 4), (64, 16), (7, 7)] {
+            let p = reactor_placement(n, r);
+            let mut counts = vec![0usize; r];
+            for &x in &p {
+                counts[x] += 1;
+            }
+            let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(hi - lo <= 1, "n={n} r={r}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shard_segment_counts_include_the_growing_tail() {
+        let (ds, cfg) = multi_segment_setup();
+        let sharded = ShardedCollection::load(&ds, &cfg, 1, ClusterSpec::new(2)).unwrap();
+        let counts = sharded.shard_segment_counts();
+        assert_eq!(counts.len(), 2);
+        let sealed_on = |s: usize| sharded.assignment().iter().filter(|&&a| a == s).count();
+        let growing = usize::from(sharded.collection().layout().growing_rows() > 0);
+        assert_eq!(counts[0], sealed_on(0) + growing, "delegator adds the growing tail");
+        assert_eq!(counts[1], sealed_on(1));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A full VDMS configuration — the unit the tuners optimize.
 
 use crate::system_params::SystemParams;
+use crate::topology::PinningPolicy;
 use anns::params::{IndexParams, IndexType};
 
 /// Index type + index parameters + system parameters (16 tunables total,
@@ -24,6 +25,13 @@ pub struct VdmsConfig {
     /// replication-tuning candidate that only a backend advertising the
     /// replication dimension can realize.
     pub replicas: Option<usize>,
+    /// Requested reactor pinning policy. `None` means "the backend's fixed
+    /// execution model" (the legacy shared slot pool); `Some(p)` is a
+    /// pinning-tuning candidate that only a backend advertising the
+    /// pinning dimension can realize. `Some(PinningPolicy::Shared)`
+    /// evaluates bit-identically to `None` — the shared policy *is* the
+    /// legacy model.
+    pub pinning: Option<PinningPolicy>,
 }
 
 impl VdmsConfig {
@@ -33,11 +41,12 @@ impl VdmsConfig {
 
     /// Encoded dimensionality this configuration spans: the 16 base
     /// tunables, plus one per deployment request it carries (topology,
-    /// replication).
+    /// replication, pinning).
     pub fn tunable_dims(&self) -> usize {
         Self::BASE_TUNABLES
             + usize::from(self.shards.is_some())
             + usize::from(self.replicas.is_some())
+            + usize::from(self.pinning.is_some())
     }
 
     /// The Milvus default configuration (the paper's `Default` baseline
@@ -49,6 +58,7 @@ impl VdmsConfig {
             system: SystemParams::default(),
             shards: None,
             replicas: None,
+            pinning: None,
         }
     }
 
@@ -101,6 +111,9 @@ impl VdmsConfig {
         if let Some(r) = self.replicas {
             parts.push(format!("replicas={r}"));
         }
+        if let Some(p) = self.pinning {
+            parts.push(format!("pinning={}", p.name()));
+        }
         parts.join(" ")
     }
 }
@@ -141,6 +154,20 @@ mod tests {
         assert_eq!(topo.tunable_dims(), VdmsConfig::BASE_TUNABLES + 1);
         let replicated = VdmsConfig { shards: Some(4), replicas: Some(2), ..base };
         assert_eq!(replicated.tunable_dims(), VdmsConfig::BASE_TUNABLES + 2);
+        let pinned = VdmsConfig { pinning: Some(PinningPolicy::Compact), ..replicated };
+        assert_eq!(pinned.tunable_dims(), VdmsConfig::BASE_TUNABLES + 3);
+    }
+
+    #[test]
+    fn summary_shows_pinning_only_when_requested() {
+        let c =
+            VdmsConfig { pinning: Some(PinningPolicy::Scatter), ..VdmsConfig::default_config() }
+                .sanitized(48, 10);
+        assert!(c.summary().ends_with("pinning=scatter"), "{}", c.summary());
+        assert!(
+            !VdmsConfig::default_config().summary().contains("pinning"),
+            "no pinning request, no pinning in the summary"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! see DESIGN.md.
 
 use crate::system_params::SystemParams;
+use crate::topology::{CalibrationSource, HostTopology, PenaltyMatrix, PinningPolicy};
 use anns::cost::{ScanUnitCosts, SearchCost};
 
 /// Per-operation latency constants, in nanoseconds.
@@ -29,6 +30,10 @@ pub mod unit_costs {
     pub const SEGMENT_NS: f64 = 80_000.0;
     /// Fixed per-query dispatch cost (RPC, planning, reduce).
     pub const QUERY_BASE_NS: f64 = 200_000.0;
+    /// Fixed dispatch cost of handing one reactor's partial top-k back to
+    /// the delegator reactor (queue transfer, cache-line ping), before the
+    /// NUMA distance multiplier.
+    pub const REACTOR_HANDOFF_NS: f64 = 8_000.0;
     /// Index build cost per training dimension unit.
     pub const BUILD_DIM_NS: f64 = 25.0;
     /// Ingest bandwidth for loading the collection (virtual bytes/sec).
@@ -65,18 +70,42 @@ pub struct CostModel {
     /// Physical cores of one simulated query node. `maxReadConcurrency`
     /// beyond this adds scheduling overhead instead of parallelism — the
     /// serving-side analogue of the offline throughput law's
-    /// over-provisioning penalty.
+    /// over-provisioning penalty. Derived from [`CostModel::topology`] by
+    /// default so the two cannot drift.
     pub query_node_cores: usize,
     /// Per-unit scan costs. Defaults to [`ScanUnitCosts::ANALYTIC`] (the
     /// historical constants, keeping default-constructed models
     /// bit-identical across hosts); [`CostModel::calibrated`] swaps in the
     /// measured values from `results/kernels.json` when present.
     pub scan: ScanUnitCosts,
+    /// Shape of one query-node host. Always [`HostTopology::DEFAULT`] in
+    /// normal operation (cross-host determinism); tests use degenerate
+    /// shapes to prove reactor/slot-pool equivalences.
+    pub topology: HostTopology,
+    /// NUMA/SMT penalty surface charged by the pinned reactor paths.
+    /// [`CostModel::calibrated`] swaps in the host-measured surface from
+    /// `results/reactors.json` when present.
+    pub penalties: PenaltyMatrix,
+    /// Where [`CostModel::scan`] came from ([`CostModel::calibrated`]
+    /// records it; default-constructed models are analytic by definition).
+    pub scan_source: CalibrationSource,
+    /// Where [`CostModel::penalties`] came from.
+    pub penalty_source: CalibrationSource,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { workload_concurrency: 10, query_node_cores: 16, scan: ScanUnitCosts::ANALYTIC }
+        CostModel {
+            workload_concurrency: 10,
+            // Derived, not a magic literal: the serving slot cap and the
+            // topology surface agree by construction.
+            query_node_cores: HostTopology::DEFAULT.physical_cores(),
+            scan: ScanUnitCosts::ANALYTIC,
+            topology: HostTopology::DEFAULT,
+            penalties: PenaltyMatrix::ANALYTIC,
+            scan_source: CalibrationSource::Analytic,
+            penalty_source: CalibrationSource::Analytic,
+        }
     }
 }
 
@@ -192,21 +221,32 @@ impl CostModel {
     }
 
     /// A cost model whose scan constants come from the measured kernel
-    /// throughputs in `results/kernels.json` (written by `repro kernels`),
-    /// falling back to the analytic constants when no measurement exists.
-    /// The calibration tier follows the process kernel policy: under
-    /// `VDTUNER_KERNEL=fast` the model prices scans with the fast-tier
-    /// measurements, so the tuner's latency surface matches the kernels the
-    /// indexes actually run.
+    /// throughputs in `results/kernels.json` (written by `repro kernels`)
+    /// and whose NUMA/SMT penalty surface comes from the pinned-replay
+    /// measurements in `results/reactors.json` (written by
+    /// `repro reactors`), falling back to the analytic constants when no
+    /// measurement exists. The fallback is **recorded**, not silent:
+    /// [`CostModel::scan_source`] / [`CostModel::penalty_source`] say
+    /// whether each surface is [`CalibrationSource::Measured`], and
+    /// experiments surface that in their JSON so a run can't masquerade as
+    /// calibrated. The calibration tier follows the process kernel policy:
+    /// under `VDTUNER_KERNEL=fast` the model prices scans with the
+    /// fast-tier measurements, so the tuner's latency surface matches the
+    /// kernels the indexes actually run.
     pub fn calibrated() -> CostModel {
         let tier = match vecdata::kernel::active_policy() {
             vecdata::kernel::KernelPolicy::Exact => "exact",
             vecdata::kernel::KernelPolicy::Fast => "fast",
         };
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../results")
-            .join("kernels.json");
-        CostModel { scan: ScanUnitCosts::load_tier_or_analytic(&path, tier), ..Default::default() }
+        let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let (scan, scan_source) =
+            match ScanUnitCosts::load_tier(&results.join("kernels.json"), tier) {
+                Some(scan) => (scan, CalibrationSource::Measured),
+                None => (ScanUnitCosts::ANALYTIC, CalibrationSource::Analytic),
+            };
+        let (penalties, penalty_source) =
+            PenaltyMatrix::load_with_source(&results.join("reactors.json"));
+        CostModel { scan, scan_source, penalties, penalty_source, ..Default::default() }
     }
 
     /// Convert one query's accumulated counts into latency and QPS.
@@ -339,6 +379,160 @@ impl CostModel {
         replicas: usize,
     ) -> QueryPerf {
         let base = self.cluster_perf(shard_costs, sys, top_k);
+        if replicas <= 1 {
+            return base;
+        }
+        let latency_secs =
+            base.latency_secs - Self::stall_secs(sys) + Self::stall_secs_replicated(sys, replicas);
+        QueryPerf {
+            latency_secs,
+            qps: self.parallelism_replicated(sys, replicas) / latency_secs.max(1e-9),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shard reactors: the pinned per-core execution model.
+    // ------------------------------------------------------------------
+
+    /// Reactors one query node runs under `policy`: one per configured
+    /// read slot, but never more than the policy can pin
+    /// ([`HostTopology::capacity`] — SMT-avoiding placement stops at the
+    /// physical cores, compact/scatter at the logical CPUs).
+    pub fn reactor_count(&self, policy: PinningPolicy, sys: &SystemParams) -> usize {
+        sys.max_read_concurrency.clamp(1, self.topology.capacity(policy).max(1))
+    }
+
+    /// Scan-cost multiplier per reactor: a reactor whose SMT sibling slot
+    /// is also populated shares execution ports and pays
+    /// [`PenaltyMatrix::same_core_smt`]; everyone else scans at full speed.
+    pub fn reactor_scan_penalties(&self, policy: PinningPolicy, reactors: usize) -> Vec<f64> {
+        let slots = self.topology.slots(policy, reactors);
+        (0..slots.len())
+            .map(|i| {
+                let shared = slots
+                    .iter()
+                    .enumerate()
+                    .any(|(j, s)| j != i && s.socket == slots[i].socket && s.core == slots[i].core);
+                if shared {
+                    self.penalties.same_core_smt
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Additive handoff latency (seconds) each reactor pays to hand its
+    /// partial top-k to the delegator reactor 0, scaled by the pair's
+    /// NUMA distance ([`PenaltyMatrix::handoff`]). The delegator itself
+    /// pays nothing.
+    pub fn reactor_handoff_secs(
+        &self,
+        policy: PinningPolicy,
+        reactors: usize,
+        top_k: usize,
+    ) -> Vec<f64> {
+        let slots = self.topology.slots(policy, reactors);
+        let base = unit_costs::REACTOR_HANDOFF_NS + top_k as f64 * unit_costs::HEAP_PUSH_NS;
+        slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    0.0
+                } else {
+                    base * self.penalties.handoff(s.relation(&slots[0])) / 1e9
+                }
+            })
+            .collect()
+    }
+
+    /// Per-query performance of one *pinned* node: the node's segments are
+    /// owned round-robin by its reactors
+    /// ([`crate::cluster::reactor_placement`]), reactors scan their own
+    /// segments concurrently, and per-query scan latency is the straggler
+    /// reactor's share — its owned fraction of the scan work inflated by
+    /// its SMT sharing penalty — plus every populated reactor's handoff to
+    /// the delegator. The fixed dispatch/merge costs stay serial on the
+    /// delegator.
+    fn pinned_node_perf(
+        &self,
+        cost: &SearchCost,
+        segments: usize,
+        sys: &SystemParams,
+        scan_penalties: &[f64],
+        handoff_secs: &[f64],
+    ) -> QueryPerf {
+        use unit_costs::*;
+        let chunk = Self::chunk_factor(sys.chunk_rows);
+        let scan_ns = cost.f32_dims as f64 * self.scan.f32_dim_ns
+            + cost.u8_dims as f64 * self.scan.u8_dim_ns
+            + cost.pq_lookups as f64 * self.scan.pq_lookup_ns;
+        let graph_ns = cost.graph_dims as f64 * self.scan.f32_dim_ns * 1.1;
+        let fixed_ns = cost.graph_hops as f64 * GRAPH_HOP_NS
+            + cost.heap_pushes as f64 * HEAP_PUSH_NS
+            + cost.lists_probed as f64 * LIST_PROBE_NS
+            + cost.segments as f64 * SEGMENT_NS
+            + QUERY_BASE_NS;
+        let segs = segments.max(1);
+        let used = scan_penalties.len().min(segs).max(1);
+        let mut owned = vec![0usize; used];
+        for r in crate::cluster::reactor_placement(segs, used) {
+            owned[r] += 1;
+        }
+        // The straggler reactor: largest owned share × its own penalty.
+        let straggler = (0..used)
+            .map(|r| owned[r] as f64 / segs as f64 * scan_penalties[r])
+            .fold(0.0f64, f64::max);
+        let handoff: f64 = handoff_secs[..used].iter().sum();
+        let latency_secs = ((scan_ns * chunk + graph_ns) * straggler + fixed_ns) / 1e9
+            + handoff
+            + Self::stall_secs(sys);
+        QueryPerf { latency_secs, qps: self.parallelism(sys) / latency_secs.max(1e-9) }
+    }
+
+    /// Per-query performance of a replicated sharded cluster whose nodes
+    /// run **pinned shard reactors** instead of the shared slot pool.
+    /// [`PinningPolicy::Shared`] delegates to
+    /// [`CostModel::replicated_cluster_perf`] unchanged — the legacy model
+    /// *is* the shared policy — so a pinning knob frozen at its default
+    /// reproduces pre-reactor results bit for bit. A degenerate
+    /// single-core topology runs one penalty-free reactor and is likewise
+    /// bitwise the slot-pool model.
+    ///
+    /// `shard_segments` holds the number of segments each local shard
+    /// scans per query (sealed, plus the growing tail on the delegator
+    /// shard), which bounds how much intra-query parallelism its reactors
+    /// can extract.
+    pub fn pinned_cluster_perf(
+        &self,
+        shard_costs: &[SearchCost],
+        shard_segments: &[usize],
+        sys: &SystemParams,
+        top_k: usize,
+        replicas: usize,
+        policy: PinningPolicy,
+    ) -> QueryPerf {
+        if policy == PinningPolicy::Shared {
+            return self.replicated_cluster_perf(shard_costs, sys, top_k, replicas);
+        }
+        debug_assert_eq!(shard_costs.len(), shard_segments.len());
+        let reactors = self.reactor_count(policy, sys);
+        let scan_pen = self.reactor_scan_penalties(policy, reactors);
+        let handoff = self.reactor_handoff_secs(policy, reactors, top_k);
+        let slowest = shard_costs
+            .iter()
+            .zip(shard_segments)
+            .map(|(c, &segs)| self.pinned_node_perf(c, segs, sys, &scan_pen, &handoff))
+            .max_by(|a, b| a.latency_secs.total_cmp(&b.latency_secs))
+            .expect("pinned_cluster_perf needs at least one shard");
+        let proxy = self.proxy_merge_secs(shard_costs.len(), top_k);
+        let base = if proxy == 0.0 {
+            slowest
+        } else {
+            let latency_secs = slowest.latency_secs + proxy;
+            QueryPerf { latency_secs, qps: self.parallelism(sys) / latency_secs.max(1e-9) }
+        };
         if replicas <= 1 {
             return base;
         }
@@ -637,6 +831,136 @@ mod tests {
         let small = SystemParams { insert_buf_size_mb: 16.0, ..Default::default() };
         let large = SystemParams { insert_buf_size_mb: 2048.0, ..Default::default() };
         assert!(CostModel::flush_interval_secs(&large) > CostModel::flush_interval_secs(&small));
+    }
+
+    #[test]
+    fn query_node_cores_derives_from_the_default_topology() {
+        // Regression (the field used to be a bare magic 16): the slot cap
+        // and the topology surface must agree by construction.
+        let model = CostModel::default();
+        assert_eq!(model.query_node_cores, model.topology.physical_cores());
+        assert_eq!(model.query_node_cores, HostTopology::DEFAULT.physical_cores());
+        assert_eq!(model.scan_source, CalibrationSource::Analytic);
+        assert_eq!(model.penalty_source, CalibrationSource::Analytic);
+    }
+
+    #[test]
+    fn reactor_count_respects_policy_capacity() {
+        let model = CostModel::default();
+        let sys = |mrc| SystemParams { max_read_concurrency: mrc, ..Default::default() };
+        for p in PinningPolicy::ALL {
+            assert_eq!(model.reactor_count(p, &sys(1)), 1);
+            assert_eq!(model.reactor_count(p, &sys(8)), 8);
+        }
+        // Compact/scatter can use SMT siblings; SMT-avoid stops at the
+        // physical cores, shared at the legacy slot cap.
+        assert_eq!(model.reactor_count(PinningPolicy::Compact, &sys(64)), 32);
+        assert_eq!(model.reactor_count(PinningPolicy::Scatter, &sys(64)), 32);
+        assert_eq!(model.reactor_count(PinningPolicy::SmtAvoid, &sys(64)), 16);
+        assert_eq!(model.reactor_count(PinningPolicy::Shared, &sys(64)), 16);
+    }
+
+    #[test]
+    fn compact_pays_smt_early_scatter_pays_handoff_early() {
+        let model = CostModel::default();
+        // Two compact reactors share a core: both penalized.
+        let compact = model.reactor_scan_penalties(PinningPolicy::Compact, 2);
+        assert_eq!(compact, vec![PenaltyMatrix::ANALYTIC.same_core_smt; 2]);
+        // Two scattered reactors sit on different sockets: no SMT penalty,
+        // but the handoff crosses the interconnect.
+        let scatter = model.reactor_scan_penalties(PinningPolicy::Scatter, 2);
+        assert_eq!(scatter, vec![1.0; 2]);
+        let ch = model.reactor_handoff_secs(PinningPolicy::Compact, 2, 100);
+        let sh = model.reactor_handoff_secs(PinningPolicy::Scatter, 2, 100);
+        assert_eq!(ch[0], 0.0, "the delegator pays no handoff");
+        assert!(sh[1] > ch[1], "cross-socket handoff beats same-core: {} vs {}", sh[1], ch[1]);
+        // Scatter at 16 reactors still avoids SMT; at 17 the sibling plane
+        // opens and core 0 shares.
+        assert!(model.reactor_scan_penalties(PinningPolicy::Scatter, 16).iter().all(|&p| p == 1.0));
+        let wrapped = model.reactor_scan_penalties(PinningPolicy::Scatter, 17);
+        assert_eq!(wrapped[0], PenaltyMatrix::ANALYTIC.same_core_smt);
+        assert_eq!(wrapped[16], PenaltyMatrix::ANALYTIC.same_core_smt);
+        // SMT-avoid never shares, at any count.
+        assert!(model
+            .reactor_scan_penalties(PinningPolicy::SmtAvoid, 16)
+            .iter()
+            .all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn shared_policy_is_bitwise_the_legacy_cluster_perf() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let costs = [flat_cost(), flat_cost()];
+        for replicas in [1, 3] {
+            let legacy = model.replicated_cluster_perf(&costs, &sys, 10, replicas);
+            let pinned = model.pinned_cluster_perf(
+                &costs,
+                &[4, 3],
+                &sys,
+                10,
+                replicas,
+                PinningPolicy::Shared,
+            );
+            assert_eq!(legacy.latency_secs.to_bits(), pinned.latency_secs.to_bits());
+            assert_eq!(legacy.qps.to_bits(), pinned.qps.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_core_topology_reproduces_the_slot_pool_bitwise() {
+        // One reactor, no siblings, no handoff: the pinned model must be
+        // bit-identical to the pre-reactor model for every policy.
+        let model = CostModel {
+            topology: HostTopology::SINGLE_CORE,
+            query_node_cores: HostTopology::SINGLE_CORE.physical_cores(),
+            ..Default::default()
+        };
+        let sys = SystemParams::default();
+        let costs = [flat_cost(), flat_cost()];
+        for replicas in [1, 2] {
+            let legacy = model.replicated_cluster_perf(&costs, &sys, 10, replicas);
+            for policy in PinningPolicy::ALL {
+                let pinned = model.pinned_cluster_perf(&costs, &[5, 5], &sys, 10, replicas, policy);
+                assert_eq!(
+                    legacy.latency_secs.to_bits(),
+                    pinned.latency_secs.to_bits(),
+                    "{policy:?} r={replicas}"
+                );
+                assert_eq!(legacy.qps.to_bits(), pinned.qps.to_bits(), "{policy:?} r={replicas}");
+            }
+        }
+    }
+
+    #[test]
+    fn reactors_cut_latency_on_multi_segment_nodes() {
+        // A 16-segment shard on 8 SMT-free reactors: the straggler scans
+        // 2/16 of the work, far outweighing the handoff cost.
+        let model = CostModel::default();
+        let sys = SystemParams { max_read_concurrency: 8, ..Default::default() };
+        let cost = SearchCost {
+            f32_dims: 160_000 * 48,
+            heap_pushes: 160_000,
+            segments: 16,
+            ..Default::default()
+        };
+        let shared = model.pinned_cluster_perf(&[cost], &[16], &sys, 10, 1, PinningPolicy::Shared);
+        let pinned =
+            model.pinned_cluster_perf(&[cost], &[16], &sys, 10, 1, PinningPolicy::SmtAvoid);
+        assert!(
+            pinned.latency_secs < shared.latency_secs * 0.5,
+            "reactors parallelize the scan: {} vs {}",
+            pinned.latency_secs,
+            shared.latency_secs
+        );
+        // A single-segment shard cannot parallelize and only pays costs.
+        let one_seg = SearchCost { f32_dims: 10_000 * 48, segments: 1, ..Default::default() };
+        let sp = model.pinned_cluster_perf(&[one_seg], &[1], &sys, 10, 1, PinningPolicy::Shared);
+        let pp = model.pinned_cluster_perf(&[one_seg], &[1], &sys, 10, 1, PinningPolicy::Scatter);
+        assert!(
+            pp.latency_secs.to_bits() == sp.latency_secs.to_bits(),
+            "one segment, one reactor, no handoff"
+        );
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub enum VdmsError {
     /// silent clamp, so the recorded replication factor is always the one
     /// that actually served the workload.
     ReplicationUnrealizable { requested_replicas: usize, max_replicas: usize },
+    /// The candidate requests a reactor pinning policy the control plane
+    /// cannot realize (its execution model is the fixed shared slot pool).
+    /// Same contract as [`VdmsError::TopologyUnrealizable`]: a typed
+    /// refusal, never a silent fallback to the shared pool, so the
+    /// recorded execution model is always the one that actually served
+    /// the workload.
+    PinningUnrealizable { requested: crate::topology::PinningPolicy },
     /// The configuration served the workload but violated the operator's
     /// serving-level objective: p99 latency above the SLO, or more than
     /// the tolerated fraction of requests shed from a full queue. Like a
@@ -83,6 +90,14 @@ impl std::fmt::Display for VdmsError {
                     f,
                     "replication unrealizable: candidate requests {requested_replicas} replicas \
                      but the backend deploys at most {max_replicas}"
+                )
+            }
+            VdmsError::PinningUnrealizable { requested } => {
+                write!(
+                    f,
+                    "pinning unrealizable: candidate requests the {} reactor policy but the \
+                     backend's execution model is the fixed shared slot pool",
+                    requested.name()
                 )
             }
             VdmsError::SloViolation { p99_secs, slo_secs, shed } => {

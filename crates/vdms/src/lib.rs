@@ -26,6 +26,8 @@
 //! * [`cluster`] — the same collection partitioned across simulated query
 //!   nodes with per-shard memory budgets behind a scatter-gather proxy,
 //! * [`cost_model`] — counts → latency/QPS/build-time,
+//! * [`topology`] — host shape, reactor pinning policies, and the NUMA/SMT
+//!   penalty surface the cost model charges,
 //! * [`memory`] — resident + peak memory accounting (for QP$ tuning),
 //! * [`error`] — build/evaluation failure semantics.
 
@@ -37,6 +39,7 @@ pub mod error;
 pub mod memory;
 pub mod segment;
 pub mod system_params;
+pub mod topology;
 
 pub use cluster::{ClusterSpec, ShardedCollection};
 pub use collection::Collection;
@@ -45,3 +48,4 @@ pub use cost_model::{CostModel, QueryPerf};
 pub use error::VdmsError;
 pub use segment::SegmentLayout;
 pub use system_params::SystemParams;
+pub use topology::{CalibrationSource, HostTopology, PenaltyMatrix, PinningPolicy};

@@ -38,15 +38,18 @@
 //! `VDTUNER_FORCE_SCALAR`). Fast kernels trade the fixed reduction order for
 //! throughput: FMA-contracted multi-accumulator f32 reductions, gather-based
 //! (`vpgatherdd`) PQ ADC block scoring for 8-bit codes, shuffle-based
-//! (`vpshufb`) 16-entry LUT scoring for packed 4-bit codes, and a symmetric
-//! int8 scan (AVX-512 VNNI `vpdpbusd` behind the `avx512` feature). Their
-//! contract is weaker but still testable:
+//! (`vpshufb`) 16-entry LUT scoring for packed 4-bit codes, a two-level
+//! `u16`-quantized 256-entry shuffle scorer for 8-bit codes
+//! ([`Kernel::adc8_lut256_block`], with the gather path kept as the f32
+//! fallback), and a symmetric int8 scan (AVX-512 VNNI `vpdpbusd` behind the
+//! `avx512` feature). Their contract is weaker but still testable:
 //!
 //! * f32 reductions are within a bounded relative error of the exact tier
 //!   (proptested in `crates/vecdata/tests/fast_tier_bounds.rs`);
 //! * the integer paths ([`Kernel::adc4_lut16_block`],
-//!   [`Kernel::sq8_sym_l2_block`]) are **integer-exact**: every fast
-//!   implementation returns the same integers as the scalar reference;
+//!   [`Kernel::adc8_lut256_block`], [`Kernel::sq8_sym_l2_block`]) are
+//!   **integer-exact**: every fast implementation returns the same integers
+//!   as the scalar reference;
 //! * each kernel is deterministic — same inputs, same bits — on 1 or N
 //!   threads; only *cross-implementation* identity is relinquished.
 //!
@@ -124,6 +127,24 @@ pub trait Kernel: Send + Sync {
         out: &mut Vec<u32>,
     ) {
         scalar::adc4_lut16_block(luts, packed, m, n, out);
+    }
+
+    /// Raw 8-bit packed-LUT ADC block scoring over the [`pack_codes8`]
+    /// layout: per candidate, the integer sum of `m` `u16` LUT entries,
+    /// each stored as two byte planes (`luts` is `m × 512`: per subspace,
+    /// 256 low bytes then 256 high bytes; the entry value is
+    /// `lo + 256 · hi`). Integer-exact across implementations; fast
+    /// kernels override the default scalar body with a two-level
+    /// `vpshufb` sweep (16 compare-masked 16-entry chunks per plane).
+    fn adc8_lut256_block_raw(
+        &self,
+        luts: &[u8],
+        packed: &[u8],
+        m: usize,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) {
+        scalar::adc8_lut256_block(luts, packed, m, n, out);
     }
 
     /// Raw symmetric SQ8 scan: integer squared L2 `Σ (qcode[d] − row[d])²`
@@ -245,6 +266,39 @@ pub trait Kernel: Send + Sync {
         self.adc4_lut16_block_raw(luts, packed, m, n, out);
     }
 
+    /// 8-bit packed-LUT ADC block scoring of `n` candidates (packed with
+    /// [`pack_codes8`]) against `m` 256-entry two-plane `u16` LUTs, one
+    /// integer sum per candidate appended to `out` (cleared first) in
+    /// candidate order. `m` is capped at 256 so each byte plane's `u16`
+    /// SIMD accumulators cannot overflow (`256 · 255 < 2¹⁶`).
+    fn adc8_lut256_block(
+        &self,
+        luts: &[u8],
+        packed: &[u8],
+        m: usize,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) {
+        assert!(
+            m > 0 && m <= 256,
+            "kernel adc8_lut256_block: m {m} outside 1..=256 (u16 plane accumulators)"
+        );
+        assert!(
+            luts.len() == m * 512,
+            "kernel adc8_lut256_block: luts length {} != m {m} * 512",
+            luts.len()
+        );
+        assert!(
+            packed.len() == packed8_len(m, n),
+            "kernel adc8_lut256_block: packed length {} != packed8_len({m}, {n}) = {}",
+            packed.len(),
+            packed8_len(m, n)
+        );
+        out.clear();
+        out.reserve(n);
+        self.adc8_lut256_block_raw(luts, packed, m, n, out);
+    }
+
     /// Symmetric SQ8 scan: integer squared L2 of a quantized query against
     /// every `dim`-byte code row, one sum per row appended to `out`
     /// (cleared first) in row order.
@@ -298,6 +352,37 @@ pub fn pack_codes4(codes: &[u8], m: usize) -> Vec<u8> {
             let c = codes[i * m + s];
             assert!(c < 16, "pack_codes4: code {c} at row {i} subspace {s} exceeds 4 bits");
             packed[batch * m * 16 + s * 16 + byte_idx] |= c << shift;
+        }
+    }
+    packed
+}
+
+/// Bytes [`pack_codes8`] produces for `n` candidates of `m` subspaces:
+/// candidates are padded to whole batches of 32, each batch storing `m`
+/// groups of 32 full code bytes.
+pub fn packed8_len(m: usize, n: usize) -> usize {
+    n.div_ceil(32) * m * 32
+}
+
+/// Pack 8-bit PQ codes (`codes.len() / m` rows of `m` bytes) into the
+/// batch-of-32, subspace-major layout the two-level shuffle-LUT kernel
+/// consumes: within a batch, subspace `s` owns 32 consecutive bytes where
+/// byte `j` is candidate `j`'s full code. Padding candidates (to fill the
+/// last batch) are encoded as code 0 and simply never read back.
+pub fn pack_codes8(codes: &[u8], m: usize) -> Vec<u8> {
+    assert!(m > 0, "pack_codes8: m must be positive");
+    assert!(
+        codes.len().is_multiple_of(m),
+        "pack_codes8: codes length {} is not a multiple of m {m}",
+        codes.len()
+    );
+    let n = codes.len() / m;
+    let mut packed = vec![0u8; packed8_len(m, n)];
+    for i in 0..n {
+        let batch = i / 32;
+        let j = i % 32;
+        for s in 0..m {
+            packed[batch * m * 32 + s * 32 + j] = codes[i * m + s];
         }
     }
     packed
@@ -440,6 +525,27 @@ pub(crate) mod scalar {
                 for s in 0..m {
                     let nib = (packed[base + s * 16 + byte_idx] >> shift) & 0x0F;
                     sum += luts[s * 16 + nib as usize] as u32;
+                }
+                out.push(sum);
+            }
+        }
+    }
+
+    /// Reference 8-bit two-plane packed-LUT scoring over the
+    /// [`super::pack_codes8`] layout: per candidate, `Σ (lo + 256 · hi)`
+    /// across subspaces. Integer sums — every implementation must match it
+    /// exactly.
+    pub fn adc8_lut256_block(luts: &[u8], packed: &[u8], m: usize, n: usize, out: &mut Vec<u32>) {
+        for batch in 0..n.div_ceil(32) {
+            let base = batch * m * 32;
+            let cands = (n - batch * 32).min(32);
+            for j in 0..cands {
+                let mut sum = 0u32;
+                for s in 0..m {
+                    let c = packed[base + s * 32 + j] as usize;
+                    let lo = luts[s * 512 + c] as u32;
+                    let hi = luts[s * 512 + 256 + c] as u32;
+                    sum += lo + 256 * hi;
                 }
                 out.push(sum);
             }
@@ -1037,6 +1143,114 @@ mod avx2_fast {
         }
     }
 
+    /// Two-level shuffle scoring for 8-bit codes: each subspace's 256-entry
+    /// `u16` LUT is stored as two byte planes and swept as 16 compare-masked
+    /// 16-entry `vpshufb` chunks — the `vpcmpeqb` mask forces bit 7 on
+    /// non-matching lanes so their shuffles return zero, and exactly one
+    /// chunk matches per candidate, so OR-combining the chunk results
+    /// reassembles all 32 lookups. Byte planes accumulate in separate `u16`
+    /// lane accumulators (sound for `m <= 256`); the final `u32` is
+    /// `lo + 256 · hi`. Integer-exact vs scalar, and gather-free.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn adc8_lut256_block(
+        luts: &[u8],
+        packed: &[u8],
+        m: usize,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) {
+        out.resize(n, 0);
+        let nib_mask = _mm256_set1_epi8(0x0F);
+        let bit7 = _mm256_set1_epi8(0x80u8 as i8);
+        let zero = _mm256_setzero_si256();
+        for batch in 0..n.div_ceil(32) {
+            let base = batch * m * 32;
+            // Per-plane u16 accumulators; `unpack` interleaves within
+            // 128-bit lanes, so lane -> candidate mapping is fixed and
+            // undone at store.
+            let mut acc_l_lo = _mm256_setzero_si256();
+            let mut acc_l_hi = _mm256_setzero_si256();
+            let mut acc_h_lo = _mm256_setzero_si256();
+            let mut acc_h_hi = _mm256_setzero_si256();
+            for s in 0..m {
+                let codes =
+                    _mm256_loadu_si256(packed.as_ptr().add(base + s * 32) as *const __m256i);
+                let lo_nib = _mm256_and_si256(codes, nib_mask);
+                let hi_nib = _mm256_and_si256(_mm256_srli_epi16(codes, 4), nib_mask);
+                let mut bytes_lo = _mm256_setzero_si256();
+                let mut bytes_hi = _mm256_setzero_si256();
+                for k in 0..16 {
+                    let mask = _mm256_cmpeq_epi8(hi_nib, _mm256_set1_epi8(k as i8));
+                    let idx = _mm256_or_si256(lo_nib, _mm256_andnot_si256(mask, bit7));
+                    let lut_lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                        luts.as_ptr().add(s * 512 + k * 16) as *const __m128i,
+                    ));
+                    let lut_hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                        luts.as_ptr().add(s * 512 + 256 + k * 16) as *const __m128i,
+                    ));
+                    bytes_lo = _mm256_or_si256(bytes_lo, _mm256_shuffle_epi8(lut_lo, idx));
+                    bytes_hi = _mm256_or_si256(bytes_hi, _mm256_shuffle_epi8(lut_hi, idx));
+                }
+                acc_l_lo = _mm256_add_epi16(acc_l_lo, _mm256_unpacklo_epi8(bytes_lo, zero));
+                acc_l_hi = _mm256_add_epi16(acc_l_hi, _mm256_unpackhi_epi8(bytes_lo, zero));
+                acc_h_lo = _mm256_add_epi16(acc_h_lo, _mm256_unpacklo_epi8(bytes_hi, zero));
+                acc_h_hi = _mm256_add_epi16(acc_h_hi, _mm256_unpackhi_epi8(bytes_hi, zero));
+            }
+            let cands = (n - batch * 32).min(32);
+            if cands == 32 {
+                // Full batch: undo the unpack interleave with four widening
+                // plane-combining stores (`lo + (hi << 8)` per candidate).
+                let dst = out.as_mut_ptr().add(batch * 32);
+                let comb = |l: __m128i, h: __m128i| {
+                    _mm256_add_epi32(
+                        _mm256_cvtepu16_epi32(l),
+                        _mm256_slli_epi32::<8>(_mm256_cvtepu16_epi32(h)),
+                    )
+                };
+                _mm256_storeu_si256(
+                    dst as *mut __m256i,
+                    comb(_mm256_castsi256_si128(acc_l_lo), _mm256_castsi256_si128(acc_h_lo)),
+                );
+                _mm256_storeu_si256(
+                    dst.add(8) as *mut __m256i,
+                    comb(_mm256_castsi256_si128(acc_l_hi), _mm256_castsi256_si128(acc_h_hi)),
+                );
+                _mm256_storeu_si256(
+                    dst.add(16) as *mut __m256i,
+                    comb(
+                        _mm256_extracti128_si256::<1>(acc_l_lo),
+                        _mm256_extracti128_si256::<1>(acc_h_lo),
+                    ),
+                );
+                _mm256_storeu_si256(
+                    dst.add(24) as *mut __m256i,
+                    comb(
+                        _mm256_extracti128_si256::<1>(acc_l_hi),
+                        _mm256_extracti128_si256::<1>(acc_h_hi),
+                    ),
+                );
+            } else {
+                let mut l_lo = [0u16; 16];
+                let mut l_hi = [0u16; 16];
+                let mut h_lo = [0u16; 16];
+                let mut h_hi = [0u16; 16];
+                _mm256_storeu_si256(l_lo.as_mut_ptr() as *mut __m256i, acc_l_lo);
+                _mm256_storeu_si256(l_hi.as_mut_ptr() as *mut __m256i, acc_l_hi);
+                _mm256_storeu_si256(h_lo.as_mut_ptr() as *mut __m256i, acc_h_lo);
+                _mm256_storeu_si256(h_hi.as_mut_ptr() as *mut __m256i, acc_h_hi);
+                for j in 0..cands {
+                    let (l, h) = match j {
+                        0..=7 => (l_lo[j], h_lo[j]),
+                        8..=15 => (l_hi[j - 8], h_hi[j - 8]),
+                        16..=23 => (l_lo[j - 8], h_lo[j - 8]),
+                        _ => (l_hi[j - 16], h_hi[j - 16]),
+                    };
+                    out[batch * 32 + j] = l as u32 + 256 * h as u32;
+                }
+            }
+        }
+    }
+
     /// Symmetric SQ8 scan: widen the query to `i16` once, then one
     /// load + convert + subtract + `vpmaddwd` per 16 dims per row.
     /// Integer-exact vs scalar.
@@ -1192,6 +1406,18 @@ impl Kernel for FastAvx2Kernel {
     ) {
         // SAFETY: construction verified AVX2 + FMA support.
         unsafe { avx2_fast::adc4_lut16_block(luts, packed, m, n, out) }
+    }
+
+    fn adc8_lut256_block_raw(
+        &self,
+        luts: &[u8],
+        packed: &[u8],
+        m: usize,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) {
+        // SAFETY: construction verified AVX2 + FMA support.
+        unsafe { avx2_fast::adc8_lut256_block(luts, packed, m, n, out) }
     }
 
     fn sq8_sym_l2_block_raw(&self, qcode: &[u8], codes: &[u8], dim: usize, out: &mut Vec<u32>) {
@@ -1530,6 +1756,18 @@ impl Kernel for FastAvx512Kernel {
         unsafe { avx2_fast::adc4_lut16_block(luts, packed, m, n, out) }
     }
 
+    fn adc8_lut256_block_raw(
+        &self,
+        luts: &[u8],
+        packed: &[u8],
+        m: usize,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) {
+        // SAFETY: construction verified AVX2 + FMA support.
+        unsafe { avx2_fast::adc8_lut256_block(luts, packed, m, n, out) }
+    }
+
     fn sq8_sym_l2_block_raw(&self, qcode: &[u8], codes: &[u8], dim: usize, out: &mut Vec<u32>) {
         // SAFETY: construction verified avx512f/avx512bw/avx512vnni support.
         unsafe { avx512_fast::sq8_sym_l2_block(qcode, codes, dim, out) }
@@ -1860,6 +2098,68 @@ mod tests {
                 k.adc4_lut16_block(&luts, &packed, m, n, &mut got);
                 assert_eq!(got, want, "kernel={} n={n}", k.name());
             }
+        }
+    }
+
+    #[test]
+    fn pack_codes8_round_trips_bytes() {
+        let m = 3usize;
+        let n = 41usize; // spills into a second, partial batch of 32
+        let codes: Vec<u8> = (0..n * m).map(|i| (i * 37 % 256) as u8).collect();
+        let packed = pack_codes8(&codes, m);
+        assert_eq!(packed.len(), packed8_len(m, n));
+        for i in 0..n {
+            for s in 0..m {
+                let (batch, j) = (i / 32, i % 32);
+                assert_eq!(packed[batch * m * 32 + s * 32 + j], codes[i * m + s], "i={i} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn adc8_lut256_block_is_integer_exact_across_kernels() {
+        let m = 7usize;
+        for n in [1usize, 15, 16, 17, 31, 32, 33, 63, 64, 100] {
+            let codes: Vec<u8> = (0..n * m).map(|i| (i * 41 % 256) as u8).collect();
+            // Two byte planes per subspace, covering the full u8 range so
+            // both planes and every 16-entry chunk carry signal.
+            let luts: Vec<u8> = (0..m * 512).map(|i| (i * 13 % 256) as u8).collect();
+            let packed = pack_codes8(&codes, m);
+            // Direct reference straight off the unpacked codes.
+            let want: Vec<u32> = codes
+                .chunks_exact(m)
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(s, &c)| {
+                            luts[s * 512 + c as usize] as u32
+                                + 256 * luts[s * 512 + 256 + c as usize] as u32
+                        })
+                        .sum()
+                })
+                .collect();
+            for k in fast_kernels() {
+                let mut got = Vec::new();
+                k.adc8_lut256_block(&luts, &packed, m, n, &mut got);
+                assert_eq!(got, want, "kernel={} n={n}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adc8_lut256_block_at_the_m256_accumulator_cap() {
+        // m = 256 with all-0xFF planes is the worst case for the u16 plane
+        // accumulators: 256 * 255 = 65280 must not wrap.
+        let m = 256usize;
+        let n = 33usize;
+        let codes = vec![0xFFu8; n * m];
+        let luts = vec![0xFFu8; m * 512];
+        let packed = pack_codes8(&codes, m);
+        let want = vec![256u32 * (255 + 256 * 255); n];
+        for k in fast_kernels() {
+            let mut got = Vec::new();
+            k.adc8_lut256_block(&luts, &packed, m, n, &mut got);
+            assert_eq!(got, want, "kernel={}", k.name());
         }
     }
 

@@ -1,8 +1,9 @@
 //! Property tests for the fast kernel tier's correctness contract: the
 //! relaxed-order FMA kernels stay within an accumulation-error bound of the
 //! exact tier across dims 1..=200, unaligned slice offsets, and adversarial
-//! magnitude spreads; the integer kernels (4-bit ADC LUT scoring, symmetric
-//! SQ8) are *exactly* equal to their scalar references on every kernel; and
+//! magnitude spreads; the integer kernels (4-bit ADC LUT scoring, two-level
+//! 8-bit ADC LUT scoring, symmetric SQ8) are *exactly* equal to their scalar
+//! references on every kernel; and
 //! block forms are bitwise self-consistent within each fast kernel.
 //!
 //! The exact tier's bit-identity contract is covered separately in
@@ -141,6 +142,34 @@ proptest! {
         for (name, kern) in fast_kernels() {
             kern.adc4_lut16_block(luts, &packed, m, n, &mut got);
             prop_assert!(got == want, "adc4 {name}: {got:?} vs {want:?}");
+        }
+    }
+
+    /// The two-level 8-bit ADC LUT scoring is *integer-exact*: every kernel
+    /// returns the same `u32` sums (`lo + 256·hi` per subspace) as direct
+    /// per-code lookups into the two byte planes.
+    #[test]
+    fn adc8_lut256_integer_exact(m in 1usize..=8, n in 0usize..=70,
+                                 raw in prop::collection::vec(0u8..=255u8, 8 * 70 + 8 * 512)) {
+        let codes = &raw[..n * m];
+        let luts = &raw[8 * 70..8 * 70 + m * 512];
+        let packed = kernel::pack_codes8(codes, m);
+        let want: Vec<u32> = codes
+            .chunks_exact(m)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(s, &c)| {
+                        luts[s * 512 + c as usize] as u32
+                            + 256 * luts[s * 512 + 256 + c as usize] as u32
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut got = Vec::new();
+        for (name, kern) in fast_kernels() {
+            kern.adc8_lut256_block(luts, &packed, m, n, &mut got);
+            prop_assert!(got == want, "adc8 {name}: {got:?} vs {want:?}");
         }
     }
 

@@ -27,10 +27,10 @@
 //! [`BackendInfo`] switches the evaluator's caching off.
 
 use crate::replay::{evaluate, evaluate_sharded, Outcome};
-use crate::serving::{simulate_replicated, ServingSpec};
+use crate::serving::{simulate_pinned, simulate_replicated, ServingSpec};
 use crate::Workload;
 use vdms::cluster::ClusterSpec;
-use vdms::{VdmsConfig, VdmsError};
+use vdms::{PinningPolicy, VdmsConfig, VdmsError};
 use vecdata::rng::derive;
 
 /// Capabilities and metadata of an evaluation backend, snapshotted by the
@@ -200,13 +200,24 @@ pub struct TopologyBackend<'a> {
     /// `Some(max)`: the 18-dim backend — candidates must also carry a
     /// replication request, realized up to `max` copies.
     max_replicas: Option<usize>,
+    /// Whether candidates additionally carry a reactor pinning request
+    /// ([`VdmsConfig::pinning`], the 19th dimension). A backend without
+    /// the knob still realizes [`PinningPolicy::Shared`] requests (the
+    /// shared pool *is* its execution model) but refuses every other
+    /// policy with a typed [`VdmsError::PinningUnrealizable`].
+    pinning: bool,
 }
 
 impl<'a> TopologyBackend<'a> {
     /// A backend serving unreplicated clusters of 1..=`max_shards` query
     /// nodes (the 17-dimensional space of PR 3).
     pub fn new(workload: &'a Workload, max_shards: usize) -> TopologyBackend<'a> {
-        TopologyBackend { workload, max_shards: max_shards.max(1), max_replicas: None }
+        TopologyBackend {
+            workload,
+            max_shards: max_shards.max(1),
+            max_replicas: None,
+            pinning: false,
+        }
     }
 
     /// A backend additionally serving 1..=`max_replicas` replicas of every
@@ -224,7 +235,34 @@ impl<'a> TopologyBackend<'a> {
             workload,
             max_shards: max_shards.max(1),
             max_replicas: Some(max_replicas.max(1)),
+            pinning: false,
         }
+    }
+
+    /// A backend additionally letting candidates choose the reactor
+    /// pinning policy (the 19-dimensional space): every [`PinningPolicy`]
+    /// is realizable, and evaluation routes non-shared policies through
+    /// the shard-reactor perf law
+    /// ([`vdms::CostModel::pinned_cluster_perf`]). Declaring the dimension
+    /// with the tuner's pinning coordinate frozen at
+    /// [`PinningPolicy::Shared`] reproduces 18-dimensional tuning bit for
+    /// bit against the same control plane.
+    pub fn with_pinning(
+        workload: &'a Workload,
+        max_shards: usize,
+        max_replicas: usize,
+    ) -> TopologyBackend<'a> {
+        TopologyBackend {
+            workload,
+            max_shards: max_shards.max(1),
+            max_replicas: Some(max_replicas.max(1)),
+            pinning: true,
+        }
+    }
+
+    /// Whether candidates may choose a reactor pinning policy.
+    pub fn pins_reactors(&self) -> bool {
+        self.pinning
     }
 
     /// The workload this backend replays.
@@ -265,15 +303,24 @@ impl<'a> TopologyBackend<'a> {
                 max_replicas: ceiling,
             });
         }
+        // A backend without the pinning knob still realizes shared-pool
+        // requests (that *is* its execution model) but refuses every other
+        // policy — never a silent fallback to the pool.
+        if let Some(policy) = config.pinning {
+            if !self.pinning && policy != PinningPolicy::Shared {
+                return Err(VdmsError::PinningUnrealizable { requested: policy });
+            }
+        }
         Ok(ClusterSpec::replicated(requested, replicas))
     }
 }
 
 impl EvalBackend for TopologyBackend<'_> {
     fn info(&self) -> BackendInfo {
-        let name = match self.max_replicas {
-            Some(r) => format!("topology(1..={} x1..={r})", self.max_shards),
-            None => format!("topology(1..={})", self.max_shards),
+        let name = match (self.max_replicas, self.pinning) {
+            (Some(r), true) => format!("topology(1..={} x1..={r} +pinning)", self.max_shards),
+            (Some(r), false) => format!("topology(1..={} x1..={r})", self.max_shards),
+            (None, _) => format!("topology(1..={})", self.max_shards),
         };
         BackendInfo {
             name,
@@ -285,8 +332,11 @@ impl EvalBackend for TopologyBackend<'_> {
             replicas: 1,
             deterministic: true,
             // 16 base knobs + the shard-count deployment knob (+ the
-            // replication knob when enabled).
-            space_dims: VdmsConfig::BASE_TUNABLES + 1 + usize::from(self.max_replicas.is_some()),
+            // replication and pinning knobs when enabled).
+            space_dims: VdmsConfig::BASE_TUNABLES
+                + 1
+                + usize::from(self.max_replicas.is_some())
+                + usize::from(self.pinning),
         }
     }
 
@@ -387,8 +437,23 @@ impl<B: EvalBackend> EvalBackend for ServingBackend<'_, B> {
         let replicas = cfg.replicas.unwrap_or(self.inner_info.replicas);
         let model = &self.workload.cost_model;
         let service = model.service_secs_from_qps_replicated(out.qps, &sys, replicas);
-        let trace =
-            simulate_replicated(model, &sys, service, &self.spec, derive(seed, 0x5E2B), replicas);
+        // A pinning request replaces each group's shared slot pool with
+        // per-reactor single-owner queues; `simulate_pinned` delegates for
+        // the shared policy, so `Some(Shared)` stays bitwise `None`.
+        let serving_seed = derive(seed, 0x5E2B);
+        let trace = match cfg.pinning {
+            Some(policy) => simulate_pinned(
+                model,
+                &sys,
+                service,
+                &self.spec,
+                serving_seed,
+                replicas,
+                policy,
+                self.inner_info.top_k,
+            ),
+            None => simulate_replicated(model, &sys, service, &self.spec, serving_seed, replicas),
+        };
         let stats = trace.stats(&self.spec);
         if stats.violates_slo(&self.spec) {
             out.failure = Some(VdmsError::SloViolation {
@@ -579,6 +644,74 @@ mod tests {
             narrow.cluster_spec_for(&cfg),
             Err(VdmsError::ReplicationUnrealizable { max_replicas: 1, .. })
         ));
+    }
+
+    #[test]
+    fn pinning_backend_reports_the_19_dim_space() {
+        let w = make();
+        let info = TopologyBackend::with_pinning(&w, 8, 4).info();
+        assert_eq!(info.space_dims, VdmsConfig::BASE_TUNABLES + 3);
+        assert_eq!(info.name, "topology(1..=8 x1..=4 +pinning)");
+        assert!(TopologyBackend::with_pinning(&w, 8, 4).pins_reactors());
+        assert!(!TopologyBackend::with_replication(&w, 8, 4).pins_reactors());
+    }
+
+    #[test]
+    fn pinning_requests_are_refused_without_the_knob() {
+        let w = make();
+        let b = TopologyBackend::with_replication(&w, 4, 2);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(2);
+        cfg.replicas = Some(1);
+        // The shared policy is the backend's own execution model: realized.
+        cfg.pinning = Some(PinningPolicy::Shared);
+        assert!(b.cluster_spec_for(&cfg).is_ok());
+        // Every other policy is a typed refusal, never a silent pool.
+        cfg.pinning = Some(PinningPolicy::Scatter);
+        assert!(matches!(
+            b.cluster_spec_for(&cfg),
+            Err(VdmsError::PinningUnrealizable { requested: PinningPolicy::Scatter })
+        ));
+        let out = b.evaluate(&cfg, 5);
+        assert!(!out.is_ok());
+        assert_eq!(out.simulated_secs, 0.0, "refused before any work ran");
+        // The pinning backend realizes all of them.
+        let pinned = TopologyBackend::with_pinning(&w, 4, 2);
+        for policy in PinningPolicy::ALL {
+            cfg.pinning = Some(policy);
+            assert!(pinned.cluster_spec_for(&cfg).is_ok(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn shared_pinning_request_evaluates_bitwise_unpinned() {
+        let w = make();
+        let b = TopologyBackend::with_pinning(&w, 4, 2);
+        let spec = ServingSpec { arrival_qps: 80.0, requests: 300, ..Default::default() };
+        let serving = ServingBackend::new(&w, b, spec);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.system.segment_max_size_mb = 64.0;
+        cfg.system.segment_seal_proportion = 0.5;
+        cfg.shards = Some(2);
+        cfg.replicas = Some(2);
+        cfg.pinning = None;
+        let unpinned = serving.evaluate(&cfg, 5);
+        cfg.pinning = Some(PinningPolicy::Shared);
+        let shared = serving.evaluate(&cfg, 5);
+        assert!(unpinned.is_ok() && shared.is_ok());
+        assert_eq!(unpinned.qps.to_bits(), shared.qps.to_bits());
+        assert_eq!(unpinned.recall.to_bits(), shared.recall.to_bits());
+        assert_eq!(unpinned.serving, shared.serving, "Some(Shared) is the legacy pool, bitwise");
+        // A non-shared policy actually changes the measured deployment.
+        cfg.pinning = Some(PinningPolicy::SmtAvoid);
+        let avoided = serving.evaluate(&cfg, 5);
+        assert!(avoided.is_ok(), "{:?}", avoided.failure);
+        assert_ne!(avoided.qps.to_bits(), shared.qps.to_bits(), "reactors reshape the perf law");
+        assert_eq!(
+            avoided.recall.to_bits(),
+            shared.recall.to_bits(),
+            "recall is execution-invariant"
+        );
     }
 
     #[test]

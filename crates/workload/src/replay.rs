@@ -143,12 +143,26 @@ pub fn evaluate_sharded(
     }
     let shard_means: Vec<anns::SearchCost> =
         shard_totals.iter().map(|c| mean_cost(c, nq)).collect();
-    let perf = workload.cost_model.replicated_cluster_perf(
-        &shard_means,
-        &cfg.system,
-        workload.top_k,
-        cluster.replicas(),
-    );
+    // A non-shared pinning request routes the perf law through the shard
+    // reactors; `Some(Shared)` and `None` take the identical legacy path
+    // (and `pinned_cluster_perf` delegates for Shared anyway), so a frozen
+    // pinning dimension reproduces unpinned replays bit for bit.
+    let perf = match cfg.pinning {
+        Some(policy) => workload.cost_model.pinned_cluster_perf(
+            &shard_means,
+            &cluster.shard_segment_counts(),
+            &cfg.system,
+            workload.top_k,
+            cluster.replicas(),
+            policy,
+        ),
+        None => workload.cost_model.replicated_cluster_perf(
+            &shard_means,
+            &cfg.system,
+            workload.top_k,
+            cluster.replicas(),
+        ),
+    };
     finish(
         workload,
         &cfg,

@@ -49,15 +49,16 @@ impl Observation {
     }
 }
 
-/// Exact cache key for a configuration (16 base tunables + the topology
-/// and replication requests). Float fields are encoded bit-exactly via
-/// [`f64::to_bits`]: quantizing them (as an earlier revision did) let
+/// Exact cache key for a configuration (16 base tunables + the topology,
+/// replication, and pinning requests). Float fields are encoded bit-exactly
+/// via [`f64::to_bits`]: quantizing them (as an earlier revision did) let
 /// distinct configurations alias to one cache entry and return stale
 /// measurements for a config that was never evaluated. The deployment
 /// slots are 0 for "no request" — distinct from every sanitized `Some(n)`
-/// (which is ≥ 1) — so candidates differing only in shard count or
-/// replication factor never alias.
-fn config_key(c: &VdmsConfig) -> [u64; 18] {
+/// (which is ≥ 1) and from every `Some(policy)` (encoded `ordinal + 1`) —
+/// so candidates differing only in shard count, replication factor, or
+/// pinning policy never alias.
+fn config_key(c: &VdmsConfig) -> [u64; 19] {
     [
         c.index_type.ordinal() as u64,
         c.index.nlist as u64,
@@ -77,6 +78,7 @@ fn config_key(c: &VdmsConfig) -> [u64; 18] {
         c.system.build_parallelism as u64,
         c.shards.map_or(0, |s| s as u64),
         c.replicas.map_or(0, |r| r as u64),
+        c.pinning.map_or(0, |p| p.ordinal() as u64 + 1),
     ]
 }
 
@@ -112,7 +114,7 @@ pub struct Evaluator<B: EvalBackend> {
     info: BackendInfo,
     seed: u64,
     history: Vec<Observation>,
-    cache: HashMap<[u64; 18], Outcome>,
+    cache: HashMap<[u64; 19], Outcome>,
     /// Total simulated tuning seconds (replay side of Table VI).
     pub total_replay_secs: f64,
     /// Total wall-clock recommendation seconds (model side of Table VI).
@@ -195,7 +197,7 @@ impl<B: EvalBackend> Evaluator<B> {
     /// Fetch the outcome for a sanitized config, evaluating on a cache
     /// miss. Non-deterministic backends (live systems) bypass the cache:
     /// re-proposing a config re-measures it.
-    fn outcome_for(&mut self, cfg: &VdmsConfig, key: [u64; 18]) -> Outcome {
+    fn outcome_for(&mut self, cfg: &VdmsConfig, key: [u64; 19]) -> Outcome {
         if !self.info.deterministic {
             return self.backend.evaluate(cfg, self.seed);
         }
@@ -268,7 +270,7 @@ impl<B: EvalBackend> Evaluator<B> {
         configs: &[VdmsConfig],
         recommend_secs: f64,
     ) -> Vec<Observation> {
-        let sanitized: Vec<(VdmsConfig, [u64; 18])> = configs
+        let sanitized: Vec<(VdmsConfig, [u64; 19])> = configs
             .iter()
             .map(|c| {
                 let cfg = c.sanitized(self.info.dim, self.info.top_k);
@@ -284,7 +286,7 @@ impl<B: EvalBackend> Evaluator<B> {
             // Unique uncached configs, first-occurrence order. Candidates
             // the space-mismatch gate rejects are never dispatched (their
             // failure outcome is synthesized during bookkeeping below).
-            let mut pending: Vec<(VdmsConfig, [u64; 18])> = Vec::new();
+            let mut pending: Vec<(VdmsConfig, [u64; 19])> = Vec::new();
             for &(cfg, key) in &sanitized {
                 if space_mismatch_outcome(&cfg, space_dims).is_none()
                     && !self.cache.contains_key(&key)

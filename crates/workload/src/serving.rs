@@ -35,6 +35,7 @@ use std::collections::BinaryHeap;
 use vdms::cluster::RoutingPolicy;
 use vdms::cost_model::CostModel;
 use vdms::system_params::SystemParams;
+use vdms::topology::PinningPolicy;
 
 /// The open-loop arrival process and serving-level objectives of one
 /// simulation run. `Copy` so backends can embed it freely.
@@ -384,6 +385,126 @@ pub fn simulate_replicated(
     }
 
     ServingTrace { events, slots, replicas, max_queue_depth }
+}
+
+/// Run the serving simulation over **shard reactors**: each replica group
+/// runs [`vdms::CostModel::reactor_count`] single-owner reactors instead of
+/// one shared pool of worker slots. Every reactor is its own single-slot
+/// queue — there is no work stealing, which is the shared-nothing property
+/// — so the router chooses among `replicas × reactors` queues:
+/// join-shortest-queue reads the real per-reactor depths, random routing
+/// draws a flat queue index. A request served by reactor `r` pays the
+/// reactor's SMT scan penalty on its service time
+/// ([`vdms::CostModel::reactor_scan_penalties`]) plus the delegator-merge
+/// handoff ([`vdms::CostModel::reactor_handoff_secs`]).
+///
+/// Degenerate contracts, both bit-exact:
+/// * [`PinningPolicy::Shared`] delegates to [`simulate_replicated`] —
+///   the shared slot pool *is* the legacy execution model;
+/// * a 1-reactor deployment (single-core [`vdms::HostTopology`]) walks the
+///   identical event-loop schedule as a 1-slot shared pool: penalty 1.0 and
+///   handoff 0.0 leave every service time bitwise untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pinned(
+    model: &CostModel,
+    sys: &SystemParams,
+    base_service_secs: f64,
+    spec: &ServingSpec,
+    seed: u64,
+    replicas: usize,
+    policy: PinningPolicy,
+    top_k: usize,
+) -> ServingTrace {
+    if policy == PinningPolicy::Shared {
+        return simulate_replicated(model, sys, base_service_secs, spec, seed, replicas);
+    }
+    let replicas = replicas.max(1);
+    let reactors = model.reactor_count(policy, sys);
+    let scan_penalties = model.reactor_scan_penalties(policy, reactors);
+    let handoff_secs = model.reactor_handoff_secs(policy, reactors, top_k);
+    let queues = replicas * reactors;
+    let n = spec.requests;
+    if n == 0 || spec.arrival_qps <= 0.0 {
+        return ServingTrace { events: Vec::new(), slots: reactors, replicas, max_queue_depth: 0 };
+    }
+
+    // Identical draw streams to the shared-pool simulator: arrivals and
+    // jitter are pure functions of the query index, so pinning changes
+    // *scheduling*, never the offered workload.
+    let draws: Vec<(f64, f64)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let i = i as u64;
+            (interarrival_secs(spec, seed, i), base_service_secs * service_jitter(seed, i))
+        })
+        .collect();
+
+    // One slot and one bounded queue per reactor: a reactor owns its work.
+    let mut slot_free: Vec<std::cmp::Reverse<u64>> = vec![std::cmp::Reverse(0u64); queues];
+    let mut waiting: Vec<BinaryHeap<std::cmp::Reverse<u64>>> =
+        (0..queues).map(|_| BinaryHeap::new()).collect();
+    let mut events = Vec::with_capacity(n);
+    let mut max_queue_depth = 0usize;
+    let mut clock = 0.0f64;
+    for (i, &(gap, base)) in draws.iter().enumerate() {
+        clock += gap;
+        let arrival = clock;
+
+        for queue in waiting.iter_mut() {
+            while let Some(&std::cmp::Reverse(bits)) = queue.peek() {
+                if f64::from_bits(bits) <= arrival {
+                    queue.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Route across the flat reactor queues: JSQ joins the shallowest
+        // (ties to the lowest index — group 0, reactor 0 first, matching
+        // the shared pool's lowest-group tie break); random draws a queue.
+        let q = match spec.routing {
+            RoutingPolicy::JoinShortestQueue => (0..queues)
+                .min_by_key(|&q| (waiting[q].len(), q))
+                .expect("queues >= 1 by construction"),
+            RoutingPolicy::Random { seed: route_seed } => {
+                (mix(route_seed, STREAM_ROUTE, i as u64) % queues as u64) as usize
+            }
+        };
+        let (group, reactor) = (q / reactors, q % reactors);
+        max_queue_depth =
+            max_queue_depth.max(waiting.iter().map(BinaryHeap::len).max().unwrap_or(0));
+        if waiting[q].len() >= spec.queue_capacity {
+            events.push(QueryEvent {
+                arrival_secs: arrival,
+                consistency_wait_secs: 0.0,
+                service_secs: 0.0,
+                finish_secs: arrival,
+                shed: true,
+                replica: group,
+            });
+            continue;
+        }
+
+        let service = base * scan_penalties[reactor] + handoff_secs[reactor];
+        let consistency = CostModel::consistency_wait_secs_replicated(sys, arrival, replicas);
+        let eligible = arrival + consistency;
+        let std::cmp::Reverse(free_bits) = slot_free[q];
+        let start = eligible.max(f64::from_bits(free_bits));
+        let finish = start + service;
+        slot_free[q] = std::cmp::Reverse(finish.to_bits());
+        waiting[q].push(std::cmp::Reverse(start.to_bits()));
+        events.push(QueryEvent {
+            arrival_secs: arrival,
+            consistency_wait_secs: consistency,
+            service_secs: service,
+            shed: false,
+            finish_secs: finish,
+            replica: group,
+        });
+    }
+
+    ServingTrace { events, slots: reactors, replicas, max_queue_depth }
 }
 
 /// `sorted[q]`-style percentile over an ascending slice (nearest-rank);
@@ -764,6 +885,59 @@ mod tests {
             let served = trace.events.iter().filter(|e| e.replica == g).count();
             assert!(served > 100, "random: group {g} must carry a share of the load ({served})");
         }
+    }
+
+    #[test]
+    fn shared_pinning_is_bitwise_the_shared_pool() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        for replicas in [1, 3] {
+            let s = ServingSpec { arrival_qps: 700.0, requests: 600, ..Default::default() };
+            let pinned =
+                simulate_pinned(&model, &sys, 0.004, &s, 11, replicas, PinningPolicy::Shared, 10);
+            let pool = simulate_replicated(&model, &sys, 0.004, &s, 11, replicas);
+            assert_eq!(pinned, pool);
+        }
+    }
+
+    #[test]
+    fn one_reactor_pinned_serving_is_bitwise_the_one_slot_pool() {
+        // On a single-core host every policy degenerates to one reactor,
+        // penalty 1.0, handoff 0.0 — the same schedule as a 1-slot pool.
+        let model = CostModel {
+            topology: vdms::HostTopology::SINGLE_CORE,
+            query_node_cores: 1,
+            ..Default::default()
+        };
+        let sys = SystemParams { max_read_concurrency: 4, ..Default::default() };
+        for policy in PinningPolicy::ALL {
+            for replicas in [1, 2] {
+                let s = ServingSpec { arrival_qps: 900.0, requests: 800, ..Default::default() };
+                let pinned = simulate_pinned(&model, &sys, 0.004, &s, 17, replicas, policy, 10);
+                let pool = simulate_replicated(&model, &sys, 0.004, &s, 17, replicas);
+                assert_eq!(pinned, pool, "{policy:?} x{replicas}");
+            }
+        }
+    }
+
+    #[test]
+    fn smt_sharing_reactors_pay_a_tail_over_dedicated_cores() {
+        // Compact fills SMT sibling pairs first (every reactor pays the
+        // sibling scan penalty); smt-avoid spreads over dedicated physical
+        // cores. Same arrival process, same reactor count.
+        let model = CostModel::default();
+        let sys = SystemParams { max_read_concurrency: 8, ..Default::default() };
+        let s = ServingSpec { arrival_qps: 1_500.0, requests: 2_000, ..Default::default() };
+        let compact = simulate_pinned(&model, &sys, 0.004, &s, 5, 1, PinningPolicy::Compact, 10);
+        let avoid = simulate_pinned(&model, &sys, 0.004, &s, 5, 1, PinningPolicy::SmtAvoid, 10);
+        assert_eq!(compact.slots, avoid.slots, "both run 8 reactors");
+        let (c, a) = (compact.stats(&s), avoid.stats(&s));
+        assert!(
+            c.p99_latency_secs > a.p99_latency_secs,
+            "SMT-sharing reactors must show in the tail: {} vs {}",
+            c.p99_latency_secs,
+            a.p99_latency_secs
+        );
     }
 
     #[test]
