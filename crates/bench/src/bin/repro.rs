@@ -9,10 +9,11 @@
 //!
 //! Experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 table5 table6 scale sharding topology serving replication
-//! reactors kernels. Output goes to stdout and to `results/*.csv` (plus
-//! `results/topology.json`, `results/serving.json`,
-//! `results/replication.json`, `results/reactors.json` and
-//! `results/kernels.json` machine-readable summaries).
+//! reactors writepath kernels. Output goes to stdout and to
+//! `results/*.csv` (plus `results/topology.json`, `results/serving.json`,
+//! `results/replication.json`, `results/reactors.json`,
+//! `results/writepath.json` and `results/kernels.json` machine-readable
+//! summaries).
 
 use bench::{experiments, Profile};
 
@@ -73,6 +74,7 @@ fn main() {
         "serving",
         "replication",
         "reactors",
+        "writepath",
         "kernels",
     ];
     let list: Vec<&str> = if experiments_requested.iter().any(|e| e == "all") {
@@ -110,6 +112,7 @@ fn main() {
             "serving" => experiments::serving(&profile),
             "replication" => experiments::replication(&profile),
             "reactors" => experiments::reactors(&profile),
+            "writepath" => experiments::writepath(&profile),
             "kernels" => experiments::kernels(&profile),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -127,7 +130,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--iters N] [--quick|--full] [--seed S] <experiment>...\n\
-         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving replication reactors kernels all"
+         experiments: fig1 fig2 fig3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 table5 table6 scale sharding topology serving replication reactors writepath kernels all"
     );
     std::process::exit(2);
 }

@@ -15,14 +15,14 @@ use anns::params::IndexType;
 use vdms::cluster::ClusterSpec;
 use vdms::memory::MemoryUsage;
 use vdms::system_params::SystemParams;
-use vdms::{CostModel, PinningPolicy, SegmentLayout, VdmsConfig};
+use vdms::{CostModel, PinningPolicy, SegmentLayout, VdmsConfig, WriteKnobs};
 use vdtuner_core::shap::shapley_attribution;
 use vdtuner_core::space::DIM_NAMES;
 use vdtuner_core::{BudgetAllocation, SpaceSpec, SurrogateKind, TunerMode, TuningOutcome, VdTuner};
 use vecdata::{DatasetKind, DatasetSpec};
 use workload::{
     evaluate, EvalBackend, Evaluator, ServingBackend, ServingSpec, ServingStats, ShardedSimBackend,
-    TopologyBackend, Workload,
+    TopologyBackend, Workload, WriteStats,
 };
 
 fn workload_for(kind: DatasetKind) -> Workload {
@@ -2432,6 +2432,449 @@ pub fn kernels(profile: &Profile) {
                 JsonValue::obj(vec![
                     ("exact", tier_obj(cal_f32, cal_u8, cal_pq)),
                     ("fast", tier_obj(fcal_f32, fcal_u8, fcal_pq)),
+                ]),
+            ),
+        ]),
+    );
+}
+
+/// Bit-level fingerprint for the frozen-write-knobs check: the base
+/// configuration + topology/replication/pinning requests (the write-path
+/// request is what differs by construction) and the exact feedback.
+fn writepath_fingerprint(out: &TuningOutcome) -> Vec<(String, u64, u64, u64, bool)> {
+    out.observations
+        .iter()
+        .map(|o| {
+            let base = VdmsConfig { writepath: None, ..o.config };
+            (base.summary(), o.qps.to_bits(), o.recall.to_bits(), o.memory_gib.to_bits(), o.failed)
+        })
+        .collect()
+}
+
+/// Real write path (beyond the paper): WAL group commit + segment
+/// lifecycle under mixed read/write traffic — 22-dimensional co-tuning of
+/// the write knobs (group-commit batch, flush deadline, seal threshold)
+/// under a serving SLO, against fixed-flush arms — every arm the same
+/// tuner, budget, seed and control plane
+/// ([`TopologyBackend::with_writepath`]), differing only in whether the
+/// three write dimensions are free or pinned.
+///
+/// Inserts arrive as first-class events alongside queries
+/// ([`ServingSpec::insert_fraction`]): each one is admitted to a WAL whose
+/// group commits, segment seals and compactions occupy the same primary
+/// worker slots queries run on, so eager flushing taxes the read tail
+/// while lazy flushing parks admissions against the primary queue and
+/// sheds under bursts. The experiment also checks two contracts in-run:
+/// freezing the write dimensions at [`WriteKnobs::DEFAULT`] reproduces the
+/// 19-dim pinning tuning history bit for bit, and a zero write rate
+/// degrades the mixed simulator to the read-only one bit for bit. Written
+/// to `results/writepath.json` (schema: `bench::report::emit_json`
+/// rustdoc) + CSVs, and smoked by the CI `repro-smoke` job.
+pub fn writepath(profile: &Profile) {
+    let w = workload_for(DatasetKind::Glove);
+    let floor = 0.9;
+    let max_shards = 4usize;
+    let max_replicas = 4usize;
+    let insert_fraction = 0.5;
+
+    // The fixed-flush arms: an eager policy — the low corner of the
+    // co-tunable write ranges (tiny commits, tight deadline, small
+    // segments: the fsync cost amortizes over only 16 rows and every
+    // 128th insert pays a seal, so durability work steals a steady
+    // fraction of the primary's slots) — a lazy one (huge commits, slack
+    // deadline — long parks and shed bursts under load), and the backend
+    // defaults, which double as the frozen-equivalence arm.
+    let fixed_knobs: [(&str, WriteKnobs); 3] = [
+        (
+            "eager-flush",
+            WriteKnobs { wal_batch_rows: 16, flush_interval_secs: 0.005, seal_rows: 128 },
+        ),
+        (
+            "lazy-flush",
+            WriteKnobs { wal_batch_rows: 1024, flush_interval_secs: 0.2, seal_rows: 4096 },
+        ),
+        ("default-flush", WriteKnobs::DEFAULT),
+    ];
+
+    // The arrival ladder is anchored on the default configuration's
+    // offline QPS, topped well below the replication experiment's 18× —
+    // every arriving unit of work here is ~1.5 requests (each query
+    // brings `insert_fraction` inserts on top), and write durability
+    // competes for the same primary slots, so the same nominal rate runs
+    // much hotter.
+    let anchor = evaluate(&w, &VdmsConfig::default_config(), profile.seed).qps;
+    let rates: Vec<f64> = [2.0, 4.0, 8.0].iter().map(|m| m * anchor).collect();
+    let top_rate = rates[rates.len() - 1];
+    let base_spec =
+        ServingSpec { queue_capacity: 32, ..ServingSpec::default() }.with_inserts(insert_fraction);
+    let tune_spec = base_spec.at_rate(top_rate).with_slo(SERVING_SLO_P99_SECS);
+
+    let backend = || {
+        ServingBackend::new(
+            &w,
+            TopologyBackend::with_writepath(&w, max_shards, max_replicas),
+            tune_spec,
+        )
+    };
+    let run_arm = |spec: SpaceSpec| {
+        VdTuner::with_space(vdtuner_paper_options(profile.iters), spec, profile.seed)
+            .run_on(backend(), profile.iters)
+    };
+    let space19 =
+        || SpaceSpec::with_topology(max_shards).with_replication(max_replicas).with_pinning();
+
+    // All five runs in parallel: the fixed-flush arms, the 22-dim
+    // co-tuned arm, and the 19-dim reference the frozen arm must
+    // reproduce bitwise.
+    enum Arm {
+        Fixed(usize),
+        CoTuned,
+        Reference19,
+    }
+    let arms: Vec<Arm> =
+        (0..fixed_knobs.len()).map(Arm::Fixed).chain([Arm::CoTuned, Arm::Reference19]).collect();
+    let runs = run_parallel(arms, |arm| match arm {
+        Arm::Fixed(i) => run_arm(space19().with_pinned_writepath(fixed_knobs[*i].1)),
+        Arm::CoTuned => run_arm(space19().with_writepath()),
+        Arm::Reference19 => {
+            VdTuner::with_space(vdtuner_paper_options(profile.iters), space19(), profile.seed)
+                .run_on(
+                    ServingBackend::new(
+                        &w,
+                        TopologyBackend::with_pinning(&w, max_shards, max_replicas),
+                        tune_spec,
+                    ),
+                    profile.iters,
+                )
+        }
+    });
+    let fixed = &runs[..fixed_knobs.len()];
+    let co = &runs[fixed_knobs.len()];
+    let reference19 = &runs[fixed_knobs.len() + 1];
+
+    // Frozen-knobs contract, checked in-run: the default-flush arm *is*
+    // the 22-dim spec with the write dimensions frozen at the defaults,
+    // and must reproduce the 19-dim pinning history bit for bit.
+    let frozen_matches_19dim =
+        writepath_fingerprint(&fixed[2]) == writepath_fingerprint(reference19);
+
+    // Write-rate→0 contract: with no inserts offered, the mixed
+    // simulator (write-path request or not) is the read-only serving
+    // backend bit for bit, down to a zeroed write ledger.
+    let write_rate_zero_matches = {
+        let quiet_spec = base_spec.at_rate(rates[0]).with_inserts(0.0);
+        let eval = |wp: Option<WriteKnobs>| {
+            let cfg = VdmsConfig { writepath: wp, ..VdmsConfig::default_config() };
+            ServingBackend::new(
+                &w,
+                TopologyBackend::with_writepath(&w, max_shards, max_replicas),
+                quiet_spec,
+            )
+            .evaluate(&cfg, profile.seed)
+        };
+        let requested = eval(Some(WriteKnobs::DEFAULT));
+        let unrequested = eval(None);
+        requested == unrequested
+            && requested.serving.is_some_and(|s| s.writes == WriteStats::default())
+    };
+
+    // Measure every arm's deployable winner (best QPS@floor under the
+    // SLO) across the ladder, without an SLO — the raw tails and the
+    // write ledger.
+    let measure_backend = |rate: f64| {
+        ServingBackend::new(
+            &w,
+            TopologyBackend::with_writepath(&w, max_shards, max_replicas),
+            base_spec.at_rate(rate),
+        )
+    };
+    let arm_names: Vec<String> = fixed_knobs
+        .iter()
+        .map(|(name, k)| {
+            format!(
+                "{name} (pinned batch={} flush={}s seal={})",
+                k.wal_batch_rows, k.flush_interval_secs, k.seal_rows
+            )
+        })
+        .chain(std::iter::once("co-tuned write knobs (22-dim)".into()))
+        .collect();
+    let arm_runs: Vec<&TuningOutcome> = fixed.iter().chain(std::iter::once(co)).collect();
+    let winners: Vec<Option<VdmsConfig>> =
+        arm_runs.iter().map(|out| best_config(out, floor)).collect();
+    let measured: Vec<Vec<Option<ServingStats>>> = winners
+        .iter()
+        .map(|cfg| {
+            rates
+                .iter()
+                .map(|&rate| {
+                    cfg.as_ref()
+                        .and_then(|c| measure_backend(rate).evaluate(c, profile.seed).serving)
+                })
+                .collect()
+        })
+        .collect();
+
+    let ms = |v: f64| if v.is_finite() { f1(v * 1_000.0) } else { "-".into() };
+    let mut t = Table::new(vec![
+        "arm",
+        "best QPS @0.9 (SLO'd)",
+        "lowest p99 @0.9 (ms)",
+        "SLO rejections",
+        "winner",
+    ]);
+    for (name, out) in arm_names.iter().zip(&arm_runs) {
+        let cfg = best_config(out, floor);
+        t.row(vec![
+            name.clone(),
+            out.best_qps_with_recall(floor).map_or("-".into(), f1),
+            out.best_p99_with_recall(floor).map_or("-".into(), ms),
+            format!("{}/{}", out.slo_rejections(), out.observations.len()),
+            cfg.map_or("-".into(), |c| c.summary()),
+        ]);
+    }
+    emit(
+        "writepath",
+        &format!(
+            "Write-path co-tuning: WAL/segment knobs as dimensions 20-22, {} evals/run \
+             (GloVe, {:.0}% inserts, SLO p99 <= {:.0} ms at {:.0} req/s)",
+            profile.iters,
+            insert_fraction * 100.0,
+            SERVING_SLO_P99_SECS * 1_000.0,
+            top_rate
+        ),
+        &t,
+    );
+
+    let mut lt = Table::new(vec![
+        "arrival rate (req/s)",
+        "arm",
+        "p99 (ms)",
+        "goodput",
+        "shed",
+        "full-batch flushes",
+        "end-of-tick flushes",
+        "seals",
+        "compactions",
+    ]);
+    for (ri, &rate) in rates.iter().enumerate() {
+        for (ai, name) in arm_names.iter().enumerate() {
+            match &measured[ai][ri] {
+                Some(s) => lt.row(vec![
+                    f1(rate),
+                    name.clone(),
+                    ms(s.p99_latency_secs),
+                    f1(s.goodput_qps),
+                    s.shed.to_string(),
+                    s.writes.flushes_full_batch.to_string(),
+                    s.writes.flushes_end_of_tick.to_string(),
+                    s.writes.segments_sealed.to_string(),
+                    s.writes.compactions.to_string(),
+                ]),
+                None => lt.row(
+                    std::iter::once(f1(rate))
+                        .chain(std::iter::once(name.clone()))
+                        .chain(std::iter::repeat_n("-".into(), 7))
+                        .collect(),
+                ),
+            };
+        }
+    }
+    emit("writepath_ladder", "Write-path arms measured across the arrival ladder", &lt);
+
+    // Verdict: the co-tuned winner's measured goodput at the top rate
+    // against each fixed-flush arm's (an arm with no SLO-feasible winner
+    // counts as beaten — it has nothing to deploy).
+    let goodput_at_top = |ai: usize| -> Option<f64> {
+        measured[ai].last().and_then(|s| s.as_ref()).map(|s| s.goodput_qps)
+    };
+    let co_goodput = goodput_at_top(fixed_knobs.len());
+    let fixed_goodput: Vec<Option<f64>> = (0..fixed_knobs.len()).map(goodput_at_top).collect();
+    let beats_all = co_goodput.map(|c| {
+        fixed_goodput.iter().all(|f| match f {
+            Some(f) => c >= *f,
+            None => true,
+        })
+    });
+    let best_fixed_goodput = fixed_goodput
+        .iter()
+        .flatten()
+        .copied()
+        .fold(None::<f64>, |acc, g| Some(acc.map_or(g, |a| a.max(g))));
+    let mut s = Table::new(vec!["metric", "value"]);
+    for (ai, (name, _)) in fixed_knobs.iter().enumerate() {
+        s.row(vec![
+            format!("goodput @ top rate: {name}"),
+            fixed_goodput[ai].map_or("-".into(), f1),
+        ]);
+    }
+    s.row(vec!["goodput @ top rate: co-tuned".into(), co_goodput.map_or("-".into(), f1)]);
+    s.row(vec!["frozen write knobs ≡ 19-dim (bitwise)".into(), frozen_matches_19dim.to_string()]);
+    s.row(vec!["write rate 0 ≡ read-only (bitwise)".into(), write_rate_zero_matches.to_string()]);
+    let verdict = match (co_goodput, beats_all) {
+        (Some(c), Some(true)) => {
+            let chosen = best_config(co, floor)
+                .and_then(|cfg| cfg.writepath)
+                .map(|k| {
+                    format!(
+                        "batch={} flush={:.3}s seal={}",
+                        k.wal_batch_rows, k.flush_interval_secs, k.seal_rows
+                    )
+                })
+                .unwrap_or_default();
+            format!(
+                "co-tuned ({chosen}) matches or beats every fixed-flush arm on goodput at the \
+                 top rate ({})",
+                f1(c)
+            )
+        }
+        (Some(_), Some(false)) => {
+            "co-tuning does not beat every fixed-flush arm — reported as-is".into()
+        }
+        _ => "the co-tuned arm found no SLO-feasible config — reported as-is".into(),
+    };
+    s.row(vec!["verdict".into(), verdict]);
+    emit("writepath_verdict", "Write-path co-tuning vs fixed-flush arms (same budget)", &s);
+
+    let arm_pairs = |out: &TuningOutcome,
+                     stats: &[Option<ServingStats>]|
+     -> Vec<(String, JsonValue)> {
+        vec![
+            ("best_qps".into(), JsonValue::opt_num(out.best_qps_with_recall(floor))),
+            (
+                "best_p99_ms".into(),
+                JsonValue::opt_finite(out.best_p99_with_recall(floor).map(|p| p * 1_000.0)),
+            ),
+            (
+                "best_config".into(),
+                best_config(out, floor).map_or(JsonValue::Null, |c| JsonValue::Str(c.summary())),
+            ),
+            ("slo_rejections".into(), JsonValue::Int(out.slo_rejections() as i64)),
+            (
+                "failed".into(),
+                JsonValue::Int(out.observations.iter().filter(|o| o.failed).count() as i64),
+            ),
+            (
+                "measured".into(),
+                JsonValue::Arr(
+                    rates
+                        .iter()
+                        .zip(stats)
+                        .map(|(&rate, s)| {
+                            let s = *s;
+                            let writes = s.map(|s| s.writes);
+                            JsonValue::obj(vec![
+                                ("rate", JsonValue::Num(rate)),
+                                (
+                                    "p99_ms",
+                                    JsonValue::opt_finite(s.map(|s| s.p99_latency_secs * 1_000.0)),
+                                ),
+                                ("goodput_qps", JsonValue::opt_finite(s.map(|s| s.goodput_qps))),
+                                (
+                                    "shed",
+                                    s.map_or(JsonValue::Null, |s| JsonValue::Int(s.shed as i64)),
+                                ),
+                                (
+                                    "flushes_full_batch",
+                                    writes.map_or(JsonValue::Null, |w| {
+                                        JsonValue::Int(w.flushes_full_batch as i64)
+                                    }),
+                                ),
+                                (
+                                    "flushes_end_of_tick",
+                                    writes.map_or(JsonValue::Null, |w| {
+                                        JsonValue::Int(w.flushes_end_of_tick as i64)
+                                    }),
+                                ),
+                                (
+                                    "segments_sealed",
+                                    writes.map_or(JsonValue::Null, |w| {
+                                        JsonValue::Int(w.segments_sealed as i64)
+                                    }),
+                                ),
+                                (
+                                    "compactions",
+                                    writes.map_or(JsonValue::Null, |w| {
+                                        JsonValue::Int(w.compactions as i64)
+                                    }),
+                                ),
+                                (
+                                    "inserts_shed",
+                                    writes
+                                        .map_or(JsonValue::Null, |w| JsonValue::Int(w.shed as i64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]
+    };
+    emit_json(
+        "writepath",
+        &JsonValue::obj(vec![
+            ("experiment", JsonValue::Str("writepath".into())),
+            ("dataset", JsonValue::Str("GloVe".into())),
+            ("iters_per_run", JsonValue::Int(profile.iters as i64)),
+            ("seed", JsonValue::Int(profile.seed as i64)),
+            ("recall_floor", JsonValue::Num(floor)),
+            ("slo_p99_ms", JsonValue::Num(SERVING_SLO_P99_SECS * 1_000.0)),
+            ("insert_fraction", JsonValue::Num(insert_fraction)),
+            ("max_shards", JsonValue::Int(max_shards as i64)),
+            ("max_replicas", JsonValue::Int(max_replicas as i64)),
+            ("rates", JsonValue::Arr(rates.iter().map(|&r| JsonValue::Num(r)).collect())),
+            (
+                "fixed",
+                JsonValue::Arr(
+                    fixed_knobs
+                        .iter()
+                        .enumerate()
+                        .map(|(ai, (name, k))| {
+                            let mut pairs = vec![
+                                ("name".to_string(), JsonValue::Str((*name).into())),
+                                (
+                                    "wal_batch_rows".to_string(),
+                                    JsonValue::Int(k.wal_batch_rows as i64),
+                                ),
+                                (
+                                    "flush_interval_secs".to_string(),
+                                    JsonValue::Num(k.flush_interval_secs),
+                                ),
+                                ("seal_rows".to_string(), JsonValue::Int(k.seal_rows as i64)),
+                            ];
+                            pairs.extend(arm_pairs(&fixed[ai], &measured[ai]));
+                            JsonValue::obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cotuned",
+                JsonValue::obj({
+                    let mut pairs = arm_pairs(co, &measured[fixed_knobs.len()]);
+                    pairs.push((
+                        "best_knobs".into(),
+                        best_config(co, floor).and_then(|cfg| cfg.writepath).map_or(
+                            JsonValue::Null,
+                            |k| {
+                                JsonValue::obj(vec![
+                                    ("wal_batch_rows", JsonValue::Int(k.wal_batch_rows as i64)),
+                                    ("flush_interval_secs", JsonValue::Num(k.flush_interval_secs)),
+                                    ("seal_rows", JsonValue::Int(k.seal_rows as i64)),
+                                ])
+                            },
+                        ),
+                    ));
+                    pairs
+                }),
+            ),
+            ("frozen_matches_19dim", JsonValue::Bool(frozen_matches_19dim)),
+            ("write_rate_zero_matches", JsonValue::Bool(write_rate_zero_matches)),
+            (
+                "comparison",
+                JsonValue::obj(vec![
+                    ("best_fixed_goodput_at_top", JsonValue::opt_finite(best_fixed_goodput)),
+                    ("cotuned_goodput_at_top", JsonValue::opt_finite(co_goodput)),
+                    ("cotuned_beats_all_fixed", beats_all.map_or(JsonValue::Null, JsonValue::Bool)),
                 ]),
             ),
         ]),

@@ -200,6 +200,49 @@ pub fn emit(name: &str, title: &str, table: &Table) {
 ///   (num|null), `cotuned_beats_best_fixed_qps` /
 ///   `cotuned_beats_best_fixed_p99` (bool|null).
 ///
+/// ## `results/writepath.json` schema
+///
+/// Written by `repro writepath` and consumed by the CI `repro-smoke` job.
+/// Top-level keys (all required):
+///
+/// * `experiment` (str, `"writepath"`), `dataset` (str), `seed` (int),
+///   `iters_per_run` (int), `recall_floor` (num), `slo_p99_ms` (num),
+///   `max_shards` / `max_replicas` (int) — as in `replication.json`;
+/// * `insert_fraction` (num) — inserts offered per arriving query (the
+///   mixed-traffic scenario axis, `ServingSpec::insert_fraction`);
+/// * `rates` (array of num) — offered *query* arrival rates (requests/s),
+///   ascending; each also offers `rate × insert_fraction` inserts/s; the
+///   last is the tuning/SLO rate;
+/// * `fixed` (array of obj, one per fixed-flush arm) — each: `name`
+///   (str, `"eager-flush"` | `"lazy-flush"` | `"default-flush"`),
+///   `wal_batch_rows` / `seal_rows` (int) and `flush_interval_secs`
+///   (num) — the pinned knobs, then the same per-arm keys as
+///   `replication.json`'s `fixed` entries (`best_qps`, `best_p99_ms`,
+///   `best_config`, `slo_rejections`, `failed`, `measured`); each
+///   `measured` entry additionally carries the write ledger of the arm's
+///   deployable winner at that rate: `flushes_full_batch` /
+///   `flushes_end_of_tick` (int, group commits by trigger reason),
+///   `segments_sealed` / `compactions` (int), `inserts_shed` (int,
+///   admissions refused by backpressure overflow) — all null when the
+///   arm had no winner;
+/// * `cotuned` (obj) — the 22-dim arm (write knobs free), same keys plus
+///   `best_knobs` (obj|null: `wal_batch_rows`, `flush_interval_secs`,
+///   `seal_rows` — the winner's requested knobs, null when no winner or
+///   the winner carried no request);
+/// * `frozen_matches_19dim` (bool) — whether the pinned-at-default arm
+///   reproduced the 19-dim pinning tuning history bit for bit (the
+///   frozen-dimension contract, checked in-run);
+/// * `write_rate_zero_matches` (bool) — whether, at a zero insert
+///   fraction, the mixed simulator with and without a write-path request
+///   produced bit-identical outcomes with a zeroed write ledger (the
+///   write-rate→0 contract, checked in-run);
+/// * `comparison` (obj): `best_fixed_goodput_at_top` /
+///   `cotuned_goodput_at_top` (num|null, measured goodput at the top
+///   rate), `cotuned_beats_all_fixed` (bool|null — `true` means the
+///   co-tuned winner's goodput at the top rate matches or beats every
+///   fixed-flush arm's, arms with no deployable winner counting as
+///   beaten).
+///
 /// ## `results/kernels.json` schema
 ///
 /// Written by `repro kernels` and consumed both by the CI `repro-smoke`

@@ -228,6 +228,7 @@ mod tests {
             shed: 0,
             timeouts: 0,
             makespan_secs: 1.0,
+            writes: workload::WriteStats::default(),
         });
         o
     }

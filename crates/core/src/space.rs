@@ -29,6 +29,12 @@
 //!   dimension when stacked on the replicated spec. Frozen at the seed
 //!   policy ([`vdms::PinningPolicy::Shared`], via
 //!   [`SpaceSpec::with_pinned_pinning`]) it reproduces the unextended
+//!   spec's tuning bit for bit;
+//! * [`SpaceSpec::with_writepath`] — three further log-scaled write-path
+//!   dimensions (WAL group-commit batch rows, flush interval, segment
+//!   seal threshold), dimensions 20–22 when stacked on the pinned spec.
+//!   Pinned at [`vdms::WriteKnobs::DEFAULT`] (via
+//!   [`SpaceSpec::with_pinned_writepath`]) they reproduce the unextended
 //!   spec's tuning bit for bit.
 //!
 //! The shared parameters exist **once** — that is the holistic-model
@@ -40,7 +46,7 @@
 use anns::params::{ranges, IndexType, ParamRange};
 use std::sync::OnceLock;
 use vdms::system_params::ranges as sys_ranges;
-use vdms::{PinningPolicy, VdmsConfig};
+use vdms::{PinningPolicy, VdmsConfig, WriteKnobs};
 
 /// Dimensionality of the paper's space: 1 (index type) + 8 (index) + 7
 /// (system). Kept for the fixed-space call sites; spec-aware code asks
@@ -81,6 +87,18 @@ pub const REPLICAS_DIM_NAME: &str = "replicas";
 /// Name of the optional reactor-pinning dimension appended by
 /// [`SpaceSpec::with_pinning`].
 pub const PINNING_DIM_NAME: &str = "pinning";
+
+/// Name of the WAL group-commit batch-size dimension appended by
+/// [`SpaceSpec::with_writepath`].
+pub const WAL_BATCH_DIM_NAME: &str = "walGroupCommitRows";
+
+/// Name of the WAL flush-interval dimension appended by
+/// [`SpaceSpec::with_writepath`].
+pub const WAL_FLUSH_DIM_NAME: &str = "walFlushIntervalSecs";
+
+/// Name of the segment seal-threshold dimension appended by
+/// [`SpaceSpec::with_writepath`].
+pub const WAL_SEAL_DIM_NAME: &str = "walSealRows";
 
 /// A point handed to the space that it cannot decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +163,9 @@ enum FieldRef {
     ShardCount,
     Replicas,
     Pinning,
+    WalBatch,
+    WalFlushInterval,
+    WalSealRows,
 }
 
 /// One tunable dimension: its display name, the role it plays, and the
@@ -203,6 +224,15 @@ impl Dimension {
             FieldRef::Pinning => {
                 self.range.normalize(c.pinning.unwrap_or(PinningPolicy::Shared).ordinal() as f64)
             }
+            FieldRef::WalBatch => self
+                .range
+                .normalize(c.writepath.unwrap_or(WriteKnobs::DEFAULT).wal_batch_rows as f64),
+            FieldRef::WalFlushInterval => {
+                self.range.normalize(c.writepath.unwrap_or(WriteKnobs::DEFAULT).flush_interval_secs)
+            }
+            FieldRef::WalSealRows => {
+                self.range.normalize(c.writepath.unwrap_or(WriteKnobs::DEFAULT).seal_rows as f64)
+            }
         }
     }
 
@@ -241,6 +271,24 @@ impl Dimension {
             FieldRef::ShardCount => c.shards = Some(int(&self.range).max(1)),
             FieldRef::Replicas => c.replicas = Some(int(&self.range).max(1)),
             FieldRef::Pinning => c.pinning = Some(PinningPolicy::from_ordinal(int(&self.range))),
+            // The three write-path coordinates decode into one request
+            // struct; whichever writes first materializes it from the
+            // neutral defaults, so a spec always emits all three anyway.
+            FieldRef::WalBatch => {
+                let mut k = c.writepath.unwrap_or(WriteKnobs::DEFAULT);
+                k.wal_batch_rows = int(&self.range).max(1);
+                c.writepath = Some(k);
+            }
+            FieldRef::WalFlushInterval => {
+                let mut k = c.writepath.unwrap_or(WriteKnobs::DEFAULT);
+                k.flush_interval_secs = float_clamped(&self.range);
+                c.writepath = Some(k);
+            }
+            FieldRef::WalSealRows => {
+                let mut k = c.writepath.unwrap_or(WriteKnobs::DEFAULT);
+                k.seal_rows = int(&self.range).max(1);
+                c.writepath = Some(k);
+            }
         }
     }
 }
@@ -420,6 +468,70 @@ impl SpaceSpec {
         self
     }
 
+    /// This spec extended with the three write-path dimensions — WAL
+    /// group-commit batch size (rows), flush interval (seconds), and the
+    /// segment seal threshold (rows) — dimensions 20–22 when applied to
+    /// the pinned topology spec. All three tune on a log scale: each
+    /// trades a per-event fixed cost against buffering/staleness across
+    /// orders of magnitude (fsync amortization, commit latency, seal
+    /// pause size), the same shape as `insertBufSize`. The seed carries
+    /// each dimension's low end, like the topology dimensions.
+    pub fn with_writepath(mut self) -> SpaceSpec {
+        use DimensionKind::Topology;
+        self.dims.push(Dimension::new(
+            WAL_BATCH_DIM_NAME,
+            Topology,
+            ParamRange::new(16.0, 2048.0, true),
+            FieldRef::WalBatch,
+        ));
+        self.dims.push(Dimension::new(
+            WAL_FLUSH_DIM_NAME,
+            Topology,
+            ParamRange::new(0.005, 0.5, true),
+            FieldRef::WalFlushInterval,
+        ));
+        self.dims.push(Dimension::new(
+            WAL_SEAL_DIM_NAME,
+            Topology,
+            ParamRange::new(128.0, 8192.0, true),
+            FieldRef::WalSealRows,
+        ));
+        self
+    }
+
+    /// This spec extended with the three write-path dimensions *pinned*
+    /// at exactly `knobs`: the coordinates are encoded (so histories keep
+    /// the extended width and candidates always decode a write-path
+    /// request) but frozen, so the acquisition never varies them. Pinned
+    /// at [`WriteKnobs::DEFAULT`] — which evaluates bit-identically to
+    /// "no write-path request" — the extended spec reproduces the
+    /// unextended spec's tuning bit for bit; the fixed-flush arms of the
+    /// writepath experiment pin other values.
+    pub fn with_pinned_writepath(mut self, knobs: WriteKnobs) -> SpaceSpec {
+        use DimensionKind::Topology;
+        let k = knobs.sanitized();
+        let (b, f, s) = (k.wal_batch_rows as f64, k.flush_interval_secs, k.seal_rows as f64);
+        self.dims.push(Dimension::new(
+            WAL_BATCH_DIM_NAME,
+            Topology,
+            ParamRange::new(b, b, false),
+            FieldRef::WalBatch,
+        ));
+        self.dims.push(Dimension::new(
+            WAL_FLUSH_DIM_NAME,
+            Topology,
+            ParamRange::new(f, f, false),
+            FieldRef::WalFlushInterval,
+        ));
+        self.dims.push(Dimension::new(
+            WAL_SEAL_DIM_NAME,
+            Topology,
+            ParamRange::new(s, s, false),
+            FieldRef::WalSealRows,
+        ));
+        self
+    }
+
     /// Number of encoded dimensions.
     pub fn dims(&self) -> usize {
         self.dims.len()
@@ -471,6 +583,25 @@ impl SpaceSpec {
         self.dims.iter().any(|d| d.field == FieldRef::Pinning)
     }
 
+    /// Whether this spec carries (non-frozen or frozen) write-path
+    /// dimensions.
+    pub fn has_writepath(&self) -> bool {
+        self.dims.iter().any(|d| d.field == FieldRef::WalBatch)
+    }
+
+    /// The write-path request seed configurations carry: each write
+    /// dimension's low end — the pinned knobs for
+    /// [`SpaceSpec::with_pinned_writepath`], `None` without the
+    /// dimensions.
+    fn seed_writepath(&self) -> Option<WriteKnobs> {
+        let find = |f: FieldRef| self.dims.iter().find(|d| d.field == f).map(|d| d.range.lo);
+        Some(WriteKnobs {
+            wal_batch_rows: (find(FieldRef::WalBatch)?.round() as usize).max(1),
+            flush_interval_secs: find(FieldRef::WalFlushInterval)?,
+            seal_rows: (find(FieldRef::WalSealRows)?.round() as usize).max(1),
+        })
+    }
+
     /// The pinning request seed configurations carry: the lowest-ordinal
     /// policy the pinning dimension can express — [`PinningPolicy::Shared`]
     /// for [`SpaceSpec::with_pinning`], the pinned policy for
@@ -506,6 +637,7 @@ impl SpaceSpec {
         }
         c.replicas = self.seed_replicas();
         c.pinning = self.seed_pinning();
+        c.writepath = self.seed_writepath();
         c
     }
 
@@ -517,6 +649,7 @@ impl SpaceSpec {
         }
         c.replicas = self.seed_replicas();
         c.pinning = self.seed_pinning();
+        c.writepath = self.seed_writepath();
         c
     }
 
@@ -954,6 +1087,85 @@ mod tests {
             u[DIMS + 1] = i as f64 / 10.0;
             assert_eq!(spec.decode(&u).unwrap().pinning, Some(PinningPolicy::Scatter));
         }
+    }
+
+    #[test]
+    fn writepath_spec_appends_three_write_dimensions() {
+        let spec = SpaceSpec::with_topology(8).with_replication(4).with_pinning().with_writepath();
+        assert_eq!(spec.dims(), DIMS + 6);
+        assert!(spec.has_writepath());
+        assert_eq!(
+            &spec.dim_names()[DIMS + 3..],
+            &[WAL_BATCH_DIM_NAME, WAL_FLUSH_DIM_NAME, WAL_SEAL_DIM_NAME]
+        );
+        for d in &spec.dimensions()[DIMS + 3..] {
+            assert_eq!(d.kind, DimensionKind::Topology);
+            assert!(!d.is_frozen());
+            assert!(d.range.log, "write knobs tune on a log scale");
+        }
+        // Every index type gains all three as shared free dims.
+        for t in IndexType::ALL {
+            let free = spec.free_dims(t);
+            let base = SpaceSpec::with_topology(8).with_replication(4).with_pinning().free_dims(t);
+            assert_eq!(free.len(), base.len() + 3, "{t}");
+            assert!(free.contains(&(DIMS + 3)) && free.contains(&(DIMS + 5)), "{t}");
+        }
+        // Decode spans the knob ranges and round-trips.
+        let mut batches = std::collections::BTreeSet::new();
+        for i in 0..=100 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS + 3] = i as f64 / 100.0;
+            u[DIMS + 4] = (100 - i) as f64 / 100.0;
+            u[DIMS + 5] = i as f64 / 100.0;
+            let c = spec.decode(&u).unwrap();
+            let k = c.writepath.expect("writepath spec always decodes a request");
+            assert!((16..=2048).contains(&k.wal_batch_rows));
+            assert!((0.005..=0.5).contains(&k.flush_interval_secs));
+            assert!((128..=8192).contains(&k.seal_rows));
+            batches.insert(k.wal_batch_rows);
+            let back = spec.decode(&spec.encode(&c)).unwrap();
+            assert_eq!(back.writepath, Some(k));
+        }
+        assert!(batches.len() > 20, "the batch range is finely reachable: {batches:?}");
+        assert!(*batches.first().unwrap() == 16 && *batches.last().unwrap() == 2048);
+    }
+
+    #[test]
+    fn pinned_writepath_freezes_at_the_knobs_and_default_encodes_to_zero() {
+        let spec = SpaceSpec::with_topology(4)
+            .with_replication(4)
+            .with_pinning()
+            .with_pinned_writepath(vdms::WriteKnobs::DEFAULT);
+        assert_eq!(spec.dims(), DIMS + 6);
+        assert!(spec.has_writepath());
+        for d in &spec.dimensions()[DIMS + 3..] {
+            assert!(d.is_frozen());
+        }
+        // Frozen write dims never free: the free set matches the 19-dim
+        // spec exactly.
+        for t in IndexType::ALL {
+            assert_eq!(
+                spec.free_dims(t),
+                SpaceSpec::with_topology(4).with_replication(4).with_pinning().free_dims(t),
+                "{t}"
+            );
+        }
+        // The frozen coordinates encode to constant 0.0, so GP inputs
+        // differ from the 19-dim spec only by appended constants.
+        let u = spec.encode(&spec.seed_config(IndexType::Hnsw));
+        assert_eq!(u.len(), DIMS + 6);
+        for i in DIMS + 3..DIMS + 6 {
+            assert_eq!(u[i].to_bits(), 0.0f64.to_bits(), "dim {i}");
+        }
+        // Every decoded point carries exactly the pin.
+        for i in 0..=10 {
+            let mut u = spec.template_for(IndexType::Hnsw);
+            u[DIMS + 3] = i as f64 / 10.0;
+            u[DIMS + 5] = i as f64 / 10.0;
+            assert_eq!(spec.decode(&u).unwrap().writepath, Some(vdms::WriteKnobs::DEFAULT));
+        }
+        // Seeds carry the pin too.
+        assert_eq!(spec.seed_default().writepath, Some(vdms::WriteKnobs::DEFAULT));
     }
 
     #[test]

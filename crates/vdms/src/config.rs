@@ -2,6 +2,7 @@
 
 use crate::system_params::SystemParams;
 use crate::topology::PinningPolicy;
+use crate::writepath::WriteKnobs;
 use anns::params::{IndexParams, IndexType};
 
 /// Index type + index parameters + system parameters (16 tunables total,
@@ -32,6 +33,14 @@ pub struct VdmsConfig {
     /// evaluates bit-identically to `None` — the shared policy *is* the
     /// legacy model.
     pub pinning: Option<PinningPolicy>,
+    /// Requested write-path knobs (WAL group-commit batch size, flush
+    /// interval, segment seal threshold). `None` means "the backend's
+    /// fixed write path" ([`WriteKnobs::DEFAULT`]); `Some(k)` is a
+    /// write-tuning candidate that only a backend advertising the
+    /// write-path dimensions can realize.
+    /// `Some(WriteKnobs::DEFAULT)` evaluates bit-identically to `None` —
+    /// the defaults *are* the fixed write path.
+    pub writepath: Option<WriteKnobs>,
 }
 
 impl VdmsConfig {
@@ -41,12 +50,14 @@ impl VdmsConfig {
 
     /// Encoded dimensionality this configuration spans: the 16 base
     /// tunables, plus one per deployment request it carries (topology,
-    /// replication, pinning).
+    /// replication, pinning), plus three for a write-path request (batch
+    /// size, flush interval, seal threshold).
     pub fn tunable_dims(&self) -> usize {
         Self::BASE_TUNABLES
             + usize::from(self.shards.is_some())
             + usize::from(self.replicas.is_some())
             + usize::from(self.pinning.is_some())
+            + 3 * usize::from(self.writepath.is_some())
     }
 
     /// The Milvus default configuration (the paper's `Default` baseline
@@ -59,6 +70,7 @@ impl VdmsConfig {
             shards: None,
             replicas: None,
             pinning: None,
+            writepath: None,
         }
     }
 
@@ -74,6 +86,7 @@ impl VdmsConfig {
         self.system = self.system.sanitized();
         self.shards = self.shards.map(|s| s.max(1));
         self.replicas = self.replicas.map(|r| r.max(1));
+        self.writepath = self.writepath.map(WriteKnobs::sanitized);
         self
     }
 
@@ -113,6 +126,12 @@ impl VdmsConfig {
         }
         if let Some(p) = self.pinning {
             parts.push(format!("pinning={}", p.name()));
+        }
+        if let Some(w) = self.writepath {
+            parts.push(format!(
+                "walBatch={} walFlush={:.3}s walSeal={}",
+                w.wal_batch_rows, w.flush_interval_secs, w.seal_rows
+            ));
         }
         parts.join(" ")
     }
@@ -156,6 +175,21 @@ mod tests {
         assert_eq!(replicated.tunable_dims(), VdmsConfig::BASE_TUNABLES + 2);
         let pinned = VdmsConfig { pinning: Some(PinningPolicy::Compact), ..replicated };
         assert_eq!(pinned.tunable_dims(), VdmsConfig::BASE_TUNABLES + 3);
+        let writing = VdmsConfig { writepath: Some(WriteKnobs::DEFAULT), ..pinned };
+        assert_eq!(writing.tunable_dims(), VdmsConfig::BASE_TUNABLES + 6);
+    }
+
+    #[test]
+    fn summary_shows_write_knobs_only_when_requested_and_sanitize_repairs_them() {
+        let knobs = WriteKnobs { wal_batch_rows: 0, flush_interval_secs: 0.25, seal_rows: 512 };
+        let c =
+            VdmsConfig { writepath: Some(knobs), ..VdmsConfig::default_config() }.sanitized(48, 10);
+        assert_eq!(c.writepath.unwrap().wal_batch_rows, 1, "sanitize clamps the batch");
+        assert!(c.summary().ends_with("walBatch=1 walFlush=0.250s walSeal=512"), "{}", c.summary());
+        assert!(
+            !VdmsConfig::default_config().summary().contains("wal"),
+            "no write-path request, no write knobs in the summary"
+        );
     }
 
     #[test]

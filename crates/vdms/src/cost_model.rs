@@ -34,6 +34,15 @@ pub mod unit_costs {
     /// the delegator reactor (queue transfer, cache-line ping), before the
     /// NUMA distance multiplier.
     pub const REACTOR_HANDOFF_NS: f64 = 8_000.0;
+    /// Fixed cost of one WAL group commit (fsync + commit record).
+    pub const WAL_FSYNC_NS: f64 = 500_000.0;
+    /// Per-row WAL write cost within a group commit.
+    pub const WAL_ROW_NS: f64 = 2_000.0;
+    /// Per-row cost of sealing the growing segment (freeze, stats,
+    /// handing the segment to the index builder).
+    pub const SEAL_ROW_NS: f64 = 15_000.0;
+    /// Per-row cost of compacting a run of sealed segments (merge copy).
+    pub const COMPACT_ROW_NS: f64 = 5_000.0;
     /// Index build cost per training dimension unit.
     pub const BUILD_DIM_NS: f64 = 25.0;
     /// Ingest bandwidth for loading the collection (virtual bytes/sec).
@@ -174,7 +183,10 @@ impl CostModel {
     /// [`CostModel::flush_interval_secs`], so the wait depends on the
     /// arrival's *phase* within the flush cycle — the source of the
     /// consistency tail. Zero for every arrival once
-    /// `gracefulTime >= lag + flush_interval`; up to
+    /// `gracefulTime >= lag`: a graceful window that already covers the
+    /// ingestion lag asks only for data old enough to be durable, so it
+    /// must never wait on flush quantization (in particular, a zero-lag
+    /// system never waits at all). Up to
     /// `lag - gracefulTime + flush_interval` otherwise.
     pub fn consistency_wait_secs(sys: &SystemParams, arrival_secs: f64) -> f64 {
         Self::consistency_wait_secs_replicated(sys, arrival_secs, 1)
@@ -192,6 +204,14 @@ impl CostModel {
     ) -> f64 {
         let lag = (Self::ingest_lag_ms(sys) + Self::replica_lag_ms(replicas)) / 1_000.0;
         let graceful = sys.graceful_time_ms / 1_000.0;
+        // A graceful window covering the (effective) lag asks only for
+        // data that is already durable: no wait, and in particular a
+        // zero-lag system never waits. Without this the quantization
+        // below charged up to a full flush interval to configs whose
+        // staleness bound was already satisfied.
+        if lag <= graceful {
+            return 0.0;
+        }
         let needed_flush = arrival_secs - graceful + lag;
         if needed_flush <= 0.0 {
             return 0.0;
@@ -558,6 +578,32 @@ impl CostModel {
     /// Simulated seconds to replay the full workload at `qps`.
     pub fn replay_secs(&self, qps: f64) -> f64 {
         REPLAY_REQUESTS / qps.max(1e-9)
+    }
+
+    // ------------------------------------------------------------------
+    // Write-path work: what WAL commits and the segment lifecycle cost
+    // when they compete with queries for the same worker slots.
+    // ------------------------------------------------------------------
+
+    /// Worker-slot time one WAL group commit of `rows` rows occupies:
+    /// a fixed fsync plus per-row log writes. Group commit amortizes the
+    /// fsync — that is exactly the batch-size trade-off the tuner feels
+    /// (tiny batches fsync constantly, huge batches buy latency and
+    /// backpressure).
+    pub fn wal_flush_secs(&self, rows: usize) -> f64 {
+        (unit_costs::WAL_FSYNC_NS + rows as f64 * unit_costs::WAL_ROW_NS) / 1e9
+    }
+
+    /// Worker-slot time sealing a growing segment of `rows` rows occupies
+    /// (freeze, stats, handoff to the index builder).
+    pub fn segment_seal_secs(&self, rows: usize) -> f64 {
+        rows as f64 * unit_costs::SEAL_ROW_NS / 1e9
+    }
+
+    /// Worker-slot time compacting `rows` rows across a run of sealed
+    /// segments occupies (merge copy).
+    pub fn compaction_secs(&self, rows: usize) -> f64 {
+        rows as f64 * unit_costs::COMPACT_ROW_NS / 1e9
     }
 }
 
@@ -961,6 +1007,46 @@ mod tests {
             pp.latency_secs.to_bits() == sp.latency_secs.to_bits(),
             "one segment, one reactor, no handoff"
         );
+    }
+
+    #[test]
+    fn covered_graceful_never_waits_on_flush_quantization() {
+        // Regression: the quantized wait used to charge up to a full
+        // flush interval to arrivals whose graceful window already
+        // covered the ingestion lag (graceful in [lag, lag + interval)).
+        // A staleness bound that is already satisfied must never wait —
+        // in particular, a zero-lag system never waits at all.
+        let base = SystemParams::default();
+        let lag_ms = CostModel::ingest_lag_ms(&base);
+        let interval = CostModel::flush_interval_secs(&base);
+        // graceful barely past the lag, well inside the flush quantum.
+        let tight = SystemParams { graceful_time_ms: lag_ms + 0.5, ..base };
+        for k in 0..11 {
+            let t = 2.0 + k as f64 * interval / 3.0;
+            assert_eq!(CostModel::consistency_wait_secs(&tight, t), 0.0, "t={t}");
+        }
+        // Just below the lag, the quantized wait still applies somewhere
+        // in the cycle — the fix must not erase the real staleness cost.
+        let uncovered = SystemParams { graceful_time_ms: lag_ms - 5.0, ..base };
+        let some_wait = (0..11)
+            .map(|k| CostModel::consistency_wait_secs(&uncovered, 2.0 + k as f64 * interval / 3.0))
+            .fold(0.0f64, f64::max);
+        assert!(some_wait > 0.0, "an uncovered window still pays");
+    }
+
+    #[test]
+    fn write_work_pricing_scales_with_rows_and_amortizes_the_fsync() {
+        let model = CostModel::default();
+        // Group commit amortization: one 1024-row commit beats 16
+        // 64-row commits, because the fsync is paid once.
+        let one_big = model.wal_flush_secs(1024);
+        let many_small = 16.0 * model.wal_flush_secs(64);
+        assert!(one_big < many_small, "{one_big} vs {many_small}");
+        assert!(model.wal_flush_secs(0) > 0.0, "the fsync floor is never free");
+        assert!(model.segment_seal_secs(2048) > model.segment_seal_secs(1024));
+        assert!(model.compaction_secs(4096) > model.compaction_secs(1024));
+        // Sealing a segment costs more per row than compacting it later.
+        assert!(model.segment_seal_secs(1024) > model.compaction_secs(1024));
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub enum VdmsError {
     /// recorded execution model is always the one that actually served
     /// the workload.
     PinningUnrealizable { requested: crate::topology::PinningPolicy },
+    /// The candidate requests write-path knobs (WAL group-commit batch,
+    /// flush interval, seal threshold) but the control plane's write path
+    /// is fixed. Same contract as [`VdmsError::TopologyUnrealizable`]: a
+    /// typed refusal, never a silent fallback to the default knobs, so
+    /// the recorded write path is always the one that actually served the
+    /// workload.
+    WritePathUnrealizable { requested: crate::writepath::WriteKnobs },
     /// The configuration served the workload but violated the operator's
     /// serving-level objective: p99 latency above the SLO, or more than
     /// the tolerated fraction of requests shed from a full queue. Like a
@@ -98,6 +105,14 @@ impl std::fmt::Display for VdmsError {
                     "pinning unrealizable: candidate requests the {} reactor policy but the \
                      backend's execution model is the fixed shared slot pool",
                     requested.name()
+                )
+            }
+            VdmsError::WritePathUnrealizable { requested } => {
+                write!(
+                    f,
+                    "write path unrealizable: candidate requests WAL knobs (batch {} rows, \
+                     flush {:.3}s, seal {} rows) but the backend's write path is fixed",
+                    requested.wal_batch_rows, requested.flush_interval_secs, requested.seal_rows
                 )
             }
             VdmsError::SloViolation { p99_secs, slo_secs, shed } => {

@@ -28,6 +28,8 @@
 //! * [`cost_model`] — counts → latency/QPS/build-time,
 //! * [`topology`] — host shape, reactor pinning policies, and the NUMA/SMT
 //!   penalty surface the cost model charges,
+//! * [`writepath`] — the WAL group-commit + segment seal/compaction state
+//!   machine the mixed read/write serving simulator drives,
 //! * [`memory`] — resident + peak memory accounting (for QP$ tuning),
 //! * [`error`] — build/evaluation failure semantics.
 
@@ -40,6 +42,7 @@ pub mod memory;
 pub mod segment;
 pub mod system_params;
 pub mod topology;
+pub mod writepath;
 
 pub use cluster::{ClusterSpec, ShardedCollection};
 pub use collection::Collection;
@@ -49,3 +52,4 @@ pub use error::VdmsError;
 pub use segment::SegmentLayout;
 pub use system_params::SystemParams;
 pub use topology::{CalibrationSource, HostTopology, PenaltyMatrix, PinningPolicy};
+pub use writepath::{FlushReason, WalSim, WriteKnobs};

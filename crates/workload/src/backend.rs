@@ -27,10 +27,10 @@
 //! [`BackendInfo`] switches the evaluator's caching off.
 
 use crate::replay::{evaluate, evaluate_sharded, Outcome};
-use crate::serving::{simulate_pinned, simulate_replicated, ServingSpec};
+use crate::serving::{simulate_pinned_mixed, simulate_replicated_mixed, ServingSpec};
 use crate::Workload;
 use vdms::cluster::ClusterSpec;
-use vdms::{PinningPolicy, VdmsConfig, VdmsError};
+use vdms::{PinningPolicy, VdmsConfig, VdmsError, WriteKnobs};
 use vecdata::rng::derive;
 
 /// Capabilities and metadata of an evaluation backend, snapshotted by the
@@ -206,6 +206,12 @@ pub struct TopologyBackend<'a> {
     /// shared pool *is* its execution model) but refuses every other
     /// policy with a typed [`VdmsError::PinningUnrealizable`].
     pinning: bool,
+    /// Whether candidates additionally carry write-path knobs
+    /// ([`VdmsConfig::writepath`], dimensions 20–22). A backend without
+    /// the knobs still realizes [`WriteKnobs::DEFAULT`] requests (the
+    /// defaults *are* its fixed write path) but refuses every other
+    /// setting with a typed [`VdmsError::WritePathUnrealizable`].
+    writepath: bool,
 }
 
 impl<'a> TopologyBackend<'a> {
@@ -217,6 +223,7 @@ impl<'a> TopologyBackend<'a> {
             max_shards: max_shards.max(1),
             max_replicas: None,
             pinning: false,
+            writepath: false,
         }
     }
 
@@ -236,6 +243,7 @@ impl<'a> TopologyBackend<'a> {
             max_shards: max_shards.max(1),
             max_replicas: Some(max_replicas.max(1)),
             pinning: false,
+            writepath: false,
         }
     }
 
@@ -257,12 +265,40 @@ impl<'a> TopologyBackend<'a> {
             max_shards: max_shards.max(1),
             max_replicas: Some(max_replicas.max(1)),
             pinning: true,
+            writepath: false,
+        }
+    }
+
+    /// A backend additionally letting candidates choose their write-path
+    /// knobs (the 22-dimensional space: shards, replicas, pinning, and
+    /// the three WAL/segment-lifecycle dimensions of
+    /// `SpaceSpec::with_writepath`). The knobs only change measured
+    /// outcomes when the serving spec offers inserts
+    /// ([`ServingSpec::insert_fraction`]); declaring the dimensions with
+    /// the write coordinates frozen at [`WriteKnobs::DEFAULT`] reproduces
+    /// 19-dimensional tuning bit for bit against the same control plane.
+    pub fn with_writepath(
+        workload: &'a Workload,
+        max_shards: usize,
+        max_replicas: usize,
+    ) -> TopologyBackend<'a> {
+        TopologyBackend {
+            workload,
+            max_shards: max_shards.max(1),
+            max_replicas: Some(max_replicas.max(1)),
+            pinning: true,
+            writepath: true,
         }
     }
 
     /// Whether candidates may choose a reactor pinning policy.
     pub fn pins_reactors(&self) -> bool {
         self.pinning
+    }
+
+    /// Whether candidates may choose their write-path knobs.
+    pub fn tunes_writepath(&self) -> bool {
+        self.writepath
     }
 
     /// The workload this backend replays.
@@ -311,16 +347,28 @@ impl<'a> TopologyBackend<'a> {
                 return Err(VdmsError::PinningUnrealizable { requested: policy });
             }
         }
+        // Same contract for the write path: the default knobs are the
+        // backend's own fixed write path, anything else needs the knob.
+        if let Some(knobs) = config.writepath {
+            if !self.writepath && knobs != WriteKnobs::DEFAULT {
+                return Err(VdmsError::WritePathUnrealizable { requested: knobs });
+            }
+        }
         Ok(ClusterSpec::replicated(requested, replicas))
     }
 }
 
 impl EvalBackend for TopologyBackend<'_> {
     fn info(&self) -> BackendInfo {
-        let name = match (self.max_replicas, self.pinning) {
-            (Some(r), true) => format!("topology(1..={} x1..={r} +pinning)", self.max_shards),
-            (Some(r), false) => format!("topology(1..={} x1..={r})", self.max_shards),
-            (None, _) => format!("topology(1..={})", self.max_shards),
+        let name = match (self.max_replicas, self.pinning, self.writepath) {
+            (Some(r), true, true) => {
+                format!("topology(1..={} x1..={r} +pinning +writepath)", self.max_shards)
+            }
+            (Some(r), true, false) => {
+                format!("topology(1..={} x1..={r} +pinning)", self.max_shards)
+            }
+            (Some(r), false, _) => format!("topology(1..={} x1..={r})", self.max_shards),
+            (None, ..) => format!("topology(1..={})", self.max_shards),
         };
         BackendInfo {
             name,
@@ -332,11 +380,13 @@ impl EvalBackend for TopologyBackend<'_> {
             replicas: 1,
             deterministic: true,
             // 16 base knobs + the shard-count deployment knob (+ the
-            // replication and pinning knobs when enabled).
+            // replication, pinning, and three write-path knobs when
+            // enabled).
             space_dims: VdmsConfig::BASE_TUNABLES
                 + 1
                 + usize::from(self.max_replicas.is_some())
-                + usize::from(self.pinning),
+                + usize::from(self.pinning)
+                + 3 * usize::from(self.writepath),
         }
     }
 
@@ -438,11 +488,17 @@ impl<B: EvalBackend> EvalBackend for ServingBackend<'_, B> {
         let model = &self.workload.cost_model;
         let service = model.service_secs_from_qps_replicated(out.qps, &sys, replicas);
         // A pinning request replaces each group's shared slot pool with
-        // per-reactor single-owner queues; `simulate_pinned` delegates for
-        // the shared policy, so `Some(Shared)` stays bitwise `None`.
+        // per-reactor single-owner queues; `simulate_pinned_mixed`
+        // delegates for the shared policy, so `Some(Shared)` stays bitwise
+        // `None`. A write-path request selects the WAL/segment knobs the
+        // simulated insert traffic runs under; absent a request the
+        // backend's fixed defaults apply, so `Some(DEFAULT)` is likewise
+        // bitwise `None`, and with `insert_fraction <= 0` the mixed
+        // simulators delegate to the read-only ones unchanged.
         let serving_seed = derive(seed, 0x5E2B);
+        let knobs = cfg.writepath.unwrap_or(WriteKnobs::DEFAULT);
         let trace = match cfg.pinning {
-            Some(policy) => simulate_pinned(
+            Some(policy) => simulate_pinned_mixed(
                 model,
                 &sys,
                 service,
@@ -451,8 +507,17 @@ impl<B: EvalBackend> EvalBackend for ServingBackend<'_, B> {
                 replicas,
                 policy,
                 self.inner_info.top_k,
+                knobs,
             ),
-            None => simulate_replicated(model, &sys, service, &self.spec, serving_seed, replicas),
+            None => simulate_replicated_mixed(
+                model,
+                &sys,
+                service,
+                &self.spec,
+                serving_seed,
+                replicas,
+                knobs,
+            ),
         };
         let stats = trace.stats(&self.spec);
         if stats.violates_slo(&self.spec) {
@@ -712,6 +777,90 @@ mod tests {
             shared.recall.to_bits(),
             "recall is execution-invariant"
         );
+    }
+
+    #[test]
+    fn writepath_backend_reports_the_22_dim_space() {
+        let w = make();
+        let info = TopologyBackend::with_writepath(&w, 8, 4).info();
+        assert_eq!(info.space_dims, VdmsConfig::BASE_TUNABLES + 6);
+        assert_eq!(info.name, "topology(1..=8 x1..=4 +pinning +writepath)");
+        assert!(TopologyBackend::with_writepath(&w, 8, 4).tunes_writepath());
+        assert!(TopologyBackend::with_writepath(&w, 8, 4).pins_reactors());
+        assert!(!TopologyBackend::with_pinning(&w, 8, 4).tunes_writepath());
+    }
+
+    #[test]
+    fn writepath_requests_are_refused_without_the_knob() {
+        let w = make();
+        let b = TopologyBackend::with_pinning(&w, 4, 2);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(2);
+        cfg.replicas = Some(1);
+        // The default knobs are the backend's own fixed write path: realized.
+        cfg.writepath = Some(WriteKnobs::DEFAULT);
+        assert!(b.cluster_spec_for(&cfg).is_ok());
+        // Anything else is a typed refusal, never a silent clamp back.
+        let custom = WriteKnobs { wal_batch_rows: 64, ..WriteKnobs::DEFAULT };
+        cfg.writepath = Some(custom);
+        assert!(matches!(
+            b.cluster_spec_for(&cfg),
+            Err(VdmsError::WritePathUnrealizable { requested }) if requested == custom
+        ));
+        let out = b.evaluate(&cfg, 5);
+        assert!(!out.is_ok());
+        assert_eq!(out.simulated_secs, 0.0, "refused before any work ran");
+        // The write-path backend realizes any sanitized knob setting.
+        let tuned = TopologyBackend::with_writepath(&w, 4, 2);
+        assert!(tuned.cluster_spec_for(&cfg).is_ok());
+    }
+
+    #[test]
+    fn default_writepath_request_evaluates_bitwise_unrequested() {
+        let w = make();
+        let b = TopologyBackend::with_writepath(&w, 4, 2);
+        let spec = ServingSpec { arrival_qps: 80.0, requests: 300, ..Default::default() }
+            .with_inserts(0.5);
+        let serving = ServingBackend::new(&w, b, spec);
+        let mut cfg = VdmsConfig::default_config();
+        cfg.shards = Some(2);
+        cfg.replicas = Some(1);
+        cfg.writepath = None;
+        let unrequested = serving.evaluate(&cfg, 5);
+        cfg.writepath = Some(WriteKnobs::DEFAULT);
+        let defaulted = serving.evaluate(&cfg, 5);
+        assert!(unrequested.is_ok() && defaulted.is_ok());
+        assert_eq!(unrequested.qps.to_bits(), defaulted.qps.to_bits());
+        assert_eq!(unrequested.serving, defaulted.serving, "Some(DEFAULT) is the default, bitwise");
+        // A different group-commit batch actually changes the deployment.
+        cfg.writepath = Some(WriteKnobs { wal_batch_rows: 1, ..WriteKnobs::DEFAULT });
+        let eager = serving.evaluate(&cfg, 5);
+        assert!(eager.is_ok(), "{:?}", eager.failure);
+        assert_ne!(eager.serving, defaulted.serving, "write knobs reshape the trace");
+        assert_eq!(
+            eager.recall.to_bits(),
+            defaulted.recall.to_bits(),
+            "recall is write-path-invariant"
+        );
+    }
+
+    #[test]
+    fn mixed_serving_backend_attaches_write_stats() {
+        let w = make();
+        let spec = ServingSpec { arrival_qps: 80.0, requests: 300, ..Default::default() }
+            .with_inserts(0.5);
+        let b = ServingBackend::over_sim(&w, spec);
+        let out = b.evaluate(&VdmsConfig::default_config(), 5);
+        assert!(out.is_ok(), "{:?}", out.failure);
+        let stats = out.serving.expect("serving phase ran");
+        assert_eq!(stats.writes.offered, 150);
+        assert_eq!(stats.writes.accepted + stats.writes.shed, stats.writes.offered);
+        assert_eq!(stats.writes.last_durable_lsn as usize, stats.writes.accepted);
+        assert!(stats.writes.flushes_end_of_tick + stats.writes.flushes_full_batch > 0);
+        // Read-only specs keep the zeroed write ledger.
+        let quiet = ServingBackend::over_sim(&w, spec.with_inserts(0.0))
+            .evaluate(&VdmsConfig::default_config(), 5);
+        assert_eq!(quiet.serving.expect("serving ran").writes, crate::WriteStats::default());
     }
 
     #[test]

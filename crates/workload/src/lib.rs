@@ -38,7 +38,7 @@ pub use backend::{
 };
 pub use replay::{evaluate, evaluate_sharded, Outcome};
 pub use runner::{Evaluator, Observation};
-pub use serving::{ServingSpec, ServingStats, ServingTrace};
+pub use serving::{ServingSpec, ServingStats, ServingTrace, WriteStats};
 pub use tuner::{run_tuner, run_tuner_batched, Tuner};
 
 use vdms::cost_model::CostModel;

@@ -21,7 +21,17 @@
 //! * per-query service times come from the cost model's measured QPS
 //!   ([`vdms::CostModel::service_secs_from_qps`] — the straggler and
 //!   proxy-merge terms of the cluster path are already folded into a
-//!   sharded backend's QPS) with deterministic per-query jitter.
+//!   sharded backend's QPS) with deterministic per-query jitter;
+//! * when the spec carries an insert fraction
+//!   ([`ServingSpec::insert_fraction`]), a second seeded arrival stream
+//!   offers **inserts** to a [`vdms::WalSim`] write path: WAL group
+//!   commits (full-batch or end-of-tick), segment seals and compactions
+//!   are priced by the same cost model and occupy the same worker slots
+//!   queries contend for, backpressure from a full insert window parks
+//!   arrivals against the primary queue, and `gracefulTime` consistency
+//!   waits resolve against the WAL's *actual* durability events
+//!   ([`vdms::WalSim::durable_time_of`]) instead of the analytic
+//!   quantized watermark.
 //!
 //! **Determinism is the contract**: every random draw is a pure function of
 //! `(seed, query index)`, the parallel service-time precomputation uses an
@@ -36,6 +46,7 @@ use vdms::cluster::RoutingPolicy;
 use vdms::cost_model::CostModel;
 use vdms::system_params::SystemParams;
 use vdms::topology::PinningPolicy;
+use vdms::writepath::{FlushJob, FlushReason, WalSim, WriteKnobs};
 
 /// The open-loop arrival process and serving-level objectives of one
 /// simulation run. `Copy` so backends can embed it freely.
@@ -75,6 +86,14 @@ pub struct ServingSpec {
     /// [`RoutingPolicy::Random`] draws a group per request. Irrelevant
     /// (and bit-invisible) for unreplicated deployments.
     pub routing: RoutingPolicy,
+    /// Insert traffic as a fraction of the query arrival rate: inserts
+    /// arrive in an independent seeded stream at `arrival_qps *
+    /// insert_fraction`, and `requests * insert_fraction` (rounded) of
+    /// them are simulated — so the insert:query mix is a scenario axis,
+    /// not a split of the query budget. `0.0` (the default) disables the
+    /// write path entirely: the mixed simulators delegate to the
+    /// read-only ones bit for bit.
+    pub insert_fraction: f64,
 }
 
 impl Default for ServingSpec {
@@ -88,6 +107,7 @@ impl Default for ServingSpec {
             slo_p99_secs: None,
             max_shed_fraction: 0.01,
             routing: RoutingPolicy::JoinShortestQueue,
+            insert_fraction: 0.0,
         }
     }
 }
@@ -106,6 +126,12 @@ impl ServingSpec {
     /// This spec with a different replica-routing policy.
     pub fn with_routing(self, routing: RoutingPolicy) -> ServingSpec {
         ServingSpec { routing, ..self }
+    }
+
+    /// This spec with insert traffic at `insert_fraction` times the query
+    /// arrival rate — the write axis of a mixed read/write scenario.
+    pub fn with_inserts(self, insert_fraction: f64) -> ServingSpec {
+        ServingSpec { insert_fraction, ..self }
     }
 }
 
@@ -135,6 +161,34 @@ impl QueryEvent {
     }
 }
 
+/// Aggregate write-path counters of one mixed simulation — all zero for a
+/// read-only run, so the read-only paths stay bitwise comparable. `Copy`
+/// so it rides inside [`ServingStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WriteStats {
+    /// Inserts that arrived.
+    pub offered: usize,
+    /// Inserts the write path accepted (admitted immediately, or parked by
+    /// backpressure and admitted later). `accepted + shed == offered`, and
+    /// every accepted insert is durable by the end of the run.
+    pub accepted: usize,
+    /// Inserts rejected because the backpressure parking queue overflowed.
+    pub shed: usize,
+    /// Group commits triggered by a full WAL batch.
+    pub flushes_full_batch: usize,
+    /// Group commits triggered by the flush-interval deadline (including
+    /// the end-of-run drain).
+    pub flushes_end_of_tick: usize,
+    /// Growing segments sealed at [`WriteKnobs::seal_rows`].
+    pub segments_sealed: usize,
+    /// Compactions triggered (every
+    /// [`vdms::writepath::COMPACT_SEALS_PER_MERGE`]-th seal).
+    pub compactions: usize,
+    /// Highest WAL LSN durable when the run drained — equals `accepted`,
+    /// the never-drop invariant stated as data.
+    pub last_durable_lsn: u64,
+}
+
 /// The full event trace of one simulation — the bit-identical artifact the
 /// determinism contract is stated over.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +203,8 @@ pub struct ServingTrace {
     /// Largest scheduler-queue depth observed at any arrival, across all
     /// replica groups.
     pub max_queue_depth: usize,
+    /// Write-path counters (all zero for a read-only run).
+    pub writes: WriteStats,
 }
 
 /// Aggregate serving metrics of one trace — what the tuner and the reports
@@ -186,6 +242,10 @@ pub struct ServingStats {
     pub timeouts: usize,
     /// Simulated wall time from the first arrival to the last completion.
     pub makespan_secs: f64,
+    /// Write-path counters of the run (all zero when the spec offered no
+    /// inserts), so reports can state flush reasons, seals, compactions
+    /// and the never-drop invariant next to the query metrics.
+    pub writes: WriteStats,
 }
 
 impl ServingStats {
@@ -237,6 +297,8 @@ const STREAM_ARRIVAL: u64 = 0x5E21;
 const STREAM_BURST: u64 = 0x5E22;
 const STREAM_JITTER: u64 = 0x5E23;
 const STREAM_ROUTE: u64 = 0x5E24;
+const STREAM_INS_ARRIVAL: u64 = 0x5E25;
+const STREAM_INS_BURST: u64 = 0x5E26;
 
 /// Inter-arrival gap before query `i`: an exponential draw at the mean
 /// rate, scaled by the two-point burstiness mixture (mean exactly 1).
@@ -245,6 +307,18 @@ fn interarrival_secs(spec: &ServingSpec, seed: u64, i: u64) -> f64 {
     let b = spec.burstiness.max(0.0);
     let tight = 1.0 / (1.0 + b);
     let scale = if mix(seed, STREAM_BURST, i) & 1 == 0 { tight } else { 2.0 - tight };
+    exp * scale
+}
+
+/// Inter-arrival gap before insert `j`: the same exponential-with-
+/// burstiness process as queries, on independent streams, at
+/// `arrival_qps * insert_fraction`.
+fn insert_interarrival_secs(spec: &ServingSpec, seed: u64, j: u64) -> f64 {
+    let rate = (spec.arrival_qps * spec.insert_fraction).max(1e-9);
+    let exp = -unit(mix(seed, STREAM_INS_ARRIVAL, j)).ln() / rate;
+    let b = spec.burstiness.max(0.0);
+    let tight = 1.0 / (1.0 + b);
+    let scale = if mix(seed, STREAM_INS_BURST, j) & 1 == 0 { tight } else { 2.0 - tight };
     exp * scale
 }
 
@@ -301,7 +375,13 @@ pub fn simulate_replicated(
     let replicas = replicas.max(1);
     let n = spec.requests;
     if n == 0 || spec.arrival_qps <= 0.0 {
-        return ServingTrace { events: Vec::new(), slots, replicas, max_queue_depth: 0 };
+        return ServingTrace {
+            events: Vec::new(),
+            slots,
+            replicas,
+            max_queue_depth: 0,
+            writes: WriteStats::default(),
+        };
     }
 
     // Parallel fan-out: each draw is a pure function of its index, and the
@@ -384,7 +464,7 @@ pub fn simulate_replicated(
         });
     }
 
-    ServingTrace { events, slots, replicas, max_queue_depth }
+    ServingTrace { events, slots, replicas, max_queue_depth, writes: WriteStats::default() }
 }
 
 /// Run the serving simulation over **shard reactors**: each replica group
@@ -425,7 +505,13 @@ pub fn simulate_pinned(
     let queues = replicas * reactors;
     let n = spec.requests;
     if n == 0 || spec.arrival_qps <= 0.0 {
-        return ServingTrace { events: Vec::new(), slots: reactors, replicas, max_queue_depth: 0 };
+        return ServingTrace {
+            events: Vec::new(),
+            slots: reactors,
+            replicas,
+            max_queue_depth: 0,
+            writes: WriteStats::default(),
+        };
     }
 
     // Identical draw streams to the shared-pool simulator: arrivals and
@@ -504,7 +590,510 @@ pub fn simulate_pinned(
         });
     }
 
-    ServingTrace { events, slots: reactors, replicas, max_queue_depth }
+    ServingTrace {
+        events,
+        slots: reactors,
+        replicas,
+        max_queue_depth,
+        writes: WriteStats::default(),
+    }
+}
+
+/// One event of the mixed read/write loop. Inserts are indistinguishable
+/// until the WAL assigns an LSN, so their event carries no payload.
+enum Ev {
+    /// Query `i` arrives.
+    Query(usize),
+    /// An insert arrives and is offered to the write path.
+    Insert,
+    /// Flush-interval deadline: group-commit whatever the full-batch
+    /// trigger left pending.
+    Tick,
+    /// A recorded group commit finished — rows up to the LSN are durable.
+    FlushDone(u64),
+    /// Query `query`, deferred because no triggered commit covered its
+    /// consistency cutoff, retries right after the tick that triggers the
+    /// covering commit.
+    Retry { query: usize, queue: usize, arrival_secs: f64, lsn: u64 },
+}
+
+/// Heap entry of the mixed event loop, ordered by `(time, push order)` —
+/// FIFO on time ties, so a tick pushed before a same-instant retry fires
+/// first and the loop is fully deterministic.
+struct Scheduled {
+    time_bits: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.time_bits == other.time_bits && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed: `BinaryHeap` is a max-heap, the loop wants earliest first.
+    // `time_bits` ordering is the time ordering for the non-negative
+    // times the simulation produces.
+    fn cmp(&self, other: &Scheduled) -> std::cmp::Ordering {
+        (other.time_bits, other.seq).cmp(&(self.time_bits, self.seq))
+    }
+}
+
+fn sched(heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, at: f64, ev: Ev) {
+    *seq += 1;
+    heap.push(Scheduled { time_bits: at.to_bits(), seq: *seq, ev });
+}
+
+/// The worker slots the mixed loop schedules on: the shared per-group
+/// pool ([`simulate_replicated`]'s execution model) or single-owner
+/// reactors ([`simulate_pinned`]'s). Write work (commits, seals,
+/// compactions) always lands on queue 0 — the primary's slots — which is
+/// exactly where it competes with queries.
+enum SlotPool {
+    Shared {
+        free: Vec<BinaryHeap<std::cmp::Reverse<u64>>>,
+        slots: usize,
+    },
+    Reactors {
+        free: Vec<std::cmp::Reverse<u64>>,
+        reactors: usize,
+        scan: Vec<f64>,
+        handoff: Vec<f64>,
+    },
+}
+
+impl SlotPool {
+    fn queues(&self) -> usize {
+        match self {
+            SlotPool::Shared { free, .. } => free.len(),
+            SlotPool::Reactors { free, .. } => free.len(),
+        }
+    }
+
+    fn group_of(&self, q: usize) -> usize {
+        match self {
+            SlotPool::Shared { .. } => q,
+            SlotPool::Reactors { reactors, .. } => q / reactors,
+        }
+    }
+
+    /// What [`ServingTrace::slots`] reports: slots per group.
+    fn trace_slots(&self) -> usize {
+        match self {
+            SlotPool::Shared { slots, .. } => *slots,
+            SlotPool::Reactors { reactors, .. } => *reactors,
+        }
+    }
+
+    /// Earliest-free time of queue `q`'s next slot (removed; pair with
+    /// [`SlotPool::push_slot`]).
+    fn pop_slot(&mut self, q: usize) -> f64 {
+        match self {
+            SlotPool::Shared { free, .. } => {
+                let std::cmp::Reverse(bits) = free[q].pop().expect("slots >= 1 by construction");
+                f64::from_bits(bits)
+            }
+            SlotPool::Reactors { free, .. } => f64::from_bits(free[q].0),
+        }
+    }
+
+    fn push_slot(&mut self, q: usize, busy_until: f64) {
+        match self {
+            SlotPool::Shared { free, .. } => free[q].push(std::cmp::Reverse(busy_until.to_bits())),
+            SlotPool::Reactors { free, .. } => free[q] = std::cmp::Reverse(busy_until.to_bits()),
+        }
+    }
+
+    /// Per-query service time on queue `q`: reactors pay their SMT scan
+    /// penalty and delegator handoff, the shared pool serves at base.
+    fn service_secs(&self, q: usize, base: f64) -> f64 {
+        match self {
+            SlotPool::Shared { .. } => base,
+            SlotPool::Reactors { reactors, scan, handoff, .. } => {
+                let r = q % reactors;
+                base * scan[r] + handoff[r]
+            }
+        }
+    }
+}
+
+/// Start query `i` on queue `q`: its consistency wait is over (`visible`
+/// is when the data it must see became visible on its group), so it takes
+/// a slot and completes.
+#[allow(clippy::too_many_arguments)]
+fn serve_query(
+    pool: &mut SlotPool,
+    waiting: &mut [BinaryHeap<std::cmp::Reverse<u64>>],
+    events: &mut [Option<QueryEvent>],
+    i: usize,
+    q: usize,
+    arrival_secs: f64,
+    visible_secs: f64,
+    base_service: f64,
+) {
+    let eligible = arrival_secs.max(visible_secs);
+    let service = pool.service_secs(q, base_service);
+    let start = eligible.max(pool.pop_slot(q));
+    let finish = start + service;
+    pool.push_slot(q, finish);
+    waiting[q].push(std::cmp::Reverse(start.to_bits()));
+    events[i] = Some(QueryEvent {
+        arrival_secs,
+        consistency_wait_secs: eligible - arrival_secs,
+        service_secs: service,
+        finish_secs: finish,
+        shed: false,
+        replica: pool.group_of(q),
+    });
+}
+
+/// Price and schedule a triggered group commit: it contends for a primary
+/// (queue 0) worker slot like any query, serializes after the previous
+/// commit to the same WAL, and its completion is a future event.
+#[allow(clippy::too_many_arguments)]
+fn schedule_commit(
+    model: &CostModel,
+    pool: &mut SlotPool,
+    wal: &mut WalSim,
+    heap: &mut BinaryHeap<Scheduled>,
+    seq: &mut u64,
+    last_commit_finish: &mut f64,
+    job: FlushJob,
+    trigger_secs: f64,
+) {
+    let free = pool.pop_slot(0);
+    let start = trigger_secs.max(free).max(*last_commit_finish);
+    let finish = start + model.wal_flush_secs(job.rows);
+    pool.push_slot(0, finish);
+    *last_commit_finish = finish;
+    wal.record_flush(job, trigger_secs, finish);
+    sched(heap, seq, finish, Ev::FlushDone(job.upto_lsn));
+}
+
+/// The discrete-event core of the mixed read/write simulation: one heap
+/// orders query arrivals, insert arrivals, flush ticks, commit
+/// completions and deferred consistency retries by `(time, push order)`.
+/// The loop is serial (all draws are precomputed pure functions of their
+/// index), so the trace is bit-identical across thread counts, like the
+/// read-only loops it generalizes.
+#[allow(clippy::too_many_arguments)]
+fn simulate_mixed(
+    model: &CostModel,
+    sys: &SystemParams,
+    base_service_secs: f64,
+    spec: &ServingSpec,
+    seed: u64,
+    replicas: usize,
+    mut pool: SlotPool,
+    knobs: WriteKnobs,
+) -> ServingTrace {
+    let n = spec.requests;
+    let n_inserts = (n as f64 * spec.insert_fraction.max(0.0)).round() as usize;
+    let queues = pool.queues();
+    if (n == 0 && n_inserts == 0) || spec.arrival_qps <= 0.0 {
+        return ServingTrace {
+            events: Vec::new(),
+            slots: pool.trace_slots(),
+            replicas,
+            max_queue_depth: 0,
+            writes: WriteStats::default(),
+        };
+    }
+
+    // Same parallel fan-out as the read-only loops: every draw is a pure
+    // function of its index, collected order-stably.
+    let qdraws: Vec<(f64, f64)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let i = i as u64;
+            (interarrival_secs(spec, seed, i), base_service_secs * service_jitter(seed, i))
+        })
+        .collect();
+    let igaps: Vec<f64> = (0..n_inserts)
+        .into_par_iter()
+        .map(|j| insert_interarrival_secs(spec, seed, j as u64))
+        .collect();
+
+    // Backpressure and query queueing share the bound: the parking queue
+    // holds at most `queue_capacity` inserts, and parked inserts occupy
+    // the primary queue in the router's eyes.
+    let mut wal = WalSim::new(knobs, spec.queue_capacity);
+    let interval = wal.knobs().flush_interval_secs;
+    let graceful_secs = sys.graceful_time_ms.max(0.0) / 1_000.0;
+    let replica_lag_secs = CostModel::replica_lag_ms(replicas) / 1_000.0;
+
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut clock = 0.0f64;
+    for (i, &(gap, _)) in qdraws.iter().enumerate() {
+        clock += gap;
+        sched(&mut heap, &mut seq, clock, Ev::Query(i));
+    }
+    let mut iclock = 0.0f64;
+    for &gap in &igaps {
+        iclock += gap;
+        sched(&mut heap, &mut seq, iclock, Ev::Insert);
+    }
+    let mut next_tick = interval;
+    sched(&mut heap, &mut seq, next_tick, Ev::Tick);
+
+    let mut waiting: Vec<BinaryHeap<std::cmp::Reverse<u64>>> =
+        (0..queues).map(|_| BinaryHeap::new()).collect();
+    let mut events: Vec<Option<QueryEvent>> = vec![None; n];
+    let mut max_queue_depth = 0usize;
+    let mut last_commit_finish = 0.0f64;
+
+    while let Some(Scheduled { time_bits, ev, .. }) = heap.pop() {
+        let now = f64::from_bits(time_bits);
+        match ev {
+            Ev::Query(i) => {
+                // Drain started requests so the router sees current depths.
+                for queue in waiting.iter_mut() {
+                    while let Some(&std::cmp::Reverse(bits)) = queue.peek() {
+                        if f64::from_bits(bits) <= now {
+                            queue.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // Backpressure is visible to reads: parked inserts occupy
+                // the primary queue, steering JSQ away and shedding
+                // queries once the shared bound fills.
+                let depth = |q: usize| waiting[q].len() + if q == 0 { wal.parked() } else { 0 };
+                let q = match spec.routing {
+                    RoutingPolicy::JoinShortestQueue => (0..queues)
+                        .min_by_key(|&q| (depth(q), q))
+                        .expect("queues >= 1 by construction"),
+                    RoutingPolicy::Random { seed: route_seed } => {
+                        (mix(route_seed, STREAM_ROUTE, i as u64) % queues as u64) as usize
+                    }
+                };
+                max_queue_depth = max_queue_depth.max((0..queues).map(&depth).max().unwrap_or(0));
+                if depth(q) >= spec.queue_capacity {
+                    events[i] = Some(QueryEvent {
+                        arrival_secs: now,
+                        consistency_wait_secs: 0.0,
+                        service_secs: 0.0,
+                        finish_secs: now,
+                        shed: true,
+                        replica: pool.group_of(q),
+                    });
+                    continue;
+                }
+                // Event-driven consistency: the query must see every row
+                // admitted at or before `arrival - gracefulTime` durable —
+                // resolved against the WAL's commit log, not the analytic
+                // quantized watermark.
+                let lsn = wal.last_lsn_at_or_before(now - graceful_secs);
+                match wal.durable_time_of(lsn) {
+                    Some(durable) => {
+                        let visible = if pool.group_of(q) == 0 {
+                            durable
+                        } else {
+                            durable + replica_lag_secs
+                        };
+                        serve_query(
+                            &mut pool,
+                            &mut waiting,
+                            &mut events,
+                            i,
+                            q,
+                            now,
+                            visible,
+                            qdraws[i].1,
+                        );
+                    }
+                    // No triggered commit covers the cutoff yet. The next
+                    // tick triggers everything pending (and fires before
+                    // the retry — pushed earlier, same instant), so one
+                    // retry always resolves.
+                    None => sched(
+                        &mut heap,
+                        &mut seq,
+                        next_tick,
+                        Ev::Retry { query: i, queue: q, arrival_secs: now, lsn },
+                    ),
+                }
+            }
+            Ev::Insert => {
+                let _ = wal.offer_insert(now);
+                while let Some(job) = wal.full_batch_job() {
+                    schedule_commit(
+                        model,
+                        &mut pool,
+                        &mut wal,
+                        &mut heap,
+                        &mut seq,
+                        &mut last_commit_finish,
+                        job,
+                        now,
+                    );
+                }
+            }
+            Ev::Tick => {
+                if let Some(job) = wal.tick_job() {
+                    schedule_commit(
+                        model,
+                        &mut pool,
+                        &mut wal,
+                        &mut heap,
+                        &mut seq,
+                        &mut last_commit_finish,
+                        job,
+                        now,
+                    );
+                }
+                // Keep ticking while anything can still need a deadline
+                // flush: events ahead, or un-drained write state. This is
+                // the end-of-run drain — backpressure delays, never drops.
+                if !heap.is_empty() || !wal.drained() {
+                    next_tick = now + interval;
+                    sched(&mut heap, &mut seq, next_tick, Ev::Tick);
+                }
+            }
+            Ev::FlushDone(upto_lsn) => {
+                let done = wal.flush_done(upto_lsn, now);
+                // Seals and compactions occupy a primary worker slot too.
+                let rebuild = model.segment_seal_secs(done.sealed_rows)
+                    + model.compaction_secs(done.compacted_rows);
+                if rebuild > 0.0 {
+                    let start = now.max(pool.pop_slot(0));
+                    pool.push_slot(0, start + rebuild);
+                }
+                // Un-parked admissions can fill whole batches at once.
+                while let Some(job) = wal.full_batch_job() {
+                    schedule_commit(
+                        model,
+                        &mut pool,
+                        &mut wal,
+                        &mut heap,
+                        &mut seq,
+                        &mut last_commit_finish,
+                        job,
+                        now,
+                    );
+                }
+            }
+            Ev::Retry { query, queue, arrival_secs, lsn } => {
+                let durable = wal
+                    .durable_time_of(lsn)
+                    .expect("the tick preceding a retry triggers every pending commit");
+                let visible =
+                    if pool.group_of(queue) == 0 { durable } else { durable + replica_lag_secs };
+                serve_query(
+                    &mut pool,
+                    &mut waiting,
+                    &mut events,
+                    query,
+                    queue,
+                    arrival_secs,
+                    visible,
+                    qdraws[query].1,
+                );
+            }
+        }
+    }
+
+    debug_assert!(wal.drained(), "the tick chain drains every accepted insert");
+    let writes = WriteStats {
+        offered: n_inserts,
+        accepted: wal.accepted(),
+        shed: wal.shed(),
+        flushes_full_batch: wal.flush_count(FlushReason::FullBatch),
+        flushes_end_of_tick: wal.flush_count(FlushReason::EndOfTick),
+        segments_sealed: wal.seals(),
+        compactions: wal.compactions(),
+        last_durable_lsn: wal.durable_lsn(),
+    };
+    let events = events
+        .into_iter()
+        .map(|e| e.expect("every query resolves by the end of the run"))
+        .collect();
+    ServingTrace { events, slots: pool.trace_slots(), replicas, max_queue_depth, writes }
+}
+
+/// [`simulate_replicated`] under **mixed read/write traffic**: inserts
+/// arrive at `arrival_qps * insert_fraction` and flow through a
+/// [`WalSim`] write path with the candidate's [`WriteKnobs`] — group
+/// commits, seals and compactions compete with queries for the primary
+/// group's worker slots, and consistency waits resolve against real
+/// durability events.
+///
+/// `insert_fraction <= 0.0` delegates to [`simulate_replicated`], so the
+/// write-rate→0 contract is bitwise by construction.
+pub fn simulate_replicated_mixed(
+    model: &CostModel,
+    sys: &SystemParams,
+    base_service_secs: f64,
+    spec: &ServingSpec,
+    seed: u64,
+    replicas: usize,
+    knobs: WriteKnobs,
+) -> ServingTrace {
+    if spec.insert_fraction <= 0.0 {
+        return simulate_replicated(model, sys, base_service_secs, spec, seed, replicas);
+    }
+    let replicas = replicas.max(1);
+    let slots = model.serving_slots(sys);
+    let pool = SlotPool::Shared {
+        free: (0..replicas)
+            .map(|_| (0..slots).map(|_| std::cmp::Reverse(0u64)).collect())
+            .collect(),
+        slots,
+    };
+    simulate_mixed(model, sys, base_service_secs, spec, seed, replicas, pool, knobs)
+}
+
+/// [`simulate_pinned`] under **mixed read/write traffic** — the reactor
+/// execution model with a [`WalSim`] write path on reactor 0 of group 0
+/// (the shard's primary reactor owns its WAL, the shared-nothing way).
+///
+/// Degenerate contracts, both bit-exact: [`PinningPolicy::Shared`]
+/// delegates to [`simulate_replicated_mixed`], and
+/// `insert_fraction <= 0.0` delegates to [`simulate_pinned`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pinned_mixed(
+    model: &CostModel,
+    sys: &SystemParams,
+    base_service_secs: f64,
+    spec: &ServingSpec,
+    seed: u64,
+    replicas: usize,
+    policy: PinningPolicy,
+    top_k: usize,
+    knobs: WriteKnobs,
+) -> ServingTrace {
+    if policy == PinningPolicy::Shared {
+        return simulate_replicated_mixed(
+            model,
+            sys,
+            base_service_secs,
+            spec,
+            seed,
+            replicas,
+            knobs,
+        );
+    }
+    if spec.insert_fraction <= 0.0 {
+        return simulate_pinned(model, sys, base_service_secs, spec, seed, replicas, policy, top_k);
+    }
+    let replicas = replicas.max(1);
+    let reactors = model.reactor_count(policy, sys);
+    let pool = SlotPool::Reactors {
+        free: vec![std::cmp::Reverse(0u64); replicas * reactors],
+        reactors,
+        scan: model.reactor_scan_penalties(policy, reactors),
+        handoff: model.reactor_handoff_secs(policy, reactors, top_k),
+    };
+    simulate_mixed(model, sys, base_service_secs, spec, seed, replicas, pool, knobs)
 }
 
 /// `sorted[q]`-style percentile over an ascending slice (nearest-rank);
@@ -566,6 +1155,7 @@ impl ServingTrace {
             shed,
             timeouts,
             makespan_secs: makespan,
+            writes: self.writes,
         }
     }
 }
@@ -937,6 +1527,218 @@ mod tests {
             "SMT-sharing reactors must show in the tail: {} vs {}",
             c.p99_latency_secs,
             a.p99_latency_secs
+        );
+    }
+
+    #[test]
+    fn zero_insert_fraction_delegates_bitwise_to_the_read_only_simulators() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let s = ServingSpec { arrival_qps: 700.0, requests: 600, ..Default::default() };
+        assert_eq!(s.insert_fraction, 0.0, "read-only is the default");
+        for replicas in [1, 2] {
+            let a = simulate_replicated(&model, &sys, 0.004, &s, 11, replicas);
+            let b = simulate_replicated_mixed(
+                &model,
+                &sys,
+                0.004,
+                &s,
+                11,
+                replicas,
+                WriteKnobs::DEFAULT,
+            );
+            assert_eq!(a, b, "write-rate 0 must be the read-only simulator, bit for bit");
+            assert_eq!(b.writes, WriteStats::default());
+            let c =
+                simulate_pinned(&model, &sys, 0.004, &s, 11, replicas, PinningPolicy::Compact, 10);
+            let d = simulate_pinned_mixed(
+                &model,
+                &sys,
+                0.004,
+                &s,
+                11,
+                replicas,
+                PinningPolicy::Compact,
+                10,
+                WriteKnobs::DEFAULT,
+            );
+            assert_eq!(c, d);
+        }
+    }
+
+    #[test]
+    fn mixed_traffic_commits_seals_and_compacts_deterministically() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let s = ServingSpec { arrival_qps: 900.0, requests: 800, ..Default::default() }
+            .with_inserts(0.5);
+        let knobs = WriteKnobs { wal_batch_rows: 16, flush_interval_secs: 0.02, seal_rows: 32 };
+        let a = simulate_replicated_mixed(&model, &sys, 0.004, &s, 7, 1, knobs);
+        let b = simulate_replicated_mixed(&model, &sys, 0.004, &s, 7, 1, knobs);
+        assert_eq!(a, b, "same seed, same mixed trace");
+        let w = a.writes;
+        assert_eq!(w.offered, 400);
+        assert_eq!(w.accepted + w.shed, w.offered, "every insert is admitted or shed, never lost");
+        assert_eq!(
+            w.last_durable_lsn as usize, w.accepted,
+            "the end-of-run drain makes every accepted insert durable"
+        );
+        assert!(w.flushes_full_batch > 0, "16-row batches must fill at 450 inserts/s");
+        assert!(w.flushes_end_of_tick > 0, "stragglers must flush at the tick");
+        assert_eq!(w.segments_sealed, w.accepted / 32);
+        assert_eq!(w.compactions, w.segments_sealed / 4, "every 4th seal compacts");
+        assert_eq!(a.stats(&s).writes, w, "stats carry the write counters through");
+    }
+
+    #[test]
+    fn per_insert_fsyncs_tax_the_tail_over_group_commits() {
+        // batch 1 fsyncs every row (serialized commits stealing primary
+        // slots); batch 256 amortizes the same traffic into a handful of
+        // commits. Same arrivals, same service draws.
+        let model = CostModel::default();
+        let sys = SystemParams { max_read_concurrency: 4, ..Default::default() };
+        let s = ServingSpec { arrival_qps: 900.0, requests: 2_000, ..Default::default() }
+            .with_inserts(1.0);
+        let churny = WriteKnobs { wal_batch_rows: 1, flush_interval_secs: 0.05, seal_rows: 4096 };
+        let amortized = WriteKnobs { wal_batch_rows: 256, ..churny };
+        let taxed = simulate_replicated_mixed(&model, &sys, 0.004, &s, 5, 1, churny).stats(&s);
+        let calm = simulate_replicated_mixed(&model, &sys, 0.004, &s, 5, 1, amortized).stats(&s);
+        assert!(
+            taxed.writes.flushes_full_batch > 10 * calm.writes.flushes_full_batch,
+            "{} vs {}",
+            taxed.writes.flushes_full_batch,
+            calm.writes.flushes_full_batch
+        );
+        assert!(
+            taxed.p99_latency_secs > calm.p99_latency_secs,
+            "per-row fsyncs must show in the query tail: {} vs {}",
+            taxed.p99_latency_secs,
+            calm.p99_latency_secs
+        );
+    }
+
+    #[test]
+    fn tight_graceful_time_waits_on_real_durability_events() {
+        let model = CostModel::default();
+        let tight = SystemParams { graceful_time_ms: 0.0, ..Default::default() };
+        let covered = SystemParams::default(); // graceful 5000ms >> the run
+        let s = ServingSpec { arrival_qps: 600.0, requests: 800, ..Default::default() }
+            .with_inserts(0.5);
+        let knobs = WriteKnobs { wal_batch_rows: 64, flush_interval_secs: 0.04, seal_rows: 4096 };
+        let t = simulate_replicated_mixed(&model, &tight, 0.004, &s, 9, 1, knobs);
+        let c = simulate_replicated_mixed(&model, &covered, 0.004, &s, 9, 1, knobs);
+        assert!(
+            t.events.iter().any(|e| !e.shed && e.consistency_wait_secs > 0.0),
+            "gracefulTime=0 must wait on commits that haven't finished yet"
+        );
+        assert!(
+            c.events.iter().all(|e| e.consistency_wait_secs == 0.0),
+            "a graceful window covering the whole run never waits"
+        );
+        let (ts, cs) = (t.stats(&s), c.stats(&s));
+        assert!(
+            ts.p99_latency_secs > cs.p99_latency_secs,
+            "durability waits must show in the tail: {} vs {}",
+            ts.p99_latency_secs,
+            cs.p99_latency_secs
+        );
+    }
+
+    #[test]
+    fn backpressure_parks_against_the_primary_queue_and_sheds_only_on_overflow() {
+        // 2000 inserts/s against serialized ~0.5ms commits: a 4-row window
+        // (batch 1) backs up, parks, and overflows the shared bound; a
+        // 1024-row window absorbs the same traffic without shedding.
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let s = ServingSpec {
+            arrival_qps: 2_000.0,
+            requests: 2_000,
+            queue_capacity: 8,
+            ..Default::default()
+        }
+        .with_inserts(1.0);
+        let tiny = WriteKnobs { wal_batch_rows: 1, flush_interval_secs: 0.05, seal_rows: 4096 };
+        let wide = WriteKnobs { wal_batch_rows: 256, ..tiny };
+        let cramped = simulate_replicated_mixed(&model, &sys, 0.004, &s, 13, 1, tiny);
+        let roomy = simulate_replicated_mixed(&model, &sys, 0.004, &s, 13, 1, wide);
+        assert!(cramped.writes.shed > 0, "the 4-row window must overflow at 2000 inserts/s");
+        assert_eq!(roomy.writes.shed, 0, "a 1024-row window absorbs the burst");
+        for trace in [&cramped, &roomy] {
+            let w = trace.writes;
+            assert_eq!(w.accepted + w.shed, w.offered);
+            assert_eq!(w.last_durable_lsn as usize, w.accepted, "accepted inserts never drop");
+        }
+        // Parked inserts occupy the primary queue: reads shed alongside.
+        let q = cramped.stats(&s);
+        let calm = roomy.stats(&s);
+        assert!(
+            q.shed > calm.shed,
+            "write backpressure must push back on reads: {} vs {}",
+            q.shed,
+            calm.shed
+        );
+    }
+
+    #[test]
+    fn shared_pinning_mixed_is_bitwise_the_shared_pool_mixed() {
+        let model = CostModel::default();
+        let sys = SystemParams::default();
+        let s = ServingSpec { arrival_qps: 700.0, requests: 600, ..Default::default() }
+            .with_inserts(0.3);
+        for replicas in [1, 3] {
+            let pinned = simulate_pinned_mixed(
+                &model,
+                &sys,
+                0.004,
+                &s,
+                11,
+                replicas,
+                PinningPolicy::Shared,
+                10,
+                WriteKnobs::DEFAULT,
+            );
+            let pool = simulate_replicated_mixed(
+                &model,
+                &sys,
+                0.004,
+                &s,
+                11,
+                replicas,
+                WriteKnobs::DEFAULT,
+            );
+            assert_eq!(pinned, pool);
+        }
+    }
+
+    #[test]
+    fn reactor_mixed_serving_commits_on_the_primary_reactor() {
+        let model = CostModel::default();
+        let sys = SystemParams { max_read_concurrency: 8, ..Default::default() };
+        let s = ServingSpec { arrival_qps: 1_200.0, requests: 1_500, ..Default::default() }
+            .with_inserts(0.4);
+        // ~14 inserts arrive per 30ms tick: 8-row batches fill between
+        // ticks, stragglers flush at the deadline — both reasons fire.
+        let knobs = WriteKnobs { wal_batch_rows: 8, flush_interval_secs: 0.03, seal_rows: 128 };
+        let trace = simulate_pinned_mixed(
+            &model,
+            &sys,
+            0.004,
+            &s,
+            5,
+            1,
+            PinningPolicy::SmtAvoid,
+            10,
+            knobs,
+        );
+        let w = trace.writes;
+        assert_eq!(w.offered, 600);
+        assert_eq!(w.accepted + w.shed, w.offered);
+        assert_eq!(w.last_durable_lsn as usize, w.accepted);
+        assert!(w.segments_sealed > 0 && w.flushes_full_batch > 0);
+        assert!(
+            trace.events.iter().any(|e| !e.shed && e.replica == 0),
+            "the primary group still serves queries alongside its write work"
         );
     }
 
