@@ -62,7 +62,7 @@ mod tests {
     #[test]
     fn proposes_diverse_index_types() {
         let mut t = RandomLhs::new(3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..50 {
             seen.insert(t.propose(&[]).index_type);
         }
@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn topology_space_proposals_carry_shard_requests() {
         let mut t = RandomLhs::with_space(SpaceSpec::with_topology(8), 3);
-        let mut counts = std::collections::HashSet::new();
+        let mut counts = std::collections::BTreeSet::new();
         for _ in 0..50 {
             let c = t.propose(&[]);
             counts.insert(c.shards.expect("topology space always requests a shape"));

@@ -14,6 +14,8 @@
 //! `results/replication.json`, `results/reactors.json`,
 //! `results/writepath.json` and `results/kernels.json` machine-readable
 //! summaries).
+// Wall-clock progress reporting for the CLI; bench is the timing domain.
+#![allow(clippy::disallowed_methods)]
 
 use bench::{experiments, Profile};
 

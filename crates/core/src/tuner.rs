@@ -690,7 +690,7 @@ mod tests {
         }
         // The polling rotation advances per candidate, so a batch spreads
         // over more than one index type once several types remain.
-        let distinct: std::collections::HashSet<IndexType> =
+        let distinct: std::collections::BTreeSet<IndexType> =
             batch.iter().map(|c| c.index_type).collect();
         assert!(distinct.len() > 1, "batch should poll multiple types: {distinct:?}");
     }

@@ -1,0 +1,5 @@
+// R1 clean: no unsafe anywhere; mentions in strings/comments are inert.
+pub fn describe() -> &'static str {
+    // the word unsafe in a comment must not count as a site
+    "unsafe is only a string here"
+}

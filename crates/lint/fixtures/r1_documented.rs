@@ -1,0 +1,15 @@
+// R1 clean-by-annotation: both accepted spellings.
+pub fn peek(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: emptiness checked on the line above, so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads without a bounds check.
+///
+/// # Safety
+/// `xs` must be non-empty.
+pub unsafe fn peek_unchecked(xs: &[f32]) -> f32 {
+    // SAFETY: forwarded to the caller via the `# Safety` contract above.
+    unsafe { *xs.get_unchecked(0) }
+}

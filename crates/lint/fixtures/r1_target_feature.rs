@@ -1,0 +1,6 @@
+// R1b: #[target_feature] outside the vecdata::kernel dispatch module.
+#[target_feature(enable = "avx2")]
+// SAFETY: requires avx2; fixture only.
+pub unsafe fn dot8(a: &[f32; 8], b: &[f32; 8]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}

@@ -1,0 +1,4 @@
+// R1 positive: unsafe without any SAFETY justification.
+pub fn peek(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

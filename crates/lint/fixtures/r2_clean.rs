@@ -1,0 +1,11 @@
+// R2 clean: ordered collections only; string mentions are inert.
+use std::collections::BTreeMap;
+
+pub fn count(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0usize) += 1;
+    }
+    println!("not a HashMap: {}", "HashMap");
+    m
+}

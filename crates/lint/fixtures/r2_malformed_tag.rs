@@ -1,0 +1,6 @@
+// R2 negative-suppression: a tag with no justification must NOT suppress.
+pub fn count(xs: &[u32]) -> usize {
+    // lint:allow(hash-collection):
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    set.len()
+}

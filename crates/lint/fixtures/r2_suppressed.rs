@@ -1,0 +1,7 @@
+// R2 suppressed: justified membership-only use.
+pub fn contains_any(xs: &[u32], probes: &[u32]) -> bool {
+    // lint:allow(hash-collection): membership probes only; nothing iterates
+    // the set, so hash order cannot reach the result.
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    probes.iter().any(|p| set.contains(p))
+}

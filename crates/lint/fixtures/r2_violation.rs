@@ -1,0 +1,10 @@
+// R2 positive: a hash collection in a determinism-path crate.
+use std::collections::HashMap;
+
+pub fn count(xs: &[u32]) -> usize {
+    let mut m: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}

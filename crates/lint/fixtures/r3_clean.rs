@@ -1,0 +1,18 @@
+// R3 clean: sim time from an event clock; a bare Instant type mention
+// (no ::now) and string mentions must not fire.
+use std::time::Instant;
+
+pub struct EventClock {
+    now_secs: f64,
+}
+
+impl EventClock {
+    pub fn advance(&mut self, dt: f64) -> f64 {
+        self.now_secs += dt;
+        self.now_secs
+    }
+}
+
+pub fn describe(_t: Instant) -> &'static str {
+    "Instant::now only as text"
+}

@@ -1,0 +1,9 @@
+// R3 suppressed: justified timing bookkeeping.
+use std::time::Instant;
+
+pub fn recommend_secs() -> f64 {
+    // lint:allow(wall-clock): measures the tuner's own thinking time for
+    // Table VI bookkeeping; never feeds simulated results.
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

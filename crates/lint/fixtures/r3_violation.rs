@@ -1,0 +1,8 @@
+// R3 positive: wall-clock reads in a determinism-path crate.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

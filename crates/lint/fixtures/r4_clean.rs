@@ -1,0 +1,11 @@
+// R4 clean: serial folds inside parallel map closures are fine, as are
+// order-insensitive parallel terminals like max/min/count.
+use rayon::prelude::*;
+
+pub fn row_norms(rows: &[Vec<f64>]) -> Vec<f64> {
+    rows.par_iter().map(|r| r.iter().map(|x| x * x).sum::<f64>().sqrt()).collect()
+}
+
+pub fn longest(rows: &[Vec<f64>]) -> usize {
+    rows.par_iter().map(|r| r.len()).max().unwrap_or(0)
+}

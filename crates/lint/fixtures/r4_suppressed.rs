@@ -1,0 +1,9 @@
+// R4 suppressed: justified order-stable reduction.
+use rayon::prelude::*;
+
+pub fn mean(xs: &[f64]) -> f64 {
+    // lint:allow(par-float-fold): inputs are pre-rounded to f32 grid points,
+    // so the reduction is exact in f64 and order cannot change the result.
+    let total: f64 = xs.par_iter().map(|x| x * x).sum();
+    total / xs.len() as f64
+}

@@ -1,0 +1,7 @@
+// R4 positive: float sum over a rayon parallel iterator.
+use rayon::prelude::*;
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total: f64 = xs.par_iter().map(|x| x * x).sum();
+    total / xs.len() as f64
+}

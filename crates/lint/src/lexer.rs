@@ -1,0 +1,323 @@
+//! A minimal hand-rolled Rust lexer — just enough surface syntax to drive
+//! the rule pass: identifiers, punctuation, literals and comments, each
+//! tagged with its 1-based source line.
+//!
+//! The rules in [`crate::rules`] only ever look at identifier *tokens*, so
+//! the lexer's one hard job is making sure text inside string/char literals
+//! and comments can never masquerade as code (`"HashMap"` in a string, or
+//! `Instant::now` in a doc comment, must not fire a rule). Everything it
+//! does not need — keyword classification, number grammar subtleties,
+//! operator fusion — is deliberately left out.
+
+/// One code token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// Code token kinds. Comments are *not* tokens — they are collected
+/// separately in [`Lexed::comments`] so rules can reason about them as
+/// annotations rather than code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `par_iter`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `;`, `{`, `#`, ...).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, number. The
+    /// contents are irrelevant to every rule, so they are not kept.
+    Literal,
+}
+
+/// One comment (line, block, or doc), with the line it *starts* on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: usize,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexer output: the code token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src`. Never fails: unterminated literals/comments simply run to end
+/// of input (the workspace only feeds it `rustc`-clean sources anyway).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Consume a quoted run starting at the opening `"` (index `i`),
+    // honoring `\` escapes; returns the index just past the closing quote.
+    let scan_string = |chars: &[char], mut i: usize, line: &mut usize| -> usize {
+        i += 1; // opening quote
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => {
+                    // Count the escaped char too: `\` at end of line is a
+                    // line-continuation escape swallowing the newline.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        *line += 1;
+                    }
+                    i += 2;
+                }
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                '"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    };
+
+    // Consume a raw string whose `r` (or `br`) prefix ends at index `i`
+    // pointing at the first `#` or `"`.
+    let scan_raw_string = |chars: &[char], mut i: usize, line: &mut usize| -> usize {
+        let mut hashes = 0usize;
+        while i < chars.len() && chars[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < chars.len() {
+            if chars[i] == '\n' {
+                *line += 1;
+                i += 1;
+            } else if chars[i] == '"'
+                && chars[i + 1..].iter().take(hashes).filter(|c| **c == '#').count() == hashes
+            {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        i
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { line, text: chars[start..i].iter().collect() });
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments
+                    .push(Comment { line: start_line, text: chars[start..i].iter().collect() });
+            }
+            '"' => {
+                let l = line;
+                i = scan_string(&chars, i, &mut line);
+                out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+            }
+            '\'' => {
+                // Lifetime (`'a`), loop label (`'outer:`) or char literal
+                // (`'x'`, `'\n'`). A quote after the ident run means char.
+                let l = line;
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: skip to the closing quote.
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+                } else if chars.get(i + 1).is_some_and(|c| is_ident_continue(*c)) {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'\'') {
+                        // 'x' — a char literal.
+                        i = j + 1;
+                        out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+                    } else {
+                        // 'label / 'lifetime — treat as punctuation + ident.
+                        out.tokens.push(Tok { kind: TokKind::Punct('\''), line: l });
+                        i += 1;
+                    }
+                } else {
+                    out.tokens.push(Tok { kind: TokKind::Punct('\''), line: l });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let l = line;
+                // Digits, underscores, radix/type-suffix letters; a `.`
+                // continues the number only when a digit follows (so
+                // `tuple.0.sum()` cannot swallow `.sum`).
+                i += 1;
+                while i < chars.len() {
+                    let c = chars[i];
+                    let digit_next = chars.get(i + 1).is_some_and(|d| d.is_ascii_digit());
+                    let continues = c.is_ascii_alphanumeric()
+                        || c == '_'
+                        || (c == '.' && digit_next)
+                        || ((c == '+' || c == '-')
+                            && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))
+                            && digit_next);
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+            }
+            c if is_ident_start(c) => {
+                // Raw/byte string prefixes first: r"", r#""#, b"", br"", b''.
+                // (`r#ident` raw identifiers fall through to the ident arm:
+                // their `#` run is not followed by a quote.)
+                let next = chars.get(i + 1).copied();
+                let raw_quoted = |from: usize| {
+                    let h = chars[from..].iter().take_while(|c| **c == '#').count();
+                    chars.get(from + h) == Some(&'"')
+                };
+                if c == 'r' && raw_quoted(i + 1) {
+                    let l = line;
+                    i = scan_raw_string(&chars, i + 1, &mut line);
+                    out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+                } else if c == 'b' && next == Some('"') {
+                    let l = line;
+                    i = scan_string(&chars, i + 1, &mut line);
+                    out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+                } else if c == 'b' && next == Some('\'') {
+                    let l = line;
+                    i += 2;
+                    if chars.get(i) == Some(&'\\') {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+                } else if c == 'b' && next == Some('r') && raw_quoted(i + 2) {
+                    let l = line;
+                    i = scan_raw_string(&chars, i + 2, &mut line);
+                    out.tokens.push(Tok { kind: TokKind::Literal, line: l });
+                } else {
+                    let start = i;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    out.tokens
+                        .push(Tok { kind: TokKind::Ident(chars[start..i].iter().collect()), line });
+                }
+            }
+            _ => {
+                out.tokens.push(Tok { kind: TokKind::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in /* a nested */ block */
+            let a = "HashMap"; // trailing SystemTime
+            let b = r#"Instant"#;
+            let c = b"unsafe";
+            let d = 'x';
+            let e: &'static str = "par_iter";
+        "##;
+        let ids = idents(src);
+        for banned in ["HashMap", "Instant", "SystemTime", "unsafe", "par_iter"] {
+            assert!(!ids.contains(&banned.to_string()), "{banned} leaked from a literal");
+        }
+        assert!(ids.contains(&"static".to_string()), "lifetime ident must survive");
+    }
+
+    #[test]
+    fn comment_lines_are_recorded() {
+        let src = "let a = 1;\n// SAFETY: fine\nlet b = 2; // tail\n";
+        let lx = lex(src);
+        let lines: Vec<usize> = lx.comments.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+        assert!(lx.comments[0].text.contains("SAFETY"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let src = "let a = x.0.sum(); let b = 1.0e-5f32.mul_add(1.0, 2.0);";
+        let ids = idents(src);
+        assert!(ids.contains(&"sum".to_string()));
+        assert!(ids.contains(&"mul_add".to_string()));
+    }
+
+    #[test]
+    fn lines_advance_through_multiline_literals() {
+        let src = "let a = \"x\ny\";\nlet unsafe_marker = 3;";
+        let lx = lex(src);
+        let last = lx.tokens.last().unwrap();
+        assert_eq!(last.line, 3, "line counting must survive multi-line strings");
+    }
+
+    #[test]
+    fn char_vs_lifetime_disambiguation() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = 'q'; let d = '\\n'; }");
+        assert!(ids.contains(&"a".to_string()));
+        assert!(!ids.contains(&"q".to_string()));
+    }
+}

@@ -1,0 +1,82 @@
+#![deny(unsafe_code)]
+//! `vdtuner-lint` binary: scan the workspace, print findings, write
+//! `results/lint.json`, exit nonzero on any unsuppressed violation.
+//!
+//! Usage: `cargo run -p lint --release [-- <workspace-root>]`. The root
+//! defaults to the nearest ancestor of the current directory containing a
+//! `Cargo.toml` with a `[workspace]` table (so it works from crate
+//! subdirectories too).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("vdtuner-lint: no workspace root found (pass one explicitly)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let report = match lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vdtuner-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let results = root.join("results");
+    let json_path = results.join("lint.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&results).and_then(|_| std::fs::write(&json_path, report.to_json()))
+    {
+        eprintln!("vdtuner-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "vdtuner-lint: {} files, {} unsafe sites ({} documented), {} suppressions -> {}",
+        report.files_scanned,
+        report.unsafe_sites(),
+        report.unsafe_documented(),
+        report.suppressions.len(),
+        rel(&json_path, &root),
+    );
+
+    if report.clean() {
+        println!("vdtuner-lint: clean (0 findings)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule.key(), f.message);
+        }
+        println!("vdtuner-lint: {} unsuppressed finding(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn rel(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}

@@ -1,0 +1,416 @@
+//! The four workspace rules (R1–R4) over the lexed token stream.
+//!
+//! Every rule works the same way: find a *trigger* token, then look for an
+//! *annotation* in the trigger's statement window — the comments between
+//! the previous statement boundary (`;`, `{` or `}`) and the trigger's
+//! line. R1's annotation is a `SAFETY:` comment (or a `# Safety` rustdoc
+//! section); R2–R4 accept an explicit suppression tag:
+//!
+//! ```text
+//! // lint:allow(<rule>): <non-empty justification>
+//! ```
+//!
+//! with rule keys `hash-collection`, `wall-clock` and `par-float-fold`.
+//! A tag with an empty justification never suppresses — the reviewer-facing
+//! *why* is the point of the tag.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// The four enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: every `unsafe` block/fn carries a `SAFETY:` justification, and
+    /// `#[target_feature]` lives only in the `vecdata::kernel` dispatch
+    /// module.
+    UnsafeSafety,
+    /// R2: `HashMap`/`HashSet` are banned in determinism-path crates
+    /// unless justified with `lint:allow(hash-collection)`.
+    HashCollection,
+    /// R3: `Instant::now` / `SystemTime` are banned outside `bench` unless
+    /// justified with `lint:allow(wall-clock)`.
+    WallClock,
+    /// R4: `.sum()` / `.fold()` / `.reduce()` chained on a rayon parallel
+    /// iterator is banned outside the blessed order-stable primitives
+    /// (the `mc_mean` family) unless justified with
+    /// `lint:allow(par-float-fold)`.
+    ParFloatFold,
+}
+
+impl Rule {
+    /// Stable machine-readable key used in `results/lint.json`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::UnsafeSafety => "r1_unsafe_safety",
+            Rule::HashCollection => "r2_hash_collection",
+            Rule::WallClock => "r3_wall_clock",
+            Rule::ParFloatFold => "r4_par_float_fold",
+        }
+    }
+
+    /// The `lint:allow(...)` tag name, for the rules that accept one.
+    pub fn tag(self) -> Option<&'static str> {
+        match self {
+            Rule::UnsafeSafety => None,
+            Rule::HashCollection => Some("hash-collection"),
+            Rule::WallClock => Some("wall-clock"),
+            Rule::ParFloatFold => Some("par-float-fold"),
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::UnsafeSafety => {
+                "unsafe blocks/fns must carry a SAFETY: justification; \
+                 #[target_feature] only in the vecdata::kernel dispatch module"
+            }
+            Rule::HashCollection => {
+                "HashMap/HashSet banned in determinism-path crates unless \
+                 tagged lint:allow(hash-collection) with a rationale"
+            }
+            Rule::WallClock => {
+                "Instant::now/SystemTime banned outside bench; sim time must \
+                 flow from the event clock (tag: lint:allow(wall-clock))"
+            }
+            Rule::ParFloatFold => {
+                "sum/fold/reduce on rayon parallel iterators banned outside \
+                 the mc_mean family (tag: lint:allow(par-float-fold))"
+            }
+        }
+    }
+
+    pub const ALL: [Rule; 4] =
+        [Rule::UnsafeSafety, Rule::HashCollection, Rule::WallClock, Rule::ParFloatFold];
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// One accepted (finding-suppressing) `lint:allow` tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub rule: Rule,
+    pub file: String,
+    /// Line of the suppressed trigger (not of the tag comment).
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Scan result for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<Suppression>,
+    /// Number of `unsafe` tokens (blocks + fns) in the file.
+    pub unsafe_sites: usize,
+    /// How many of them carry a `SAFETY:` / `# Safety` justification.
+    pub unsafe_documented: usize,
+}
+
+/// Crates whose results depend on iteration/reduction order: the whole
+/// tuning pipeline plus the facade. `bench` is excluded (reporting and
+/// calibration live there, and wall-clock/Hash iteration cannot reach
+/// tuning results), as is the auditor itself — which nevertheless keeps to
+/// `BTreeMap` so its own reports are stably ordered.
+const DETERMINISM_CRATES: &[&str] =
+    &["core", "gp", "mobo", "anns", "vdms", "workload", "baselines", "vecdata", "vdtuner", "lint"];
+
+/// The only file allowed to declare `#[target_feature]` functions: the
+/// OnceLock dispatch module. Everything else must go through
+/// `vecdata::kernel::active()` so detection-before-call is structural.
+const DISPATCH_MODULE: &str = "crates/vecdata/src/kernel.rs";
+
+/// The blessed order-stable parallel-reduction primitive: `mc_mean` (and
+/// its `mc_mean_*` variants, should they grow) in mobo's acquisition
+/// module. Everything else must route through it.
+const BLESSED_PAR_FOLD_FILE: &str = "crates/mobo/src/acquisition.rs";
+const BLESSED_PAR_FOLD_FN_PREFIX: &str = "mc_mean";
+
+/// Rayon adapters that start a parallel iterator chain.
+const PAR_ADAPTERS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_exact",
+    "par_windows",
+    "par_split",
+];
+
+/// Order-sensitive terminal reductions on a parallel chain.
+const PAR_FOLDS: &[&str] = &["sum", "fold", "reduce", "product"];
+
+/// Crate a workspace-relative path belongs to (`crates/<name>/...`, or the
+/// root facade `vdtuner` for `src/`, `tests/`, `examples/`).
+pub fn crate_of(rel_path: &str) -> &str {
+    let rel = rel_path.replace('\\', "/");
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(end) = rest.find('/') {
+            // Safe to slice `rel_path` with the same offsets: the replace
+            // above only ever substitutes single bytes.
+            return &rel_path[7..7 + end];
+        }
+    }
+    "vdtuner"
+}
+
+fn in_determinism_scope(rel_path: &str) -> bool {
+    DETERMINISM_CRATES.contains(&crate_of(rel_path))
+}
+
+fn wall_clock_exempt(rel_path: &str) -> bool {
+    crate_of(rel_path) == "bench"
+}
+
+/// Parse `lint:allow(<tag>): <reason>` out of a comment, returning the tag
+/// and the trimmed reason (which may be empty — the caller rejects that).
+fn parse_tag(text: &str) -> Option<(&str, &str)> {
+    let at = text.find("lint:allow(")?;
+    let rest = &text[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let tag = &rest[..close];
+    let after = rest[close + 1..].strip_prefix(':').unwrap_or("");
+    Some((tag, after.trim()))
+}
+
+struct FileScanner<'a> {
+    rel_path: &'a str,
+    tokens: &'a [Tok],
+    comments: &'a [Comment],
+    report: FileReport,
+}
+
+impl<'a> FileScanner<'a> {
+    /// Line of the statement boundary (`;`, `{`, `}`) nearest before token
+    /// `k`, or 1 when the token opens the file.
+    fn boundary_line(&self, k: usize) -> usize {
+        self.tokens[..k]
+            .iter()
+            .rev()
+            .find(|t| {
+                matches!(t.kind, TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}'))
+            })
+            .map_or(1, |t| t.line)
+    }
+
+    /// All comments in the statement window `[boundary_line(k), line]`.
+    fn window(&self, k: usize, line: usize) -> impl Iterator<Item = &Comment> {
+        let lo = self.boundary_line(k);
+        self.comments.iter().filter(move |c| c.line >= lo && c.line <= line)
+    }
+
+    /// True when the statement window documents safety (`SAFETY:` comment
+    /// or `# Safety` rustdoc section).
+    fn has_safety(&self, k: usize, line: usize) -> bool {
+        self.window(k, line).any(|c| c.text.contains("SAFETY") || c.text.contains("# Safety"))
+    }
+
+    /// Check the statement window for a valid suppression tag for `rule`;
+    /// record and return true when found.
+    fn suppressed(&mut self, rule: Rule, k: usize, line: usize) -> bool {
+        let Some(want) = rule.tag() else { return false };
+        let hit = self.window(k, line).find_map(|c| match parse_tag(&c.text) {
+            Some((tag, reason)) if tag == want && !reason.is_empty() => Some(reason.to_string()),
+            _ => None,
+        });
+        match hit {
+            Some(reason) => {
+                self.report.suppressions.push(Suppression {
+                    rule,
+                    file: self.rel_path.to_string(),
+                    line,
+                    reason,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn finding(&mut self, rule: Rule, line: usize, message: String) {
+        // One finding per (rule, line): `HashMap::new()` on a line already
+        // flagged for its type mention would otherwise double-report.
+        if self.report.findings.iter().any(|f| f.rule == rule && f.line == line) {
+            return;
+        }
+        self.report.findings.push(Finding { rule, file: self.rel_path.to_string(), line, message });
+    }
+
+    fn ident_at(&self, k: usize) -> Option<&str> {
+        match &self.tokens.get(k)?.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, k: usize, c: char) -> bool {
+        matches!(self.tokens.get(k), Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c)
+    }
+
+    /// R4 helper: from the adapter at token `k`, scan the rest of the
+    /// statement (until `;` at the adapter's paren depth) for a direct
+    /// `.sum(` / `.fold(` / `.reduce(` on the chain — i.e. at the same
+    /// paren depth, so serial reductions inside closure bodies don't fire.
+    fn par_chain_fold(&self, k: usize) -> Option<(usize, String)> {
+        let mut depth = 0i32;
+        let mut j = k + 1;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => {
+                    if depth == 0 && matches!(self.tokens[j].kind, TokKind::Punct(')')) {
+                        // Closing the call the adapter itself sits in
+                        // (e.g. `f(xs.par_iter().map(..).sum())`): the
+                        // chain cannot continue past it at this depth.
+                        // Keep scanning — depth goes negative and the
+                        // `;`-check below still terminates us sanely.
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(';') if depth <= 0 => return None,
+                TokKind::Punct('.') if depth == 0 => {
+                    if let Some(name) = self.ident_at(j + 1) {
+                        if PAR_FOLDS.contains(&name) {
+                            return Some((self.tokens[j + 1].line, name.to_string()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    fn run(&mut self) {
+        let mut current_fn = String::new();
+        for k in 0..self.tokens.len() {
+            let line = self.tokens[k].line;
+            let Some(ident) = self.ident_at(k) else { continue };
+            match ident {
+                "fn" => {
+                    if let Some(name) = self.ident_at(k + 1) {
+                        current_fn = name.to_string();
+                    }
+                }
+                // R1a: unsafe blocks/fns need a SAFETY justification.
+                "unsafe" => {
+                    self.report.unsafe_sites += 1;
+                    if self.has_safety(k, line) {
+                        self.report.unsafe_documented += 1;
+                    } else {
+                        self.finding(
+                            Rule::UnsafeSafety,
+                            line,
+                            "`unsafe` without a `// SAFETY:` (or `# Safety`) justification"
+                                .to_string(),
+                        );
+                    }
+                }
+                // R1b: #[target_feature] only in the dispatch module.
+                "target_feature"
+                    if self.punct_at(k.wrapping_sub(1), '[')
+                        && self.punct_at(k.wrapping_sub(2), '#')
+                        && self.rel_path != DISPATCH_MODULE =>
+                {
+                    self.finding(
+                        Rule::UnsafeSafety,
+                        line,
+                        format!(
+                            "#[target_feature] outside the dispatch module \
+                             ({DISPATCH_MODULE}); route through vecdata::kernel::active()"
+                        ),
+                    );
+                }
+                // R2: hash collections in determinism-path crates.
+                "HashMap" | "HashSet" if in_determinism_scope(self.rel_path) => {
+                    let which = ident.to_string();
+                    if !self.suppressed(Rule::HashCollection, k, line) {
+                        self.finding(
+                            Rule::HashCollection,
+                            line,
+                            format!(
+                                "{which} in a determinism-path crate: iteration order is \
+                                 seed-dependent; use BTreeMap/BTreeSet or justify with \
+                                 lint:allow(hash-collection)"
+                            ),
+                        );
+                    }
+                }
+                // R3: wall-clock reads outside bench.
+                "Instant"
+                    if self.punct_at(k + 1, ':')
+                        && self.punct_at(k + 2, ':')
+                        && self.ident_at(k + 3) == Some("now")
+                        && !wall_clock_exempt(self.rel_path) =>
+                {
+                    let suppressed = self.suppressed(Rule::WallClock, k, line);
+                    if !suppressed {
+                        self.finding(
+                            Rule::WallClock,
+                            line,
+                            "Instant::now outside bench: sim time must flow from the \
+                             event clock (justify real timing with lint:allow(wall-clock))"
+                                .to_string(),
+                        );
+                    }
+                }
+                "SystemTime" if !wall_clock_exempt(self.rel_path) => {
+                    let suppressed = self.suppressed(Rule::WallClock, k, line);
+                    if !suppressed {
+                        self.finding(
+                            Rule::WallClock,
+                            line,
+                            "SystemTime outside bench: wall-clock must not reach \
+                             simulated results (justify with lint:allow(wall-clock))"
+                                .to_string(),
+                        );
+                    }
+                }
+                // R4: order-sensitive folds on parallel iterators.
+                _ if PAR_ADAPTERS.contains(&ident) && in_determinism_scope(self.rel_path) => {
+                    let blessed = self.rel_path == BLESSED_PAR_FOLD_FILE
+                        && current_fn.starts_with(BLESSED_PAR_FOLD_FN_PREFIX);
+                    let adapter = ident.to_string();
+                    if let Some((fold_line, fold)) = self.par_chain_fold(k) {
+                        if !blessed && !self.suppressed(Rule::ParFloatFold, k, fold_line) {
+                            self.finding(
+                                Rule::ParFloatFold,
+                                fold_line,
+                                format!(
+                                    ".{fold}() on a {adapter}() chain: parallel float \
+                                     reduction order is nondeterministic; route through \
+                                     mobo::mc_mean or justify with lint:allow(par-float-fold)"
+                                ),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Scan one source file given its workspace-relative path (the path decides
+/// which crate-scoped rules apply).
+pub fn scan_source(rel_path: &str, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let mut scanner = FileScanner {
+        rel_path,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        report: FileReport::default(),
+    };
+    scanner.run();
+    let mut report = scanner.report;
+    report.findings.sort_by_key(|f| (f.line, f.rule));
+    report
+}

@@ -1,0 +1,167 @@
+//! Fixture self-tests: every rule must demonstrably fire on its positive
+//! fixture, stay quiet when suppressed/annotated, and stay quiet on clean
+//! code. Fixtures live in `crates/lint/fixtures/` and are excluded from the
+//! workspace walk — they exist to violate the rules.
+
+use lint::rules::{scan_source, FileReport, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Scan a fixture as if it lived at `rel_path` (the path decides crate
+/// scoping: determinism crates, bench exemption, dispatch module).
+fn scan_as(rel_path: &str, name: &str) -> FileReport {
+    scan_source(rel_path, &fixture(name))
+}
+
+const DET_PATH: &str = "crates/core/src/fixture.rs";
+const BENCH_PATH: &str = "crates/bench/src/fixture.rs";
+
+#[test]
+fn r1_fires_on_undocumented_unsafe() {
+    let r = scan_as(DET_PATH, "r1_violation.rs");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    assert_eq!(r.findings[0].rule, Rule::UnsafeSafety);
+    assert_eq!(r.unsafe_sites, 1);
+    assert_eq!(r.unsafe_documented, 0);
+}
+
+#[test]
+fn r1_accepts_safety_comment_and_safety_doc_section() {
+    let r = scan_as(DET_PATH, "r1_documented.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.unsafe_sites, 3);
+    assert_eq!(r.unsafe_documented, 3);
+}
+
+#[test]
+fn r1_clean_counts_no_sites() {
+    let r = scan_as(DET_PATH, "r1_clean.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.unsafe_sites, 0, "unsafe in strings/comments must not count");
+}
+
+#[test]
+fn r1_target_feature_only_in_dispatch_module() {
+    let outside = scan_as("crates/gp/src/fixture.rs", "r1_target_feature.rs");
+    assert_eq!(outside.findings.len(), 1, "{:?}", outside.findings);
+    assert_eq!(outside.findings[0].rule, Rule::UnsafeSafety);
+    assert!(outside.findings[0].message.contains("target_feature"));
+
+    let dispatch = scan_as("crates/vecdata/src/kernel.rs", "r1_target_feature.rs");
+    assert!(dispatch.findings.is_empty(), "{:?}", dispatch.findings);
+}
+
+#[test]
+fn r2_fires_on_hash_collections() {
+    let r = scan_as(DET_PATH, "r2_violation.rs");
+    assert!(!r.findings.is_empty());
+    assert!(r.findings.iter().all(|f| f.rule == Rule::HashCollection), "{:?}", r.findings);
+}
+
+#[test]
+fn r2_tag_with_rationale_suppresses() {
+    let r = scan_as(DET_PATH, "r2_suppressed.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressions.len(), 1);
+    assert_eq!(r.suppressions[0].rule, Rule::HashCollection);
+    assert!(r.suppressions[0].reason.contains("membership"));
+}
+
+#[test]
+fn r2_tag_without_rationale_does_not_suppress() {
+    let r = scan_as(DET_PATH, "r2_malformed_tag.rs");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    assert!(r.suppressions.is_empty(), "an empty reason must never suppress");
+}
+
+#[test]
+fn r2_clean_and_out_of_scope_stay_quiet() {
+    let clean = scan_as(DET_PATH, "r2_clean.rs");
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+
+    let bench = scan_as(BENCH_PATH, "r2_violation.rs");
+    assert!(bench.findings.is_empty(), "bench is outside the determinism scope");
+}
+
+#[test]
+fn r3_fires_on_wall_clock() {
+    let r = scan_as(DET_PATH, "r3_violation.rs");
+    // Three sites: the SystemTime import, Instant::now, SystemTime::now.
+    assert_eq!(r.findings.len(), 3, "{:?}", r.findings);
+    assert!(r.findings.iter().all(|f| f.rule == Rule::WallClock));
+}
+
+#[test]
+fn r3_bench_is_exempt() {
+    let r = scan_as(BENCH_PATH, "r3_violation.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn r3_tag_suppresses_and_clean_event_clock_passes() {
+    let s = scan_as(DET_PATH, "r3_suppressed.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert_eq!(s.suppressions.len(), 1);
+    assert_eq!(s.suppressions[0].rule, Rule::WallClock);
+
+    let c = scan_as(DET_PATH, "r3_clean.rs");
+    assert!(c.findings.is_empty(), "bare Instant type mentions must not fire: {:?}", c.findings);
+}
+
+#[test]
+fn r4_fires_on_parallel_float_sum() {
+    let r = scan_as(DET_PATH, "r4_violation.rs");
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    assert_eq!(r.findings[0].rule, Rule::ParFloatFold);
+}
+
+#[test]
+fn r4_tag_suppresses_and_serial_folds_pass() {
+    let s = scan_as(DET_PATH, "r4_suppressed.rs");
+    assert!(s.findings.is_empty(), "{:?}", s.findings);
+    assert_eq!(s.suppressions.len(), 1);
+    assert_eq!(s.suppressions[0].rule, Rule::ParFloatFold);
+
+    let c = scan_as(DET_PATH, "r4_clean.rs");
+    assert!(c.findings.is_empty(), "serial folds inside par closures must pass: {:?}", c.findings);
+}
+
+#[test]
+fn r4_mc_mean_blessing_is_path_and_name_dependent() {
+    let src = "pub fn mc_mean(z: &[f64]) -> f64 {\n    \
+               let t: f64 = z.par_iter().map(|x| x + 1.0).sum();\n    t\n}\n";
+    let blessed = scan_source("crates/mobo/src/acquisition.rs", src);
+    assert!(blessed.findings.is_empty(), "{:?}", blessed.findings);
+
+    let elsewhere = scan_source("crates/mobo/src/optimizer.rs", src);
+    assert_eq!(elsewhere.findings.len(), 1, "same code outside acquisition.rs must fire");
+
+    let renamed = src.replace("mc_mean", "quick_mean");
+    let wrong_fn = scan_source("crates/mobo/src/acquisition.rs", &renamed);
+    assert_eq!(wrong_fn.findings.len(), 1, "non-mc_mean fns in acquisition.rs must fire");
+}
+
+#[test]
+fn safety_comment_above_multiline_statement_is_seen() {
+    // Mirrors bench/affinity.rs: the SAFETY comment sits above a `let`
+    // whose `unsafe` block starts on a later line.
+    let src = "pub fn f(x: i64) -> i64 {\n    \
+               // SAFETY: raw syscall has no memory preconditions here.\n    \
+               let ret =\n        unsafe { syscall(x) };\n    ret\n}\n";
+    let r = scan_source(DET_PATH, src);
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.unsafe_documented, 1);
+}
+
+#[test]
+fn wrong_tag_key_does_not_suppress_other_rules() {
+    let src = "// lint:allow(wall-clock): wrong key for this rule\n\
+               pub fn f() -> std::collections::HashMap<u32, u32> {\n    \
+               std::collections::HashMap::new()\n}\n";
+    let r = scan_source(DET_PATH, src);
+    assert!(!r.findings.is_empty(), "a wall-clock tag must not suppress hash-collection");
+    assert!(r.suppressions.is_empty());
+}

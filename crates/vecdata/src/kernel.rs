@@ -627,6 +627,9 @@ mod avx2 {
 
     /// Fold a 256-bit lane accumulator exactly like `acc.iter().sum()` over
     /// the scalar `[f32; 8]`: left-to-right, starting from 0.0.
+    ///
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     unsafe fn lane_sum(acc: __m256) -> f32 {
         let mut lanes = [0.0f32; 8];
@@ -634,6 +637,8 @@ mod avx2 {
         lanes.iter().sum()
     }
 
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
@@ -653,6 +658,8 @@ mod avx2 {
         sum
     }
 
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
@@ -673,6 +680,8 @@ mod avx2 {
         sum
     }
 
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot3(a: &[f32], b: &[f32]) -> [f32; 3] {
         let n = a.len();
@@ -703,6 +712,9 @@ mod avx2 {
     /// vectorized, but the 8 squared terms of each chunk are folded into the
     /// single accumulator sequentially in index order — bit-identical to the
     /// legacy sequential loop.
+    ///
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn sq8_l2(query: &[f32], code: &[u8], mins: &[f32], scales: &[f32]) -> f32 {
         let n = query.len();
@@ -733,6 +745,8 @@ mod avx2 {
         sum
     }
 
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn l2_sq_block(query: &[f32], block: &[f32], dim: usize, out: &mut Vec<f32>) {
         for row in block.chunks_exact(dim) {
@@ -740,6 +754,8 @@ mod avx2 {
         }
     }
 
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot_block(query: &[f32], block: &[f32], dim: usize, out: &mut Vec<f32>) {
         for row in block.chunks_exact(dim) {
@@ -747,6 +763,8 @@ mod avx2 {
         }
     }
 
+    /// # Safety
+    /// Requires avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2")]
     pub unsafe fn sq8_l2_block(
         query: &[f32],
@@ -850,6 +868,9 @@ mod avx2_fast {
     use std::arch::x86_64::*;
 
     /// Tree horizontal sum (relaxed order — fast tier only).
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn hsum(v: __m256) -> f32 {
         let s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
@@ -858,6 +879,8 @@ mod avx2_fast {
         _mm_cvtss_f32(s)
     }
 
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
@@ -889,6 +912,8 @@ mod avx2_fast {
         sum
     }
 
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
@@ -932,6 +957,9 @@ mod avx2_fast {
     /// dot(a, b).to_bits()` (and likewise the norms vs `dot(a, a)`) — the
     /// invariant `distance::angular_with_norms` relies on holds within the
     /// fast tier too.
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot3(a: &[f32], b: &[f32]) -> [f32; 3] {
         let n = a.len();
@@ -976,6 +1004,9 @@ mod avx2_fast {
 
     /// Relaxed-order asymmetric SQ8: vectorized dequantize with FMA, two
     /// independent accumulator chains, tree reduction.
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn sq8_l2(query: &[f32], code: &[u8], mins: &[f32], scales: &[f32]) -> f32 {
         let n = query.len();
@@ -1022,6 +1053,8 @@ mod avx2_fast {
         sum
     }
 
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn l2_sq_block(query: &[f32], block: &[f32], dim: usize, out: &mut Vec<f32>) {
         for row in block.chunks_exact(dim) {
@@ -1029,6 +1062,8 @@ mod avx2_fast {
         }
     }
 
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot_block(query: &[f32], block: &[f32], dim: usize, out: &mut Vec<f32>) {
         for row in block.chunks_exact(dim) {
@@ -1036,6 +1071,8 @@ mod avx2_fast {
         }
     }
 
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn sq8_l2_block(
         query: &[f32],
@@ -1053,6 +1090,9 @@ mod avx2_fast {
     /// Gather-based ADC block scoring, `ksub == 256` only: every `u8` code
     /// indexes in-bounds (`s * 256 + code < m * 256 == table.len()`), which
     /// is what makes the unchecked `vpgatherdd` sound for arbitrary codes.
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn adc_block_k256(table: &[f32], codes: &[u8], m: usize, out: &mut Vec<f32>) {
         let lane_off = _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
@@ -1081,6 +1121,9 @@ mod avx2_fast {
     /// Shuffle-based 4-bit LUT scoring: 32 candidates per batch, one
     /// `vpshufb` per subspace resolving 32 lookups at once, `u16` lane
     /// accumulators (sound for `m <= 256`). Integer-exact vs scalar.
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn adc4_lut16_block(
         luts: &[u8],
@@ -1151,6 +1194,9 @@ mod avx2_fast {
     /// reassembles all 32 lookups. Byte planes accumulate in separate `u16`
     /// lane accumulators (sound for `m <= 256`); the final `u32` is
     /// `lo + 256 · hi`. Integer-exact vs scalar, and gather-free.
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn adc8_lut256_block(
         luts: &[u8],
@@ -1254,6 +1300,9 @@ mod avx2_fast {
     /// Symmetric SQ8 scan: widen the query to `i16` once, then one
     /// load + convert + subtract + `vpmaddwd` per 16 dims per row.
     /// Integer-exact vs scalar.
+    ///
+    /// # Safety
+    /// Requires avx2,fma; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn sq8_sym_l2_block(qcode: &[u8], codes: &[u8], dim: usize, out: &mut Vec<u32>) {
         let mut q16 = vec![0i16; dim.next_multiple_of(16)];
@@ -1441,6 +1490,8 @@ mod avx512 {
     //! "fast-nondeterministic" mode).
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// Requires avx512f,avx512dq,avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx512f,avx512dq,avx2")]
     unsafe fn lane_sum(acc: __m256) -> f32 {
         let mut lanes = [0.0f32; 8];
@@ -1448,6 +1499,8 @@ mod avx512 {
         lanes.iter().sum()
     }
 
+    /// # Safety
+    /// Requires avx512f,avx512dq,avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx512f,avx512dq,avx2")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
@@ -1476,6 +1529,8 @@ mod avx512 {
         sum
     }
 
+    /// # Safety
+    /// Requires avx512f,avx512dq,avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx512f,avx512dq,avx2")]
     pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
         let n = a.len();
@@ -1508,6 +1563,8 @@ mod avx512 {
         sum
     }
 
+    /// # Safety
+    /// Requires avx512f,avx512dq,avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx512f,avx512dq,avx2")]
     pub unsafe fn l2_sq_block(query: &[f32], block: &[f32], dim: usize, out: &mut Vec<f32>) {
         for row in block.chunks_exact(dim) {
@@ -1515,6 +1572,8 @@ mod avx512 {
         }
     }
 
+    /// # Safety
+    /// Requires avx512f,avx512dq,avx2; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx512f,avx512dq,avx2")]
     pub unsafe fn dot_block(query: &[f32], block: &[f32], dim: usize, out: &mut Vec<f32>) {
         for row in block.chunks_exact(dim) {
@@ -1613,6 +1672,9 @@ mod avx512_fast {
     /// `c − 128`): `Σqc = dpbusd(q, c−128) + 128·Σq` and
     /// `Σc² = dpbusd(c, c−128) + 128·Σc` (row sums via `vpsadbw`). All
     /// integer arithmetic — exact vs the scalar reference.
+    ///
+    /// # Safety
+    /// Requires avx512f,avx512bw,avx512vnni; reached only through the detection-gated dispatch.
     #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
     pub unsafe fn sq8_sym_l2_block(qcode: &[u8], codes: &[u8], dim: usize, out: &mut Vec<u32>) {
         let wide = dim / 64 * 64;

@@ -10,7 +10,7 @@ use crate::backend::{BackendInfo, EvalBackend, SimBackend};
 use crate::replay::Outcome;
 use crate::Workload;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vdms::memory::MIN_MEMORY_GIB;
 use vdms::{VdmsConfig, VdmsError};
 
@@ -114,7 +114,7 @@ pub struct Evaluator<B: EvalBackend> {
     info: BackendInfo,
     seed: u64,
     history: Vec<Observation>,
-    cache: HashMap<[u64; 19], Outcome>,
+    cache: BTreeMap<[u64; 19], Outcome>,
     /// Total simulated tuning seconds (replay side of Table VI).
     pub total_replay_secs: f64,
     /// Total wall-clock recommendation seconds (model side of Table VI).
@@ -143,7 +143,7 @@ impl<B: EvalBackend> Evaluator<B> {
             info,
             seed,
             history: Vec::new(),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             total_replay_secs: 0.0,
             total_recommend_secs: 0.0,
         }

@@ -45,6 +45,9 @@ pub fn run_tuner<T: Tuner + ?Sized, B: EvalBackend>(
     iterations: usize,
 ) {
     for _ in 0..iterations {
+        // lint:allow(wall-clock): Table VI recommendation-time bookkeeping —
+        // measures the tuner's own thinking time, never feeds sim results.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         let config = tuner.propose(evaluator.history());
         let recommend_secs = t0.elapsed().as_secs_f64();
@@ -68,6 +71,9 @@ pub fn run_tuner_batched<T: Tuner + ?Sized, B: EvalBackend>(
     let mut remaining = iterations;
     while remaining > 0 {
         let batch = q.min(remaining);
+        // lint:allow(wall-clock): Table VI recommendation-time bookkeeping —
+        // measures the tuner's own thinking time, never feeds sim results.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         let configs = tuner.propose_batch(evaluator.history(), batch);
         assert_eq!(configs.len(), batch, "tuner must return exactly q candidates");

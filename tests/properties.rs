@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn ranks_consistent_with_front(points in prop::collection::vec(point_strategy(), 1..25)) {
         let ranks = pareto_ranks(&points);
-        let front: std::collections::HashSet<usize> =
+        let front: std::collections::BTreeSet<usize> =
             non_dominated_indices(&points).into_iter().collect();
         for (i, &r) in ranks.iter().enumerate() {
             prop_assert!(r >= 1);
